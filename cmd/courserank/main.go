@@ -1,0 +1,94 @@
+// Command courserank runs a CourseRank instance: it generates a
+// synthetic deployment and serves the closed-community JSON API.
+//
+// Usage:
+//
+//	courserank [-scale tiny|small|paper] [-addr :8080] [-demo]
+//
+// With -demo it skips the server and walks one student session through
+// the headline features (search → cloud → refine → recommend → plan)
+// on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/render"
+	"courserank/internal/server"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "deployment scale: tiny, small, paper")
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "print a demo session instead of serving")
+	flag.Parse()
+
+	var cfg datagen.Config
+	switch *scale {
+	case "tiny":
+		cfg = datagen.Tiny()
+	case "small":
+		cfg = datagen.Small()
+	case "paper":
+		cfg = datagen.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	log.Printf("generating %s-scale CourseRank (seed %d)...", *scale, cfg.Seed)
+	t0 := time.Now()
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	man, err := datagen.Populate(site, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := site.Scale()
+	log.Printf("ready in %v: %d courses, %d comments, %d ratings, %d users",
+		time.Since(t0).Round(time.Millisecond), s.Courses, s.Comments, s.Ratings, s.Users)
+
+	if *demo {
+		runDemo(site, man)
+		return
+	}
+	log.Printf("serving on %s (try /api/health)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(site)))
+}
+
+// runDemo walks the paper's interactions on stdout.
+func runDemo(site *core.Site, man *datagen.Manifest) {
+	res, err := site.SearchCourses("american")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(render.SearchResults(site, res, 5))
+	cl, _ := site.CourseCloud(res, 20)
+	fmt.Println("Course Cloud:")
+	fmt.Println(render.Cloud(cl))
+
+	ref, _ := site.RefineSearch(res, "african american")
+	fmt.Printf("\nclicked \"african american\" → %d courses\n\n", ref.Total())
+
+	fmt.Println("FlexRecs: related-courses for \"Introduction to Programming\"")
+	rec, err := site.Strategies.Run(site.Flex, "related-courses", map[string]any{
+		"title": "Introduction to Programming", "k": 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ti := rec.MustCol("Title")
+	for i := range rec.Rows {
+		fmt.Printf("  %d. %v\n", i+1, rec.Rows[i][ti])
+	}
+
+	fmt.Println()
+	fmt.Println(render.Plan(site, man.SampleStudent))
+}

@@ -1,0 +1,91 @@
+// Command crload generates a synthetic deployment and dumps selected
+// tables as JSON lines on stdout, for inspecting the generator or
+// feeding external tools.
+//
+// Usage:
+//
+//	crload [-scale tiny|small|paper] [-table Courses] [-limit 20]
+//	crload -scale small -snapshot deploy.jsonl   # full database snapshot
+//
+// Without -table or -snapshot it lists the available tables and sizes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/relation"
+)
+
+func main() {
+	scale := flag.String("scale", "tiny", "deployment scale: tiny, small, paper")
+	table := flag.String("table", "", "table to dump as JSON lines")
+	limit := flag.Int("limit", 0, "maximum rows to dump (0 = all)")
+	snapshot := flag.String("snapshot", "", "write a full database snapshot to this file")
+	flag.Parse()
+
+	var cfg datagen.Config
+	switch *scale {
+	case "tiny":
+		cfg = datagen.Tiny()
+	case "small":
+		cfg = datagen.Small()
+	case "paper":
+		cfg = datagen.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := datagen.Populate(site, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := site.DB.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot of %d tables written to %s\n", len(site.DB.Names()), *snapshot)
+		return
+	}
+
+	if *table == "" {
+		fmt.Println("tables:")
+		for _, name := range site.DB.Names() {
+			t, _ := site.DB.Table(name)
+			fmt.Printf("  %-18s %8d rows  %s\n", name, t.Len(), t.Schema())
+		}
+		return
+	}
+
+	t, ok := site.DB.Table(*table)
+	if !ok {
+		log.Fatalf("no table %q", *table)
+	}
+	cols := t.Schema().Names()
+	enc := json.NewEncoder(os.Stdout)
+	n := 0
+	t.Scan(func(_ int, row relation.Row) bool {
+		obj := make(map[string]any, len(cols))
+		for i, c := range cols {
+			obj[c] = row[i]
+		}
+		if err := enc.Encode(obj); err != nil {
+			log.Fatal(err)
+		}
+		n++
+		return *limit == 0 || n < *limit
+	})
+}

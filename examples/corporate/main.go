@@ -1,0 +1,145 @@
+// Corporate: the paper's closing vision (§2.2 "Beyond CourseRank: The
+// Corporate Social Site") — the same engine serving a company instead
+// of a university: employees and customers as constituents, products as
+// the catalog, support articles as "courses", an expertise-routed
+// question forum, and FlexRecs over product ratings. Nothing here is
+// CourseRank-specific: it is the same Site facade with corporate data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"courserank/internal/catalog"
+	"courserank/internal/comments"
+	"courserank/internal/community"
+	"courserank/internal/core"
+	"courserank/internal/flexrecs"
+	"courserank/internal/qa"
+	"courserank/internal/render"
+)
+
+func main() {
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Departments become product lines; the school field becomes the
+	// business unit.
+	must(site.Catalog.AddDepartment(catalog.Department{ID: "CAM", Name: "Cameras", School: "Hardware"}))
+	must(site.Catalog.AddDepartment(catalog.Department{ID: "AUD", Name: "Audio", School: "Hardware"}))
+	must(site.Catalog.AddDepartment(catalog.Department{ID: "SW", Name: "Software", School: "Software"}))
+
+	// Products play the catalog role ("units" become warranty years).
+	products := []catalog.Course{
+		{DepID: "CAM", Number: "X100", Title: "TrailCam X100", Description: "rugged outdoor camera with night vision and long battery life", Units: 2},
+		{DepID: "CAM", Number: "X200", Title: "TrailCam X200 Pro", Description: "outdoor camera with night vision, solar panel and cellular upload", Units: 3},
+		{DepID: "AUD", Number: "A10", Title: "StudioMic A10", Description: "condenser microphone for voice recording and podcasts", Units: 1},
+		{DepID: "AUD", Number: "A20", Title: "StudioMic A20 Kit", Description: "microphone kit with boom arm and pop filter for podcasts", Units: 1},
+		{DepID: "SW", Number: "S1", Title: "EditSuite", Description: "video editing software with color grading and export presets", Units: 1},
+	}
+	ids := make([]int64, len(products))
+	for i, p := range products {
+		id, err := site.Catalog.AddCourse(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// The corporate directory: employees and customers are the
+	// constituents (faculty/student roles reused).
+	people := []community.DirectoryEntry{
+		{Username: "support.lee", Name: "Lee (Support)", Role: community.RoleFaculty, DepID: "CAM"},
+		{Username: "cust.ana", Name: "Ana", Role: community.RoleStudent, DepID: "CAM", Undergrad: true},
+		{Username: "cust.raj", Name: "Raj", Role: community.RoleStudent, DepID: "AUD", Undergrad: true},
+		{Username: "cust.mei", Name: "Mei", Role: community.RoleStudent, DepID: "SW", Undergrad: true},
+	}
+	for _, p := range people {
+		must(site.Directory.Add(p))
+		if _, err := site.Community.Register(p.Username); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ana, _ := site.Community.UserByUsername("cust.ana")
+	raj, _ := site.Community.UserByUsername("cust.raj")
+	mei, _ := site.Community.UserByUsername("cust.mei")
+
+	// Customer reviews are the user-contributed layer.
+	reviews := []struct {
+		user   int64
+		prod   int
+		rating float64
+		text   string
+	}{
+		{ana.ID, 0, 5, "night vision is stunning and setup took minutes"},
+		{ana.ID, 1, 4, "solar panel keeps it alive all season"},
+		{raj.ID, 0, 4, "solid camera for the price"},
+		{raj.ID, 2, 5, "podcast audio quality jumped immediately"},
+		{mei.ID, 4, 3, "color grading is great but export presets confuse"},
+		{mei.ID, 0, 5, "night vision caught a fox family"},
+	}
+	for _, r := range reviews {
+		if _, err := site.Comments.Add(comments.Comment{
+			SuID: r.user, CourseID: ids[r.prod], Year: 2008, Term: "Autumn",
+			Text: r.text, Rating: r.rating,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(site.BuildSearchIndex())
+	must(site.RefreshDerived())
+
+	// Product search with a data cloud over reviews + descriptions.
+	res, err := site.SearchCourses("night vision")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search \"night vision\": %d products\n", res.Total())
+	cl, _ := site.CourseCloud(res, 10)
+	fmt.Println("cloud:", render.Cloud(cl))
+
+	// FlexRecs over customer ratings: products Ana's taste-peers like.
+	rec := flexrecs.Recommend(
+		flexrecs.Rel("Courses"),
+		flexrecs.Recommend(
+			flexrecs.Rel("Comments").Project("SuID", "CourseID", "Rating").
+				Select("SuID <> ?", ana.ID).Extend("SuID", "CourseID", "Rating", "Ratings"),
+			flexrecs.Rel("Comments").Project("SuID", "CourseID", "Rating").
+				Select("SuID = ?", ana.ID).Extend("SuID", "CourseID", "Rating", "Ratings"),
+			flexrecs.InvEuclideanOn("Ratings"),
+		).Top(2),
+		flexrecs.WeightedAvg("CourseID", "Ratings", "Score"),
+	).Top(3)
+	out, err := site.Flex.Run(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecommended for Ana (by taste peers):")
+	ci, si := out.MustCol("CourseID"), out.MustCol("Score")
+	for i := range out.Rows {
+		p, _ := site.Catalog.Course(out.Rows[i][ci].(int64))
+		fmt.Printf("  %.2f  %s\n", out.Rows[i][si], p.Title)
+	}
+
+	// Support forum with expertise routing: camera questions go to the
+	// camera support engineer.
+	qid, routed, err := site.QA.Ask(qa.Question{SuID: raj.ID, Title: "Does the X200 upload over cellular roaming?", DepID: "CAM", Text: "traveling next month"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquestion %d routed to %d staff expert(s)", qid, len(routed))
+	if len(routed) > 0 {
+		u, _ := site.Community.User(routed[0])
+		fmt.Printf(" — first: %s", u.Name)
+	}
+	fmt.Println()
+	fmt.Println("\nsame engine, different community — the corporate social site of §2.2.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

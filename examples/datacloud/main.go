@@ -1,0 +1,64 @@
+// Datacloud: the serendipity walk of paper §3. A student looking for
+// "something related to Greece" does not know the keywords "history of
+// science" — the data cloud hands her the connection. This example also
+// shows iterative refinement and how the cloud reranks as results
+// narrow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/render"
+)
+
+func main() {
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := datagen.Populate(site, datagen.Small()); err != nil {
+		log.Fatal(err)
+	}
+
+	// The §3 intro example: searching "greek" should surface the
+	// history-of-science course even though it lives outside Classics,
+	// because its description mentions the famous greek scientists.
+	res, err := site.SearchCourses("greek")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("search: greek")
+	fmt.Print(render.SearchResults(site, res, 5))
+	fmt.Println()
+
+	// The Figure 3 → 4 interaction at small scale, with clouds printed
+	// after every refinement step.
+	query := "american"
+	r2, err := site.SearchCourses(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := []string{"", "history", "american revolution"}
+	for i, refine := range steps {
+		if i > 0 {
+			r2, err = site.RefineSearch(r2, refine)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("clicked %q →\n", refine)
+		}
+		fmt.Printf("%d courses for query: %s\n", r2.Total(), r2.Query.String())
+		cl, err := site.CourseCloud(r2, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(render.Cloud(cl))
+		fmt.Println()
+		if r2.Total() == 0 {
+			break
+		}
+	}
+}

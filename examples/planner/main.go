@@ -1,0 +1,92 @@
+// Planner: a student's full planning session — recording taken courses
+// with grades, planning future quarters, hitting a schedule conflict
+// and a prerequisite violation, checking degree requirements, and
+// seeing who else plans to take a class (with privacy opt-out).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"courserank/internal/catalog"
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/planner"
+	"courserank/internal/render"
+)
+
+func main() {
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	man, err := datagen.Populate(site, datagen.Tiny())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A brand-new student (id outside the generated range).
+	sally := int64(70001)
+	intro := man.Planted["intro-programming"]
+	abstr := man.Planted["programming-abstractions"]
+	os := man.Planted["operating-systems"]
+
+	record := func(e planner.Entry) {
+		if err := site.Planner.Record(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Freshman year: took the intro sequence.
+	record(planner.Entry{SuID: sally, CourseID: intro, Year: 2007, Term: catalog.Autumn, Grade: "A"})
+	record(planner.Entry{SuID: sally, CourseID: abstr, Year: 2007, Term: catalog.Winter, Grade: "A-"})
+	// Next year: plans OS.
+	record(planner.Entry{SuID: sally, CourseID: os, Year: 2008, Term: catalog.Autumn, Planned: true})
+
+	fmt.Print(render.Plan(site, sally))
+
+	// Degree progress against the staff-defined CS-BS program.
+	prog, ok := site.Requirements.Get("CS-BS")
+	if !ok {
+		log.Fatal("CS-BS not defined")
+	}
+	rep := site.RequirementsCheck(prog, site.Planner.Taken(sally))
+	fmt.Printf("\nRequirement check — %s (satisfied: %v)\n", rep.Program, rep.Satisfied)
+	for _, r := range rep.Results {
+		status := "✓"
+		if !r.Satisfied {
+			status = "✗ " + r.Missing
+		}
+		fmt.Printf("  %-24s %s\n", r.Name, status)
+	}
+
+	// §3.2's advisory queries: which major fits Sally's transcript, and
+	// when should she take OS?
+	fmt.Println("\nRecommended majors:")
+	for _, fit := range site.Advisor.RecommendMajors(sally, 3) {
+		fmt.Printf("  %-12s score %.2f (%d/%d requirements met, GPA affinity %.2f)\n",
+			fit.Program, fit.Score, fit.SatisfiedReqs, fit.TotalReqs, fit.AffinityGPA)
+	}
+	quarters, err := site.Advisor.BestQuarters(sally, os)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBest quarter for Operating Systems:")
+	for _, q := range quarters {
+		fmt.Printf("  %s %d: %d conflicts, %d units, peer GPA %.2f (score %.2f)\n",
+			q.Term, q.Year, q.Conflicts, q.UnitLoad, q.PeerGPA, q.Score)
+	}
+
+	// Who else is planning to take OS? Privacy opt-outs are honored.
+	planning := site.Planner.PlannedBy(os, func(su int64) bool {
+		u, ok := site.Community.User(su)
+		return ok && u.SharePlans
+	})
+	fmt.Printf("\n%d students are planning to take Operating Systems", len(planning))
+	if len(planning) > 0 {
+		u, _ := site.Community.User(planning[0])
+		if u.Name != "" {
+			fmt.Printf(" (first: %s)", u.Name)
+		}
+	}
+	fmt.Println(" — if Sally likes one of them, she can enroll too (§2.2).")
+}

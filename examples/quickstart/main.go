@@ -1,0 +1,69 @@
+// Quickstart: build a tiny CourseRank, search it, read the cloud,
+// refine, and ask FlexRecs for related courses — the five-minute tour
+// of everything the paper demonstrates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/render"
+)
+
+func main() {
+	// 1. A complete CourseRank instance: relational store, SQL engine,
+	//    search, clouds, FlexRecs, planner, requirements, Q/A, books.
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	man, err := datagen.Populate(site, datagen.Tiny())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := site.Scale()
+	fmt.Printf("CourseRank up: %d courses, %d comments, %d ratings, %d users\n\n",
+		s.Courses, s.Comments, s.Ratings, s.Users)
+
+	// 2. Keyword search over course entities (title, description,
+	//    comments, instructors, department — §3.1).
+	res, err := site.SearchCourses("american")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(render.SearchResults(site, res, 5))
+
+	// 3. The data cloud summarizing those results.
+	cl, err := site.CourseCloud(res, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCourse Cloud:")
+	fmt.Println(render.Cloud(cl))
+
+	// 4. Click a cloud term to refine (Figure 3 → Figure 4).
+	ref, err := site.RefineSearch(res, "african american")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefined by \"african american\": %d → %d courses\n\n", res.Total(), ref.Total())
+
+	// 5. FlexRecs: a declarative recommendation workflow (Figure 5a).
+	rec, err := site.Strategies.Run(site.Flex, "related-courses", map[string]any{
+		"title": "Introduction to Programming", "k": 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("courses related to \"Introduction to Programming\":")
+	ti, si := rec.MustCol("Title"), rec.MustCol("Score")
+	for i := range rec.Rows {
+		fmt.Printf("  %.3f  %v\n", rec.Rows[i][si], rec.Rows[i][ti])
+	}
+
+	// 6. And the planner view for a seeded student (Figure 1, right).
+	fmt.Println()
+	fmt.Print(render.Plan(site, man.SampleStudent))
+}

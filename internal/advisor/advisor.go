@@ -1,0 +1,239 @@
+// Package advisor implements the advisory queries §3.2 of the paper
+// sketches beyond plain course recommendation: "maybe a student is not
+// looking for a course, but is looking for a major that suits the
+// courses she has taken, or trying to figure out what is the best
+// quarter to take a calculus course this year". RecommendMajors ranks
+// degree programs by fit with a transcript; BestQuarters ranks the
+// future offerings of one course by schedule fit and peer outcomes.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"courserank/internal/catalog"
+	"courserank/internal/planner"
+	"courserank/internal/relation"
+	"courserank/internal/requirements"
+)
+
+// Advisor answers major- and quarter-level advisory queries.
+type Advisor struct {
+	cat  *catalog.Store
+	plan *planner.Store
+	reqs *requirements.Registry
+	db   *relation.DB
+}
+
+// New wires an advisor over the shared stores.
+func New(db *relation.DB, cat *catalog.Store, plan *planner.Store, reqs *requirements.Registry) *Advisor {
+	return &Advisor{cat: cat, plan: plan, reqs: reqs, db: db}
+}
+
+// MajorFit scores one program against a transcript.
+type MajorFit struct {
+	Program string
+	DepID   string
+	// SatisfiedReqs / TotalReqs counts top-level requirements met.
+	SatisfiedReqs, TotalReqs int
+	// CoursesApplied counts transcript courses the program would use.
+	CoursesApplied int
+	// AffinityGPA is the student's grade-point mean in the program's
+	// department (0 when no graded course there).
+	AffinityGPA float64
+	// Score combines requirement coverage (60%) and grade affinity
+	// (40%), both in [0,1].
+	Score float64
+}
+
+// RecommendMajors ranks every defined program by fit with the courses
+// the student has taken: how much of the program the transcript already
+// satisfies, and how well the student scores in that department — the
+// "people with similar grades" angle applied to the student themself.
+func (a *Advisor) RecommendMajors(suID int64, k int) []MajorFit {
+	taken := a.plan.Taken(suID)
+	gradeByDept := a.deptGradePoints(suID)
+	var out []MajorFit
+	for _, name := range a.reqs.Names() {
+		prog, ok := a.reqs.Get(name)
+		if !ok {
+			continue
+		}
+		rep := requirements.Check(prog, taken, a.cat)
+		fit := MajorFit{Program: prog.Name, DepID: prog.DepID, TotalReqs: len(rep.Results)}
+		used := map[int64]bool{}
+		var collectUsed func(rs []requirements.ReqResult)
+		collectUsed = func(rs []requirements.ReqResult) {
+			for _, r := range rs {
+				for _, c := range r.Used {
+					used[c] = true
+				}
+				collectUsed(r.Children)
+			}
+		}
+		// Top-level satisfaction drives coverage; nested results only
+		// contribute used courses.
+		for _, r := range rep.Results {
+			if r.Satisfied {
+				fit.SatisfiedReqs++
+			}
+		}
+		collectUsed(rep.Results)
+		fit.CoursesApplied = len(used)
+		if g, ok := gradeByDept[prog.DepID]; ok {
+			fit.AffinityGPA = g
+		}
+		coverage := 0.0
+		if fit.TotalReqs > 0 {
+			coverage = float64(fit.SatisfiedReqs) / float64(fit.TotalReqs)
+		}
+		fit.Score = 0.6*coverage + 0.4*(fit.AffinityGPA/4.3)
+		out = append(out, fit)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Program < out[j].Program
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// deptGradePoints computes the student's units-weighted grade-point
+// mean per department.
+func (a *Advisor) deptGradePoints(suID int64) map[string]float64 {
+	pts := map[string]float64{}
+	units := map[string]int64{}
+	for _, e := range a.plan.Entries(suID) {
+		if e.Planned {
+			continue
+		}
+		p, ok := e.Grade.Points()
+		if !ok {
+			continue
+		}
+		c, ok := a.cat.Course(e.CourseID)
+		if !ok {
+			continue
+		}
+		pts[c.DepID] += p * float64(c.Units)
+		units[c.DepID] += c.Units
+	}
+	out := make(map[string]float64, len(pts))
+	for dep, p := range pts {
+		if units[dep] > 0 {
+			out[dep] = p / float64(units[dep])
+		}
+	}
+	return out
+}
+
+// QuarterFit scores one candidate quarter for taking a course.
+type QuarterFit struct {
+	Year int64
+	Term catalog.Term
+	// Conflicts counts schedule collisions with the student's existing
+	// entries in that quarter.
+	Conflicts int
+	// UnitLoad is the student's load that quarter if the course is added.
+	UnitLoad int64
+	// PeerGPA is the mean grade-point outcome of students who took this
+	// course in this term historically (0 when unknown).
+	PeerGPA float64
+	// PeerCount is how many outcomes PeerGPA averages.
+	PeerCount int
+	// Score ranks candidates: conflict-free light quarters with strong
+	// peer outcomes first.
+	Score float64
+}
+
+// BestQuarters ranks the quarters in which the course is offered by how
+// well they suit the student: no schedule conflicts, sane unit load,
+// and good historical outcomes of peers who took it in that term — the
+// paper's "what is the best quarter to take a calculus course this
+// year" query.
+func (a *Advisor) BestQuarters(suID, courseID int64) ([]QuarterFit, error) {
+	course, ok := a.cat.Course(courseID)
+	if !ok {
+		return nil, fmt.Errorf("advisor: unknown course %d", courseID)
+	}
+	offerings := a.cat.Offerings(courseID)
+	if len(offerings) == 0 {
+		return nil, fmt.Errorf("advisor: course %d has no offerings", courseID)
+	}
+	termOutcome, termCount := a.peerOutcomesByTerm(courseID)
+
+	seen := map[planner.Quarter]bool{}
+	var out []QuarterFit
+	for _, off := range offerings {
+		q := planner.Quarter{Year: off.Year, Term: off.Term}
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		fit := QuarterFit{Year: off.Year, Term: off.Term}
+		// Conflicts against the student's existing entries that quarter.
+		for _, e := range a.plan.Entries(suID) {
+			if e.Year != off.Year || e.Term != off.Term {
+				continue
+			}
+			for _, other := range a.cat.Offerings(e.CourseID) {
+				if other.Year == off.Year && other.Term == off.Term && off.Overlaps(other) {
+					fit.Conflicts++
+					break
+				}
+			}
+		}
+		fit.UnitLoad = a.plan.UnitLoad(suID, off.Year, off.Term) + course.Units
+		fit.PeerGPA = termOutcome[off.Term]
+		fit.PeerCount = termCount[off.Term]
+		fit.Score = fit.PeerGPA - 5*float64(fit.Conflicts)
+		if fit.UnitLoad > planner.MaxUnitsPerQuarter {
+			fit.Score -= float64(fit.UnitLoad - planner.MaxUnitsPerQuarter)
+		}
+		out = append(out, fit)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return catalog.TermIndex(out[i].Term) < catalog.TermIndex(out[j].Term)
+	})
+	return out, nil
+}
+
+// peerOutcomesByTerm averages historical self-reported grade points for
+// the course per term, from the shared Enrollments table.
+func (a *Advisor) peerOutcomesByTerm(courseID int64) (map[catalog.Term]float64, map[catalog.Term]int) {
+	sums := map[catalog.Term]float64{}
+	counts := map[catalog.Term]int{}
+	enroll, ok := a.db.Table("Enrollments")
+	if !ok {
+		return map[catalog.Term]float64{}, counts
+	}
+	sch := enroll.Schema()
+	gr, pl, tm := sch.MustIndex("Grade"), sch.MustIndex("Planned"), sch.MustIndex("Term")
+	for _, r := range enroll.Lookup("CourseID", courseID) {
+		if r[pl].(bool) || r[gr] == nil {
+			continue
+		}
+		p, ok := catalog.Grade(r[gr].(string)).Points()
+		if !ok {
+			continue
+		}
+		term := catalog.Term(r[tm].(string))
+		sums[term] += p
+		counts[term]++
+	}
+	out := make(map[catalog.Term]float64, len(sums))
+	for t, s := range sums {
+		out[t] = s / float64(counts[t])
+	}
+	return out, counts
+}

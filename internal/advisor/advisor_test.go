@@ -1,0 +1,159 @@
+package advisor
+
+import (
+	"testing"
+
+	"courserank/internal/catalog"
+	"courserank/internal/planner"
+	"courserank/internal/relation"
+	"courserank/internal/requirements"
+)
+
+// fixture: CS program (intro + choose-1 systems) and HIST program
+// (choose-2), with offerings across quarters carrying different peer
+// outcomes.
+func fixture(t *testing.T) (*Advisor, *planner.Store, map[string]int64) {
+	t.Helper()
+	db := relation.NewDB()
+	cat, err := catalog.Setup(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	must(cat.AddDepartment(catalog.Department{ID: "CS", Name: "CS", School: "Engineering"}))
+	must(cat.AddDepartment(catalog.Department{ID: "HIST", Name: "History", School: "H&S"}))
+	ids := map[string]int64{}
+	add := func(key, dep, num string, units int64) {
+		id, err := cat.AddCourse(catalog.Course{DepID: dep, Number: num, Title: key, Units: units})
+		must(err)
+		ids[key] = id
+	}
+	add("cs-intro", "CS", "106A", 5)
+	add("cs-sys", "CS", "140", 4)
+	add("cs-extra", "CS", "107", 4)
+	add("hist-1", "HIST", "1", 3)
+	add("hist-2", "HIST", "2", 3)
+	add("calculus", "CS", "200", 3)
+
+	// Calculus offered Autumn (overlapping intro's slot) and Winter.
+	_, err = cat.AddOffering(catalog.Offering{CourseID: ids["calculus"], Year: 2008, Term: catalog.Autumn, Days: "MWF", StartMin: 600, EndMin: 650})
+	must(err)
+	_, err = cat.AddOffering(catalog.Offering{CourseID: ids["calculus"], Year: 2008, Term: catalog.Winter, Days: "MWF", StartMin: 600, EndMin: 650})
+	must(err)
+	_, err = cat.AddOffering(catalog.Offering{CourseID: ids["cs-sys"], Year: 2008, Term: catalog.Autumn, Days: "MWF", StartMin: 600, EndMin: 650})
+	must(err)
+
+	pl, err := planner.Setup(db, cat)
+	must(err)
+	reqs := requirements.NewRegistry()
+	must(reqs.Define(requirements.Program{Name: "CS-BS", DepID: "CS", Requirements: []requirements.Requirement{
+		{Name: "intro", Kind: requirements.KindAll, Courses: []int64{ids["cs-intro"]}},
+		{Name: "systems", Kind: requirements.KindChoose, K: 1, Courses: []int64{ids["cs-sys"], ids["cs-extra"]}},
+	}}))
+	must(reqs.Define(requirements.Program{Name: "HIST-BA", DepID: "HIST", Requirements: []requirements.Requirement{
+		{Name: "core", Kind: requirements.KindChoose, K: 2, Courses: []int64{ids["hist-1"], ids["hist-2"]}},
+	}}))
+	return New(db, cat, pl, reqs), pl, ids
+}
+
+func TestRecommendMajorsPrefersCoveredProgram(t *testing.T) {
+	adv, pl, ids := fixture(t)
+	su := int64(1)
+	// Transcript: both CS requirements covered with A grades.
+	if err := pl.Record(planner.Entry{SuID: su, CourseID: ids["cs-intro"], Year: 2007, Term: catalog.Autumn, Grade: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Record(planner.Entry{SuID: su, CourseID: ids["cs-sys"], Year: 2007, Term: catalog.Winter, Grade: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	fits := adv.RecommendMajors(su, 0)
+	if len(fits) != 2 {
+		t.Fatalf("fits = %+v", fits)
+	}
+	if fits[0].Program != "CS-BS" {
+		t.Errorf("top major = %s", fits[0].Program)
+	}
+	if fits[0].SatisfiedReqs != 2 || fits[0].TotalReqs != 2 {
+		t.Errorf("coverage = %d/%d", fits[0].SatisfiedReqs, fits[0].TotalReqs)
+	}
+	if fits[0].CoursesApplied != 2 {
+		t.Errorf("applied = %d", fits[0].CoursesApplied)
+	}
+	if fits[0].AffinityGPA != 4.0 {
+		t.Errorf("affinity = %v", fits[0].AffinityGPA)
+	}
+	if fits[0].Score <= fits[1].Score {
+		t.Errorf("scores: %v", fits)
+	}
+}
+
+func TestRecommendMajorsGradeAffinityBreaksTies(t *testing.T) {
+	adv, pl, ids := fixture(t)
+	su := int64(2)
+	// One course toward each program, but As in history and Cs in CS.
+	pl.Record(planner.Entry{SuID: su, CourseID: ids["cs-intro"], Year: 2007, Term: catalog.Autumn, Grade: "C"})
+	pl.Record(planner.Entry{SuID: su, CourseID: ids["hist-1"], Year: 2007, Term: catalog.Autumn, Grade: "A"})
+	pl.Record(planner.Entry{SuID: su, CourseID: ids["hist-2"], Year: 2007, Term: catalog.Winter, Grade: "A"})
+	fits := adv.RecommendMajors(su, 1)
+	if len(fits) != 1 || fits[0].Program != "HIST-BA" {
+		t.Errorf("top = %+v", fits)
+	}
+}
+
+func TestBestQuartersAvoidsConflicts(t *testing.T) {
+	adv, pl, ids := fixture(t)
+	su := int64(3)
+	// Student already takes cs-sys in Autumn 2008 at the same time slot
+	// as calculus's Autumn offering; Winter is free.
+	if err := pl.Record(planner.Entry{SuID: su, CourseID: ids["cs-sys"], Year: 2008, Term: catalog.Autumn, Planned: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Historical peers did well in Winter.
+	pl.Record(planner.Entry{SuID: 100, CourseID: ids["calculus"], Year: 2007, Term: catalog.Winter, Grade: "A"})
+	pl.Record(planner.Entry{SuID: 101, CourseID: ids["calculus"], Year: 2007, Term: catalog.Autumn, Grade: "C"})
+
+	fits, err := adv.BestQuarters(su, ids["calculus"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 2 {
+		t.Fatalf("fits = %+v", fits)
+	}
+	if fits[0].Term != catalog.Winter {
+		t.Errorf("best quarter = %+v", fits[0])
+	}
+	if fits[1].Conflicts != 1 {
+		t.Errorf("autumn conflicts = %d", fits[1].Conflicts)
+	}
+	if fits[0].PeerGPA != 4.0 || fits[0].PeerCount != 1 {
+		t.Errorf("winter peers = %+v", fits[0])
+	}
+}
+
+func TestBestQuartersErrors(t *testing.T) {
+	adv, _, ids := fixture(t)
+	if _, err := adv.BestQuarters(1, 999999); err == nil {
+		t.Error("unknown course should fail")
+	}
+	// cs-intro has no offerings in the fixture.
+	if _, err := adv.BestQuarters(1, ids["cs-intro"]); err == nil {
+		t.Error("offering-less course should fail")
+	}
+}
+
+func TestRecommendMajorsEmptyTranscript(t *testing.T) {
+	adv, _, _ := fixture(t)
+	fits := adv.RecommendMajors(999, 0)
+	if len(fits) != 2 {
+		t.Fatalf("fits = %+v", fits)
+	}
+	for _, f := range fits {
+		if f.Score != 0 || f.SatisfiedReqs != 0 {
+			t.Errorf("empty transcript should score 0: %+v", f)
+		}
+	}
+}

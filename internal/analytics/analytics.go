@@ -1,0 +1,267 @@
+// Package analytics studies how the social system evolves over time —
+// the §1 research question "How do such systems evolve over time? How
+// do resources, users, and their relationships change and how does this
+// affect the whole user experience?". It computes activity series
+// (contributions per quarter), rating drift (how course sentiment moves
+// year over year), contribution concentration (do a few power users
+// dominate?), and coverage growth (what fraction of the catalog has
+// community content).
+package analytics
+
+import (
+	"math"
+	"sort"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+// Service computes evolution metrics over the shared database.
+type Service struct {
+	db *relation.DB
+}
+
+// New returns an analytics service over the database.
+func New(db *relation.DB) *Service { return &Service{db: db} }
+
+// QuarterActivity is one point of the contribution time series.
+type QuarterActivity struct {
+	Year     int64
+	Term     catalog.Term
+	Comments int
+	Raters   int // distinct commenting students
+}
+
+// ActivityByQuarter returns the comment time series in chronological
+// order — the growth curve a site operator watches after launch.
+func (s *Service) ActivityByQuarter() []QuarterActivity {
+	t, ok := s.db.Table("Comments")
+	if !ok {
+		return nil
+	}
+	sch := t.Schema()
+	su, yr, tm := sch.MustIndex("SuID"), sch.MustIndex("Year"), sch.MustIndex("Term")
+	type key struct {
+		year int64
+		term catalog.Term
+	}
+	counts := map[key]int{}
+	users := map[key]map[int64]bool{}
+	t.Scan(func(_ int, r relation.Row) bool {
+		k := key{year: r[yr].(int64), term: catalog.Term(r[tm].(string))}
+		counts[k]++
+		set, ok := users[k]
+		if !ok {
+			set = map[int64]bool{}
+			users[k] = set
+		}
+		set[r[su].(int64)] = true
+		return true
+	})
+	out := make([]QuarterActivity, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, QuarterActivity{Year: k.year, Term: k.term, Comments: n, Raters: len(users[k])})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Year != out[b].Year {
+			return out[a].Year < out[b].Year
+		}
+		return catalog.TermIndex(out[a].Term) < catalog.TermIndex(out[b].Term)
+	})
+	return out
+}
+
+// RatingDrift is one course's sentiment movement between two years.
+type RatingDrift struct {
+	CourseID  int64
+	FirstYear int64
+	LastYear  int64
+	FirstAvg  float64
+	LastAvg   float64
+	Delta     float64 // LastAvg - FirstAvg
+	N         int     // total rated comments considered
+}
+
+// RatingDriftByCourse measures, per course with rated comments in at
+// least two distinct years, how the average comment rating moved from
+// its first to its last year. Results sort by |Delta| descending —
+// the courses whose reputation changed most.
+func (s *Service) RatingDriftByCourse(minPerYear int) []RatingDrift {
+	t, ok := s.db.Table("Comments")
+	if !ok {
+		return nil
+	}
+	sch := t.Schema()
+	co, yr, ra := sch.MustIndex("CourseID"), sch.MustIndex("Year"), sch.MustIndex("Rating")
+	type cell struct {
+		sum float64
+		n   int
+	}
+	byCourseYear := map[int64]map[int64]*cell{}
+	t.Scan(func(_ int, r relation.Row) bool {
+		if r[ra] == nil {
+			return true
+		}
+		rating, ok := toFloat(r[ra])
+		if !ok {
+			return true
+		}
+		cid := r[co].(int64)
+		year := r[yr].(int64)
+		years, ok := byCourseYear[cid]
+		if !ok {
+			years = map[int64]*cell{}
+			byCourseYear[cid] = years
+		}
+		c, ok := years[year]
+		if !ok {
+			c = &cell{}
+			years[year] = c
+		}
+		c.sum += rating
+		c.n++
+		return true
+	})
+	var out []RatingDrift
+	for cid, years := range byCourseYear {
+		var ys []int64
+		for y, c := range years {
+			if c.n >= minPerYear {
+				ys = append(ys, y)
+			}
+		}
+		if len(ys) < 2 {
+			continue
+		}
+		sort.Slice(ys, func(a, b int) bool { return ys[a] < ys[b] })
+		first, last := years[ys[0]], years[ys[len(ys)-1]]
+		d := RatingDrift{
+			CourseID:  cid,
+			FirstYear: ys[0], LastYear: ys[len(ys)-1],
+			FirstAvg: first.sum / float64(first.n),
+			LastAvg:  last.sum / float64(last.n),
+		}
+		d.Delta = d.LastAvg - d.FirstAvg
+		for _, c := range years {
+			d.N += c.n
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		da, db := math.Abs(out[a].Delta), math.Abs(out[b].Delta)
+		if da != db {
+			return da > db
+		}
+		return out[a].CourseID < out[b].CourseID
+	})
+	return out
+}
+
+// Concentration summarizes how contribution volume distributes over
+// users.
+type Concentration struct {
+	Contributors int     // users with ≥1 comment
+	Top10Share   float64 // fraction of comments from the top 10% of contributors
+	Gini         float64 // 0 = perfectly even, → 1 = one user wrote everything
+}
+
+// ContributionConcentration measures whether a few "power users"
+// dominate (§2.1 notes most social sites split into power and regular
+// users; CourseRank's closed community spreads work more evenly).
+func (s *Service) ContributionConcentration() Concentration {
+	t, ok := s.db.Table("Comments")
+	if !ok {
+		return Concentration{}
+	}
+	sch := t.Schema()
+	su := sch.MustIndex("SuID")
+	perUser := map[int64]int{}
+	total := 0
+	t.Scan(func(_ int, r relation.Row) bool {
+		perUser[r[su].(int64)]++
+		total++
+		return true
+	})
+	if len(perUser) == 0 || total == 0 {
+		return Concentration{}
+	}
+	counts := make([]int, 0, len(perUser))
+	for _, n := range perUser {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	topK := (len(counts) + 9) / 10
+	topSum := 0
+	for _, n := range counts[:topK] {
+		topSum += n
+	}
+	// Gini over the (ascending) counts.
+	sort.Ints(counts)
+	var cum, weighted float64
+	for i, n := range counts {
+		cum += float64(n)
+		weighted += float64(i+1) * float64(n)
+	}
+	nUsers := float64(len(counts))
+	gini := (2*weighted)/(nUsers*cum) - (nUsers+1)/nUsers
+	return Concentration{
+		Contributors: len(perUser),
+		Top10Share:   float64(topSum) / float64(total),
+		Gini:         gini,
+	}
+}
+
+// Coverage reports how much of the catalog carries community content.
+type Coverage struct {
+	Courses      int
+	WithComments int
+	WithRatings  int
+	CommentShare float64
+	RatingShare  float64
+}
+
+// CatalogCoverage measures resource coverage — a growth axis the §1
+// evolution question asks about.
+func (s *Service) CatalogCoverage() Coverage {
+	cov := Coverage{}
+	courses, ok := s.db.Table("Courses")
+	if !ok {
+		return cov
+	}
+	cov.Courses = courses.Len()
+	if comments, ok := s.db.Table("Comments"); ok {
+		sch := comments.Schema()
+		co := sch.MustIndex("CourseID")
+		seen := map[int64]bool{}
+		comments.Scan(func(_ int, r relation.Row) bool {
+			seen[r[co].(int64)] = true
+			return true
+		})
+		cov.WithComments = len(seen)
+	}
+	if ratings, ok := s.db.Table("Ratings"); ok {
+		sch := ratings.Schema()
+		co := sch.MustIndex("CourseID")
+		seen := map[int64]bool{}
+		ratings.Scan(func(_ int, r relation.Row) bool {
+			seen[r[co].(int64)] = true
+			return true
+		})
+		cov.WithRatings = len(seen)
+	}
+	if cov.Courses > 0 {
+		cov.CommentShare = float64(cov.WithComments) / float64(cov.Courses)
+		cov.RatingShare = float64(cov.WithRatings) / float64(cov.Courses)
+	}
+	return cov
+}
+
+func toFloat(v relation.Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}

@@ -1,0 +1,106 @@
+package bookx
+
+import (
+	"testing"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+func fixture(t *testing.T) (*Service, int64, int64) {
+	t.Helper()
+	db := relation.NewDB()
+	cat, err := catalog.Setup(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDepartment(catalog.Department{ID: "CS", Name: "CS", School: "Engineering"}); err != nil {
+		t.Fatal(err)
+	}
+	cid, _ := cat.AddCourse(catalog.Course{DepID: "CS", Number: "145", Title: "Databases", Units: 4})
+	bid, _ := cat.ReportTextbook(catalog.Textbook{CourseID: cid, Title: "Database Systems", Author: "GMUW", ReportedBy: 1})
+	svc, err := Setup(db, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, cid, bid
+}
+
+func TestPostValidation(t *testing.T) {
+	svc, _, bid := fixture(t)
+	if _, err := svc.Post(Listing{BookID: bid, SuID: 1, Side: "steal", Price: 10}); err == nil {
+		t.Error("bad side should fail")
+	}
+	if _, err := svc.Post(Listing{BookID: bid, SuID: 1, Side: Buy, Price: -1}); err == nil {
+		t.Error("negative price should fail")
+	}
+	id, err := svc.Post(Listing{BookID: bid, SuID: 1, Side: Sell, Price: 40})
+	if err != nil || id == 0 {
+		t.Fatalf("post: %v", err)
+	}
+	if got := svc.Active(bid); len(got) != 1 || got[0].Side != Sell {
+		t.Errorf("Active = %v", got)
+	}
+}
+
+func TestMatching(t *testing.T) {
+	svc, _, bid := fixture(t)
+	// Sellers at 30, 45, 60; buyers with budgets 50 and 35.
+	svc.Post(Listing{BookID: bid, SuID: 10, Side: Sell, Price: 30})
+	svc.Post(Listing{BookID: bid, SuID: 11, Side: Sell, Price: 45})
+	svc.Post(Listing{BookID: bid, SuID: 12, Side: Sell, Price: 60})
+	svc.Post(Listing{BookID: bid, SuID: 20, Side: Buy, Price: 50})
+	svc.Post(Listing{BookID: bid, SuID: 21, Side: Buy, Price: 35})
+	// Highest-budget buyer (20) takes the cheapest sell (30); buyer 21
+	// cannot afford the remaining 45 and 60, so exactly one match forms.
+	matches := svc.MatchBook(bid)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	if matches[0].Buy.SuID != 20 || matches[0].Sell.Price != 30 {
+		t.Errorf("match0 = %+v", matches[0])
+	}
+	// A second seller at 33 lets buyer 21 in.
+	svc.Post(Listing{BookID: bid, SuID: 13, Side: Sell, Price: 33})
+	matches = svc.MatchBook(bid)
+	if len(matches) != 2 || matches[1].Buy.SuID != 21 || matches[1].Sell.Price != 33 {
+		t.Fatalf("after new seller: %+v", matches)
+	}
+}
+
+func TestMatchingBudgets(t *testing.T) {
+	svc, _, bid := fixture(t)
+	svc.Post(Listing{BookID: bid, SuID: 10, Side: Sell, Price: 30})
+	svc.Post(Listing{BookID: bid, SuID: 20, Side: Buy, Price: 25})
+	if m := svc.MatchBook(bid); len(m) != 0 {
+		t.Errorf("unaffordable sell matched: %+v", m)
+	}
+	// Self-trade is excluded.
+	svc.Post(Listing{BookID: bid, SuID: 10, Side: Buy, Price: 100})
+	m := svc.MatchBook(bid)
+	if len(m) != 0 {
+		t.Errorf("self trade: %+v", m)
+	}
+}
+
+func TestSettleClosesBoth(t *testing.T) {
+	svc, cid, bid := fixture(t)
+	svc.Post(Listing{BookID: bid, SuID: 10, Side: Sell, Price: 30})
+	svc.Post(Listing{BookID: bid, SuID: 20, Side: Buy, Price: 50})
+	matches := svc.ForCourse(cid)
+	if len(matches) != 1 {
+		t.Fatalf("ForCourse = %+v", matches)
+	}
+	if err := svc.Settle(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Active(bid); len(got) != 0 {
+		t.Errorf("after settle: %v", got)
+	}
+	if len(svc.MatchBook(bid)) != 0 {
+		t.Error("settled listings must not rematch")
+	}
+	if err := svc.Close(999); err == nil {
+		t.Error("closing missing listing should fail")
+	}
+}

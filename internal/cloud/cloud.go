@@ -1,0 +1,232 @@
+// Package cloud computes Data Clouds (paper §3.1): tag clouds whose
+// "tags" are the most significant terms found in the results of a keyword
+// search over the database. Terms are scored by contrasting their
+// frequency inside the result set against the whole corpus, so the cloud
+// surfaces concepts that characterize *these* results ("Latin American",
+// "Indians", "politics" for the query "American") rather than globally
+// common words. Cloud terms are hyperlink-like handles for refinement:
+// clicking one narrows the search (Figure 3 → Figure 4).
+package cloud
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"courserank/internal/textindex"
+)
+
+// Term is one cloud entry.
+type Term struct {
+	Text       string  // display text, e.g. "latin american"
+	ResultDocs int     // result documents containing the term
+	Score      float64 // significance score (higher = more characteristic)
+	Weight     int     // display bucket 1..MaxWeight (font size)
+}
+
+// MaxWeight is the number of display size buckets.
+const MaxWeight = 5
+
+// Options tunes cloud computation. The zero value selects sensible
+// defaults (40 terms, minimum 2 result docs, subsumption on).
+type Options struct {
+	// MaxTerms caps the cloud size; 0 means 40.
+	MaxTerms int
+	// MinDocs drops terms appearing in fewer result documents; 0 means 2
+	// (a term seen once is noise, not a theme).
+	MinDocs int
+	// Exclude removes the given terms (typically the query's own terms);
+	// matching is on tokenized form.
+	Exclude []string
+	// KeepSubsumed retains unigrams that occur almost exclusively inside
+	// a selected bigram (by default "latin" is dropped when nearly all of
+	// its result occurrences are inside "latin american").
+	KeepSubsumed bool
+}
+
+func (o Options) maxTerms() int {
+	if o.MaxTerms <= 0 {
+		return 40
+	}
+	return o.MaxTerms
+}
+
+func (o Options) minDocs() int {
+	if o.MinDocs <= 0 {
+		return 2
+	}
+	return o.MinDocs
+}
+
+// Cloud is a computed data cloud, terms ordered by descending score.
+type Cloud struct {
+	Terms      []Term
+	ResultSize int // number of result documents summarized
+}
+
+// Compute builds the data cloud for a set of result document ids over the
+// given index. Each term's significance is
+//
+//	score = rdf × log(1 + N/df)
+//
+// where rdf counts result documents containing the term, df counts corpus
+// documents, and N is the corpus size — result-frequency damped by
+// corpus-rarity, the classic "significant terms" contrast.
+func Compute(ix *textindex.Index, docIDs []int64, opts Options) *Cloud {
+	n := float64(ix.DocCount())
+	excluded := make(map[string]bool, len(opts.Exclude))
+	for _, t := range opts.Exclude {
+		toks := textindex.Tokenize(t)
+		if len(toks) > 0 {
+			excluded[strings.Join(toks, " ")] = true
+		}
+	}
+
+	rdf := make(map[string]int)
+	for _, id := range docIDs {
+		ix.DocTerms(id, func(term string, _ int) bool {
+			rdf[term]++
+			return true
+		})
+	}
+
+	type cand struct {
+		text  string
+		rdf   int
+		score float64
+	}
+	var cands []cand
+	for term, c := range rdf {
+		if c < opts.minDocs() || excluded[term] {
+			continue
+		}
+		if isNumeric(term) {
+			continue
+		}
+		df := ix.DocFreq(term)
+		if df == 0 {
+			df = c
+		}
+		score := float64(c) * math.Log(1+n/float64(df))
+		cands = append(cands, cand{text: term, rdf: c, score: score})
+	}
+
+	// Subsumption: a unigram that occurs (almost) only inside a candidate
+	// bigram is redundant — the bigram carries the concept. Excluded
+	// phrases subsume too: refining by "african american" must not
+	// resurface the bare "african".
+	if !opts.KeepSubsumed {
+		bigramMax := make(map[string]int)
+		noteBigram := func(text string, n int) {
+			if i := strings.IndexByte(text, ' '); i > 0 {
+				for _, w := range [2]string{text[:i], text[i+1:]} {
+					if n > bigramMax[w] {
+						bigramMax[w] = n
+					}
+				}
+			}
+		}
+		for _, c := range cands {
+			noteBigram(c.text, c.rdf)
+		}
+		for phrase := range excluded {
+			noteBigram(phrase, rdf[phrase])
+		}
+		kept := cands[:0]
+		for _, c := range cands {
+			if !strings.Contains(c.text, " ") {
+				if bm := bigramMax[c.text]; bm > 0 && float64(bm) >= 0.8*float64(c.rdf) {
+					continue
+				}
+			}
+			kept = append(kept, c)
+		}
+		cands = kept
+	}
+
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].text < cands[b].text
+	})
+	if len(cands) > opts.maxTerms() {
+		cands = cands[:opts.maxTerms()]
+	}
+
+	out := &Cloud{ResultSize: len(docIDs), Terms: make([]Term, len(cands))}
+	if len(cands) == 0 {
+		return out
+	}
+	// Weight buckets: linear split of the score range, so the strongest
+	// theme renders largest.
+	lo, hi := cands[len(cands)-1].score, cands[0].score
+	span := hi - lo
+	for i, c := range cands {
+		w := MaxWeight
+		if span > 0 {
+			w = 1 + int(float64(MaxWeight-1)*(c.score-lo)/span+0.5)
+			if w > MaxWeight {
+				w = MaxWeight
+			}
+			if w < 1 {
+				w = 1
+			}
+		}
+		out.Terms[i] = Term{Text: c.text, ResultDocs: c.rdf, Score: c.score, Weight: w}
+	}
+	return out
+}
+
+// isNumeric reports whether the term consists only of digit tokens —
+// years and section numbers are not useful cloud themes.
+func isNumeric(term string) bool {
+	for _, tok := range strings.Split(term, " ") {
+		hasAlpha := false
+		for _, r := range tok {
+			if r >= 'a' && r <= 'z' {
+				hasAlpha = true
+				break
+			}
+		}
+		if hasAlpha {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the cloud contains the term (tokenized form).
+func (c *Cloud) Has(term string) bool {
+	want := strings.Join(textindex.Tokenize(term), " ")
+	for _, t := range c.Terms {
+		if t.Text == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Alphabetical returns the terms sorted for display, the way classic tag
+// clouds lay out alphabetically with size encoding importance.
+func (c *Cloud) Alphabetical() []Term {
+	out := append([]Term(nil), c.Terms...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Text < out[b].Text })
+	return out
+}
+
+// String renders the cloud compactly as "term(weight)" entries in
+// alphabetical order.
+func (c *Cloud) String() string {
+	var b strings.Builder
+	for i, t := range c.Alphabetical() {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(t.Text)
+		b.WriteByte('(')
+		b.WriteByte(byte('0' + t.Weight))
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package comments
+
+import (
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+func facultyStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Setup(relation.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetupFaculty(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRespond(t *testing.T) {
+	s := facultyStore(t)
+	cid, _ := s.Add(Comment{SuID: 1, CourseID: 9, Year: 2008, Term: "Aut", Text: "the midterm was unfair"})
+	rid, err := s.Respond(cid, 77, "the median was a B+; regrade requests open Friday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid == 0 {
+		t.Error("response id")
+	}
+	if _, err := s.Respond(999, 77, "x"); err == nil {
+		t.Error("response to missing comment should fail")
+	}
+	if _, err := s.Respond(cid, 77, ""); err == nil {
+		t.Error("empty response should fail")
+	}
+	got := s.Responses(cid)
+	if len(got) != 1 || got[0].InstructorID != 77 {
+		t.Errorf("responses = %+v", got)
+	}
+	// Multiple responses keep order.
+	s.Respond(cid, 78, "also see the solutions handout")
+	got = s.Responses(cid)
+	if len(got) != 2 || got[0].ID > got[1].ID {
+		t.Errorf("order: %+v", got)
+	}
+}
+
+func TestCourseNotes(t *testing.T) {
+	s := facultyStore(t)
+	nid, err := s.AddNote(5, 77, "This year we switch to Python; see the new syllabus.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid == 0 {
+		t.Error("note id")
+	}
+	if _, err := s.AddNote(5, 77, ""); err == nil {
+		t.Error("empty note should fail")
+	}
+	notes := s.Notes(5)
+	if len(notes) != 1 || notes[0].InstructorID != 77 {
+		t.Errorf("notes = %+v", notes)
+	}
+	if len(s.Notes(999)) != 0 {
+		t.Error("missing course notes should be empty")
+	}
+}
+
+func TestSetupFacultyTwiceFails(t *testing.T) {
+	s := facultyStore(t)
+	if err := s.SetupFaculty(); err == nil {
+		t.Error("duplicate SetupFaculty should fail")
+	}
+}

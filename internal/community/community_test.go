@@ -1,0 +1,196 @@
+package community
+
+import (
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+func newService(t *testing.T) (*Service, *Directory) {
+	t.Helper()
+	dir := NewDirectory()
+	entries := []DirectoryEntry{
+		{Username: "sally", Name: "Sally Stanford", Role: RoleStudent, DepID: "CS", ClassYear: 2009, Undergrad: true},
+		{Username: "bob", Name: "Bob Cardinal", Role: RoleStudent, DepID: "HIST", ClassYear: 2010, Undergrad: true},
+		{Username: "gradkate", Name: "Kate Grad", Role: RoleStudent, DepID: "CS", ClassYear: 2011},
+		{Username: "widom", Name: "Prof. Widom", Role: RoleFaculty, DepID: "CS"},
+		{Username: "dean", Name: "Dean Staff", Role: RoleStaff, DepID: "ENG"},
+	}
+	for _, e := range entries {
+		if err := dir.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err := Setup(relation.NewDB(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, dir
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	dir := NewDirectory()
+	if err := dir.Add(DirectoryEntry{Username: "", Role: RoleStudent}); err == nil {
+		t.Error("empty username should fail")
+	}
+	if err := dir.Add(DirectoryEntry{Username: "x", Role: "alien"}); err == nil {
+		t.Error("bad role should fail")
+	}
+	if err := dir.Add(DirectoryEntry{Username: "x", Role: RoleStudent}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Add(DirectoryEntry{Username: "x", Role: RoleStudent}); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if dir.Len() != 1 {
+		t.Error("Len")
+	}
+}
+
+func TestRegisterValidatesAgainstDirectory(t *testing.T) {
+	svc, _ := newService(t)
+	u, err := svc.Register("sally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Role != RoleStudent || !u.Undergrad || !u.SharePlans {
+		t.Errorf("user = %+v", u)
+	}
+	// Role comes from the directory, not the caller.
+	f, err := svc.Register("widom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Role != RoleFaculty {
+		t.Errorf("faculty role = %v", f.Role)
+	}
+	if _, err := svc.Register("intruder"); err == nil {
+		t.Error("non-directory registration must fail (closed community)")
+	}
+	if _, err := svc.Register("sally"); err == nil {
+		t.Error("double registration should fail")
+	}
+	if svc.UserCount() != 2 {
+		t.Errorf("UserCount = %d", svc.UserCount())
+	}
+}
+
+func TestConstituentCounts(t *testing.T) {
+	svc, _ := newService(t)
+	for _, u := range []string{"sally", "bob", "gradkate", "widom", "dean"} {
+		if _, err := svc.Register(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	by := svc.CountByRole()
+	if by[RoleStudent] != 3 || by[RoleFaculty] != 1 || by[RoleStaff] != 1 {
+		t.Errorf("CountByRole = %v", by)
+	}
+	if svc.UndergradCount() != 2 {
+		t.Errorf("UndergradCount = %d", svc.UndergradCount())
+	}
+}
+
+func TestLoginSessionsAndDailyPoint(t *testing.T) {
+	svc, _ := newService(t)
+	u, _ := svc.Register("sally")
+	tok, err := svc.Login("sally", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := svc.Session(tok)
+	if !ok || got.ID != u.ID {
+		t.Fatal("session lookup failed")
+	}
+	if p := svc.Points(u.ID); p != PointsDailyLogin {
+		t.Errorf("points after first login = %d", p)
+	}
+	// Second login the same day: no extra point.
+	if _, err := svc.Login("sally", 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := svc.Points(u.ID); p != PointsDailyLogin {
+		t.Errorf("points after same-day relogin = %d", p)
+	}
+	// New day: one more point.
+	if _, err := svc.Login("sally", 2); err != nil {
+		t.Fatal(err)
+	}
+	if p := svc.Points(u.ID); p != 2*PointsDailyLogin {
+		t.Errorf("points after day 2 = %d", p)
+	}
+	svc.Logout(tok)
+	if _, ok := svc.Session(tok); ok {
+		t.Error("logout should invalidate token")
+	}
+	if _, err := svc.Login("ghost", 1); err == nil {
+		t.Error("unregistered login should fail")
+	}
+}
+
+func TestAwardLedgerLeaderboard(t *testing.T) {
+	svc, _ := newService(t)
+	s, _ := svc.Register("sally")
+	b, _ := svc.Register("bob")
+	if err := svc.Award(s.ID, "best-answer", PointsBestAnswer, "great answer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Award(b.ID, "comment", PointsComment, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Award(b.ID, "rating", PointsRating, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Award(999, "x", 1, ""); err == nil {
+		t.Error("award to missing user should fail")
+	}
+	if p := svc.Points(s.ID); p != 10 {
+		t.Errorf("sally points = %d", p)
+	}
+	lb := svc.Leaderboard(10)
+	if len(lb) != 2 || lb[0].User.ID != s.ID || lb[0].Points != 10 || lb[1].Points != 3 {
+		t.Errorf("leaderboard = %+v", lb)
+	}
+	if lb := svc.Leaderboard(1); len(lb) != 1 {
+		t.Error("leaderboard limit")
+	}
+	led := svc.Ledger(b.ID)
+	if len(led) != 2 || led[0].Kind != "comment" {
+		t.Errorf("ledger = %+v", led)
+	}
+}
+
+func TestSharePlansOptOut(t *testing.T) {
+	svc, _ := newService(t)
+	u, _ := svc.Register("sally")
+	if !u.SharePlans {
+		t.Fatal("sharing should default on")
+	}
+	if err := svc.SetSharePlans(u.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.User(u.ID)
+	if got.SharePlans {
+		t.Error("opt-out did not stick")
+	}
+	if err := svc.SetSharePlans(999, true); err == nil {
+		t.Error("missing user should fail")
+	}
+}
+
+func TestUserLookups(t *testing.T) {
+	svc, _ := newService(t)
+	u, _ := svc.Register("gradkate")
+	if got, ok := svc.UserByUsername("gradkate"); !ok || got.ID != u.ID {
+		t.Error("UserByUsername")
+	}
+	if _, ok := svc.UserByUsername("nope"); ok {
+		t.Error("missing username")
+	}
+	if _, ok := svc.User(12345); ok {
+		t.Error("missing id")
+	}
+	if u.Undergrad {
+		t.Error("gradkate is a grad student")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"courserank/internal/relation"
+	"courserank/internal/search"
+)
+
+// Auxiliary search entities — the expansion §3.1 anticipates: "We could
+// easily expand searching with clouds to other entities, such as books
+// and instructors." An instructor entity spans name ⊕ department ⊕ the
+// titles of everything they teach; a book entity spans title ⊕ author ⊕
+// the course it belongs to. Both indexes feed the same cloud layer as
+// courses do.
+
+// InstructorEntityDef defines the instructor search entity.
+func InstructorEntityDef() search.EntityDef {
+	return search.EntityDef{
+		Name: "instructor",
+		Fields: []search.FieldSpec{
+			{Name: "name", Weight: 4},
+			{Name: "department", Weight: 2},
+			{Name: "teaches", Weight: 1},
+		},
+	}
+}
+
+// BookEntityDef defines the textbook search entity.
+func BookEntityDef() search.EntityDef {
+	return search.EntityDef{
+		Name: "book",
+		Fields: []search.FieldSpec{
+			{Name: "title", Weight: 4},
+			{Name: "author", Weight: 2},
+			{Name: "course", Weight: 1},
+		},
+	}
+}
+
+// BuildAuxIndexes builds the instructor and book entity indexes from
+// the current catalog. Call after bulk loading (BuildSearchIndex does
+// not build these; they are optional features).
+func (s *Site) BuildAuxIndexes() error {
+	// Instructors: name, department, taught course titles.
+	ib, err := search.NewBuilder(InstructorEntityDef())
+	if err != nil {
+		return err
+	}
+	taught := map[int64][]string{} // instructor → course titles
+	off := s.DB.MustTable("Offerings")
+	osch := off.Schema()
+	oc, oi := osch.MustIndex("CourseID"), osch.MustIndex("InstructorID")
+	var scanErr error
+	off.Scan(func(_ int, r relation.Row) bool {
+		if r[oi] == nil {
+			return true
+		}
+		inst := r[oi].(int64)
+		if c, ok := s.Catalog.Course(r[oc].(int64)); ok {
+			taught[inst] = append(taught[inst], c.Title)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	insts := s.DB.MustTable("Instructors")
+	isch := insts.Schema()
+	ii, iname, idep := isch.MustIndex("InstructorID"), isch.MustIndex("Name"), isch.MustIndex("DepID")
+	var buildErr error
+	insts.Scan(func(_ int, r relation.Row) bool {
+		id := r[ii].(int64)
+		if buildErr = ib.Append(id, "name", r[iname].(string)); buildErr != nil {
+			return false
+		}
+		if d, ok := s.Catalog.Department(r[idep].(string)); ok {
+			if buildErr = ib.Append(id, "department", d.Name); buildErr != nil {
+				return false
+			}
+		}
+		if titles := taught[id]; len(titles) > 0 {
+			if buildErr = ib.Append(id, "teaches", strings.Join(titles, "\n")); buildErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	if s.instructorIndex, err = ib.Build(); err != nil {
+		return err
+	}
+
+	// Books: title, author, owning course title.
+	bb, err := search.NewBuilder(BookEntityDef())
+	if err != nil {
+		return err
+	}
+	books := s.DB.MustTable("Textbooks")
+	bsch := books.Schema()
+	bid, bcid, btitle, bauthor := bsch.MustIndex("BookID"), bsch.MustIndex("CourseID"), bsch.MustIndex("Title"), bsch.MustIndex("Author")
+	books.Scan(func(_ int, r relation.Row) bool {
+		id := r[bid].(int64)
+		if buildErr = bb.Append(id, "title", r[btitle].(string)); buildErr != nil {
+			return false
+		}
+		if r[bauthor] != nil {
+			if buildErr = bb.Append(id, "author", r[bauthor].(string)); buildErr != nil {
+				return false
+			}
+		}
+		if c, ok := s.Catalog.Course(r[bcid].(int64)); ok {
+			if buildErr = bb.Append(id, "course", c.Title); buildErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	if s.bookIndex, err = bb.Build(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SearchInstructors searches instructor entities.
+func (s *Site) SearchInstructors(query string) (*search.Results, error) {
+	if s.instructorIndex == nil {
+		return nil, fmt.Errorf("core: instructor index not built; call BuildAuxIndexes")
+	}
+	return s.instructorIndex.Search(query), nil
+}
+
+// SearchBooks searches textbook entities.
+func (s *Site) SearchBooks(query string) (*search.Results, error) {
+	if s.bookIndex == nil {
+		return nil, fmt.Errorf("core: book index not built; call BuildAuxIndexes")
+	}
+	return s.bookIndex.Search(query), nil
+}
+
+// InstructorIndex exposes the instructor index (for clouds).
+func (s *Site) InstructorIndex() (*search.Index, error) {
+	if s.instructorIndex == nil {
+		return nil, fmt.Errorf("core: instructor index not built; call BuildAuxIndexes")
+	}
+	return s.instructorIndex, nil
+}
+
+// BookIndex exposes the book index (for clouds).
+func (s *Site) BookIndex() (*search.Index, error) {
+	if s.bookIndex == nil {
+		return nil, fmt.Errorf("core: book index not built; call BuildAuxIndexes")
+	}
+	return s.bookIndex, nil
+}

@@ -1,0 +1,168 @@
+package datagen
+
+// This file holds the controlled vocabularies of the generator. The
+// Figure 3/4 calibration depends on one invariant: the theme tokens
+// ("american", "african", "latin", "indians") appear ONLY in text
+// generated for theme-assigned courses, so the result count of the
+// query "american" equals the themed-course count exactly.
+
+// departments is the university layout; the first Config.Departments
+// entries are used. Department and school names deliberately avoid the
+// theme tokens.
+var departments = []struct {
+	ID     string
+	Name   string
+	School string
+	Kind   string // vocabulary family
+}{
+	{"CS", "Computer Science", "Engineering", "eng"},
+	{"EE", "Electrical Engineering", "Engineering", "eng"},
+	{"ME", "Mechanical Engineering", "Engineering", "eng"},
+	{"CHEMENG", "Chemical Engineering", "Engineering", "eng"},
+	{"CEE", "Civil and Environmental Engineering", "Engineering", "eng"},
+	{"MSE", "Management Science and Engineering", "Engineering", "eng"},
+	{"AERO", "Aeronautics and Astronautics", "Engineering", "eng"},
+	{"BIOE", "Bioengineering", "Engineering", "eng"},
+	{"HISTORY", "History", "Humanities and Sciences", "hum"},
+	{"ENGLISH", "English", "Humanities and Sciences", "hum"},
+	{"CLASSICS", "Classics", "Humanities and Sciences", "hum"},
+	{"PHIL", "Philosophy", "Humanities and Sciences", "hum"},
+	{"MUSIC", "Music", "Humanities and Sciences", "hum"},
+	{"ARTHIST", "Art History", "Humanities and Sciences", "hum"},
+	{"DRAMA", "Drama", "Humanities and Sciences", "hum"},
+	{"LINGUIST", "Linguistics", "Humanities and Sciences", "hum"},
+	{"POLISCI", "Political Science", "Humanities and Sciences", "soc"},
+	{"ECON", "Economics", "Humanities and Sciences", "soc"},
+	{"PSYCH", "Psychology", "Humanities and Sciences", "soc"},
+	{"SOC", "Sociology", "Humanities and Sciences", "soc"},
+	{"COMM", "Communication", "Humanities and Sciences", "soc"},
+	{"INTLREL", "International Relations", "Humanities and Sciences", "soc"},
+	{"MATH", "Mathematics", "Humanities and Sciences", "sci"},
+	{"STATS", "Statistics", "Humanities and Sciences", "sci"},
+	{"PHYSICS", "Physics", "Humanities and Sciences", "sci"},
+	{"CHEM", "Chemistry", "Humanities and Sciences", "sci"},
+	{"BIO", "Biology", "Humanities and Sciences", "sci"},
+	{"GEOPHYS", "Geophysics", "Earth Sciences", "sci"},
+	{"EESS", "Earth System Science", "Earth Sciences", "sci"},
+	{"ENERGY", "Energy Resources", "Earth Sciences", "sci"},
+	{"MED", "Medicine", "Medicine", "sci"},
+	{"HRP", "Health Research and Policy", "Medicine", "soc"},
+	{"LAW", "Law", "Law", "soc"},
+	{"GSB", "Business", "Business", "soc"},
+	{"EDUC", "Education", "Education", "soc"},
+	{"FRENCH", "French and Italian", "Humanities and Sciences", "hum"},
+	{"GERMAN", "German Studies", "Humanities and Sciences", "hum"},
+	{"EASTASIA", "East Asian Studies", "Humanities and Sciences", "hum"},
+	{"RELIGST", "Religious Studies", "Humanities and Sciences", "hum"},
+	{"ATHLETIC", "Athletics and Wellness", "Humanities and Sciences", "soc"},
+}
+
+// themedDeptKinds are the vocabulary families eligible to host themed
+// (american-topic) courses; engineering catalogs plausibly stay neutral.
+var themedDeptKinds = map[string]bool{"hum": true, "soc": true}
+
+// titleNouns per vocabulary family feed the course-title templates.
+var titleNouns = map[string][]string{
+	"eng": {"Programming", "Systems", "Algorithms", "Networks", "Databases", "Compilers",
+		"Robotics", "Circuits", "Signals", "Control", "Thermodynamics", "Fluids",
+		"Materials", "Optimization", "Graphics", "Security", "Architecture", "Machines"},
+	"hum": {"Literature", "Poetry", "Drama", "Philosophy", "Ethics", "Mythology",
+		"Novels", "Rhetoric", "Criticism", "Aesthetics", "Translation", "Memory",
+		"Narrative", "Language", "Opera", "Painting", "Sculpture", "Film"},
+	"soc": {"Politics", "Markets", "Behavior", "Cognition", "Policy", "Institutions",
+		"Development", "Justice", "Media", "Organizations", "Negotiation", "Elections",
+		"Globalization", "Cities", "Migration", "Education", "Health", "Leadership"},
+	"sci": {"Calculus", "Probability", "Mechanics", "Electromagnetism", "Genetics",
+		"Ecology", "Evolution", "Biochemistry", "Astrophysics", "Geology",
+		"Climate", "Oceanography", "Neuroscience", "Statistics", "Topology", "Analysis"},
+}
+
+// titleAdjuncts complete two-noun titles.
+var titleAdjuncts = []string{
+	"Theory", "Methods", "Practice", "Foundations", "Applications",
+	"Perspectives", "Workshop", "Laboratory", "Seminar", "Studio",
+}
+
+// neutralWords build descriptions and comments for every course. The
+// theme tokens and their sub-theme words never appear here.
+var neutralWords = []string{
+	"course", "students", "weekly", "project", "reading", "discussion", "lecture",
+	"analysis", "methods", "theory", "practice", "introduction", "survey", "advanced",
+	"topics", "research", "writing", "problem", "sets", "exam", "final", "midterm",
+	"group", "work", "presentation", "seminar", "laboratory", "section", "required",
+	"elective", "concepts", "skills", "techniques", "approaches", "frameworks",
+	"models", "case", "studies", "examples", "applications", "foundations",
+	"principles", "perspectives", "critical", "thinking", "evidence", "argument",
+	"sources", "texts", "materials", "tools", "design", "evaluation", "review",
+	"background", "preparation", "instructor", "guest", "speakers", "field", "trips",
+	"workshop", "portfolio", "capstone", "thesis", "independent", "study",
+	"collaboration", "teamwork", "feedback", "revision", "draft", "quarter",
+	"units", "grading", "attendance", "participation", "syllabus", "schedule",
+	"office", "hours", "recommended", "optional", "challenging", "rewarding",
+	"interesting", "engaging", "rigorous", "fast", "paced", "gentle", "thorough",
+	"deep", "broad", "practical", "theoretical", "hands", "modern", "classical",
+	"contemporary", "fundamental", "essential", "useful", "helpful", "clear",
+	"organized", "fair", "generous", "tough", "demanding", "inspiring", "fun",
+	"unit", "week", "weeks", "part", "readings", "lectures", "debates",
+	"era", "material", "discussions", "primary", "forces", "legacies",
+	"loved", "wish", "finally", "understood", "heated", "alive", "came",
+	"got", "strong", "best", "moving", "highlight", "section", "stood",
+	"surveys", "explores", "examines", "traces", "centers", "foregrounds",
+	"comparative", "close", "beside", "against", "sources", "onward",
+}
+
+// commentOpeners start generated comments; kept free of theme tokens.
+var commentOpeners = []string{
+	"loved this class", "great course overall", "tough but rewarding",
+	"the lectures were excellent", "problem sets took forever",
+	"best class i have taken", "would not recommend", "surprisingly enjoyable",
+	"the instructor was amazing", "grading felt fair", "readings were heavy",
+	"perfect for beginners", "only take this if prepared", "solid introduction",
+	"changed how i think", "easy and fun", "a lot of work", "well organized",
+	"sections were useful", "exams were reasonable",
+}
+
+// themeCowords co-occur with the theme inside themed text; several also
+// exist in neutral vocabulary families, so their cloud significance
+// comes from enrichment rather than exclusivity.
+var themeCowords = []string{
+	"history", "politics", "culture", "literature", "society", "democracy",
+	"immigration", "jazz", "slavery", "cinema", "identity", "frontier",
+	"revolution", "civil", "rights", "labor", "religion", "press",
+}
+
+// indiansContexts give the "indians" unigram varied neighbors so the
+// cloud shows it standalone (as Figure 3 does) instead of a single
+// frozen bigram.
+var indiansContexts = []string{
+	"american indians and tribal nations",
+	"indians of the great plains",
+	"history of the indians before settlement",
+	"indians in the southwest borderlands",
+}
+
+// firstNames and lastNames build people; no theme tokens.
+var firstNames = []string{
+	"Alice", "Ben", "Carla", "David", "Elena", "Frank", "Grace", "Hugo",
+	"Irene", "James", "Karen", "Liam", "Maria", "Noah", "Olga", "Peter",
+	"Quinn", "Rosa", "Sam", "Tina", "Umar", "Vera", "Walt", "Xenia",
+	"Yuri", "Zoe", "Amir", "Bella", "Chen", "Dora", "Emil", "Fiona",
+	"Gita", "Hans", "Ines", "Jorge", "Kira", "Lars", "Mona", "Nils",
+	"Omar", "Pia", "Ravi", "Sara", "Tom", "Ula", "Viktor", "Wendy",
+}
+
+var lastNames = []string{
+	"Anderson", "Brooks", "Chavez", "Dimitrov", "Evans", "Fischer", "Garcia",
+	"Huang", "Ivanov", "Johnson", "Kim", "Lopez", "Miller", "Nguyen",
+	"Okafor", "Patel", "Quist", "Rossi", "Sato", "Tanaka", "Ueda", "Vasquez",
+	"Wong", "Xu", "Yamamoto", "Zhang", "Ahmed", "Bauer", "Costa", "Dubois",
+	"Eriksen", "Ferrari", "Gupta", "Hansen", "Ito", "Jensen", "Kumar",
+	"Larsen", "Moreau", "Novak", "Olsen", "Popov", "Quinn", "Rahman",
+	"Silva", "Torres", "Ural", "Weber",
+}
+
+// bookTitleWords build textbook titles.
+var bookTitleWords = []string{
+	"Principles", "Foundations", "Handbook", "Introduction", "Elements",
+	"Concepts", "Readings", "Essentials", "Companion", "Anthology",
+}

@@ -1,0 +1,185 @@
+package flexrecs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestComparatorLabels pins the Explain annotations to the paper's
+// notation.
+func TestComparatorLabels(t *testing.T) {
+	cases := []struct {
+		c    Comparator
+		want string
+	}{
+		{JaccardOn("Title"), "Jaccard[Title]"},
+		{InvEuclideanOn("Ratings"), "inv_Euclidean[Ratings]"},
+		{CosineOn("Ratings"), "Cosine[Ratings]"},
+		{PearsonOn("Ratings"), "Pearson[Ratings]"},
+		{OverlapOn("Ratings"), "Overlap[Ratings]"},
+		{WeightedAvg("CourseID", "Ratings", "Score"), "Identify[CourseID,Ratings], W_Avg[Score]"},
+		{AvgOf("CourseID", "Ratings"), "Identify[CourseID,Ratings], Avg"},
+	}
+	for _, c := range cases {
+		if got := c.c.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestVectorComparatorsInWorkflows(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	ratings := Rel("Comments").Project("SuID", "CourseID", "Rating")
+	for _, cmp := range []Comparator{CosineOn("Ratings"), PearsonOn("Ratings"), OverlapOn("Ratings")} {
+		wf := Recommend(
+			ratings.Select("SuID <> 444").Extend("SuID", "CourseID", "Rating", "Ratings"),
+			ratings.Select("SuID = 444").Extend("SuID", "CourseID", "Rating", "Ratings"),
+			cmp,
+		)
+		res, err := e.Run(wf)
+		if err != nil {
+			t.Fatalf("%s: %v", cmp.Label(), err)
+		}
+		if res.Len() != 3 {
+			t.Fatalf("%s: rows = %d", cmp.Label(), res.Len())
+		}
+		si := res.MustCol("Score")
+		// Scores descend.
+		for i := 1; i < res.Len(); i++ {
+			if res.Rows[i][si].(float64) > res.Rows[i-1][si].(float64) {
+				t.Errorf("%s: scores not sorted", cmp.Label())
+			}
+		}
+		// The twin (445) rates like 444; the anti-twin (446) opposes.
+		// Under every similarity, 445 must not rank below 446.
+		su := res.MustCol("SuID")
+		pos := map[int64]int{}
+		for i := range res.Rows {
+			pos[res.Rows[i][su].(int64)] = i
+		}
+		if pos[445] > pos[446] {
+			t.Errorf("%s: twin ranked below anti-twin: %v", cmp.Label(), pos)
+		}
+	}
+}
+
+func TestAvgOfComparator(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	wf := Recommend(
+		Rel("Courses").Select("Year = 2008"),
+		Rel("Comments").Project("SuID", "CourseID", "Rating").Extend("SuID", "CourseID", "Rating", "Ratings"),
+		AvgOf("CourseID", "Ratings"),
+	)
+	res, err := e.Run(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, si := res.MustCol("CourseID"), res.MustCol("Score")
+	scores := map[int64]float64{}
+	for i := range res.Rows {
+		scores[res.Rows[i][ci].(int64)] = res.Rows[i][si].(float64)
+	}
+	// Course 1 ratings: 5, 5, 1 → mean 11/3.
+	if got := scores[1]; got < 3.66 || got > 3.67 {
+		t.Errorf("course 1 avg = %v", got)
+	}
+	// Course 4 rated only by 444 (2) → mean 2.
+	if scores[4] != 2 {
+		t.Errorf("course 4 avg = %v", scores[4])
+	}
+}
+
+func TestExplainResidualOperators(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	wf := Rel("Comments").Project("SuID", "CourseID", "Rating").
+		Extend("SuID", "CourseID", "Rating", "Ratings").
+		Select("SuID > 444").
+		Top(3)
+	plan := e.Explain(wf)
+	for _, want := range []string{"top[3]", "σ[SuID > 444]", "ε[SuID: CourseID→Rating as Ratings]", "SQL> SELECT SuID, CourseID, Rating FROM Comments"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestBlendOperator(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	// Left: content similarity to course 1's title over all courses.
+	content := Recommend(
+		Rel("Courses"),
+		Rel("Courses").Select("CourseID = 1"),
+		JaccardOn("Title"),
+	).Project("CourseID", "Title", "Score")
+	// Right: average rating per course (scaled down to [0,1]).
+	cf := Recommend(
+		Rel("Courses").Select("Year = 2008"),
+		Rel("Comments").Project("SuID", "CourseID", "Rating").Extend("SuID", "CourseID", "Rating", "Ratings"),
+		AvgOf("CourseID", "Ratings"),
+	).Project("CourseID", "Score")
+	wf := Blend(content, cf, "CourseID", "Score", 1.0, 0.2)
+	res, err := e.Run(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, si := res.MustCol("CourseID"), res.MustCol("Score")
+	scores := map[int64]float64{}
+	for i := range res.Rows {
+		scores[res.Rows[i][ci].(int64)] = res.Rows[i][si].(float64)
+		if i > 0 && res.Rows[i][si].(float64) > res.Rows[i-1][si].(float64) {
+			t.Error("blend output must sort by blended score")
+		}
+	}
+	// Course 1: Jaccard 1.0 + 0.2·avg(5,5,1)=0.2·11/3 ≈ 1.733.
+	if got := scores[1]; got < 1.72 || got > 1.75 {
+		t.Errorf("course 1 blended = %v", got)
+	}
+	// Course 4 ("American History"): Jaccard 0 + 0.2·2 = 0.4.
+	if got := scores[4]; got < 0.39 || got > 0.41 {
+		t.Errorf("course 4 blended = %v", got)
+	}
+	// Course 5 exists only on the left (2007 → absent from right): its
+	// blended score is pure content.
+	if got, ok := scores[5]; !ok || got < 0.99 {
+		t.Errorf("left-only course 5 = %v, %v", got, ok)
+	}
+	// Validation and error paths.
+	if _, err := e.Run(Blend(content, cf, "", "Score", 1, 1)); err == nil {
+		t.Error("missing key should fail validation")
+	}
+	if _, err := e.Run(Blend(content, cf, "Nope", "Score", 1, 1)); err == nil {
+		t.Error("unknown key column should fail")
+	}
+	if _, err := e.Run(Blend(content.Project("CourseID", "Title"), cf, "CourseID", "Score", 1, 1)); err == nil {
+		t.Error("missing score column should fail")
+	}
+	// Explain shows the blend node.
+	plan := e.Explain(wf)
+	if !strings.Contains(plan, "blend[Score: 1·L + 0.2·R on CourseID]") {
+		t.Errorf("plan = %s", plan)
+	}
+}
+
+func TestExtendSkipsNullsAndBadTypes(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	// Comment with NULL rating exists for SuID 448 in paperDB? Not in
+	// this fixture; add rows through the SQL engine.
+	if _, err := e.SQL().Exec(`INSERT INTO Comments VALUES (500, 1, 2008, 'Aut', 'x', NULL, 'd')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Rel("Comments").Select("SuID = 500").Project("SuID", "CourseID", "Rating").
+		Extend("SuID", "CourseID", "Rating", "Ratings"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only row has a NULL rating → no vector entries → no group row
+	// (the student has nothing comparable).
+	if res.Len() != 0 {
+		t.Errorf("rows = %d, want 0", res.Len())
+	}
+	// Extending over a non-numeric value column errors.
+	if _, err := e.Run(Rel("Comments").Project("SuID", "CourseID", "Text").
+		Extend("SuID", "CourseID", "Text", "Texts")); err == nil {
+		t.Error("non-numeric extend value should fail")
+	}
+}

@@ -1,0 +1,477 @@
+package flexrecs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"courserank/internal/relation"
+	"courserank/internal/sqlmini"
+)
+
+// Engine executes workflows. Purely relational subtrees (σ, π, ⋈ over
+// base tables) are compiled into single SQL statements run by the
+// conventional DBMS; extend, recommend and residual operators over
+// nested attributes execute as external functions over materialized
+// results — the hybrid strategy of paper §3.2.
+type Engine struct {
+	sql *sqlmini.Engine
+}
+
+// NewEngine builds an engine over the database.
+func NewEngine(db *relation.DB) *Engine {
+	return &Engine{sql: sqlmini.New(db)}
+}
+
+// SQL exposes the underlying SQL engine (used by tests and the facade).
+func (e *Engine) SQL() *sqlmini.Engine { return e.sql }
+
+// Run validates and executes a workflow, returning its materialized
+// result.
+func (e *Engine) Run(w *Step) (*Relation, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return e.runStep(w)
+}
+
+// sqlable reports whether the subtree compiles to a single SQL
+// statement.
+func sqlable(s *Step) bool {
+	switch s.kind {
+	case relStep:
+		return true
+	case selectStep, projectStep:
+		return sqlable(s.child)
+	case joinStep:
+		return sqlable(s.child) && sqlable(s.other)
+	}
+	return false
+}
+
+// sqlParts accumulates the pieces of a compiled statement.
+type sqlParts struct {
+	from  string   // "T" or "T JOIN U ON ... JOIN V ON ..."
+	conds []string // WHERE conjuncts, outermost first
+	args  []any
+	proj  []string // outermost projection wins; empty = *
+}
+
+// gather walks a sqlable subtree, collecting FROM/WHERE/projection.
+func gather(s *Step, p *sqlParts) error {
+	switch s.kind {
+	case relStep:
+		p.from = s.table
+		return nil
+	case selectStep:
+		p.conds = append(p.conds, s.cond)
+		p.args = append(p.args, s.args...)
+		return gather(s.child, p)
+	case projectStep:
+		if len(p.proj) == 0 {
+			p.proj = s.cols
+		}
+		return gather(s.child, p)
+	case joinStep:
+		if err := gather(s.child, p); err != nil {
+			return err
+		}
+		var right sqlParts
+		if err := gather(s.other, &right); err != nil {
+			return err
+		}
+		if strings.Contains(right.from, " JOIN ") {
+			return fmt.Errorf("flexrecs: right side of a join must be a base table")
+		}
+		p.from += " JOIN " + right.from + " ON " + s.on
+		p.conds = append(p.conds, right.conds...)
+		p.args = append(p.args, right.args...)
+		return nil
+	}
+	return fmt.Errorf("flexrecs: step %s is not SQL-compilable", s.describe())
+}
+
+// CompileSQL renders a sqlable subtree as its SQL statement. It is
+// exported so Explain output and tests can show the exact statements
+// shipped to the DBMS.
+func CompileSQL(s *Step) (string, []any, error) {
+	var p sqlParts
+	if err := gather(s, &p); err != nil {
+		return "", nil, err
+	}
+	sel := "*"
+	if len(p.proj) > 0 {
+		sel = strings.Join(p.proj, ", ")
+	}
+	sql := "SELECT " + sel + " FROM " + p.from
+	if len(p.conds) > 0 {
+		// Conditions were gathered outermost-first; apply innermost first
+		// for readability (order is irrelevant under AND).
+		for i, j := 0, len(p.conds)-1; i < j; i, j = i+1, j-1 {
+			p.conds[i], p.conds[j] = p.conds[j], p.conds[i]
+		}
+		sql += " WHERE " + strings.Join(p.conds, " AND ")
+	}
+	// Placeholder args attach in the same outermost-first order the
+	// conditions were gathered, so reverse them alongside.
+	args := make([]any, 0, len(p.args))
+	for i := len(p.args) - 1; i >= 0; i-- {
+		args = append(args, p.args[i])
+	}
+	return sql, args, nil
+}
+
+func (e *Engine) runSQL(s *Step) (*Relation, error) {
+	sql, args, err := CompileSQL(s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.sql.Query(sql, args...)
+	if err != nil {
+		return nil, fmt.Errorf("flexrecs: executing %q: %w", sql, err)
+	}
+	rel := &Relation{Cols: res.Columns, Rows: make([][]any, len(res.Rows))}
+	for i, r := range res.Rows {
+		rel.Rows[i] = r
+	}
+	return rel, nil
+}
+
+func (e *Engine) runStep(s *Step) (*Relation, error) {
+	if sqlable(s) {
+		return e.runSQL(s)
+	}
+	switch s.kind {
+	case selectStep:
+		child, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		expr, err := sqlmini.ParseExpr(s.cond, s.args...)
+		if err != nil {
+			return nil, err
+		}
+		out := &Relation{Cols: child.Cols}
+		for _, row := range child.Rows {
+			v, err := sqlmini.EvalExpr(expr, child.Cols, row)
+			if err != nil {
+				return nil, err
+			}
+			if relation.Truthy(v) {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out, nil
+
+	case projectStep:
+		child, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(s.cols))
+		for i, c := range s.cols {
+			ci, ok := child.Col(c)
+			if !ok {
+				return nil, fmt.Errorf("flexrecs: project: no column %q", c)
+			}
+			idx[i] = ci
+		}
+		out := &Relation{Cols: append([]string(nil), s.cols...), Rows: make([][]any, len(child.Rows))}
+		for i, row := range child.Rows {
+			nr := make([]any, len(idx))
+			for j, ci := range idx {
+				nr[j] = row[ci]
+			}
+			out.Rows[i] = nr
+		}
+		return out, nil
+
+	case joinStep:
+		left, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.runStep(s.other)
+		if err != nil {
+			return nil, err
+		}
+		return joinRelations(left, right, s.on)
+
+	case extendStep:
+		child, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		return extend(child, s.groupBy, s.keyCol, s.valCol, s.as)
+
+	case recommendStep:
+		target, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := e.runStep(s.other)
+		if err != nil {
+			return nil, err
+		}
+		return recommend(target, ref, s.cmp, s.scoreAs)
+
+	case blendStep:
+		left, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.runStep(s.other)
+		if err != nil {
+			return nil, err
+		}
+		return blend(left, right, s.blendKey, s.scoreAs, s.wL, s.wR)
+
+	case topStep:
+		child, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		if len(child.Rows) > s.k {
+			child.Rows = child.Rows[:s.k]
+		}
+		return child, nil
+
+	case orderStep:
+		child, err := e.runStep(s.child)
+		if err != nil {
+			return nil, err
+		}
+		ci, ok := child.Col(s.orderCol)
+		if !ok {
+			return nil, fmt.Errorf("flexrecs: order: no column %q", s.orderCol)
+		}
+		sort.SliceStable(child.Rows, func(a, b int) bool {
+			c := relation.Compare(child.Rows[a][ci], child.Rows[b][ci])
+			if s.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		return child, nil
+	}
+	return nil, fmt.Errorf("flexrecs: cannot execute step %s", s.describe())
+}
+
+// joinRelations nested-loop-joins two materialized relations on a SQL
+// condition evaluated over the concatenated row. Column names are the
+// concatenation of both sides' names; ambiguous references in the
+// condition are an error surfaced by the evaluator.
+func joinRelations(left, right *Relation, on string) (*Relation, error) {
+	expr, err := sqlmini.ParseExpr(on)
+	if err != nil {
+		return nil, err
+	}
+	cols := append(append([]string{}, left.Cols...), right.Cols...)
+	out := &Relation{Cols: cols}
+	for _, l := range left.Rows {
+		for _, r := range right.Rows {
+			row := make([]any, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			v, err := sqlmini.EvalExpr(expr, cols, row)
+			if err != nil {
+				return nil, err
+			}
+			if relation.Truthy(v) {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// extend implements ε: group child rows by groupBy and nest each group's
+// (key, value) pairs as a Vector attribute. Rows with NULL key or
+// non-numeric value are skipped — a student's unrated comment
+// contributes nothing to the rating vector.
+func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, error) {
+	gi, ok := child.Col(groupBy)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: extend: no column %q", groupBy)
+	}
+	ki, ok := child.Col(keyCol)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: extend: no column %q", keyCol)
+	}
+	vi, ok := child.Col(valCol)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: extend: no column %q", valCol)
+	}
+	order := []relation.Value{}
+	groups := map[relation.Value]Vector{}
+	for _, row := range child.Rows {
+		g, err := relation.Normalize(row[gi])
+		if err != nil {
+			return nil, err
+		}
+		if g == nil {
+			continue
+		}
+		k, err := relation.Normalize(row[ki])
+		if err != nil {
+			return nil, err
+		}
+		if k == nil {
+			continue
+		}
+		var val float64
+		switch x := row[vi].(type) {
+		case int64:
+			val = float64(x)
+		case float64:
+			val = x
+		case nil:
+			continue
+		default:
+			return nil, fmt.Errorf("flexrecs: extend: value column %q is %T, want number", valCol, row[vi])
+		}
+		vec, seen := groups[g]
+		if !seen {
+			vec = Vector{}
+			groups[g] = vec
+			order = append(order, g)
+		}
+		vec[k] = val
+	}
+	out := &Relation{Cols: []string{groupBy, as}, Rows: make([][]any, 0, len(order))}
+	for _, g := range order {
+		out.Rows = append(out.Rows, []any{g, groups[g]})
+	}
+	return out, nil
+}
+
+// recommend implements ▷: score every target row against the reference
+// set, append the score column, and sort best-first (ties broken by
+// original order for determinism).
+func recommend(target, ref *Relation, cmp Comparator, scoreAs string) (*Relation, error) {
+	if _, exists := target.Col(scoreAs); exists {
+		return nil, fmt.Errorf("flexrecs: recommend: target already has column %q", scoreAs)
+	}
+	score, err := cmp.bind(target, ref)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: append(append([]string{}, target.Cols...), scoreAs)}
+	out.Rows = make([][]any, len(target.Rows))
+	for i, row := range target.Rows {
+		s, err := score(row)
+		if err != nil {
+			return nil, err
+		}
+		nr := make([]any, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, s)
+		out.Rows[i] = nr
+	}
+	si := len(out.Cols) - 1
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		return out.Rows[a][si].(float64) > out.Rows[b][si].(float64)
+	})
+	return out, nil
+}
+
+// blend implements the blend operator: rows of two scored relations are
+// matched on key; output score = wL·scoreL + wR·scoreR with missing
+// sides contributing 0. Output rows order by blended score descending.
+func blend(left, right *Relation, key, scoreCol string, wL, wR float64) (*Relation, error) {
+	lk, ok := left.Col(key)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: blend: left has no column %q", key)
+	}
+	ls, ok := left.Col(scoreCol)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: blend: left has no column %q", scoreCol)
+	}
+	rk, ok := right.Col(key)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: blend: right has no column %q", key)
+	}
+	rs, ok := right.Col(scoreCol)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: blend: right has no column %q", scoreCol)
+	}
+	rightScore := map[relation.Value]float64{}
+	for _, row := range right.Rows {
+		k, err := relation.Normalize(row[rk])
+		if err != nil {
+			return nil, err
+		}
+		w, err := toWeight(row[rs])
+		if err != nil {
+			return nil, err
+		}
+		rightScore[k] = w
+	}
+	out := &Relation{Cols: append([]string(nil), left.Cols...)}
+	seen := map[relation.Value]bool{}
+	for _, row := range left.Rows {
+		k, err := relation.Normalize(row[lk])
+		if err != nil {
+			return nil, err
+		}
+		seen[k] = true
+		lw, err := toWeight(row[ls])
+		if err != nil {
+			return nil, err
+		}
+		nr := append([]any(nil), row...)
+		nr[ls] = wL*lw + wR*rightScore[k]
+		out.Rows = append(out.Rows, nr)
+	}
+	// Right-only rows: key and blended score, other columns NULL.
+	for _, row := range right.Rows {
+		k, err := relation.Normalize(row[rk])
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			continue
+		}
+		nr := make([]any, len(out.Cols))
+		nr[lk] = k
+		nr[ls] = wR * rightScore[k]
+		out.Rows = append(out.Rows, nr)
+	}
+	si := ls
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		return out.Rows[a][si].(float64) > out.Rows[b][si].(float64)
+	})
+	return out, nil
+}
+
+// Explain renders the workflow plan: operator tree with SQL-compiled
+// subtrees shown as the exact statements shipped to the DBMS.
+func (e *Engine) Explain(w *Step) string {
+	var b strings.Builder
+	explain(w, 0, &b)
+	return b.String()
+}
+
+func explain(s *Step, depth int, b *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	if sqlable(s) {
+		sql, args, err := CompileSQL(s)
+		if err != nil {
+			fmt.Fprintf(b, "%s!error: %v\n", indent, err)
+			return
+		}
+		if len(args) > 0 {
+			fmt.Fprintf(b, "%sSQL> %s  -- args %v\n", indent, sql, args)
+		} else {
+			fmt.Fprintf(b, "%sSQL> %s\n", indent, sql)
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s%s\n", indent, s.describe())
+	if s.child != nil {
+		explain(s.child, depth+1, b)
+	}
+	if s.other != nil {
+		explain(s.other, depth+1, b)
+	}
+}

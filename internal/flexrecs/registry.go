@@ -1,0 +1,81 @@
+package flexrecs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Template is a named, parameterized recommendation strategy. The paper
+// positions FlexRecs as a tool "for the site administrator ... to
+// quickly define recommendation strategies that can be then selected
+// (and personalized) by a student" (§2.1); templates are those
+// administrator-defined strategies, and the params a student supplies
+// (their id, a course title, a year) personalize each run.
+type Template struct {
+	Name        string
+	Description string
+	// Params documents the parameter names Build expects.
+	Params []string
+	// Build instantiates the workflow for one personalized request.
+	Build func(params map[string]any) (*Step, error)
+}
+
+// Registry is a concurrency-safe catalog of recommendation strategies.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Template
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Template)} }
+
+// Register adds a strategy; duplicate names are rejected.
+func (r *Registry) Register(t Template) error {
+	if t.Name == "" {
+		return fmt.Errorf("flexrecs: template needs a name")
+	}
+	if t.Build == nil {
+		return fmt.Errorf("flexrecs: template %q needs a Build function", t.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[t.Name]; dup {
+		return fmt.Errorf("flexrecs: template %q already registered", t.Name)
+	}
+	r.m[t.Name] = t
+	return nil
+}
+
+// Get looks up a strategy by name.
+func (r *Registry) Get(name string) (Template, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.m[name]
+	return t, ok
+}
+
+// List returns all strategies sorted by name.
+func (r *Registry) List() []Template {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Template, 0, len(r.m))
+	for _, t := range r.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Run instantiates the named strategy with params and executes it.
+func (r *Registry) Run(e *Engine, name string, params map[string]any) (*Relation, error) {
+	t, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("flexrecs: no strategy %q", name)
+	}
+	w, err := t.Build(params)
+	if err != nil {
+		return nil, fmt.Errorf("flexrecs: building %q: %w", name, err)
+	}
+	return e.Run(w)
+}

@@ -1,0 +1,83 @@
+// Package flexrecs implements the paper's FlexRecs engine (§3.2):
+// recommendation strategies expressed declaratively as workflows over
+// structured data. A workflow combines classical relational operators
+// (select σ, project π, join) with an extend operator (ε) that nests a
+// set of key/value pairs as a vector-valued attribute, and a special
+// recommend operator (▷) that ranks one set of tuples by comparing them
+// to another set using a pluggable similarity function (Jaccard, Pearson,
+// cosine, inverse Euclidean, weighted average).
+//
+// Decoupling strategy definition from execution lets new recommendation
+// types be defined without touching engine code, and lets end users pick
+// and personalize strategies. Relational subtrees of a workflow are
+// compiled into SQL statements executed by the conventional DBMS
+// (package sqlmini); extend, recommend and post-filters over nested
+// attributes run as external functions — exactly the hybrid execution
+// the paper describes.
+package flexrecs
+
+import (
+	"fmt"
+	"strings"
+
+	"courserank/internal/relation"
+)
+
+// Vector is a nested set-valued attribute produced by the extend
+// operator: a sparse map from key (e.g. CourseID) to numeric value
+// (e.g. Rating). Keys are canonical relation values.
+type Vector map[relation.Value]float64
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Relation is a materialized intermediate result of a workflow. Cells
+// hold either scalar relation values or Vector attributes created by
+// extend.
+type Relation struct {
+	Cols []string
+	Rows [][]any
+}
+
+// Col returns the position of the named column, case-insensitively.
+func (r *Relation) Col(name string) (int, bool) {
+	for i, c := range r.Cols {
+		if strings.EqualFold(c, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MustCol is Col that panics on a missing column; for callers that just
+// constructed the relation.
+func (r *Relation) MustCol(name string) int {
+	i, ok := r.Col(name)
+	if !ok {
+		panic(fmt.Sprintf("flexrecs: no column %q in %v", name, r.Cols))
+	}
+	return i
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Strings renders one row for display.
+func (r *Relation) Strings(i int) []string {
+	out := make([]string, len(r.Cols))
+	for j, v := range r.Rows[i] {
+		switch x := v.(type) {
+		case Vector:
+			out[j] = fmt.Sprintf("<vector:%d>", len(x))
+		default:
+			out[j] = relation.Format(x)
+		}
+	}
+	return out
+}

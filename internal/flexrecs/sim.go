@@ -1,0 +1,149 @@
+package flexrecs
+
+import (
+	"math"
+
+	"courserank/internal/textindex"
+)
+
+// This file is the FlexRecs similarity-function library — the "functions
+// in a library that implement common tasks for recommendations, such as
+// computing the Jaccard or Pearson similarity of two sets of objects"
+// (paper §3.2). All functions are pure and exported for reuse by the
+// hard-coded baseline recommenders in package recommend.
+
+// JaccardText computes the Jaccard similarity of the token sets of two
+// strings: |A∩B| / |A∪B|, in [0,1]. Tokenization matches the search
+// layer (lowercased, stopwords removed), so "Introduction to
+// Programming" and "Introduction to Programming Methodology" compare on
+// {introduction, programming} vs {introduction, programming, methodology}.
+func JaccardText(a, b string) float64 {
+	ta, tb := textindex.Tokenize(a), textindex.Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, w := range ta {
+		set[w] |= 1
+	}
+	for _, w := range tb {
+		set[w] |= 2
+	}
+	inter := 0
+	for _, m := range set {
+		if m == 3 {
+			inter++
+		}
+	}
+	if len(set) == 0 {
+		return 0
+	}
+	return float64(inter) / float64(len(set))
+}
+
+// commonKeys returns the values of a and b on their shared keys.
+func commonKeys(a, b Vector) (av, bv []float64) {
+	for k, x := range a {
+		if y, ok := b[k]; ok {
+			av = append(av, x)
+			bv = append(bv, y)
+		}
+	}
+	return av, bv
+}
+
+// InvEuclidean computes 1 / (1 + d) where d is the Euclidean distance
+// between two sparse vectors over their common keys — the
+// "inv_Euclidean" function of Figure 5(b). Vectors with no common key
+// have similarity 0 (nothing comparable).
+func InvEuclidean(a, b Vector) float64 {
+	av, bv := commonKeys(a, b)
+	if len(av) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range av {
+		d := av[i] - bv[i]
+		sum += d * d
+	}
+	return 1 / (1 + math.Sqrt(sum))
+}
+
+// Cosine computes the cosine similarity of two sparse vectors with
+// missing keys treated as zero (the standard sparse definition): the dot
+// product runs over common keys but each norm spans the whole vector, so
+// a pair with a single shared rating does not degenerate to similarity
+// 1. Zero-norm vectors have similarity 0.
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	for k, x := range small {
+		if y, ok := big[k]; ok {
+			dot += x * y
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	var na, nb float64
+	for _, x := range a {
+		na += x * x
+	}
+	for _, y := range b {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Pearson computes the Pearson correlation of two sparse vectors over
+// their common keys, in [-1,1]. It requires at least two common keys and
+// non-degenerate variance; otherwise it returns 0.
+func Pearson(a, b Vector) float64 {
+	av, bv := commonKeys(a, b)
+	n := float64(len(av))
+	if n < 2 {
+		return 0
+	}
+	var sa, sb float64
+	for i := range av {
+		sa += av[i]
+		sb += bv[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range av {
+		da, db := av[i]-ma, bv[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}
+
+// Overlap computes the overlap coefficient of the key sets of two
+// vectors: |A∩B| / min(|A|,|B|), in [0,1].
+func Overlap(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := big[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}

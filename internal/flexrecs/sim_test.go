@@ -1,0 +1,146 @@
+package flexrecs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccardText(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Introduction to Programming", "Introduction to Programming", 1},
+		{"Introduction to Programming", "Advanced Programming", 1.0 / 3}, // {introduction,programming} ∪ {advanced,programming}
+		{"Operating Systems", "Greek Science", 0},
+		{"", "", 0},
+		{"the of and", "x", 0}, // all stopwords on one side
+	}
+	for _, c := range cases {
+		if got := JaccardText(c.a, c.b); !almostEq(got, c.want) {
+			t.Errorf("JaccardText(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: Jaccard is symmetric, bounded in [0,1], and 1 on identical
+// non-empty token sets.
+func TestJaccardProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := JaccardText(a, b), JaccardText(b, a)
+		if !almostEq(x, y) || x < 0 || x > 1 {
+			return false
+		}
+		self := JaccardText(a, a)
+		return self == 0 || almostEq(self, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvEuclidean(t *testing.T) {
+	a := Vector{int64(1): 5, int64(2): 3}
+	b := Vector{int64(1): 5, int64(2): 3}
+	if got := InvEuclidean(a, b); !almostEq(got, 1) {
+		t.Errorf("identical vectors = %v, want 1", got)
+	}
+	c := Vector{int64(1): 1, int64(2): 0}
+	// distance = sqrt(16+9) = 5 → 1/6
+	if got := InvEuclidean(a, c); !almostEq(got, 1.0/6) {
+		t.Errorf("InvEuclidean = %v, want 1/6", got)
+	}
+	if got := InvEuclidean(a, Vector{int64(9): 4}); got != 0 {
+		t.Errorf("disjoint vectors = %v, want 0", got)
+	}
+	if got := InvEuclidean(nil, nil); got != 0 {
+		t.Errorf("nil vectors = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vector{int64(1): 3, int64(2): 4}
+	if got := Cosine(a, a); !almostEq(got, 1) {
+		t.Errorf("self cosine = %v", got)
+	}
+	b := Vector{int64(1): 4, int64(2): -3}
+	if got := Cosine(a, b); !almostEq(got, 0) {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, Vector{int64(3): 1}); got != 0 {
+		t.Error("disjoint cosine should be 0")
+	}
+	if got := Cosine(a, Vector{int64(1): 0, int64(2): 0}); got != 0 {
+		t.Error("zero-norm cosine should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := Vector{int64(1): 1, int64(2): 2, int64(3): 3}
+	b := Vector{int64(1): 2, int64(2): 4, int64(3): 6}
+	if got := Pearson(a, b); !almostEq(got, 1) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	c := Vector{int64(1): 3, int64(2): 2, int64(3): 1}
+	if got := Pearson(a, c); !almostEq(got, -1) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(a, Vector{int64(1): 5}); got != 0 {
+		t.Error("single common key should be 0")
+	}
+	flat := Vector{int64(1): 2, int64(2): 2, int64(3): 2}
+	if got := Pearson(a, flat); got != 0 {
+		t.Error("zero variance should be 0")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Vector{int64(1): 1, int64(2): 1}
+	b := Vector{int64(2): 9, int64(3): 9, int64(4): 9}
+	if got := Overlap(a, b); !almostEq(got, 0.5) {
+		t.Errorf("Overlap = %v, want 0.5", got)
+	}
+	if Overlap(a, nil) != 0 {
+		t.Error("empty overlap should be 0")
+	}
+}
+
+// Properties shared by all vector similarities: symmetry and bounds.
+func TestVectorSimilarityProperties(t *testing.T) {
+	mk := func(ks, vs []uint8) Vector {
+		v := Vector{}
+		for i := range ks {
+			if i >= len(vs) {
+				break
+			}
+			v[int64(ks[i]%8)] = float64(vs[i] % 6)
+		}
+		return v
+	}
+	f := func(ka, va, kb, vb []uint8) bool {
+		a, b := mk(ka, va), mk(kb, vb)
+		for _, fn := range []func(Vector, Vector) float64{InvEuclidean, Cosine, Overlap} {
+			x, y := fn(a, b), fn(b, a)
+			if !almostEq(x, y) || x < 0 || x > 1+1e-9 {
+				return false
+			}
+		}
+		p, q := Pearson(a, b), Pearson(b, a)
+		return almostEq(p, q) && p >= -1-1e-9 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	a := Vector{int64(1): 2}
+	b := a.Clone()
+	b[int64(1)] = 9
+	if a[int64(1)] != 2 {
+		t.Error("Clone must not alias")
+	}
+}

@@ -1,0 +1,212 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+// fixture builds a catalog with four courses and offerings, plus a
+// planner store.
+func fixture(t *testing.T) (*Store, *catalog.Store, map[string]int64) {
+	t.Helper()
+	db := relation.NewDB()
+	cat, err := catalog.Setup(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDepartment(catalog.Department{ID: "CS", Name: "CS", School: "Engineering"}); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]int64{}
+	add := func(key, num, title string, units int64) {
+		id, err := cat.AddCourse(catalog.Course{DepID: "CS", Number: num, Title: title, Units: units})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[key] = id
+	}
+	add("intro", "106A", "Programming Methodology", 5)
+	add("abstr", "106B", "Programming Abstractions", 5)
+	add("os", "140", "Operating Systems", 4)
+	add("db", "145", "Databases", 4)
+	// 106A and OS meet at overlapping times in Autumn 2008.
+	mustOffer := func(course int64, term catalog.Term, days string, start, end int64) {
+		if _, err := cat.AddOffering(catalog.Offering{CourseID: course, Year: 2008, Term: term, Days: days, StartMin: start, EndMin: end}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOffer(ids["intro"], catalog.Autumn, "MWF", 600, 650)
+	mustOffer(ids["os"], catalog.Autumn, "MW", 630, 710)
+	mustOffer(ids["db"], catalog.Autumn, "TR", 600, 675)
+	if err := cat.AddPrereq(ids["abstr"], ids["intro"]); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Setup(db, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cat, ids
+}
+
+func TestRecordValidation(t *testing.T) {
+	p, _, ids := fixture(t)
+	ok := Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Autumn, Grade: "A"}
+	if err := p.Record(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Record(ok); err == nil {
+		t.Error("duplicate entry should fail")
+	}
+	bad := []Entry{
+		{SuID: 1, CourseID: 999, Year: 2008, Term: catalog.Autumn},
+		{SuID: 1, CourseID: ids["os"], Year: 2008, Term: "Fall"},
+		{SuID: 1, CourseID: ids["os"], Year: 2008, Term: catalog.Autumn, Grade: "Z"},
+		{SuID: 1, CourseID: ids["os"], Year: 2009, Term: catalog.Autumn, Grade: "A", Planned: true},
+	}
+	for i, e := range bad {
+		if err := p.Record(e); err == nil {
+			t.Errorf("bad entry %d accepted", i)
+		}
+	}
+}
+
+func TestGPAComputation(t *testing.T) {
+	p, _, ids := fixture(t)
+	// A in 5-unit intro, B in 4-unit OS → (4.0*5 + 3.0*4) / 9.
+	p.Record(Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Autumn, Grade: "A"})
+	p.Record(Entry{SuID: 1, CourseID: ids["os"], Year: 2008, Term: catalog.Autumn, Grade: "B"})
+	// Ungraded entry is excluded from GPA but counts units in UnitLoad.
+	p.Record(Entry{SuID: 1, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn})
+	gpa, units := p.QuarterGPA(1, 2008, catalog.Autumn)
+	want := (4.0*5 + 3.0*4) / 9.0
+	if units != 9 || math.Abs(gpa-want) > 1e-9 {
+		t.Errorf("QuarterGPA = %v (%d units), want %v (9)", gpa, units, want)
+	}
+	cum, cu := p.CumulativeGPA(1)
+	if cu != 9 || math.Abs(cum-want) > 1e-9 {
+		t.Errorf("CumulativeGPA = %v (%d)", cum, cu)
+	}
+	if load := p.UnitLoad(1, 2008, catalog.Autumn); load != 13 {
+		t.Errorf("UnitLoad = %d, want 13", load)
+	}
+	if g, u := p.QuarterGPA(1, 2009, catalog.Winter); g != 0 || u != 0 {
+		t.Error("empty quarter GPA should be 0,0")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	p, _, ids := fixture(t)
+	p.Record(Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	p.Record(Entry{SuID: 1, CourseID: ids["os"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	p.Record(Entry{SuID: 1, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	conflicts := p.Conflicts(1, 2008, catalog.Autumn)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	got := map[int64]bool{conflicts[0].A.CourseID: true, conflicts[0].B.CourseID: true}
+	if !got[ids["intro"]] || !got[ids["os"]] {
+		t.Errorf("conflict pair = %v", got)
+	}
+}
+
+func TestPrereqValidation(t *testing.T) {
+	p, _, ids := fixture(t)
+	// Abstractions planned before intro: violation.
+	p.Record(Entry{SuID: 1, CourseID: ids["abstr"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	v := p.ValidatePrereqs(1)
+	if len(v) != 1 || v[0].CourseID != ids["abstr"] || v[0].RequiresID != ids["intro"] {
+		t.Fatalf("violations = %v", v)
+	}
+	// Taking intro in an earlier quarter fixes it.
+	p.Drop(1, ids["abstr"], 2008, catalog.Autumn)
+	p.Record(Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Autumn, Grade: "A"})
+	p.Record(Entry{SuID: 1, CourseID: ids["abstr"], Year: 2008, Term: catalog.Winter, Planned: true})
+	if v := p.ValidatePrereqs(1); len(v) != 0 {
+		t.Errorf("violations after fix = %v", v)
+	}
+	// Same-quarter prereq still violates (must be strictly earlier).
+	p.Drop(1, ids["abstr"], 2008, catalog.Winter)
+	p.Record(Entry{SuID: 1, CourseID: ids["abstr"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	if v := p.ValidatePrereqs(1); len(v) != 1 {
+		t.Errorf("same-quarter prereq should violate: %v", v)
+	}
+}
+
+func TestPlannedByHonorsPrivacy(t *testing.T) {
+	p, _, ids := fixture(t)
+	p.Record(Entry{SuID: 1, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	p.Record(Entry{SuID: 2, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	p.Record(Entry{SuID: 3, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn, Grade: "A"}) // taken, not planned
+	all := p.PlannedBy(ids["db"], nil)
+	if len(all) != 2 {
+		t.Fatalf("PlannedBy = %v", all)
+	}
+	// Student 2 opted out.
+	vis := p.PlannedBy(ids["db"], func(su int64) bool { return su != 2 })
+	if len(vis) != 1 || vis[0] != 1 {
+		t.Errorf("visible = %v", vis)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	p, _, ids := fixture(t)
+	p.Record(Entry{SuID: 1, CourseID: ids["db"], Year: 2008, Term: catalog.Autumn, Planned: true})
+	if !p.Drop(1, ids["db"], 2008, catalog.Autumn) {
+		t.Error("Drop should succeed")
+	}
+	if p.Drop(1, ids["db"], 2008, catalog.Autumn) {
+		t.Error("second Drop should report false")
+	}
+	if len(p.Entries(1)) != 0 {
+		t.Error("entries should be empty")
+	}
+}
+
+func TestOverloadedQuarters(t *testing.T) {
+	p, cat, ids := fixture(t)
+	// Add big courses to exceed 20 units.
+	for i := 0; i < 3; i++ {
+		id, _ := cat.AddCourse(catalog.Course{DepID: "CS", Number: "X" + string(rune('0'+i)), Title: "Big", Units: 5})
+		p.Record(Entry{SuID: 1, CourseID: id, Year: 2008, Term: catalog.Spring, Planned: true})
+	}
+	p.Record(Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Spring, Planned: true})
+	p.Record(Entry{SuID: 1, CourseID: ids["abstr"], Year: 2008, Term: catalog.Spring, Planned: true})
+	got := p.OverloadedQuarters(1)
+	if len(got) != 1 || got[0].Term != catalog.Spring {
+		t.Errorf("OverloadedQuarters = %v", got)
+	}
+}
+
+func TestPlanAssembly(t *testing.T) {
+	p, _, ids := fixture(t)
+	p.Record(Entry{SuID: 1, CourseID: ids["intro"], Year: 2008, Term: catalog.Autumn, Grade: "A"})
+	p.Record(Entry{SuID: 1, CourseID: ids["abstr"], Year: 2008, Term: catalog.Winter, Grade: "B+"})
+	p.Record(Entry{SuID: 1, CourseID: ids["os"], Year: 2009, Term: catalog.Autumn, Planned: true})
+	plan := p.Plan(1)
+	if len(plan.Quarters) != 3 {
+		t.Fatalf("quarters = %d", len(plan.Quarters))
+	}
+	// Chronological order.
+	if plan.Quarters[0].Term != catalog.Autumn || plan.Quarters[0].Year != 2008 {
+		t.Errorf("q0 = %+v", plan.Quarters[0])
+	}
+	if plan.Quarters[1].Term != catalog.Winter {
+		t.Errorf("q1 = %+v", plan.Quarters[1])
+	}
+	if !plan.Quarters[0].HasGPA || plan.Quarters[0].GPA != 4.0 {
+		t.Errorf("q0 GPA = %+v", plan.Quarters[0])
+	}
+	if plan.Quarters[2].HasGPA {
+		t.Error("planned quarter should have no GPA")
+	}
+	if plan.Units != 10 {
+		t.Errorf("total graded units = %d", plan.Units)
+	}
+	wantGPA := (4.0*5 + 3.3*5) / 10
+	if math.Abs(plan.GPA-wantGPA) > 1e-9 {
+		t.Errorf("cumulative = %v, want %v", plan.GPA, wantGPA)
+	}
+}

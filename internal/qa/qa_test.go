@@ -1,0 +1,172 @@
+package qa
+
+import (
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+// fakePoints records awards for verification.
+type fakePoints struct {
+	awards map[int64]int
+}
+
+func (f *fakePoints) Award(userID int64, kind string, points int, note string) error {
+	if f.awards == nil {
+		f.awards = map[int64]int{}
+	}
+	f.awards[userID] += points
+	return nil
+}
+
+// fakeExperts routes CS questions to fixed users.
+type fakeExperts struct{}
+
+func (fakeExperts) ExpertsIn(depID string, limit int) []int64 {
+	if depID == "CS" {
+		return []int64{7, 8, 9}
+	}
+	return nil
+}
+
+func newService(t *testing.T) (*Service, *fakePoints) {
+	t.Helper()
+	fp := &fakePoints{}
+	s, err := Setup(relation.NewDB(), fp, fakeExperts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fp
+}
+
+func TestAskAndRoute(t *testing.T) {
+	s, _ := newService(t)
+	qid, routed, err := s.Ask(Question{SuID: 1, Title: "Good intro CS class for non-majors?", Text: "…", DepID: "CS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qid == 0 {
+		t.Error("qid")
+	}
+	if len(routed) != 3 {
+		t.Errorf("routed = %v", routed)
+	}
+	// The asker is never routed to themselves.
+	qid2, routed2, err := s.Ask(Question{SuID: 8, Title: "Another", Text: "…", DepID: "CS"})
+	if err != nil || qid2 == 0 {
+		t.Fatal(err)
+	}
+	for _, u := range routed2 {
+		if u == 8 {
+			t.Error("asker routed to self")
+		}
+	}
+	if _, _, err := s.Ask(Question{SuID: 1, Title: ""}); err == nil {
+		t.Error("missing title should fail")
+	}
+	if _, routed, _ := s.Ask(Question{SuID: 1, Title: "General", Text: "…"}); routed != nil {
+		t.Error("department-less question should not route")
+	}
+	if s.QuestionCount() != 3 {
+		t.Errorf("count = %d", s.QuestionCount())
+	}
+}
+
+func TestAnswersVotesAndBest(t *testing.T) {
+	s, fp := newService(t)
+	qid, _, _ := s.Ask(Question{SuID: 1, Title: "Q", Text: "?", DepID: "CS"})
+	a1, err := s.Answer(Answer{QID: qid, SuID: 2, Text: "first answer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s.Answer(Answer{QID: qid, SuID: 3, Text: "second answer"})
+	if _, err := s.Answer(Answer{QID: 999, SuID: 2, Text: "x"}); err == nil {
+		t.Error("answer to missing question should fail")
+	}
+	if _, err := s.Answer(Answer{QID: qid, SuID: 2, Text: ""}); err == nil {
+		t.Error("empty answer should fail")
+	}
+
+	// Votes.
+	if err := s.Vote(a2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vote(a2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vote(a2, 4); err == nil {
+		t.Error("double vote should fail")
+	}
+	answers := s.Answers(qid)
+	if answers[0].ID != a2 || answers[0].Votes != 2 {
+		t.Errorf("vote ordering: %+v", answers)
+	}
+
+	// Best answer: only the asker, only once; awards 10 + 1 per voter.
+	if err := s.MarkBest(qid, a2, 99); err == nil {
+		t.Error("non-asker marking best should fail")
+	}
+	if err := s.MarkBest(qid, a2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkBest(qid, a1, 1); err == nil {
+		t.Error("second best should fail")
+	}
+	if fp.awards[3] != 10 {
+		t.Errorf("answerer points = %d", fp.awards[3])
+	}
+	if fp.awards[4] != 1 || fp.awards[5] != 1 {
+		t.Errorf("voter points = %v", fp.awards)
+	}
+	answers = s.Answers(qid)
+	if !answers[0].IsBest || answers[0].ID != a2 {
+		t.Errorf("best first: %+v", answers)
+	}
+	if err := s.MarkBest(999, a1, 1); err == nil {
+		t.Error("missing question")
+	}
+	if err := s.MarkBest(qid, 999, 1); err == nil {
+		t.Error("missing answer")
+	}
+}
+
+func TestSeedFAQ(t *testing.T) {
+	s, fp := newService(t)
+	qid, err := s.SeedFAQ(50, "CS", "Who approves my program?", "Ask the student services desk.", "The student services desk in Gates B08.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := s.Question(qid)
+	if !ok || !q.Seeded {
+		t.Fatalf("seeded question = %+v", q)
+	}
+	answers := s.Answers(qid)
+	if len(answers) != 1 || !answers[0].IsBest {
+		t.Errorf("FAQ answer should be pre-marked best: %+v", answers)
+	}
+	// FAQ seeding awards no points.
+	if len(fp.awards) != 0 {
+		t.Errorf("FAQ must not award points: %v", fp.awards)
+	}
+	// Seeded questions list first in the department.
+	s.Ask(Question{SuID: 1, Title: "later q", Text: "?", DepID: "CS"})
+	dept := s.ByDepartment("CS")
+	if len(dept) != 2 || !dept[0].Seeded {
+		t.Errorf("ByDepartment = %+v", dept)
+	}
+}
+
+func TestNilHooks(t *testing.T) {
+	s, err := Setup(relation.NewDB(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid, routed, err := s.Ask(Question{SuID: 1, Title: "Q", Text: "?", DepID: "CS"})
+	if err != nil || routed != nil {
+		t.Fatalf("nil expertise should not route: %v %v", routed, err)
+	}
+	aid, _ := s.Answer(Answer{QID: qid, SuID: 2, Text: "a"})
+	if err := s.MarkBest(qid, aid, 1); err != nil {
+		t.Errorf("nil points should still mark best: %v", err)
+	}
+}

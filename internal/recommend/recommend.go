@@ -1,0 +1,237 @@
+// Package recommend implements the classical, hard-coded recommenders
+// that FlexRecs is contrasted against in §3.2: "the recommendation
+// algorithm is typically embedded in the system code ... it is hard to
+// modify the algorithm, or to experiment with different approaches."
+// These baselines (popularity, user-user CF, item-item CF,
+// content-based) produce the same mathematical results as the
+// corresponding FlexRecs workflows — the ablation benchmarks measure
+// what the declarative layer costs and the cross-check tests confirm
+// the rankings agree.
+package recommend
+
+import (
+	"sort"
+
+	"courserank/internal/flexrecs"
+	"courserank/internal/relation"
+)
+
+// Scored pairs an item with a recommendation score.
+type Scored struct {
+	ID    int64
+	Score float64
+}
+
+// byScore sorts best-first with id tie-breaks, matching FlexRecs'
+// deterministic ordering.
+func byScore(s []Scored) {
+	sort.SliceStable(s, func(a, b int) bool {
+		if s[a].Score != s[b].Score {
+			return s[a].Score > s[b].Score
+		}
+		return s[a].ID < s[b].ID
+	})
+}
+
+// Engine computes recommendations directly against the store.
+type Engine struct {
+	db *relation.DB
+}
+
+// New returns a baseline engine over the database.
+func New(db *relation.DB) *Engine { return &Engine{db: db} }
+
+// ratingsBySuID loads every student's rating vector from the Comments
+// table (SuID, CourseID, Rating), skipping unrated comments.
+func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
+	out := map[int64]flexrecs.Vector{}
+	t, ok := e.db.Table("Comments")
+	if !ok {
+		return out
+	}
+	sch := t.Schema()
+	su, co, ra := sch.MustIndex("SuID"), sch.MustIndex("CourseID"), sch.MustIndex("Rating")
+	t.Scan(func(_ int, r relation.Row) bool {
+		if r[ra] == nil {
+			return true
+		}
+		var val float64
+		switch x := r[ra].(type) {
+		case float64:
+			val = x
+		case int64:
+			val = float64(x)
+		default:
+			return true
+		}
+		sid := r[su].(int64)
+		v, okv := out[sid]
+		if !okv {
+			v = flexrecs.Vector{}
+			out[sid] = v
+		}
+		v[r[co]] = val
+		return true
+	})
+	return out
+}
+
+// Popularity ranks courses by mean rating, requiring at least minRaters
+// ratings (damping single-rater courses out).
+func (e *Engine) Popularity(minRaters, k int) []Scored {
+	sums := map[int64]float64{}
+	counts := map[int64]int{}
+	for _, vec := range e.ratingsBySuID() {
+		for cid, v := range vec {
+			id := cid.(int64)
+			sums[id] += v
+			counts[id]++
+		}
+	}
+	var out []Scored
+	for id, sum := range sums {
+		if counts[id] >= minRaters {
+			out = append(out, Scored{ID: id, Score: sum / float64(counts[id])})
+		}
+	}
+	byScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SimilarStudents ranks other students by inverse Euclidean distance of
+// rating vectors to the target student — the hard-coded equivalent of
+// the lower recommend operator in Figure 5(b).
+func (e *Engine) SimilarStudents(suID int64, k int) []Scored {
+	vecs := e.ratingsBySuID()
+	target, ok := vecs[suID]
+	if !ok {
+		return nil
+	}
+	var out []Scored
+	for sid, v := range vecs {
+		if sid == suID {
+			continue
+		}
+		out = append(out, Scored{ID: sid, Score: flexrecs.InvEuclidean(target, v)})
+	}
+	byScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// UserUserCF predicts course scores for a student as the
+// similarity-weighted average of the k most similar students' ratings —
+// the hard-coded equivalent of the full Figure 5(b) workflow. Courses
+// the student already rated are excluded when excludeRated is set.
+func (e *Engine) UserUserCF(suID int64, neighbors, k int, excludeRated bool) []Scored {
+	vecs := e.ratingsBySuID()
+	target := vecs[suID]
+	sims := e.SimilarStudents(suID, neighbors)
+	num := map[int64]float64{}
+	den := map[int64]float64{}
+	for _, s := range sims {
+		if s.Score <= 0 {
+			continue
+		}
+		for cid, v := range vecs[s.ID] {
+			id := cid.(int64)
+			num[id] += s.Score * v
+			den[id] += s.Score
+		}
+	}
+	var out []Scored
+	for id, n := range num {
+		if excludeRated && target != nil {
+			if _, rated := target[int64(id)]; rated {
+				continue
+			}
+		}
+		out = append(out, Scored{ID: id, Score: n / den[id]})
+	}
+	byScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ItemItemCF ranks courses by cosine similarity of their rater vectors
+// to a target course ("students who liked this also liked...").
+func (e *Engine) ItemItemCF(courseID int64, k int) []Scored {
+	// Invert to course → (student → rating).
+	byCourse := map[int64]flexrecs.Vector{}
+	for sid, vec := range e.ratingsBySuID() {
+		for cid, v := range vec {
+			id := cid.(int64)
+			cv, ok := byCourse[id]
+			if !ok {
+				cv = flexrecs.Vector{}
+				byCourse[id] = cv
+			}
+			cv[sid] = v
+		}
+	}
+	target, ok := byCourse[courseID]
+	if !ok {
+		return nil
+	}
+	var out []Scored
+	for id, v := range byCourse {
+		if id == courseID {
+			continue
+		}
+		out = append(out, Scored{ID: id, Score: flexrecs.Cosine(target, v)})
+	}
+	byScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ContentSimilar ranks courses by title Jaccard similarity to a target
+// course — the hard-coded equivalent of Figure 5(a).
+func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
+	t, ok := e.db.Table("Courses")
+	if !ok {
+		return nil
+	}
+	sch := t.Schema()
+	idIdx, titleIdx := sch.MustIndex("CourseID"), sch.MustIndex("Title")
+	yearIdx, hasYear := sch.Index("Year")
+	var targetTitle string
+	found := false
+	t.Scan(func(_ int, r relation.Row) bool {
+		if r[idIdx] == courseID {
+			targetTitle = r[titleIdx].(string)
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return nil
+	}
+	var out []Scored
+	t.Scan(func(_ int, r relation.Row) bool {
+		if hasYear && year != 0 && r[yearIdx] != year {
+			return true
+		}
+		id := r[idIdx].(int64)
+		if id == courseID {
+			return true
+		}
+		out = append(out, Scored{ID: id, Score: flexrecs.JaccardText(targetTitle, r[titleIdx].(string))})
+		return true
+	})
+	byScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is a named collection of tables — the database instance the rest of
+// CourseRank (SQL engine, FlexRecs, search indexing) operates on.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Create registers a table. It fails if a table with the same
+// (case-sensitive) name already exists.
+func (db *DB) Create(t *Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.name]; dup {
+		return fmt.Errorf("relation: table %q already exists", t.name)
+	}
+	db.tables[t.name] = t
+	return nil
+}
+
+// MustCreate registers a table and panics on conflict; for schema setup.
+func (db *DB) MustCreate(t *Table) *Table {
+	if err := db.Create(t); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable returns the named table, panicking if absent; for tables the
+// program itself created.
+func (db *DB) MustTable(name string) *Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("relation: no table %q", name))
+	}
+	return t
+}
+
+// Drop removes the named table, reporting whether it existed.
+func (db *DB) Drop(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.tables[name]
+	delete(db.tables, name)
+	return ok
+}
+
+// Names returns the table names in sorted order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

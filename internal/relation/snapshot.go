@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot persistence: a database serializes to a stream of JSON lines
+// — one header object per table (schema, keys, indexes) followed by its
+// rows — and loads back into an equivalent database. CourseRank uses it
+// to checkpoint generated deployments and to ship fixtures.
+
+// snapshotHeader describes one table in the stream.
+type snapshotHeader struct {
+	Table   string       `json:"table"`
+	Columns []columnJSON `json:"columns"`
+	PK      []string     `json:"pk,omitempty"`
+	AutoInc string       `json:"autoInc,omitempty"`
+	Indexes []string     `json:"indexes,omitempty"`
+	Rows    int          `json:"rows"`
+}
+
+type columnJSON struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NotNull bool   `json:"notNull,omitempty"`
+}
+
+var typeByName = map[string]Type{
+	"INT": TypeInt, "FLOAT": TypeFloat, "TEXT": TypeString, "BOOL": TypeBool,
+}
+
+// Save writes the whole database to w as JSON lines, tables in sorted
+// name order, rows in slot order.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, name := range db.Names() {
+		t, _ := db.Table(name)
+		sch := t.Schema()
+		head := snapshotHeader{
+			Table:   name,
+			PK:      t.PrimaryKey(),
+			AutoInc: t.AutoIncrement(),
+			Indexes: t.SecondaryIndexes(),
+			Rows:    t.Len(),
+		}
+		for _, c := range sch.Columns() {
+			head.Columns = append(head.Columns, columnJSON{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
+		}
+		if err := enc.Encode(head); err != nil {
+			return err
+		}
+		var encErr error
+		t.Scan(func(_ int, row Row) bool {
+			encErr = enc.Encode([]Value(row))
+			return encErr == nil
+		})
+		if encErr != nil {
+			return encErr
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a Save stream into a fresh database.
+func Load(r io.Reader) (*DB, error) {
+	db := NewDB()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var head snapshotHeader
+		if err := dec.Decode(&head); err == io.EOF {
+			return db, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("relation: bad snapshot header: %w", err)
+		}
+		cols := make([]Column, len(head.Columns))
+		for i, c := range head.Columns {
+			typ, ok := typeByName[c.Type]
+			if !ok {
+				return nil, fmt.Errorf("relation: snapshot table %s: unknown type %q", head.Table, c.Type)
+			}
+			cols[i] = Column{Name: c.Name, Type: typ, NotNull: c.NotNull}
+		}
+		var opts []TableOption
+		if len(head.PK) > 0 {
+			opts = append(opts, WithPrimaryKey(head.PK...))
+		}
+		if head.AutoInc != "" {
+			opts = append(opts, WithAutoIncrement(head.AutoInc))
+		}
+		for _, ix := range head.Indexes {
+			opts = append(opts, WithIndex(ix))
+		}
+		t, err := NewTable(head.Table, NewSchema(cols...), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("relation: snapshot table %s: %w", head.Table, err)
+		}
+		if err := db.Create(t); err != nil {
+			return nil, err
+		}
+		for i := 0; i < head.Rows; i++ {
+			var raw []json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				return nil, fmt.Errorf("relation: snapshot table %s row %d: %w", head.Table, i, err)
+			}
+			if len(raw) != len(cols) {
+				return nil, fmt.Errorf("%w: snapshot table %s row %d has %d cells", ErrArity, head.Table, i, len(raw))
+			}
+			row := make(Row, len(raw))
+			for j, cell := range raw {
+				v, err := decodeCell(cell, cols[j].Type)
+				if err != nil {
+					return nil, fmt.Errorf("relation: snapshot table %s row %d col %s: %w", head.Table, i, cols[j].Name, err)
+				}
+				row[j] = v
+			}
+			if _, err := t.Insert(row); err != nil {
+				return nil, fmt.Errorf("relation: snapshot table %s row %d: %w", head.Table, i, err)
+			}
+		}
+	}
+}
+
+// decodeCell parses one JSON cell into the canonical value for the
+// column type. JSON numbers arrive as float64; INT columns restore
+// int64 exactly via json.Number semantics.
+func decodeCell(raw json.RawMessage, typ Type) (Value, error) {
+	if string(raw) == "null" {
+		return nil, nil
+	}
+	switch typ {
+	case TypeInt:
+		var n int64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case TypeFloat:
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case TypeString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TypeBool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown column type")
+}

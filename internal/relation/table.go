@@ -1,0 +1,477 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors returned by table operations.
+var (
+	ErrDuplicateKey = errors.New("relation: duplicate primary key")
+	ErrNotFound     = errors.New("relation: row not found")
+	ErrArity        = errors.New("relation: row arity does not match schema")
+)
+
+// TableOption configures a table at construction time.
+type TableOption func(*Table) error
+
+// WithPrimaryKey declares the primary key columns. Inserts enforce
+// uniqueness and Get performs O(1) lookups on the key.
+func WithPrimaryKey(cols ...string) TableOption {
+	return func(t *Table) error {
+		for _, c := range cols {
+			i, ok := t.schema.Index(c)
+			if !ok {
+				return fmt.Errorf("relation: primary key column %q not in schema", c)
+			}
+			t.pk = append(t.pk, i)
+		}
+		t.pkIndex = make(map[string]int)
+		return nil
+	}
+}
+
+// WithAutoIncrement makes the named INT column auto-assign increasing
+// values when an insert supplies NULL for it.
+func WithAutoIncrement(col string) TableOption {
+	return func(t *Table) error {
+		i, ok := t.schema.Index(col)
+		if !ok {
+			return fmt.Errorf("relation: auto-increment column %q not in schema", col)
+		}
+		if t.schema.Column(i).Type != TypeInt {
+			return fmt.Errorf("relation: auto-increment column %q must be INT", col)
+		}
+		t.autoCol = i
+		return nil
+	}
+}
+
+// WithIndex adds a secondary hash index on a single column, accelerating
+// Lookup on equality.
+func WithIndex(col string) TableOption {
+	return func(t *Table) error {
+		i, ok := t.schema.Index(col)
+		if !ok {
+			return fmt.Errorf("relation: index column %q not in schema", col)
+		}
+		t.indexes[strings.ToLower(col)] = &secondaryIndex{col: i, slots: make(map[string][]int)}
+		return nil
+	}
+}
+
+// secondaryIndex is a hash index from a single column's encoded value to
+// the row slots holding that value.
+type secondaryIndex struct {
+	col   int
+	slots map[string][]int
+}
+
+func (ix *secondaryIndex) add(slot int, row Row) {
+	k := encodeKey([]Value{row[ix.col]})
+	ix.slots[k] = append(ix.slots[k], slot)
+}
+
+func (ix *secondaryIndex) remove(slot int, row Row) {
+	k := encodeKey([]Value{row[ix.col]})
+	list := ix.slots[k]
+	for i, s := range list {
+		if s == slot {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(ix.slots, k)
+	} else {
+		ix.slots[k] = list
+	}
+}
+
+// Table is a mutable, thread-safe relation: a schema plus rows, with
+// optional primary-key and secondary hash indexes. Deleted rows leave
+// tombstones that scans skip; slots are reused by later inserts.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	rows    []Row // nil entries are tombstones
+	free    []int // tombstone slots available for reuse
+	live    int
+	pk      []int
+	pkIndex map[string]int
+	indexes map[string]*secondaryIndex
+	autoCol int
+	nextAut int64
+}
+
+// NewTable constructs an empty table with the given name and schema.
+func NewTable(name string, schema *Schema, opts ...TableOption) (*Table, error) {
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		indexes: make(map[string]*secondaryIndex),
+		autoCol: -1,
+		nextAut: 1,
+	}
+	for _, opt := range opts {
+		if err := opt(t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error; for statically known schemas.
+func MustTable(name string, schema *Schema, opts ...TableOption) *Table {
+	t, err := NewTable(name, schema, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// PrimaryKey returns the primary-key column names, if any.
+func (t *Table) PrimaryKey() []string {
+	out := make([]string, len(t.pk))
+	for i, c := range t.pk {
+		out[i] = t.schema.Column(c).Name
+	}
+	return out
+}
+
+// AutoIncrement returns the auto-increment column name, or "".
+func (t *Table) AutoIncrement() string {
+	if t.autoCol < 0 {
+		return ""
+	}
+	return t.schema.Column(t.autoCol).Name
+}
+
+// SecondaryIndexes returns the names of columns with secondary indexes,
+// sorted.
+func (t *Table) SecondaryIndexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for name := range t.indexes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// validate coerces a row to the schema, applying auto-increment and
+// checking arity, types and NOT NULL constraints. Caller holds the lock.
+func (t *Table) validate(row Row) (Row, error) {
+	if len(row) != t.schema.Len() {
+		return nil, fmt.Errorf("%w: table %s wants %d columns, got %d", ErrArity, t.name, t.schema.Len(), len(row))
+	}
+	out := make(Row, len(row))
+	for i, v := range row {
+		if v == nil && i == t.autoCol {
+			v = t.nextAut
+			t.nextAut++
+		}
+		col := t.schema.Column(i)
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("relation: table %s column %s: %w", t.name, col.Name, err)
+		}
+		if cv == nil && col.NotNull {
+			return nil, fmt.Errorf("relation: table %s column %s: NULL in NOT NULL column", t.name, col.Name)
+		}
+		if iv, ok := cv.(int64); ok && i == t.autoCol && iv >= t.nextAut {
+			t.nextAut = iv + 1
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+func (t *Table) pkKey(row Row) string {
+	vals := make([]Value, len(t.pk))
+	for i, c := range t.pk {
+		vals[i] = row[c]
+	}
+	return encodeKey(vals)
+}
+
+// insertLocked validates and stores a row; the caller holds the write
+// lock. It returns the slot and the stored row.
+func (t *Table) insertLocked(row Row) (int, Row, error) {
+	r, err := t.validate(row)
+	if err != nil {
+		return 0, nil, err
+	}
+	var key string
+	if t.pkIndex != nil {
+		key = t.pkKey(r)
+		if _, dup := t.pkIndex[key]; dup {
+			return 0, nil, fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.name, key)
+		}
+	}
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = r
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, r)
+	}
+	if t.pkIndex != nil {
+		t.pkIndex[key] = slot
+	}
+	for _, ix := range t.indexes {
+		ix.add(slot, r)
+	}
+	t.live++
+	return slot, r, nil
+}
+
+// Insert validates and stores a row, returning the slot it occupies.
+func (t *Table) Insert(row Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot, _, err := t.insertLocked(row)
+	return slot, err
+}
+
+// InsertGet inserts a row and returns a copy of the stored row, which
+// reflects auto-increment assignment and type coercion.
+func (t *Table) InsertGet(row Row) (Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, r, err := t.insertLocked(row)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// MustInsert inserts and panics on error; for generator/loader code paths
+// where a failure indicates a programming bug.
+func (t *Table) MustInsert(row Row) int {
+	slot, err := t.Insert(row)
+	if err != nil {
+		panic(err)
+	}
+	return slot
+}
+
+// Get returns a copy of the row with the given primary-key values.
+func (t *Table) Get(key ...Value) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pkIndex == nil || len(key) != len(t.pk) {
+		return nil, false
+	}
+	norm := make([]Value, len(key))
+	for i, v := range key {
+		nv, err := Normalize(v)
+		if err != nil {
+			return nil, false
+		}
+		norm[i] = nv
+	}
+	slot, ok := t.pkIndex[encodeKey(norm)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot].Clone(), true
+}
+
+// Scan calls fn for every live row in slot order; fn returning false stops
+// the scan. The row passed to fn must not be mutated or retained.
+func (t *Table) Scan(fn func(slot int, row Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for slot, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(slot, r) {
+			return
+		}
+	}
+}
+
+// Rows returns copies of all live rows in slot order.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, t.live)
+	for _, r := range t.rows {
+		if r != nil {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}
+
+// SelectWhere returns copies of the rows satisfying pred.
+func (t *Table) SelectWhere(pred func(Row) bool) []Row {
+	var out []Row
+	t.Scan(func(_ int, r Row) bool {
+		if pred(r) {
+			out = append(out, r.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// Lookup returns copies of the rows whose named column equals v, using a
+// secondary index when one exists, and a scan otherwise.
+func (t *Table) Lookup(col string, v Value) []Row {
+	nv, err := Normalize(v)
+	if err != nil {
+		return nil
+	}
+	t.mu.RLock()
+	ix, ok := t.indexes[strings.ToLower(col)]
+	if ok {
+		slots := ix.slots[encodeKey([]Value{nv})]
+		out := make([]Row, 0, len(slots))
+		sorted := append([]int(nil), slots...)
+		sort.Ints(sorted)
+		for _, s := range sorted {
+			out = append(out, t.rows[s].Clone())
+		}
+		t.mu.RUnlock()
+		return out
+	}
+	t.mu.RUnlock()
+	ci, ok := t.schema.Index(col)
+	if !ok {
+		return nil
+	}
+	return t.SelectWhere(func(r Row) bool { return Equal(r[ci], nv) })
+}
+
+// HasIndex reports whether a secondary index exists on the column.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(col)]
+	return ok
+}
+
+// UpdateByKey updates the row with the given primary-key values via set,
+// in O(1). It returns ErrNotFound when the key is absent and fails if the
+// replacement would collide on a changed key.
+func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pkIndex == nil || len(key) != len(t.pk) {
+		return fmt.Errorf("%w: table %s has no matching primary key", ErrNotFound, t.name)
+	}
+	norm := make([]Value, len(key))
+	for i, v := range key {
+		nv, err := Normalize(v)
+		if err != nil {
+			return err
+		}
+		norm[i] = nv
+	}
+	oldKey := encodeKey(norm)
+	slot, ok := t.pkIndex[oldKey]
+	if !ok {
+		return fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
+	}
+	old := t.rows[slot]
+	repl, err := t.validate(set(old.Clone()))
+	if err != nil {
+		return err
+	}
+	newKey := t.pkKey(repl)
+	if newKey != oldKey {
+		if _, dup := t.pkIndex[newKey]; dup {
+			return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+		}
+		delete(t.pkIndex, oldKey)
+		t.pkIndex[newKey] = slot
+	}
+	for _, ix := range t.indexes {
+		ix.remove(slot, old)
+		ix.add(slot, repl)
+	}
+	t.rows[slot] = repl
+	return nil
+}
+
+// UpdateWhere applies set to every row satisfying pred and reports how
+// many rows changed. The set function receives a copy and returns the
+// replacement row, which is validated like an insert.
+func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for slot, r := range t.rows {
+		if r == nil || !pred(r) {
+			continue
+		}
+		repl, err := t.validate(set(r.Clone()))
+		if err != nil {
+			return n, err
+		}
+		if t.pkIndex != nil {
+			oldKey, newKey := t.pkKey(r), t.pkKey(repl)
+			if oldKey != newKey {
+				if _, dup := t.pkIndex[newKey]; dup {
+					return n, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+				}
+				delete(t.pkIndex, oldKey)
+				t.pkIndex[newKey] = slot
+			}
+		}
+		for _, ix := range t.indexes {
+			ix.remove(slot, r)
+			ix.add(slot, repl)
+		}
+		t.rows[slot] = repl
+		n++
+	}
+	return n, nil
+}
+
+// DeleteWhere removes every row satisfying pred and reports the count.
+func (t *Table) DeleteWhere(pred func(Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for slot, r := range t.rows {
+		if r == nil || !pred(r) {
+			continue
+		}
+		if t.pkIndex != nil {
+			delete(t.pkIndex, t.pkKey(r))
+		}
+		for _, ix := range t.indexes {
+			ix.remove(slot, r)
+		}
+		t.rows[slot] = nil
+		t.free = append(t.free, slot)
+		t.live--
+		n++
+	}
+	return n
+}

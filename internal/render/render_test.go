@@ -1,0 +1,146 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"courserank/internal/catalog"
+	"courserank/internal/cloud"
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+	"courserank/internal/planner"
+)
+
+func tinySite(t *testing.T) (*core.Site, *datagen.Manifest) {
+	t.Helper()
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := datagen.Populate(site, datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site, man
+}
+
+func TestCoursePage(t *testing.T) {
+	site, man := tinySite(t)
+	page, err := CoursePage(site, man.Planted["intro-programming"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CS106A", "Introduction to Programming", "Student rating", "grade distribution"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q:\n%s", want, page)
+		}
+	}
+	if _, err := CoursePage(site, 999999); err == nil {
+		t.Error("missing course should error")
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	site, man := tinySite(t)
+	out := Plan(site, man.SampleStudent)
+	for _, want := range []string{"Four-Year Plan", "Cumulative GPA", "Autumn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanShowsPrereqViolations(t *testing.T) {
+	site, man := tinySite(t)
+	// Fabricate a violation: a fresh student plans 106B with no 106A.
+	su := int64(999999)
+	err := site.Planner.Record(planner.Entry{
+		SuID: su, CourseID: man.Planted["programming-abstractions"],
+		Year: 2008, Term: catalog.Autumn, Planned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Plan(site, su)
+	if !strings.Contains(out, "prerequisite issues") {
+		t.Errorf("plan should flag prereq violation:\n%s", out)
+	}
+}
+
+func TestCloudRendering(t *testing.T) {
+	c := &cloud.Cloud{Terms: []cloud.Term{
+		{Text: "latin american", Weight: 5},
+		{Text: "politics", Weight: 4},
+		{Text: "history", Weight: 1},
+	}}
+	out := Cloud(c)
+	if !strings.Contains(out, "LATIN AMERICAN") {
+		t.Errorf("weight-5 term should be upper-cased: %s", out)
+	}
+	if !strings.Contains(out, "Politics") {
+		t.Errorf("weight-4 term should be title-cased: %s", out)
+	}
+	if !strings.Contains(out, "history") {
+		t.Errorf("weight-1 term should stay lower: %s", out)
+	}
+	if Cloud(&cloud.Cloud{}) != "(empty cloud)" {
+		t.Error("empty cloud rendering")
+	}
+}
+
+func TestSearchResultsRendering(t *testing.T) {
+	site, _ := tinySite(t)
+	res, err := site.SearchCourses("american")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SearchResults(site, res, 3)
+	if !strings.Contains(out, "courses returned for this search") {
+		t.Errorf("missing figure-3 header: %s", out)
+	}
+	if strings.Count(out, "\n") < 3 {
+		t.Errorf("expected at least 3 result lines: %s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"x", "y"}, {"longer", "z"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Errorf("header: %q", lines[0])
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if clip("hello", 10) != "hello" {
+		t.Error("clip no-op")
+	}
+	if got := clip("hello world", 8); len([]rune(got)) != 8 {
+		t.Errorf("clip = %q", got)
+	}
+	if stars(4.6) != "★★★★★" {
+		t.Errorf("stars = %q", stars(4.6))
+	}
+	if stars(0) != "☆☆☆☆☆" {
+		t.Errorf("stars(0) = %q", stars(0))
+	}
+	if titleCase("latin american") != "Latin American" {
+		t.Error("titleCase")
+	}
+	w := wrap("one two three four five", 9)
+	for _, line := range strings.Split(w, "\n") {
+		if len(line) > 9 {
+			t.Errorf("wrap produced long line %q", line)
+		}
+	}
+	if wrap("", 5) != "" {
+		t.Error("wrap empty")
+	}
+	keys := Sorted(map[string]int{"b": 1, "a": 2})
+	if keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Sorted = %v", keys)
+	}
+}

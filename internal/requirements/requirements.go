@@ -1,0 +1,370 @@
+// Package requirements implements CourseRank's Requirement Tracker
+// (§2.1 "New Tools"): department staff define the requirements of an
+// academic program through a small declarative structure, and students
+// check which requirements the courses they have taken satisfy. A course
+// may satisfy at most one requirement slot (no double counting), which
+// the checker enforces with bipartite matching rather than greedy
+// assignment, so "CS106 counts for A or B" puzzles resolve correctly.
+package requirements
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"courserank/internal/catalog"
+)
+
+// Kind distinguishes requirement node types.
+type Kind string
+
+// Requirement node kinds.
+const (
+	// KindAll requires every listed course.
+	KindAll Kind = "all"
+	// KindChoose requires any K of the listed courses.
+	KindChoose Kind = "choose"
+	// KindUnits requires at least Units course-units from the listed set.
+	KindUnits Kind = "units"
+	// KindGroup requires every child requirement (nesting).
+	KindGroup Kind = "group"
+)
+
+// Requirement is one node of a program's requirement tree.
+type Requirement struct {
+	Name     string        `json:"name"`
+	Kind     Kind          `json:"kind"`
+	K        int           `json:"k,omitempty"`     // KindChoose
+	Units    int64         `json:"units,omitempty"` // KindUnits
+	Courses  []int64       `json:"courses,omitempty"`
+	Children []Requirement `json:"children,omitempty"`
+}
+
+// Validate checks structural sanity of the requirement tree.
+func (r Requirement) Validate() error {
+	switch r.Kind {
+	case KindAll:
+		if len(r.Courses) == 0 {
+			return fmt.Errorf("requirements: %q: all-of needs courses", r.Name)
+		}
+	case KindChoose:
+		if r.K <= 0 || r.K > len(r.Courses) {
+			return fmt.Errorf("requirements: %q: choose needs 0 < k ≤ |courses|", r.Name)
+		}
+	case KindUnits:
+		if r.Units <= 0 || len(r.Courses) == 0 {
+			return fmt.Errorf("requirements: %q: units-from needs positive units and courses", r.Name)
+		}
+	case KindGroup:
+		if len(r.Children) == 0 {
+			return fmt.Errorf("requirements: %q: group needs children", r.Name)
+		}
+		for _, c := range r.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("requirements: %q: unknown kind %q", r.Name, r.Kind)
+	}
+	return nil
+}
+
+// Program is a named degree program with its requirement tree.
+type Program struct {
+	Name         string        `json:"name"`
+	DepID        string        `json:"depId"`
+	Requirements []Requirement `json:"requirements"`
+}
+
+// Validate checks the program definition.
+func (p Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("requirements: program needs a name")
+	}
+	if len(p.Requirements) == 0 {
+		return fmt.Errorf("requirements: program %q has no requirements", p.Name)
+	}
+	for _, r := range p.Requirements {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry stores programs, as entered through the staff interface the
+// paper describes ("a dedicated interface for department managers that
+// allows them to define the requirements for their programs", §2.2).
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Program
+}
+
+// NewRegistry returns an empty program registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Program)} }
+
+// Define validates and stores a program, replacing any previous
+// definition with the same name.
+func (g *Registry) Define(p Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.m[p.Name] = p
+	return nil
+}
+
+// Get fetches a program by name.
+func (g *Registry) Get(name string) (Program, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.m[name]
+	return p, ok
+}
+
+// Names lists defined programs.
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.m))
+	for n := range g.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalProgram encodes a program as JSON (the storage format used to
+// persist staff-entered definitions).
+func MarshalProgram(p Program) (string, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// UnmarshalProgram decodes and validates a stored program.
+func UnmarshalProgram(s string) (Program, error) {
+	var p Program
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return Program{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Program{}, err
+	}
+	return p, nil
+}
+
+// ReqResult reports one requirement's satisfaction.
+type ReqResult struct {
+	Name      string
+	Satisfied bool
+	// Used lists the course ids allocated to this requirement.
+	Used []int64
+	// Missing describes what is still needed, human-readably.
+	Missing string
+	// Children reports nested group results.
+	Children []ReqResult
+}
+
+// Report is the tracker's output for one student against one program.
+type Report struct {
+	Program   string
+	Satisfied bool
+	Results   []ReqResult
+}
+
+// Check evaluates which requirements the taken courses satisfy. Each
+// course id may be allocated to at most one leaf slot across the whole
+// program; allocation uses augmenting-path bipartite matching so that an
+// unlucky greedy choice never reports a satisfiable program as unmet.
+// Units requirements draw from the courses left unmatched by the exact
+// requirements, largest-units first.
+func Check(p Program, taken []int64, cat *catalog.Store) Report {
+	// Deduplicate taken courses (retakes satisfy a slot once).
+	seen := map[int64]bool{}
+	var courses []int64
+	for _, c := range taken {
+		if !seen[c] {
+			seen[c] = true
+			courses = append(courses, c)
+		}
+	}
+	sort.Slice(courses, func(a, b int) bool { return courses[a] < courses[b] })
+
+	// Collect leaf slots from all/choose requirements.
+	type slot struct {
+		leaf    *leafState
+		accepts map[int64]bool
+	}
+	var slots []slot
+	var leaves []*leafState
+	var collect func(r Requirement) *leafState
+	collect = func(r Requirement) *leafState {
+		st := &leafState{req: r}
+		leaves = append(leaves, st)
+		switch r.Kind {
+		case KindAll:
+			for _, c := range r.Courses {
+				slots = append(slots, slot{leaf: st, accepts: map[int64]bool{c: true}})
+				st.slots++
+			}
+		case KindChoose:
+			acc := map[int64]bool{}
+			for _, c := range r.Courses {
+				acc[c] = true
+			}
+			for i := 0; i < r.K; i++ {
+				slots = append(slots, slot{leaf: st, accepts: acc})
+				st.slots++
+			}
+		case KindUnits:
+			// Handled after matching.
+		case KindGroup:
+			for _, ch := range r.Children {
+				st.children = append(st.children, collect(ch))
+			}
+		}
+		return st
+	}
+	var roots []*leafState
+	for _, r := range p.Requirements {
+		roots = append(roots, collect(r))
+	}
+
+	// Bipartite matching: courses × slots.
+	slotOf := make([]int, len(courses)) // course index → slot index or -1
+	courseOf := make([]int, len(slots)) // slot index → course index or -1
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for i := range courseOf {
+		courseOf[i] = -1
+	}
+	var try func(ci int, visited []bool) bool
+	try = func(ci int, visited []bool) bool {
+		for si := range slots {
+			if visited[si] || !slots[si].accepts[courses[ci]] {
+				continue
+			}
+			visited[si] = true
+			if courseOf[si] == -1 || try(courseOf[si], visited) {
+				courseOf[si] = ci
+				slotOf[ci] = si
+				return true
+			}
+		}
+		return false
+	}
+	for ci := range courses {
+		try(ci, make([]bool, len(slots)))
+	}
+	for si, ci := range courseOf {
+		if ci >= 0 {
+			slots[si].leaf.used = append(slots[si].leaf.used, courses[ci])
+			slots[si].leaf.filled++
+		}
+	}
+
+	// Remaining courses feed units requirements, largest units first so
+	// fewer leftovers are wasted.
+	var leftovers []int64
+	for ci, si := range slotOf {
+		if si == -1 {
+			leftovers = append(leftovers, courses[ci])
+		}
+	}
+	sort.Slice(leftovers, func(a, b int) bool {
+		ua, ub := unitsOf(cat, leftovers[a]), unitsOf(cat, leftovers[b])
+		if ua != ub {
+			return ua > ub
+		}
+		return leftovers[a] < leftovers[b]
+	})
+	usedLeftover := map[int64]bool{}
+	for _, st := range leaves {
+		if st.req.Kind != KindUnits {
+			continue
+		}
+		acc := map[int64]bool{}
+		for _, c := range st.req.Courses {
+			acc[c] = true
+		}
+		for _, c := range leftovers {
+			if st.units >= st.req.Units {
+				break
+			}
+			if usedLeftover[c] || !acc[c] {
+				continue
+			}
+			usedLeftover[c] = true
+			st.used = append(st.used, c)
+			st.units += unitsOf(cat, c)
+		}
+	}
+
+	// Assemble the report.
+	var assemble func(st *leafState) ReqResult
+	assemble = func(st *leafState) ReqResult {
+		res := ReqResult{Name: st.req.Name, Used: st.used}
+		switch st.req.Kind {
+		case KindAll, KindChoose:
+			res.Satisfied = st.filled == st.slots
+			if !res.Satisfied {
+				res.Missing = fmt.Sprintf("%d of %d course slots unfilled", st.slots-st.filled, st.slots)
+			}
+		case KindUnits:
+			res.Satisfied = st.units >= st.req.Units
+			if !res.Satisfied {
+				res.Missing = fmt.Sprintf("%d more units needed", st.req.Units-st.units)
+			}
+		case KindGroup:
+			res.Satisfied = true
+			for _, ch := range st.children {
+				cr := assemble(ch)
+				res.Children = append(res.Children, cr)
+				if !cr.Satisfied {
+					res.Satisfied = false
+				}
+			}
+			if !res.Satisfied {
+				res.Missing = "unsatisfied sub-requirements"
+			}
+		}
+		return res
+	}
+	rep := Report{Program: p.Name, Satisfied: true}
+	for _, st := range roots {
+		rr := assemble(st)
+		rep.Results = append(rep.Results, rr)
+		if !rr.Satisfied {
+			rep.Satisfied = false
+		}
+	}
+	return rep
+}
+
+// leafState tracks matching progress per requirement node.
+type leafState struct {
+	req      Requirement
+	slots    int
+	filled   int
+	units    int64
+	used     []int64
+	children []*leafState
+}
+
+func unitsOf(cat *catalog.Store, courseID int64) int64 {
+	if cat == nil {
+		return 1
+	}
+	c, ok := cat.Course(courseID)
+	if !ok {
+		return 0
+	}
+	return c.Units
+}

@@ -1,0 +1,268 @@
+package requirements
+
+import (
+	"testing"
+	"testing/quick"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+// cat builds a catalog with courses 1..8 (ids assigned in order); units
+// are 5,5,4,4,3,3,2,2.
+func cat(t *testing.T) *catalog.Store {
+	t.Helper()
+	c, err := catalog.Setup(relation.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDepartment(catalog.Department{ID: "CS", Name: "CS", School: "Engineering"}); err != nil {
+		t.Fatal(err)
+	}
+	units := []int64{5, 5, 4, 4, 3, 3, 2, 2}
+	for i, u := range units {
+		if _, err := c.AddCourse(catalog.Course{DepID: "CS", Number: string(rune('A' + i)), Title: "C", Units: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Requirement{
+		{Name: "x", Kind: KindAll},
+		{Name: "x", Kind: KindChoose, K: 0, Courses: []int64{1}},
+		{Name: "x", Kind: KindChoose, K: 3, Courses: []int64{1, 2}},
+		{Name: "x", Kind: KindUnits, Units: 0, Courses: []int64{1}},
+		{Name: "x", Kind: KindUnits, Units: 5},
+		{Name: "x", Kind: KindGroup},
+		{Name: "x", Kind: "bogus"},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("bad requirement %d validated", i)
+		}
+	}
+	good := Requirement{Name: "core", Kind: KindGroup, Children: []Requirement{
+		{Name: "intro", Kind: KindAll, Courses: []int64{1, 2}},
+		{Name: "electives", Kind: KindChoose, K: 1, Courses: []int64{3, 4}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	if (Program{}).Validate() == nil {
+		t.Error("empty program should fail")
+	}
+	if (Program{Name: "CS"}).Validate() == nil {
+		t.Error("program without requirements should fail")
+	}
+}
+
+func TestAllOfAndChoose(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "CS-BS", DepID: "CS", Requirements: []Requirement{
+		{Name: "intro", Kind: KindAll, Courses: []int64{1, 2}},
+		{Name: "systems", Kind: KindChoose, K: 1, Courses: []int64{3, 4}},
+	}}
+	rep := Check(p, []int64{1, 2, 3}, c)
+	if !rep.Satisfied {
+		t.Fatalf("should satisfy: %+v", rep)
+	}
+	rep = Check(p, []int64{1, 3}, c)
+	if rep.Satisfied || rep.Results[0].Satisfied {
+		t.Errorf("missing course 2: %+v", rep.Results[0])
+	}
+	if !rep.Results[1].Satisfied {
+		t.Errorf("choose should hold: %+v", rep.Results[1])
+	}
+	if rep.Results[0].Missing == "" {
+		t.Error("missing description expected")
+	}
+}
+
+// TestNoDoubleCounting is the key matcher property: course 3 can satisfy
+// either requirement but not both.
+func TestNoDoubleCounting(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "X", Requirements: []Requirement{
+		{Name: "a", Kind: KindChoose, K: 1, Courses: []int64{3}},
+		{Name: "b", Kind: KindChoose, K: 1, Courses: []int64{3, 4}},
+	}}
+	// With only course 3 taken, exactly one requirement can be satisfied.
+	rep := Check(p, []int64{3}, c)
+	sat := 0
+	for _, r := range rep.Results {
+		if r.Satisfied {
+			sat++
+		}
+	}
+	if sat != 1 || rep.Satisfied {
+		t.Errorf("expected exactly one satisfied requirement: %+v", rep)
+	}
+	// With 3 and 4 both taken, matching must route 3→a and 4→b (greedy
+	// 3→b would fail a).
+	rep = Check(p, []int64{3, 4}, c)
+	if !rep.Satisfied {
+		t.Fatalf("matching failed to find the assignment: %+v", rep)
+	}
+}
+
+// TestMatchingBeatsGreedy forces a chain of augmenting paths.
+func TestMatchingBeatsGreedy(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "chain", Requirements: []Requirement{
+		{Name: "r1", Kind: KindChoose, K: 1, Courses: []int64{1, 2}},
+		{Name: "r2", Kind: KindChoose, K: 1, Courses: []int64{2, 3}},
+		{Name: "r3", Kind: KindChoose, K: 1, Courses: []int64{3}},
+	}}
+	rep := Check(p, []int64{1, 2, 3}, c)
+	if !rep.Satisfied {
+		t.Fatalf("perfect matching exists (1→r1, 2→r2, 3→r3): %+v", rep)
+	}
+}
+
+func TestUnitsRequirement(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "breadth", Requirements: []Requirement{
+		{Name: "core", Kind: KindAll, Courses: []int64{1}},
+		{Name: "electives", Kind: KindUnits, Units: 8, Courses: []int64{3, 4, 5, 6}},
+	}}
+	// Courses 3 (4u) + 4 (4u) = 8 units: satisfied.
+	rep := Check(p, []int64{1, 3, 4}, c)
+	if !rep.Satisfied {
+		t.Fatalf("units should satisfy: %+v", rep)
+	}
+	// Courses 5 (3u) + 6 (3u) = 6 < 8: unsatisfied with message.
+	rep = Check(p, []int64{1, 5, 6}, c)
+	if rep.Satisfied || rep.Results[1].Missing == "" {
+		t.Errorf("6 units must not satisfy 8: %+v", rep.Results[1])
+	}
+	// A course consumed by an exact requirement does not count toward
+	// units.
+	p2 := Program{Name: "x", Requirements: []Requirement{
+		{Name: "core", Kind: KindAll, Courses: []int64{3}},
+		{Name: "breadth", Kind: KindUnits, Units: 4, Courses: []int64{3, 4}},
+	}}
+	rep = Check(p2, []int64{3}, c)
+	if rep.Results[1].Satisfied {
+		t.Errorf("course 3 double-counted: %+v", rep.Results[1])
+	}
+	rep = Check(p2, []int64{3, 4}, c)
+	if !rep.Satisfied {
+		t.Errorf("4 covers breadth: %+v", rep)
+	}
+}
+
+func TestNestedGroups(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "nested", Requirements: []Requirement{
+		{Name: "major", Kind: KindGroup, Children: []Requirement{
+			{Name: "intro", Kind: KindAll, Courses: []int64{1}},
+			{Name: "depth", Kind: KindGroup, Children: []Requirement{
+				{Name: "sys", Kind: KindChoose, K: 1, Courses: []int64{3, 4}},
+			}},
+		}},
+	}}
+	rep := Check(p, []int64{1, 4}, c)
+	if !rep.Satisfied {
+		t.Fatalf("nested groups: %+v", rep)
+	}
+	if len(rep.Results[0].Children) != 2 {
+		t.Errorf("children = %+v", rep.Results[0].Children)
+	}
+	rep = Check(p, []int64{1}, c)
+	if rep.Satisfied || rep.Results[0].Children[1].Satisfied {
+		t.Errorf("depth unmet: %+v", rep)
+	}
+}
+
+func TestRetakesCountOnce(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "x", Requirements: []Requirement{
+		{Name: "two", Kind: KindChoose, K: 2, Courses: []int64{1, 2}},
+	}}
+	rep := Check(p, []int64{1, 1, 1}, c)
+	if rep.Satisfied {
+		t.Errorf("retaking course 1 three times fills one slot: %+v", rep)
+	}
+}
+
+func TestRegistryAndJSON(t *testing.T) {
+	g := NewRegistry()
+	p := Program{Name: "CS-BS", DepID: "CS", Requirements: []Requirement{
+		{Name: "intro", Kind: KindAll, Courses: []int64{1}},
+	}}
+	if err := g.Define(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Define(Program{Name: "bad"}); err == nil {
+		t.Error("invalid program should fail")
+	}
+	got, ok := g.Get("CS-BS")
+	if !ok || got.DepID != "CS" {
+		t.Error("Get")
+	}
+	if names := g.Names(); len(names) != 1 || names[0] != "CS-BS" {
+		t.Errorf("Names = %v", names)
+	}
+	enc, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := UnmarshalProgram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != p.Name || len(dec.Requirements) != 1 {
+		t.Errorf("round trip = %+v", dec)
+	}
+	if _, err := UnmarshalProgram("{"); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := UnmarshalProgram(`{"name":""}`); err == nil {
+		t.Error("invalid decoded program should fail")
+	}
+}
+
+// Property: adding courses to a transcript never un-satisfies a
+// requirement (monotonicity of Check).
+func TestCheckMonotoneProperty(t *testing.T) {
+	c := cat(t)
+	p := Program{Name: "m", Requirements: []Requirement{
+		{Name: "a", Kind: KindChoose, K: 2, Courses: []int64{1, 2, 3}},
+		{Name: "b", Kind: KindUnits, Units: 6, Courses: []int64{4, 5, 6}},
+	}}
+	f := func(mask uint8) bool {
+		var taken []int64
+		for i := int64(1); i <= 8; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				taken = append(taken, i)
+			}
+		}
+		base := Check(p, taken, c)
+		more := Check(p, append(taken, 1, 2, 3, 4, 5, 6), c)
+		if !more.Satisfied {
+			return false // full transcript always satisfies
+		}
+		for i := range base.Results {
+			if base.Results[i].Satisfied && !more.Results[i].Satisfied {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckNilCatalog(t *testing.T) {
+	// Without a catalog, units default to 1 per course.
+	p := Program{Name: "u", Requirements: []Requirement{
+		{Name: "three", Kind: KindUnits, Units: 3, Courses: []int64{1, 2, 3, 4}},
+	}}
+	rep := Check(p, []int64{1, 2, 3}, nil)
+	if !rep.Satisfied {
+		t.Errorf("3 courses at 1 unit each: %+v", rep)
+	}
+}

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func courseDef() EntityDef {
+	return EntityDef{
+		Name: "course",
+		Fields: []FieldSpec{
+			{Name: "title", Weight: 4},
+			{Name: "description", Weight: 2},
+			{Name: "comments", Weight: 1},
+		},
+	}
+}
+
+func buildIndex(t *testing.T) *Index {
+	t.Helper()
+	b, err := NewBuilder(courseDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entity 1: "american" only in comments — found because entities span
+	// relations (§3.1).
+	must(t, b.Append(1, "title", "History of Science"))
+	must(t, b.Append(1, "description", "famous greek scientists and their discoveries"))
+	must(t, b.Append(1, "comments", "covers some american contributions too"))
+	must(t, b.Append(2, "title", "American Politics"))
+	must(t, b.Append(2, "description", "government and political culture"))
+	must(t, b.Append(2, "comments", "loved the debates"))
+	must(t, b.Append(2, "comments", "very american focused"))
+	must(t, b.Append(3, "title", "Latin American Literature"))
+	must(t, b.Append(3, "description", "novels from latin america"))
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntitySpansRelations(t *testing.T) {
+	ix := buildIndex(t)
+	res := ix.Search("american")
+	if res.Total() != 3 {
+		t.Fatalf("Total = %d, want 3 (comment-only match must count)", res.Total())
+	}
+	// Title matches outrank the comment-only match.
+	if res.Hits[len(res.Hits)-1].DocID != 1 {
+		t.Errorf("comment-only match should rank last: %v", res.Hits)
+	}
+}
+
+func TestRefineIsSubset(t *testing.T) {
+	ix := buildIndex(t)
+	res := ix.Search("american")
+	ref := ix.Refine(res, "latin american")
+	if ref.Total() != 1 || ref.Hits[0].DocID != 3 {
+		t.Fatalf("refined = %v", ref.Hits)
+	}
+	orig := map[int64]bool{}
+	for _, id := range res.IDs() {
+		orig[id] = true
+	}
+	for _, id := range ref.IDs() {
+		if !orig[id] {
+			t.Errorf("refined result %d not in original", id)
+		}
+	}
+	// Single-word refinement.
+	ref2 := ix.Refine(res, "politics")
+	if ref2.Total() != 1 || ref2.Hits[0].DocID != 2 {
+		t.Fatalf("keyword refine = %v", ref2.Hits)
+	}
+}
+
+func TestCountAndTop(t *testing.T) {
+	ix := buildIndex(t)
+	if n := ix.Count("american"); n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+	res := ix.Search("american")
+	if len(res.Top(2)) != 2 {
+		t.Error("Top(2)")
+	}
+	if len(res.Top(10)) != 3 {
+		t.Error("Top(10) should clamp")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.Def().Name != "course" {
+		t.Error("Def")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(EntityDef{Name: "x"}); err == nil {
+		t.Error("no fields should fail")
+	}
+	if _, err := NewBuilder(EntityDef{Name: "x", Fields: []FieldSpec{{Name: "a", Weight: 0}}}); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if _, err := NewBuilder(EntityDef{Name: "x", Fields: []FieldSpec{{Name: "a", Weight: 1}, {Name: "A", Weight: 1}}}); err == nil {
+		t.Error("duplicate field should fail")
+	}
+	b, _ := NewBuilder(courseDef())
+	if err := b.Append(1, "nosuch", "text"); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+// Property: refinement never grows the result set, for arbitrary numbers
+// of themed documents.
+func TestRefineMonotoneProperty(t *testing.T) {
+	f := func(nA, nB uint8) bool {
+		a, bCount := int(nA%20)+1, int(nB%20)
+		bld, err := NewBuilder(EntityDef{Name: "e", Fields: []FieldSpec{{Name: "f", Weight: 1}}})
+		if err != nil {
+			return false
+		}
+		id := int64(0)
+		for i := 0; i < a; i++ {
+			id++
+			if bld.Append(id, "f", "american history") != nil {
+				return false
+			}
+		}
+		for i := 0; i < bCount; i++ {
+			id++
+			if bld.Append(id, "f", "american jazz music") != nil {
+				return false
+			}
+		}
+		ix, err := bld.Build()
+		if err != nil {
+			return false
+		}
+		res := ix.Search("american")
+		ref := ix.Refine(res, "jazz")
+		return res.Total() == a+bCount && ref.Total() == bCount && ref.Total() <= res.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyEntitiesDistinctFields(t *testing.T) {
+	b, _ := NewBuilder(courseDef())
+	for i := int64(1); i <= 50; i++ {
+		must(t, b.Append(i, "title", fmt.Sprintf("Course number%d", i)))
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 50; i++ {
+		res := ix.Search(fmt.Sprintf("number%d", i))
+		if res.Total() != 1 || res.Hits[0].DocID != i {
+			t.Fatalf("entity %d not found: %v", i, res.Hits)
+		}
+	}
+}

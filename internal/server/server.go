@@ -1,0 +1,325 @@
+// Package server exposes CourseRank over HTTP as a JSON API — the "User
+// Interface" box of Figure 2. Access follows the paper's closed-
+// community model: every data endpoint requires a session token issued
+// by /api/login, and logins are validated against the university
+// directory through the community service.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"courserank/internal/cloud"
+	"courserank/internal/comments"
+	"courserank/internal/community"
+	"courserank/internal/core"
+	"courserank/internal/render"
+)
+
+// Server is the HTTP front end over a Site.
+type Server struct {
+	site *core.Site
+	mux  *http.ServeMux
+	day  int64 // abstract login day for the incentive scheme
+}
+
+// New builds the server and its routes.
+func New(site *core.Site) *Server {
+	s := &Server{site: site, mux: http.NewServeMux(), day: 1}
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("POST /api/register", s.handleRegister)
+	s.mux.HandleFunc("POST /api/login", s.handleLogin)
+	s.mux.HandleFunc("GET /api/search", s.auth(s.handleSearch))
+	s.mux.HandleFunc("GET /api/course/{id}", s.auth(s.handleCourse))
+	s.mux.HandleFunc("GET /api/plan", s.auth(s.handlePlan))
+	s.mux.HandleFunc("POST /api/comment", s.auth(s.handleComment))
+	s.mux.HandleFunc("POST /api/rate", s.auth(s.handleRate))
+	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
+	s.mux.HandleFunc("GET /api/points", s.auth(s.handlePoints))
+	s.mux.HandleFunc("GET /api/leaderboard", s.auth(s.handleLeaderboard))
+	s.mux.HandleFunc("GET /api/components", s.auth(s.handleComponents))
+	s.mux.HandleFunc("GET /api/advise/majors", s.auth(s.handleAdviseMajors))
+	s.mux.HandleFunc("GET /api/advise/quarters/{courseId}", s.auth(s.handleAdviseQuarters))
+	s.mux.HandleFunc("GET /api/compare/{courseId}", s.auth(s.handleCompare))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// auth wraps a handler with session-token validation — the closed
+// community gate.
+func (s *Server) auth(next func(http.ResponseWriter, *http.Request, community.User)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if token == "" {
+			token = r.URL.Query().Get("token")
+		}
+		u, ok := s.site.Community.Session(token)
+		if !ok {
+			writeErr(w, http.StatusUnauthorized, fmt.Errorf("valid session required (closed community)"))
+			return
+		}
+		next(w, r, u)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "scale": s.site.Scale()})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Username string `json:"username"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := s.site.Community.Register(req.Username)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, u)
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Username string `json:"username"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	token, err := s.site.Community.Login(req.Username, s.day)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"token": token})
+}
+
+// handleSearch runs a keyword search and returns hits plus the data
+// cloud; ?refine= terms chain Figure 3 → Figure 4 interactions.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, _ community.User) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	res, err := s.site.SearchCourses(q)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	for _, term := range r.URL.Query()["refine"] {
+		if res, err = s.site.RefineSearch(res, term); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	cl, err := s.site.CourseCloud(res, 30)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	type hit struct {
+		CourseID int64   `json:"courseId"`
+		Code     string  `json:"code"`
+		Title    string  `json:"title"`
+		Score    float64 `json:"score"`
+	}
+	hits := make([]hit, 0, 20)
+	for _, h := range res.Top(20) {
+		if c, ok := s.site.Catalog.Course(h.DocID); ok {
+			hits = append(hits, hit{CourseID: c.ID, Code: c.Code(), Title: c.Title, Score: h.Score})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": res.Total(),
+		"query": res.Query.String(),
+		"hits":  hits,
+		"cloud": cloudJSON(cl),
+	})
+}
+
+func cloudJSON(c *cloud.Cloud) []map[string]any {
+	out := make([]map[string]any, 0, len(c.Terms))
+	for _, t := range c.Alphabetical() {
+		out = append(out, map[string]any{"term": t.Text, "weight": t.Weight, "docs": t.ResultDocs})
+	}
+	return out
+}
+
+func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request, _ community.User) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	page, err := render.CoursePage(s.site, id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	c, _ := s.site.Catalog.Course(id)
+	avg, n := s.site.Comments.AvgRating(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"course": c, "avgRating": avg, "raters": n, "page": page,
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, u community.User) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plan": s.site.Planner.Plan(u.ID),
+		"page": render.Plan(s.site, u.ID),
+	})
+}
+
+func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, u community.User) {
+	var req struct {
+		CourseID int64   `json:"courseId"`
+		Year     int64   `json:"year"`
+		Term     string  `json:"term"`
+		Text     string  `json:"text"`
+		Rating   float64 `json:"rating"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.site.Comments.Add(comments.Comment{
+		SuID: u.ID, CourseID: req.CourseID, Year: req.Year, Term: req.Term,
+		Text: req.Text, Rating: req.Rating,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.site.Community.Award(u.ID, "comment", community.PointsComment, ""); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"commentId": id})
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, u community.User) {
+	var req struct {
+		CourseID int64   `json:"courseId"`
+		Rating   float64 `json:"rating"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.site.Comments.Rate(u.ID, req.CourseID, req.Rating); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.site.Community.Award(u.ID, "rating", community.PointsRating, ""); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleRecommend runs a registered FlexRecs strategy with query
+// parameters as workflow parameters — the per-student personalization
+// the paper's FlexRecs interface offers.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, u community.User) {
+	strategy := r.PathValue("strategy")
+	params := map[string]any{"student": u.ID}
+	for key, vals := range r.URL.Query() {
+		if len(vals) == 0 || key == "token" {
+			continue
+		}
+		if n, err := strconv.ParseInt(vals[0], 10, 64); err == nil {
+			params[key] = n
+		} else {
+			params[key] = vals[0]
+		}
+	}
+	res, err := s.site.Strategies.Run(s.site.Flex, strategy, params)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([][]string, res.Len())
+	for i := range res.Rows {
+		rows[i] = res.Strings(i)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"columns": res.Cols, "rows": rows})
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request, u community.User) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"points": s.site.Community.Points(u.ID),
+		"ledger": s.site.Community.Ledger(u.ID),
+	})
+}
+
+func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request, _ community.User) {
+	writeJSON(w, http.StatusOK, s.site.Community.Leaderboard(10))
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request, _ community.User) {
+	writeJSON(w, http.StatusOK, s.site.Components())
+}
+
+// handleAdviseMajors ranks degree programs by fit with the logged-in
+// student's transcript (§3.2 "recommended majors").
+func (s *Server) handleAdviseMajors(w http.ResponseWriter, r *http.Request, u community.User) {
+	writeJSON(w, http.StatusOK, s.site.Advisor.RecommendMajors(u.ID, 10))
+}
+
+// handleAdviseQuarters ranks the quarters in which to take a course
+// (§3.2 "recommended quarters in which to take a given course").
+func (s *Server) handleAdviseQuarters(w http.ResponseWriter, r *http.Request, u community.User) {
+	id, err := strconv.ParseInt(r.PathValue("courseId"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fits, err := s.site.Advisor.BestQuarters(u.ID, id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fits)
+}
+
+// handleCompare is the faculty view: how a class compares to others
+// (§2 "can see how their class compares to other classes"). Faculty and
+// staff only — students see ratings through the course page instead.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request, u community.User) {
+	if u.Role == community.RoleStudent {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("comparison view is for faculty and staff"))
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("courseId"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cmp, ok := s.site.Stats.CompareCourse(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("course %d has no ratings to compare", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, cmp)
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *core.Site, *datagen.Manifest) {
+	t.Helper()
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := datagen.Populate(site, datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(site))
+	t.Cleanup(ts.Close)
+	return ts, site, man
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// login obtains a session token for a registered directory user.
+func login(t *testing.T, ts *httptest.Server, username string) string {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/api/login", map[string]string{"username": username})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login status %d", resp.StatusCode)
+	}
+	out := decode[map[string]string](t, resp)
+	return out["token"]
+}
+
+func TestHealth(t *testing.T) {
+	ts, _, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	if out["ok"] != true {
+		t.Errorf("health = %v", out)
+	}
+}
+
+func TestClosedCommunityGate(t *testing.T) {
+	ts, _, _ := testServer(t)
+	// No token → 401.
+	resp, err := http.Get(ts.URL + "/api/search?q=american")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated search status = %d", resp.StatusCode)
+	}
+	// Registration requires a directory entry.
+	resp = postJSON(t, ts.URL+"/api/register", map[string]string{"username": "intruder"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("intruder register status = %d", resp.StatusCode)
+	}
+}
+
+func TestSearchAndCloudEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/search?q=american&token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	if out["total"].(float64) <= 0 {
+		t.Errorf("total = %v", out["total"])
+	}
+	if len(out["cloud"].([]any)) == 0 {
+		t.Error("cloud empty")
+	}
+	// Refinement narrows.
+	resp2, err := http.Get(ts.URL + "/api/search?q=american&refine=african+american&token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := decode[map[string]any](t, resp2)
+	if out2["total"].(float64) >= out["total"].(float64) {
+		t.Errorf("refine did not narrow: %v → %v", out["total"], out2["total"])
+	}
+}
+
+func TestCourseAndPlanEndpoints(t *testing.T) {
+	ts, _, man := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(fmt.Sprintf("%s/api/course/%d?token=%s", ts.URL, man.Planted["intro-programming"], token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	if out["page"] == nil {
+		t.Error("missing rendered page")
+	}
+	resp2, err := http.Get(ts.URL + "/api/plan?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := decode[map[string]any](t, resp2)
+	if out2["plan"] == nil {
+		t.Error("missing plan")
+	}
+	// Bad course id.
+	resp3, _ := http.Get(ts.URL + "/api/course/99999999?token=" + token)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("missing course status = %d", resp3.StatusCode)
+	}
+}
+
+func TestCommentRateAndPoints(t *testing.T) {
+	ts, site, man := testServer(t)
+	token := login(t, ts, "stu00005")
+	u, _ := site.Community.UserByUsername("stu00005")
+	before := site.Community.Points(u.ID)
+
+	resp := postJSON(t, ts.URL+"/api/comment?token="+token, map[string]any{
+		"courseId": man.Planted["intro-programming"], "year": 2008, "term": "Autumn",
+		"text": "wonderful course", "rating": 5,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("comment status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/rate?token="+token, map[string]any{
+		"courseId": man.Planted["intro-programming"], "rating": 5,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rate status = %d", resp.StatusCode)
+	}
+	// Comment (2) + rating (1); the login point landed before the
+	// snapshot was taken.
+	got := site.Community.Points(u.ID) - before
+	if got != 3 {
+		t.Errorf("points earned = %d, want 3", got)
+	}
+	respP, err := http.Get(ts.URL + "/api/points?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, respP)
+	if out["points"].(float64) < 4 {
+		t.Errorf("points endpoint = %v", out["points"])
+	}
+	// Bad rating rejected.
+	resp = postJSON(t, ts.URL+"/api/rate?token="+token, map[string]any{
+		"courseId": man.Planted["intro-programming"], "rating": 9,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad rating status = %d", resp.StatusCode)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/recommend/related-courses?title=Introduction+to+Programming&k=3&token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	if len(out["rows"].([]any)) == 0 {
+		t.Error("no recommendations")
+	}
+	resp2, _ := http.Get(ts.URL + "/api/recommend/no-such-strategy?token=" + token)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown strategy status = %d", resp2.StatusCode)
+	}
+}
+
+func TestLeaderboardAndComponents(t *testing.T) {
+	ts, _, _ := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/leaderboard?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("leaderboard status = %d", resp.StatusCode)
+	}
+	respC, err := http.Get(ts.URL + "/api/components?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := decode[[]map[string]any](t, respC)
+	if len(comps) != 13 {
+		t.Errorf("components = %d", len(comps))
+	}
+}
+
+func TestAdvisorEndpoints(t *testing.T) {
+	ts, _, man := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/advise/majors?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits := decode[[]map[string]any](t, resp)
+	if len(fits) == 0 {
+		t.Error("no major recommendations")
+	}
+	resp2, err := http.Get(fmt.Sprintf("%s/api/advise/quarters/%d?token=%s", ts.URL, man.Planted["intro-programming"], token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarters := decode[[]map[string]any](t, resp2)
+	if len(quarters) == 0 {
+		t.Error("no quarter recommendations")
+	}
+	resp3, _ := http.Get(ts.URL + "/api/advise/quarters/99999999?token=" + token)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("missing course status = %d", resp3.StatusCode)
+	}
+}
+
+func TestCompareEndpointRoleGate(t *testing.T) {
+	ts, site, man := testServer(t)
+	course := man.Planted["intro-programming"]
+	// Students are rejected.
+	stu := login(t, ts, "stu00001")
+	resp, _ := http.Get(fmt.Sprintf("%s/api/compare/%d?token=%s", ts.URL, course, stu))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("student compare status = %d", resp.StatusCode)
+	}
+	// Faculty see the comparison (fac0001 is registered by datagen).
+	fac := login(t, ts, "fac0001")
+	resp2, err := http.Get(fmt.Sprintf("%s/api/compare/%d?token=%s", ts.URL, course, fac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp2)
+	if out["AvgRating"] == nil {
+		t.Errorf("comparison = %v", out)
+	}
+	_ = site
+}
+
+func TestBearerTokenHeader(t *testing.T) {
+	ts, _, _ := testServer(t)
+	token := login(t, ts, "stu00002")
+	req, _ := http.NewRequest("GET", ts.URL+"/api/search?q=american", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("bearer auth status = %d", resp.StatusCode)
+	}
+}

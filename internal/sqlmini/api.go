@@ -1,0 +1,50 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"courserank/internal/relation"
+)
+
+// ParseExpr parses a standalone SQL expression (as used in WHERE
+// clauses). Placeholders bind to args. It is exported for layers — like
+// the FlexRecs workflow engine — that evaluate residual predicates over
+// materialized intermediate results.
+func ParseExpr(src string, args ...any) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	norm := make([]relation.Value, len(args))
+	for i, a := range args {
+		v, err := relation.Normalize(a)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: arg %d: %w", i, err)
+		}
+		norm[i] = v
+	}
+	p := &parser{toks: toks, args: norm}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	if p.argNext != len(p.args) {
+		return nil, fmt.Errorf("sqlmini: %d args provided, %d placeholders used", len(p.args), p.argNext)
+	}
+	return e, nil
+}
+
+// EvalExpr evaluates a parsed expression against one row described by
+// unqualified column names. Cells whose dynamic type is outside the
+// relation value set (e.g. nested rating vectors) may be present in the
+// row as long as the expression does not reference them.
+func EvalExpr(e Expr, cols []string, row []relation.Value) (relation.Value, error) {
+	rs := &rowset{cols: make([]colRef, len(cols))}
+	for i, c := range cols {
+		rs.cols[i] = colRef{name: c}
+	}
+	return evalScalar(e, row, rs)
+}

@@ -1,0 +1,632 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"courserank/internal/relation"
+)
+
+// Engine executes SQL statements against a relation.DB.
+type Engine struct{ db *relation.DB }
+
+// New returns an engine bound to db.
+func New(db *relation.DB) *Engine { return &Engine{db: db} }
+
+// DB exposes the underlying database.
+func (e *Engine) DB() *relation.DB { return e.db }
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []relation.Row
+}
+
+// Query parses and executes a SELECT. Placeholders ('?') bind to args.
+func (e *Engine) Query(sql string, args ...any) (*Result, error) {
+	st, err := Parse(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: Query requires a SELECT statement")
+	}
+	return e.execSelect(sel)
+}
+
+// Exec parses and executes a non-SELECT statement, returning the number of
+// rows affected (or 0 for CREATE TABLE).
+func (e *Engine) Exec(sql string, args ...any) (int, error) {
+	st, err := Parse(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	switch s := st.(type) {
+	case *InsertStmt:
+		return e.execInsert(s)
+	case *UpdateStmt:
+		return e.execUpdate(s)
+	case *DeleteStmt:
+		return e.execDelete(s)
+	case *CreateStmt:
+		return 0, e.execCreate(s)
+	case *SelectStmt:
+		return 0, fmt.Errorf("sqlmini: use Query for SELECT")
+	}
+	return 0, fmt.Errorf("sqlmini: unsupported statement %T", st)
+}
+
+// scan materializes a base table as a rowset qualified by its binding name.
+// Rows are retained by reference: the relation store never mutates a stored
+// row in place, so references stay consistent snapshots.
+func (e *Engine) scan(ref TableRef) (*rowset, error) {
+	t, ok := e.db.Table(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", ref.Name)
+	}
+	qual := ref.Binding()
+	sch := t.Schema()
+	rs := &rowset{cols: make([]colRef, sch.Len())}
+	for i := 0; i < sch.Len(); i++ {
+		rs.cols[i] = colRef{qual: qual, name: sch.Column(i).Name}
+	}
+	t.Scan(func(_ int, row relation.Row) bool {
+		rs.rows = append(rs.rows, row)
+		return true
+	})
+	return rs, nil
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinKey encodes join-key values for hash probing.
+func joinKey(vals []relation.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			v = int64(f)
+		}
+		parts[i] = fmt.Sprintf("%T:%s", v, relation.Format(v))
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// join combines left and right rowsets under the given join type and ON
+// expression. Equality conjuncts between the two sides trigger a hash
+// join; remaining conjuncts are applied as a residual filter.
+func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
+	combined := &rowset{cols: append(append([]colRef{}, left.cols...), right.cols...)}
+	var leftKeys, rightKeys []int
+	var residual []Expr
+	for _, c := range splitConjuncts(on) {
+		b, ok := c.(*Binary)
+		if ok && b.Op == "=" {
+			lref, lok := b.L.(*Ref)
+			rref, rok := b.R.(*Ref)
+			if lok && rok {
+				if li, err := left.resolve(lref.Qual, lref.Name); err == nil {
+					if ri, err := right.resolve(rref.Qual, rref.Name); err == nil {
+						leftKeys = append(leftKeys, li)
+						rightKeys = append(rightKeys, ri)
+						continue
+					}
+				}
+				if ri, err := right.resolve(lref.Qual, lref.Name); err == nil {
+					if li, err := left.resolve(rref.Qual, rref.Name); err == nil {
+						leftKeys = append(leftKeys, li)
+						rightKeys = append(rightKeys, ri)
+						continue
+					}
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	emit := func(l, r relation.Row) {
+		row := make(relation.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		if r == nil {
+			for range right.cols {
+				row = append(row, nil)
+			}
+		} else {
+			row = append(row, r...)
+		}
+		combined.rows = append(combined.rows, row)
+	}
+	passResidual := func(l, r relation.Row) (bool, error) {
+		if len(residual) == 0 {
+			return true, nil
+		}
+		row := make(relation.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		for _, c := range residual {
+			v, err := evalScalar(c, row, combined)
+			if err != nil {
+				return false, err
+			}
+			if !relation.Truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	if len(leftKeys) > 0 {
+		// Hash join: build on the right, probe from the left.
+		buckets := make(map[string][]relation.Row, len(right.rows))
+		for _, r := range right.rows {
+			vals := make([]relation.Value, len(rightKeys))
+			null := false
+			for i, k := range rightKeys {
+				if r[k] == nil {
+					null = true
+					break
+				}
+				vals[i] = r[k]
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			k := joinKey(vals)
+			buckets[k] = append(buckets[k], r)
+		}
+		for _, l := range left.rows {
+			vals := make([]relation.Value, len(leftKeys))
+			null := false
+			for i, k := range leftKeys {
+				if l[k] == nil {
+					null = true
+					break
+				}
+				vals[i] = l[k]
+			}
+			matched := false
+			if !null {
+				for _, r := range buckets[joinKey(vals)] {
+					ok, err := passResidual(l, r)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						emit(l, r)
+						matched = true
+					}
+				}
+			}
+			if !matched && jtype == "LEFT" {
+				emit(l, nil)
+			}
+		}
+		return combined, nil
+	}
+
+	// Nested-loop join for non-equi conditions.
+	for _, l := range left.rows {
+		matched := false
+		for _, r := range right.rows {
+			row := make(relation.Row, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			v, err := evalScalar(on, row, combined)
+			if err != nil {
+				return nil, err
+			}
+			if relation.Truthy(v) {
+				combined.rows = append(combined.rows, row)
+				matched = true
+			}
+		}
+		if !matched && jtype == "LEFT" {
+			emit(l, nil)
+		}
+	}
+	return combined, nil
+}
+
+// outputName picks the result column name for a select item.
+func outputName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if r, ok := item.Expr.(*Ref); ok {
+		return r.Name
+	}
+	return item.Expr.String()
+}
+
+// expandStars replaces * and t.* items with explicit column references.
+func expandStars(items []SelectItem, rs *rowset) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, item := range items {
+		if !item.Star {
+			out = append(out, item)
+			continue
+		}
+		found := false
+		for _, c := range rs.cols {
+			if item.StarQual != "" && !strings.EqualFold(c.qual, item.StarQual) {
+				continue
+			}
+			out = append(out, SelectItem{Expr: &Ref{Qual: c.qual, Name: c.name}, Alias: c.name})
+			found = true
+		}
+		if !found {
+			return nil, fmt.Errorf("sqlmini: %s.* matches no table", item.StarQual)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	rs, err := e.scan(st.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range st.Joins {
+		right, err := e.scan(j.Ref)
+		if err != nil {
+			return nil, err
+		}
+		if rs, err = join(rs, right, j.Type, j.On); err != nil {
+			return nil, err
+		}
+	}
+	if st.Where != nil {
+		kept := rs.rows[:0:0]
+		for _, row := range rs.rows {
+			v, err := evalScalar(st.Where, row, rs)
+			if err != nil {
+				return nil, err
+			}
+			if relation.Truthy(v) {
+				kept = append(kept, row)
+			}
+		}
+		rs = &rowset{cols: rs.cols, rows: kept}
+	}
+
+	items, err := expandStars(st.List, rs)
+	if err != nil {
+		return nil, err
+	}
+	aggMode := len(st.GroupBy) > 0 || hasAggregate(st.Having)
+	for _, item := range items {
+		if hasAggregate(item.Expr) {
+			aggMode = true
+		}
+	}
+
+	outCols := make([]string, len(items))
+	for i, item := range items {
+		outCols[i] = outputName(item)
+	}
+	outRS := &rowset{cols: make([]colRef, len(outCols))}
+	for i, n := range outCols {
+		outRS.cols[i] = colRef{name: n}
+	}
+
+	var outRows []relation.Row
+	var sourceRows []relation.Row // parallel source row per output row (non-agg)
+	var groups [][]relation.Row   // parallel group per output row (agg)
+
+	if aggMode {
+		keys := []string{}
+		groupMap := map[string][]relation.Row{}
+		if len(st.GroupBy) == 0 {
+			keys = append(keys, "")
+			groupMap[""] = rs.rows
+		} else {
+			for _, row := range rs.rows {
+				vals := make([]relation.Value, len(st.GroupBy))
+				for i, g := range st.GroupBy {
+					v, err := evalScalar(g, row, rs)
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = v
+				}
+				k := joinKey(vals)
+				if _, seen := groupMap[k]; !seen {
+					keys = append(keys, k)
+				}
+				groupMap[k] = append(groupMap[k], row)
+			}
+		}
+		for _, k := range keys {
+			group := groupMap[k]
+			if st.Having != nil {
+				v, err := evalAggregate(st.Having, group, rs)
+				if err != nil {
+					return nil, err
+				}
+				if !relation.Truthy(v) {
+					continue
+				}
+			}
+			out := make(relation.Row, len(items))
+			for i, item := range items {
+				v, err := evalAggregate(item.Expr, group, rs)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			outRows = append(outRows, out)
+			groups = append(groups, group)
+		}
+	} else {
+		for _, row := range rs.rows {
+			out := make(relation.Row, len(items))
+			for i, item := range items {
+				v, err := evalScalar(item.Expr, row, rs)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			outRows = append(outRows, out)
+			sourceRows = append(sourceRows, row)
+		}
+	}
+
+	// ORDER BY: alias names resolve against the output row; anything else
+	// evaluates against the source row (or group, in aggregate mode).
+	if len(st.OrderBy) > 0 {
+		sortKeys := make([][]relation.Value, len(outRows))
+		for i := range outRows {
+			keys := make([]relation.Value, len(st.OrderBy))
+			for j, ob := range st.OrderBy {
+				var v relation.Value
+				var err error
+				if ref, ok := ob.Expr.(*Ref); ok && ref.Qual == "" {
+					if ci, rerr := outRS.resolve("", ref.Name); rerr == nil {
+						keys[j] = outRows[i][ci]
+						continue
+					}
+				}
+				if aggMode {
+					v, err = evalAggregate(ob.Expr, groups[i], rs)
+				} else {
+					v, err = evalScalar(ob.Expr, sourceRows[i], rs)
+				}
+				if err != nil {
+					return nil, err
+				}
+				keys[j] = v
+			}
+			sortKeys[i] = keys
+		}
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for j, ob := range st.OrderBy {
+				c := relation.Compare(ka[j], kb[j])
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]relation.Row, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	if st.Distinct {
+		seen := map[string]bool{}
+		kept := outRows[:0:0]
+		for _, row := range outRows {
+			k := joinKey(row)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, row)
+			}
+		}
+		outRows = kept
+	}
+
+	if st.Limit != nil || st.Offset != nil {
+		offset, err := evalIntClause(st.Offset, 0)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := evalIntClause(st.Limit, int64(len(outRows)))
+		if err != nil {
+			return nil, err
+		}
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > int64(len(outRows)) {
+			offset = int64(len(outRows))
+		}
+		end := offset + limit
+		if limit < 0 || end > int64(len(outRows)) {
+			end = int64(len(outRows))
+		}
+		outRows = outRows[offset:end]
+	}
+
+	return &Result{Columns: outCols, Rows: outRows}, nil
+}
+
+// evalIntClause evaluates a LIMIT/OFFSET expression, which must reduce to
+// an integer without any column references.
+func evalIntClause(e Expr, def int64) (int64, error) {
+	if e == nil {
+		return def, nil
+	}
+	v, err := evalScalar(e, nil, &rowset{})
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: LIMIT/OFFSET must be an integer, got %v", v)
+	}
+	return n, nil
+}
+
+func (e *Engine) execInsert(st *InsertStmt) (int, error) {
+	t, ok := e.db.Table(st.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	sch := t.Schema()
+	colIdx := make([]int, 0, len(st.Cols))
+	for _, c := range st.Cols {
+		i, ok := sch.Index(c)
+		if !ok {
+			return 0, fmt.Errorf("sqlmini: table %s has no column %q", st.Table, c)
+		}
+		colIdx = append(colIdx, i)
+	}
+	n := 0
+	empty := &rowset{}
+	for _, exprs := range st.Rows {
+		vals := make([]relation.Value, len(exprs))
+		for i, ex := range exprs {
+			v, err := evalScalar(ex, nil, empty)
+			if err != nil {
+				return n, err
+			}
+			vals[i] = v
+		}
+		var row relation.Row
+		if len(st.Cols) == 0 {
+			row = vals
+		} else {
+			if len(vals) != len(colIdx) {
+				return n, fmt.Errorf("sqlmini: INSERT has %d values for %d columns", len(vals), len(colIdx))
+			}
+			row = make(relation.Row, sch.Len())
+			for i, ci := range colIdx {
+				row[ci] = vals[i]
+			}
+		}
+		if _, err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// tableRowset builds the resolver environment for UPDATE/DELETE
+// predicates: the table's own columns under its own name.
+func tableRowset(t *relation.Table) *rowset {
+	sch := t.Schema()
+	rs := &rowset{cols: make([]colRef, sch.Len())}
+	for i := 0; i < sch.Len(); i++ {
+		rs.cols[i] = colRef{qual: t.Name(), name: sch.Column(i).Name}
+	}
+	return rs
+}
+
+func (e *Engine) execUpdate(st *UpdateStmt) (int, error) {
+	t, ok := e.db.Table(st.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	rs := tableRowset(t)
+	sch := t.Schema()
+	type setOp struct {
+		idx  int
+		expr Expr
+	}
+	sets := make([]setOp, 0, len(st.Sets))
+	for _, s := range st.Sets {
+		i, ok := sch.Index(s.Col)
+		if !ok {
+			return 0, fmt.Errorf("sqlmini: table %s has no column %q", st.Table, s.Col)
+		}
+		sets = append(sets, setOp{idx: i, expr: s.Expr})
+	}
+	var evalErr error
+	pred := func(row relation.Row) bool {
+		if st.Where == nil {
+			return true
+		}
+		v, err := evalScalar(st.Where, row, rs)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return relation.Truthy(v)
+	}
+	set := func(row relation.Row) relation.Row {
+		for _, s := range sets {
+			v, err := evalScalar(s.expr, row, rs)
+			if err != nil {
+				evalErr = err
+				return row
+			}
+			row[s.idx] = v
+		}
+		return row
+	}
+	n, err := t.UpdateWhere(pred, set)
+	if err != nil {
+		return n, err
+	}
+	return n, evalErr
+}
+
+func (e *Engine) execDelete(st *DeleteStmt) (int, error) {
+	t, ok := e.db.Table(st.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	rs := tableRowset(t)
+	var evalErr error
+	n := t.DeleteWhere(func(row relation.Row) bool {
+		if st.Where == nil {
+			return true
+		}
+		v, err := evalScalar(st.Where, row, rs)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return relation.Truthy(v)
+	})
+	return n, evalErr
+}
+
+func (e *Engine) execCreate(st *CreateStmt) error {
+	opts := []relation.TableOption{}
+	if len(st.PK) > 0 {
+		opts = append(opts, relation.WithPrimaryKey(st.PK...))
+	}
+	if st.AutoInc != "" {
+		opts = append(opts, relation.WithAutoIncrement(st.AutoInc))
+	}
+	for _, ix := range st.Indexes {
+		opts = append(opts, relation.WithIndex(ix))
+	}
+	t, err := relation.NewTable(st.Table, relation.NewSchema(st.Cols...), opts...)
+	if err != nil {
+		return err
+	}
+	return e.db.Create(t)
+}

@@ -1,0 +1,489 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"courserank/internal/relation"
+)
+
+// testDB builds a small Courses/Students/Comments database mirroring the
+// paper's schema (§3.2).
+func testDB(t *testing.T) *Engine {
+	t.Helper()
+	db := relation.NewDB()
+	e := New(db)
+	stmts := []string{
+		`CREATE TABLE Courses (CourseID INT NOT NULL AUTOINCREMENT, DepID TEXT, Title TEXT, Units INT, Year INT, PRIMARY KEY (CourseID), INDEX (DepID))`,
+		`CREATE TABLE Students (SuID INT NOT NULL, Name TEXT, Class TEXT, GPA FLOAT, PRIMARY KEY (SuID))`,
+		`CREATE TABLE Comments (SuID INT, CourseID INT, Year INT, Rating INT, Text TEXT)`,
+	}
+	for _, s := range stmts {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	inserts := []string{
+		`INSERT INTO Courses (CourseID, DepID, Title, Units, Year) VALUES
+			(1, 'CS', 'Introduction to Programming', 5, 2008),
+			(2, 'CS', 'Advanced Programming', 4, 2008),
+			(3, 'CS', 'Operating Systems', 4, 2007),
+			(4, 'HIST', 'American History', 3, 2008),
+			(5, 'CLASSICS', 'Greek Science', 3, 2008)`,
+		`INSERT INTO Students VALUES (444, 'Sally', '2009', 3.8), (445, 'Bob', '2009', 3.2), (446, 'Eve', '2010', 3.5)`,
+		`INSERT INTO Comments VALUES
+			(444, 1, 2008, 5, 'great intro'),
+			(444, 4, 2008, 4, 'fun course'),
+			(445, 1, 2008, 4, 'liked it'),
+			(445, 2, 2008, 3, 'hard'),
+			(446, 1, 2007, 5, 'best class'),
+			(446, 5, 2008, NULL, 'no rating yet')`,
+	}
+	for _, s := range inserts {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return e
+}
+
+func mustQuery(t *testing.T, e *Engine, sql string, args ...any) *Result {
+	t.Helper()
+	res, err := e.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectAll(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT * FROM Students`)
+	if len(res.Rows) != 3 || len(res.Columns) != 4 {
+		t.Fatalf("got %d rows, %d cols", len(res.Rows), len(res.Columns))
+	}
+	if res.Columns[0] != "SuID" {
+		t.Errorf("Columns = %v", res.Columns)
+	}
+}
+
+func TestSelectWhereComparison(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT Title FROM Courses WHERE Year = 2008 AND Units >= 4`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectProjectionExpressionsAndAlias(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT Name, GPA * 10 AS Scaled FROM Students WHERE Name = 'Sally'`)
+	if res.Columns[1] != "Scaled" {
+		t.Errorf("Columns = %v", res.Columns)
+	}
+	if res.Rows[0][1] != 38.0 {
+		t.Errorf("Scaled = %v", res.Rows[0][1])
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT Title FROM Courses ORDER BY Units DESC, Title ASC LIMIT 2 OFFSET 1`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "Advanced Programming" {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != "Operating Systems" {
+		t.Errorf("row1 = %v", res.Rows[1])
+	}
+}
+
+func TestOrderByAliasAndSourceColumn(t *testing.T) {
+	e := testDB(t)
+	// Alias ordering.
+	res := mustQuery(t, e, `SELECT Name, GPA * 10 AS S FROM Students ORDER BY S DESC`)
+	if res.Rows[0][0] != "Sally" {
+		t.Errorf("alias order: %v", res.Rows)
+	}
+	// Ordering by a column not in the projection.
+	res = mustQuery(t, e, `SELECT Name FROM Students ORDER BY GPA ASC`)
+	if res.Rows[0][0] != "Bob" {
+		t.Errorf("source order: %v", res.Rows)
+	}
+}
+
+func TestInnerJoinHash(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `
+		SELECT s.Name, c.Title, m.Rating
+		FROM Comments m
+		JOIN Students s ON m.SuID = s.SuID
+		JOIN Courses c ON m.CourseID = c.CourseID
+		WHERE m.Rating >= 4
+		ORDER BY s.Name, c.Title`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "Bob" || res.Rows[0][1] != "Introduction to Programming" {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+}
+
+func TestLeftJoinPadsNulls(t *testing.T) {
+	e := testDB(t)
+	// Operating Systems (2007) has one comment; Greek Science has one; the
+	// left join keeps courses with zero comments.
+	res := mustQuery(t, e, `
+		SELECT c.Title, m.Rating
+		FROM Courses c
+		LEFT JOIN Comments m ON c.CourseID = m.CourseID
+		WHERE c.DepID = 'CS'
+		ORDER BY c.Title, m.Rating`)
+	found := map[string]int{}
+	for _, r := range res.Rows {
+		found[r[0].(string)]++
+	}
+	if found["Introduction to Programming"] != 3 {
+		t.Errorf("intro rows = %d, want 3", found["Introduction to Programming"])
+	}
+	if found["Operating Systems"] != 1 {
+		t.Errorf("OS rows = %d", found["Operating Systems"])
+	}
+}
+
+func TestNonEquiJoinNestedLoop(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `
+		SELECT a.Title, b.Title
+		FROM Courses a JOIN Courses b ON a.Units > b.Units
+		WHERE a.CourseID = 1`)
+	// Intro (5 units) beats the three 4- and 3-unit courses.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestGroupByHavingAggregates(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `
+		SELECT CourseID, COUNT(*) AS N, AVG(Rating) AS AvgR, MIN(Rating) AS Lo, MAX(Rating) AS Hi
+		FROM Comments
+		GROUP BY CourseID
+		HAVING COUNT(*) >= 2
+		ORDER BY CourseID`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	r := res.Rows[0]
+	if r[0] != int64(1) || r[1] != int64(3) {
+		t.Errorf("row = %v", r)
+	}
+	if avg := r[2].(float64); avg < 4.66 || avg > 4.67 {
+		t.Errorf("avg = %v", avg)
+	}
+	if r[3] != int64(4) || r[4] != int64(5) {
+		t.Errorf("min/max = %v %v", r[3], r[4])
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT COUNT(*), COUNT(Rating), AVG(Rating) FROM Comments WHERE CourseID = 5`)
+	r := res.Rows[0]
+	if r[0] != int64(1) || r[1] != int64(0) || r[2] != nil {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT COUNT(*), SUM(Rating) FROM Comments WHERE CourseID = 999`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("want single row, got %v", res.Rows)
+	}
+	if res.Rows[0][0] != int64(0) || res.Rows[0][1] != nil {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT COUNT(DISTINCT SuID) FROM Comments`)
+	if res.Rows[0][0] != int64(3) {
+		t.Errorf("distinct count = %v", res.Rows[0][0])
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT DISTINCT DepID FROM Courses ORDER BY DepID`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLikeInBetweenIsNull(t *testing.T) {
+	e := testDB(t)
+	if got := mustQuery(t, e, `SELECT Title FROM Courses WHERE Title LIKE '%program%'`); len(got.Rows) != 2 {
+		t.Errorf("LIKE rows = %v", got.Rows)
+	}
+	if got := mustQuery(t, e, `SELECT Title FROM Courses WHERE Title NOT LIKE '%program%' ORDER BY Title`); len(got.Rows) != 3 {
+		t.Errorf("NOT LIKE rows = %v", got.Rows)
+	}
+	if got := mustQuery(t, e, `SELECT Title FROM Courses WHERE DepID IN ('HIST', 'CLASSICS')`); len(got.Rows) != 2 {
+		t.Errorf("IN rows = %v", got.Rows)
+	}
+	if got := mustQuery(t, e, `SELECT Title FROM Courses WHERE Units BETWEEN 4 AND 5`); len(got.Rows) != 3 {
+		t.Errorf("BETWEEN rows = %v", got.Rows)
+	}
+	if got := mustQuery(t, e, `SELECT Text FROM Comments WHERE Rating IS NULL`); len(got.Rows) != 1 {
+		t.Errorf("IS NULL rows = %v", got.Rows)
+	}
+	if got := mustQuery(t, e, `SELECT Text FROM Comments WHERE Rating IS NOT NULL`); len(got.Rows) != 5 {
+		t.Errorf("IS NOT NULL rows = %v", got.Rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT LOWER(Name), UPPER(Name), LENGTH(Name), SUBSTR(Name, 1, 3) FROM Students WHERE SuID = 444`)
+	r := res.Rows[0]
+	if r[0] != "sally" || r[1] != "SALLY" || r[2] != int64(5) || r[3] != "Sal" {
+		t.Errorf("row = %v", r)
+	}
+	res = mustQuery(t, e, `SELECT ABS(-2), ROUND(3.456, 2), COALESCE(NULL, 'x'), 'a' || 'b' FROM Students WHERE SuID = 444`)
+	r = res.Rows[0]
+	if r[0] != int64(2) || r[1] != 3.46 || r[2] != "x" || r[3] != "ab" {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT 7 / 2, 6 / 2, 7 % 3, 1 + 2.5, -Units FROM Courses WHERE CourseID = 1`)
+	r := res.Rows[0]
+	if r[0] != 3.5 {
+		t.Errorf("7/2 = %v", r[0])
+	}
+	if r[1] != int64(3) {
+		t.Errorf("6/2 = %v", r[1])
+	}
+	if r[2] != int64(1) {
+		t.Errorf("7%%3 = %v", r[2])
+	}
+	if r[3] != 3.5 {
+		t.Errorf("1+2.5 = %v", r[3])
+	}
+	if r[4] != int64(-5) {
+		t.Errorf("-Units = %v", r[4])
+	}
+	if _, err := e.Query(`SELECT 1/0 FROM Students`); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT Title FROM Courses WHERE Year = ? AND DepID = ?`, 2008, "CS")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := e.Query(`SELECT * FROM Courses WHERE Year = ?`); err == nil {
+		t.Error("missing arg should error")
+	}
+	if _, err := e.Query(`SELECT * FROM Courses`, 1); err == nil {
+		t.Error("extra arg should error")
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	e := testDB(t)
+	n, err := e.Exec(`UPDATE Students SET GPA = GPA + 0.1 WHERE Class = '2009'`)
+	if err != nil || n != 2 {
+		t.Fatalf("update n=%d err=%v", n, err)
+	}
+	res := mustQuery(t, e, `SELECT GPA FROM Students WHERE SuID = 444`)
+	if g := res.Rows[0][0].(float64); g < 3.89 || g > 3.91 {
+		t.Errorf("GPA = %v", g)
+	}
+	n, err = e.Exec(`DELETE FROM Comments WHERE Rating IS NULL`)
+	if err != nil || n != 1 {
+		t.Fatalf("delete n=%d err=%v", n, err)
+	}
+	if got := mustQuery(t, e, `SELECT COUNT(*) FROM Comments`); got.Rows[0][0] != int64(5) {
+		t.Errorf("count = %v", got.Rows[0][0])
+	}
+}
+
+func TestInsertPartialColumns(t *testing.T) {
+	e := testDB(t)
+	// CourseID auto-increments when omitted (NULL default for missing cols).
+	if _, err := e.Exec(`INSERT INTO Courses (DepID, Title) VALUES ('MATH', 'Calculus')`); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, e, `SELECT CourseID FROM Courses WHERE Title = 'Calculus'`)
+	if res.Rows[0][0] != int64(6) {
+		t.Errorf("auto id = %v", res.Rows[0][0])
+	}
+}
+
+func TestTableAliasSelfJoin(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `
+		SELECT a.Title FROM Courses AS a JOIN Courses AS b ON a.Year = b.Year
+		WHERE b.Title = 'Greek Science' AND a.CourseID <> b.CourseID ORDER BY a.Title`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestStarQualified(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT s.* FROM Comments m JOIN Students s ON m.SuID = s.SuID WHERE m.CourseID = 2`)
+	if len(res.Columns) != 4 || res.Rows[0][1] != "Bob" {
+		t.Errorf("cols=%v rows=%v", res.Columns, res.Rows)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	e := testDB(t)
+	bad := []string{
+		`SELECT FROM Courses`,
+		`SELECT * FROM NoSuch`,
+		`SELECT NoCol FROM Courses`,
+		`SELECT * FROM Courses WHERE`,
+		`SELECT Rating FROM Comments m JOIN Students s ON m.SuID = s.SuID WHERE SuID = 1`, // ambiguous
+		`SELECT NOSUCHFN(Title) FROM Courses`,
+		`SELECT SUM(Rating, 2) FROM Comments`,
+		`SELECT * FROM Courses LIMIT 'x'`,
+		`BOGUS STATEMENT`,
+		`SELECT * FROM Courses WHERE Title LIKE 5`,
+		`SELECT 'unterminated FROM Courses`,
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+	if _, err := e.Exec(`INSERT INTO NoSuch VALUES (1)`); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if _, err := e.Exec(`UPDATE Students SET Nope = 1`); err == nil {
+		t.Error("update of missing column should fail")
+	}
+	if _, err := e.Exec(`SELECT * FROM Courses`); err == nil {
+		t.Error("Exec of SELECT should fail")
+	}
+	if _, err := e.Query(`INSERT INTO Students VALUES (1, 'x', 'y', 1.0)`); err == nil {
+		t.Error("Query of INSERT should fail")
+	}
+	if _, err := e.Exec(`CREATE TABLE Students (SuID INT)`); err == nil {
+		t.Error("duplicate CREATE should fail")
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"Hello", "hello", true}, // case-insensitive
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "h___o", true},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "a%%c", true},
+		{"abc", "_b_", true},
+		{"abc", "ab", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: a pattern with no wildcards matches exactly case-insensitive
+// equality, and '%'+s+'%' always matches any string containing s.
+func TestLikeProperties(t *testing.T) {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, s)
+	}
+	f := func(a, b string) bool {
+		a, b = sanitize(a), sanitize(b)
+		if likeMatch(a, a) != true {
+			return false
+		}
+		eq := strings.EqualFold(a, b)
+		if likeMatch(a, b) != eq {
+			return false
+		}
+		return likeMatch(a+b, "%"+b) && likeMatch(a+b, a+"%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// String forms of parsed expressions re-parse to the same string.
+	exprs := []string{
+		`SELECT Title FROM c WHERE (A = 1 AND B <> 'x''y') OR NOT C`,
+		`SELECT Title FROM c WHERE A IN (1, 2) AND B NOT BETWEEN 1 AND 5`,
+		`SELECT COUNT(DISTINCT A), MAX(B) FROM c WHERE X IS NOT NULL`,
+	}
+	for _, q := range exprs {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sel := st.(*SelectStmt)
+		s1 := sel.Where.String()
+		if s1 == "" && sel.Where != nil {
+			t.Errorf("empty String for %q", q)
+		}
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT Year, COUNT(*) AS N FROM Courses GROUP BY Year ORDER BY Year`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != int64(2007) || res.Rows[0][1] != int64(1) {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != int64(2008) || res.Rows[1][1] != int64(4) {
+		t.Errorf("row1 = %v", res.Rows[1])
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, `SELECT CourseID FROM Comments GROUP BY CourseID ORDER BY AVG(Rating) DESC, CourseID`)
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	e := testDB(t)
+	res := mustQuery(t, e, "SELECT Title -- the title\nFROM Courses -- all courses\nWHERE CourseID = 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,167 @@
+// Package sqlmini is a small SQL engine over the relation store. It
+// supports the subset of SQL that CourseRank's FlexRecs compiler emits:
+// SELECT with joins, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET,
+// DISTINCT, scalar and aggregate functions, plus INSERT, UPDATE, DELETE
+// and CREATE TABLE for loading. It plays the role of the "conventional
+// DBMS" in the paper's FlexRecs architecture (§3.2).
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+	tokPlaceholder // ?
+)
+
+type token struct {
+	kind tokenKind
+	text string // for idents: original text; symbols: the symbol
+	pos  int
+}
+
+// upper returns the keyword form of an identifier token.
+func (t token) upper() string { return strings.ToUpper(t.text) }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. It returns an error with position context for
+// unterminated strings or stray characters.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tokPlaceholder, "?", l.pos)
+			l.pos++
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+// lexString scans a single-quoted SQL string; ” escapes a quote.
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+}
+
+// lexQuotedIdent scans a double-quoted identifier.
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++
+	end := strings.IndexByte(l.src[l.pos:], '"')
+	if end < 0 {
+		return fmt.Errorf("sqlmini: unterminated quoted identifier at offset %d", start)
+	}
+	l.emit(tokIdent, l.src[l.pos:l.pos+end], start)
+	l.pos += end + 1
+	return nil
+}
+
+var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true, "||": true}
+
+func (l *lexer) lexSymbol() error {
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		l.emit(tokSymbol, l.src[l.pos:l.pos+2], l.pos)
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.':
+		l.emit(tokSymbol, string(c), l.pos)
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, l.pos)
+}

@@ -1,0 +1,75 @@
+// Package textindex provides the full-text substrate for CourseRank: a
+// field-aware inverted index with BM25F ranking and per-document term
+// statistics. It indexes both unigrams and bigrams, which lets the data
+// cloud layer (package cloud) surface multi-word concepts such as
+// "Latin American" (paper §3.1) and lets searches refine by phrase.
+package textindex
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stopword list. Stopwords are excluded
+// from the index and never participate in bigrams.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`a about above after again all also am an and any are as at be because
+		been before being below between both but by can could did do does doing down during each few for from
+		further had has have having he her here hers him his how i if in into is it its itself just me more
+		most my no nor not of off on once only or other our ours out over own same she should so some such
+		than that the their theirs them then there these they this those through to too under until up very
+		was we were what when where which while who whom why will with you your yours s t d ll m re ve`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the lowercase token is a stopword.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// Tokenize lowercases text and splits it into alphanumeric tokens,
+// dropping stopwords and single-character tokens. Token order is
+// preserved; a sentinel gap is NOT inserted at punctuation, so bigram
+// formation (see Bigrams) treats clause boundaries as adjacency — the
+// same simplification classic tag-cloud systems make.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		w := cur.String()
+		cur.Reset()
+		if len(w) < 2 || stopwords[w] {
+			return
+		}
+		out = append(out, w)
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			// Drop apostrophes so "student's" tokenizes as "students".
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Bigrams returns the adjacent-pair phrases of a token stream, each as
+// "w1 w2". Tokens must already be stopword-free (as Tokenize produces).
+func Bigrams(tokens []string) []string {
+	if len(tokens) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-1)
+	for i := 0; i+1 < len(tokens); i++ {
+		out = append(out, tokens[i]+" "+tokens[i+1])
+	}
+	return out
+}
