@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"courserank/internal/experiments"
+)
+
+// benchResult is the machine-readable record of one micro-benchmark, the
+// unit of the BENCH_*.json trajectories tracked across PRs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the file-level JSON shape.
+type benchReport struct {
+	Scale      string        `json:"scale"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchmarks defines the tracked workloads over a generated deployment.
+// They mirror the hot paths of the repository's bench_test.go suite:
+// the two Figure 5 FlexRecs workflows, the declarative-vs-hardcoded
+// ablation pair, and the search/cloud interaction path.
+func benchmarks(r *experiments.Runner) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Figure5aRelatedCourses", func(b *testing.B) {
+			tpl, _ := r.Site.Strategies.Get("related-courses")
+			for i := 0; i < b.N; i++ {
+				wf, err := tpl.Build(map[string]any{"title": "Introduction to Programming", "k": 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Site.Flex.Run(wf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Figure5bCollaborative is also the workflow side of the A1
+		// declarative-vs-hardcoded ablation; A1Hardcoded below is its
+		// counterpart, so the pair is recorded without running the
+		// same workload twice.
+		{"Figure5bCollaborative", func(b *testing.B) {
+			tpl, _ := r.Site.Strategies.Get("cf-courses")
+			for i := 0; i < b.N; i++ {
+				wf, err := tpl.Build(map[string]any{"student": r.Man.SampleStudent, "k": 10, "neighbors": 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Site.Flex.Run(wf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"A1Hardcoded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := r.Site.Baseline.UserUserCF(r.Man.SampleStudent, 20, 10, false); out == nil {
+					b.Fatal("no result")
+				}
+			}
+		}},
+		{"Figure3SearchAmerican", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Site.SearchCourses("american"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Figure3Cloud", func(b *testing.B) {
+			res, err := r.Site.SearchCourses("american")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Site.CourseCloud(res, 30); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// runBenchmarks executes the tracked workloads with testing.Benchmark
+// and writes one JSON report, so BENCH_*.json trajectories can be
+// recorded per PR without parsing `go test -bench` text output.
+func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
+	report := benchReport{Scale: scale, GoVersion: runtime.Version()}
+	for _, bm := range benchmarks(r) {
+		res := testing.Benchmark(bm.fn)
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %-24s %12.0f ns/op %8d allocs/op\n",
+			bm.name,
+			float64(res.T.Nanoseconds())/float64(res.N),
+			res.AllocsPerOp())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

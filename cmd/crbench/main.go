@@ -6,6 +6,13 @@
 //	crbench [-scale tiny|small|paper] [-exp all|table1|figure1|figure2|
 //	        figure3|figure4|figure5a|figure5b|stats|grades|evolution|
 //	        incentives|a1|a2|a3]
+//	crbench -bench [-scale ...] [-benchjson out.json]
+//
+// With -bench, crbench instead times the tracked hot-path workloads
+// (FlexRecs workflows, hardcoded recommenders, search, cloud) with
+// testing.Benchmark and emits machine-readable per-benchmark JSON
+// (ns/op, allocs/op) to -benchjson (default stdout), the format the
+// BENCH_*.json trajectory files record per PR.
 //
 // Paper-scale generation builds the full 18,605-course / 134,000-comment
 // deployment and takes tens of seconds; small (a tenth) is the default.
@@ -24,6 +31,8 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "deployment scale: tiny, small, paper")
 	exp := flag.String("exp", "all", "experiment to run")
+	bench := flag.Bool("bench", false, "run the tracked micro-benchmarks and emit JSON instead of experiments")
+	benchJSON := flag.String("benchjson", "", "write benchmark JSON to this file (default stdout)")
 	flag.Parse()
 
 	var cfg datagen.Config
@@ -39,14 +48,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("generating %s-scale deployment (seed %d)...\n", *scale, cfg.Seed)
+	// In -bench mode stdout may carry the JSON report, so progress
+	// chatter goes to stderr to keep the stream machine-readable.
+	progress := os.Stdout
+	if *bench {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "generating %s-scale deployment (seed %d)...\n", *scale, cfg.Seed)
 	t0 := time.Now()
 	r, err := experiments.NewRunner(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "generate:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("generated in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(progress, "generated in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	if *bench {
+		out := os.Stdout
+		if *benchJSON != "" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runBenchmarks(r, *scale, out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type experiment struct {
 		name string

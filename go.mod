@@ -1,0 +1,3 @@
+module courserank
+
+go 1.24

@@ -160,7 +160,10 @@ func Setup(db *relation.DB) (*Store, error) {
 				relation.NotNullCol("Title", relation.TypeString),
 				relation.Col("Description", relation.TypeString),
 				relation.NotNullCol("Units", relation.TypeInt),
-			), relation.WithPrimaryKey("CourseID"), relation.WithAutoIncrement("CourseID"), relation.WithIndex("DepID")),
+			), relation.WithPrimaryKey("CourseID"), relation.WithAutoIncrement("CourseID"), relation.WithIndex("DepID"),
+			// Title is the equality key of the FlexRecs "related-courses"
+			// reference query; the index makes it a planner probe.
+			relation.WithIndex("Title")),
 		relation.MustTable("Offerings",
 			relation.NewSchema(
 				relation.NotNullCol("OfferingID", relation.TypeInt),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"courserank/internal/relation"
+	"courserank/internal/textindex"
 )
 
 // Comparator scores one target tuple against the set of reference
@@ -63,22 +64,25 @@ func (c *jaccardCmp) bind(target, ref *Relation) (func([]any) (float64, error), 
 	if !ok {
 		return nil, fmt.Errorf("flexrecs: reference has no attribute %q", c.attr)
 	}
-	refTexts := make([]string, 0, len(ref.Rows))
+	// Tokenize every reference once; each target then tokenizes once and
+	// intersects, instead of re-tokenizing both sides per pair.
+	refSets := make([]TokenSet, 0, len(ref.Rows))
 	for _, r := range ref.Rows {
 		s, err := attrString(r, ri)
 		if err != nil {
 			return nil, err
 		}
-		refTexts = append(refTexts, s)
+		refSets = append(refSets, Tokens(s))
 	}
 	return func(trow []any) (float64, error) {
 		s, err := attrString(trow, ti)
 		if err != nil {
 			return 0, err
 		}
+		toks := textindex.Tokenize(s)
 		best := 0.0
-		for _, rt := range refTexts {
-			if j := JaccardText(s, rt); j > best {
+		for _, rt := range refSets {
+			if j := JaccardAgainst(toks, rt); j > best {
 				best = j
 			}
 		}
@@ -193,11 +197,11 @@ func (c *wavgCmp) bind(target, ref *Relation) (func([]any) (float64, error), err
 			return nil, fmt.Errorf("flexrecs: reference has no attribute %q", c.weightAttr)
 		}
 	}
-	type wv struct {
-		vec Vector
-		w   float64
-	}
-	refs := make([]wv, 0, len(ref.Rows))
+	// Fold the reference vectors into one aggregation table up front:
+	// scoring a target is then a single lookup instead of a pass over
+	// every reference vector per target row.
+	type agg struct{ num, den float64 }
+	table := map[relation.Value]agg{}
 	for _, r := range ref.Rows {
 		vec, err := attrVector(r, vi)
 		if err != nil {
@@ -209,24 +213,26 @@ func (c *wavgCmp) bind(target, ref *Relation) (func([]any) (float64, error), err
 				return nil, err
 			}
 		}
-		refs = append(refs, wv{vec: vec, w: w})
+		if w <= 0 {
+			continue
+		}
+		for k, v := range vec {
+			a := table[k]
+			a.num += w * v
+			a.den += w
+			table[k] = a
+		}
 	}
 	return func(trow []any) (float64, error) {
 		key, err := relation.Normalize(trow[ki])
 		if err != nil {
 			return 0, err
 		}
-		var num, den float64
-		for _, r := range refs {
-			if v, ok := r.vec[key]; ok && r.w > 0 {
-				num += r.w * v
-				den += r.w
-			}
-		}
-		if den == 0 {
+		a := table[key]
+		if a.den == 0 {
 			return 0, nil
 		}
-		return num / den, nil
+		return a.num / a.den, nil
 	}, nil
 }
 

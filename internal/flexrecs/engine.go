@@ -2,7 +2,7 @@ package flexrecs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"courserank/internal/relation"
@@ -151,9 +151,10 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		eval := sqlmini.Evaluator(expr, child.Cols)
 		out := &Relation{Cols: child.Cols}
 		for _, row := range child.Rows {
-			v, err := sqlmini.EvalExpr(expr, child.Cols, row)
+			v, err := eval(row)
 			if err != nil {
 				return nil, err
 			}
@@ -245,22 +246,26 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		if !ok {
 			return nil, fmt.Errorf("flexrecs: order: no column %q", s.orderCol)
 		}
-		sort.SliceStable(child.Rows, func(a, b int) bool {
-			c := relation.Compare(child.Rows[a][ci], child.Rows[b][ci])
+		slices.SortStableFunc(child.Rows, func(a, b []any) int {
+			c := relation.Compare(a[ci], b[ci])
 			if s.desc {
-				return c > 0
+				return -c
 			}
-			return c < 0
+			return c
 		})
 		return child, nil
 	}
 	return nil, fmt.Errorf("flexrecs: cannot execute step %s", s.describe())
 }
 
-// joinRelations nested-loop-joins two materialized relations on a SQL
-// condition evaluated over the concatenated row. Column names are the
+// joinRelations joins two materialized relations on a SQL condition
+// evaluated over the concatenated row. Column names are the
 // concatenation of both sides' names; ambiguous references in the
-// condition are an error surfaced by the evaluator.
+// condition are an error surfaced by the evaluator. Equality conjuncts
+// between the two sides execute as a build/probe hash join — the same
+// strategy the sqlmini planner applies to base-table joins — with the
+// remaining conjuncts as a residual filter; without any equi key the
+// join falls back to a nested loop.
 func joinRelations(left, right *Relation, on string) (*Relation, error) {
 	expr, err := sqlmini.ParseExpr(on)
 	if err != nil {
@@ -268,21 +273,152 @@ func joinRelations(left, right *Relation, on string) (*Relation, error) {
 	}
 	cols := append(append([]string{}, left.Cols...), right.Cols...)
 	out := &Relation{Cols: cols}
+
+	var leftKeys, rightKeys []int
+	var residual []sqlmini.Expr
+	for _, c := range sqlmini.SplitConjuncts(expr) {
+		if li, ri, ok := equiColumns(c, left, right); ok {
+			leftKeys = append(leftKeys, li)
+			rightKeys = append(rightKeys, ri)
+			continue
+		}
+		residual = append(residual, c)
+	}
+	evals := make([]func([]any) (any, error), len(residual))
+	for i, c := range residual {
+		evals[i] = sqlmini.Evaluator(c, cols)
+	}
+	pass := func(row []any) (bool, error) {
+		for _, ev := range evals {
+			v, err := ev(row)
+			if err != nil {
+				return false, err
+			}
+			if !relation.Truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	if len(leftKeys) > 0 {
+		buckets := make(map[string][][]any, len(right.Rows))
+		for _, r := range right.Rows {
+			k, ok, err := encodeJoinKey(r, rightKeys)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				buckets[k] = append(buckets[k], r)
+			}
+		}
+		for _, l := range left.Rows {
+			k, ok, err := encodeJoinKey(l, leftKeys)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			for _, r := range buckets[k] {
+				row := make([]any, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				keep, err := pass(row)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					out.Rows = append(out.Rows, row)
+				}
+			}
+		}
+		return out, nil
+	}
+
 	for _, l := range left.Rows {
 		for _, r := range right.Rows {
 			row := make([]any, 0, len(l)+len(r))
 			row = append(row, l...)
 			row = append(row, r...)
-			v, err := sqlmini.EvalExpr(expr, cols, row)
+			keep, err := pass(row)
 			if err != nil {
 				return nil, err
 			}
-			if relation.Truthy(v) {
+			if keep {
 				out.Rows = append(out.Rows, row)
 			}
 		}
 	}
 	return out, nil
+}
+
+// equiColumns recognizes an "l = r" conjunct joining the two relations,
+// returning the column positions on each side. References resolve
+// case-insensitively by unqualified name; a name that is ambiguous —
+// duplicated within a side or present on both sides — disqualifies the
+// conjunct, leaving it to the residual evaluator, which raises the same
+// "ambiguous column" error the nested loop always has.
+func equiColumns(c sqlmini.Expr, left, right *Relation) (int, int, bool) {
+	b, ok := c.(*sqlmini.Binary)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	lr, lok := b.L.(*sqlmini.Ref)
+	rr, rok := b.R.(*sqlmini.Ref)
+	if !lok || !rok || lr.Qual != "" || rr.Qual != "" {
+		return 0, 0, false
+	}
+	if li, ok := colUnique(left, lr.Name); ok && !colPresent(right, lr.Name) {
+		if ri, ok := colUnique(right, rr.Name); ok && !colPresent(left, rr.Name) {
+			return li, ri, true
+		}
+		return 0, 0, false
+	}
+	if li, ok := colUnique(left, rr.Name); ok && !colPresent(right, rr.Name) {
+		if ri, ok := colUnique(right, lr.Name); ok && !colPresent(left, lr.Name) {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+// colUnique resolves name within one relation, requiring exactly one
+// case-insensitive match.
+func colUnique(r *Relation, name string) (int, bool) {
+	found := -1
+	for i, c := range r.Cols {
+		if strings.EqualFold(c, name) {
+			if found >= 0 {
+				return 0, false
+			}
+			found = i
+		}
+	}
+	return found, found >= 0
+}
+
+func colPresent(r *Relation, name string) bool {
+	_, ok := r.Col(name)
+	return ok
+}
+
+// encodeJoinKey encodes the join-key cells of a row, reporting ok=false
+// for NULL keys (which never join). Non-relational cells (nested
+// vectors) cannot key a join.
+func encodeJoinKey(row []any, cols []int) (string, bool, error) {
+	vals := make([]relation.Value, len(cols))
+	for i, c := range cols {
+		if row[c] == nil {
+			return "", false, nil
+		}
+		v, err := relation.Normalize(row[c])
+		if err != nil {
+			return "", false, fmt.Errorf("flexrecs: join key column: %w", err)
+		}
+		vals[i] = v
+	}
+	return sqlmini.JoinKey(vals), true, nil
 }
 
 // extend implements ε: group child rows by groupBy and nest each group's
@@ -302,8 +438,38 @@ func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, err
 	if !ok {
 		return nil, fmt.Errorf("flexrecs: extend: no column %q", valCol)
 	}
-	order := []relation.Value{}
-	groups := map[relation.Value]Vector{}
+	// Grouping keys are almost always int64 ids (students, courses); a
+	// dedicated map skips interface hashing in this hot loop and falls
+	// back to a generic map on the first key of any other type.
+	var (
+		order     []relation.Value
+		intGroups = map[int64]Vector{}
+		anyGroups map[relation.Value]Vector
+	)
+	vecFor := func(g relation.Value) Vector {
+		if anyGroups == nil {
+			if ig, ok := g.(int64); ok {
+				vec, seen := intGroups[ig]
+				if !seen {
+					vec = Vector{}
+					intGroups[ig] = vec
+					order = append(order, g)
+				}
+				return vec
+			}
+			anyGroups = make(map[relation.Value]Vector, len(intGroups))
+			for k, v := range intGroups {
+				anyGroups[k] = v
+			}
+		}
+		vec, seen := anyGroups[g]
+		if !seen {
+			vec = Vector{}
+			anyGroups[g] = vec
+			order = append(order, g)
+		}
+		return vec
+	}
 	for _, row := range child.Rows {
 		g, err := relation.Normalize(row[gi])
 		if err != nil {
@@ -330,17 +496,11 @@ func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, err
 		default:
 			return nil, fmt.Errorf("flexrecs: extend: value column %q is %T, want number", valCol, row[vi])
 		}
-		vec, seen := groups[g]
-		if !seen {
-			vec = Vector{}
-			groups[g] = vec
-			order = append(order, g)
-		}
-		vec[k] = val
+		vecFor(g)[k] = val
 	}
 	out := &Relation{Cols: []string{groupBy, as}, Rows: make([][]any, 0, len(order))}
 	for _, g := range order {
-		out.Rows = append(out.Rows, []any{g, groups[g]})
+		out.Rows = append(out.Rows, []any{g, vecFor(g)})
 	}
 	return out, nil
 }
@@ -369,10 +529,24 @@ func recommend(target, ref *Relation, cmp Comparator, scoreAs string) (*Relation
 		out.Rows[i] = nr
 	}
 	si := len(out.Cols) - 1
-	sort.SliceStable(out.Rows, func(a, b int) bool {
-		return out.Rows[a][si].(float64) > out.Rows[b][si].(float64)
-	})
+	sortByScoreDesc(out.Rows, si)
 	return out, nil
+}
+
+// sortByScoreDesc stably sorts rows best-first on the float score
+// column, without the reflection-based swapper of sort.SliceStable —
+// these sorts run over whole catalogs per recommendation.
+func sortByScoreDesc(rows [][]any, si int) {
+	slices.SortStableFunc(rows, func(a, b []any) int {
+		av, bv := a[si].(float64), b[si].(float64)
+		switch {
+		case av > bv:
+			return -1
+		case av < bv:
+			return 1
+		}
+		return 0
+	})
 }
 
 // blend implements the blend operator: rows of two scored relations are
@@ -437,22 +611,21 @@ func blend(left, right *Relation, key, scoreCol string, wL, wR float64) (*Relati
 		nr[ls] = wR * rightScore[k]
 		out.Rows = append(out.Rows, nr)
 	}
-	si := ls
-	sort.SliceStable(out.Rows, func(a, b int) bool {
-		return out.Rows[a][si].(float64) > out.Rows[b][si].(float64)
-	})
+	sortByScoreDesc(out.Rows, ls)
 	return out, nil
 }
 
 // Explain renders the workflow plan: operator tree with SQL-compiled
-// subtrees shown as the exact statements shipped to the DBMS.
+// subtrees shown as the exact statements shipped to the DBMS, each
+// followed by the physical plan the SQL engine's planner chose for it
+// (access paths, join algorithms, pushed predicates).
 func (e *Engine) Explain(w *Step) string {
 	var b strings.Builder
-	explain(w, 0, &b)
+	e.explain(w, 0, &b)
 	return b.String()
 }
 
-func explain(s *Step, depth int, b *strings.Builder) {
+func (e *Engine) explain(s *Step, depth int, b *strings.Builder) {
 	indent := strings.Repeat("  ", depth)
 	if sqlable(s) {
 		sql, args, err := CompileSQL(s)
@@ -465,13 +638,18 @@ func explain(s *Step, depth int, b *strings.Builder) {
 		} else {
 			fmt.Fprintf(b, "%sSQL> %s\n", indent, sql)
 		}
+		if plan, err := e.sql.Explain(sql, args...); err == nil {
+			for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+				fmt.Fprintf(b, "%s  | %s\n", indent, line)
+			}
+		}
 		return
 	}
 	fmt.Fprintf(b, "%s%s\n", indent, s.describe())
 	if s.child != nil {
-		explain(s.child, depth+1, b)
+		e.explain(s.child, depth+1, b)
 	}
 	if s.other != nil {
-		explain(s.other, depth+1, b)
+		e.explain(s.other, depth+1, b)
 	}
 }

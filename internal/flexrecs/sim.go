@@ -12,33 +12,93 @@ import (
 // (paper §3.2). All functions are pure and exported for reuse by the
 // hard-coded baseline recommenders in package recommend.
 
-// JaccardText computes the Jaccard similarity of the token sets of two
-// strings: |A∩B| / |A∪B|, in [0,1]. Tokenization matches the search
-// layer (lowercased, stopwords removed), so "Introduction to
+// TokenSet is a deduplicated token set, the unit Jaccard text
+// similarity compares. Precomputing it once per string keeps repeated
+// comparisons (one reference against a whole catalog) from
+// re-tokenizing the same text per pair.
+type TokenSet map[string]struct{}
+
+// Tokens builds the token set of a string. Tokenization matches the
+// search layer (lowercased, stopwords removed), so "Introduction to
 // Programming" and "Introduction to Programming Methodology" compare on
 // {introduction, programming} vs {introduction, programming, methodology}.
-func JaccardText(a, b string) float64 {
-	ta, tb := textindex.Tokenize(a), textindex.Tokenize(b)
-	if len(ta) == 0 && len(tb) == 0 {
-		return 0
+func Tokens(s string) TokenSet {
+	toks := textindex.Tokenize(s)
+	set := make(TokenSet, len(toks))
+	for _, w := range toks {
+		set[w] = struct{}{}
 	}
-	set := make(map[string]uint8, len(ta)+len(tb))
-	for _, w := range ta {
-		set[w] |= 1
-	}
-	for _, w := range tb {
-		set[w] |= 2
+	return set
+}
+
+// JaccardTokens computes |A∩B| / |A∪B| over two token sets, in [0,1].
+// Two empty sets have similarity 0.
+func JaccardTokens(a, b TokenSet) float64 {
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
 	}
 	inter := 0
-	for _, m := range set {
-		if m == 3 {
+	for w := range small {
+		if _, ok := big[w]; ok {
 			inter++
 		}
 	}
-	if len(set) == 0 {
+	union := len(a) + len(b) - inter
+	if union == 0 {
 		return 0
 	}
-	return float64(inter) / float64(len(set))
+	return float64(inter) / float64(union)
+}
+
+// JaccardAgainst computes the Jaccard similarity between a raw token
+// slice (as Tokenize produces; duplicates tolerated) and a precomputed
+// reference set. Short slices — titles, the common case in the
+// catalog-vs-reference comparison loop — deduplicate with a nested
+// scan so no map is built per candidate row; longer text attributes
+// fall back to a set to stay linear.
+func JaccardAgainst(tokens []string, ref TokenSet) float64 {
+	uniq, inter := 0, 0
+	if len(tokens) > 24 {
+		set := make(TokenSet, len(tokens))
+		for _, w := range tokens {
+			set[w] = struct{}{}
+		}
+		uniq = len(set)
+		for w := range set {
+			if _, ok := ref[w]; ok {
+				inter++
+			}
+		}
+	} else {
+		for i, w := range tokens {
+			dup := false
+			for j := 0; j < i; j++ {
+				if tokens[j] == w {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			uniq++
+			if _, ok := ref[w]; ok {
+				inter++
+			}
+		}
+	}
+	union := uniq + len(ref) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardText computes the Jaccard similarity of the token sets of two
+// strings: |A∩B| / |A∪B|, in [0,1].
+func JaccardText(a, b string) float64 {
+	return JaccardAgainst(textindex.Tokenize(a), Tokens(b))
 }
 
 // commonKeys returns the values of a and b on their shared keys.
@@ -55,16 +115,25 @@ func commonKeys(a, b Vector) (av, bv []float64) {
 // InvEuclidean computes 1 / (1 + d) where d is the Euclidean distance
 // between two sparse vectors over their common keys — the
 // "inv_Euclidean" function of Figure 5(b). Vectors with no common key
-// have similarity 0 (nothing comparable).
+// have similarity 0 (nothing comparable). The accumulation streams over
+// the smaller vector rather than materializing the common keys: this
+// runs once per candidate pair in the CF hot loop.
 func InvEuclidean(a, b Vector) float64 {
-	av, bv := commonKeys(a, b)
-	if len(av) == 0 {
-		return 0
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
 	}
+	n := 0
 	sum := 0.0
-	for i := range av {
-		d := av[i] - bv[i]
-		sum += d * d
+	for k, x := range small {
+		if y, ok := big[k]; ok {
+			d := x - y
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
 	}
 	return 1 / (1 + math.Sqrt(sum))
 }

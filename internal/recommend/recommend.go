@@ -10,10 +10,13 @@
 package recommend
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"courserank/internal/flexrecs"
 	"courserank/internal/relation"
+	"courserank/internal/sqlmini"
+	"courserank/internal/textindex"
 )
 
 // Scored pairs an item with a recommendation score.
@@ -25,30 +28,53 @@ type Scored struct {
 // byScore sorts best-first with id tie-breaks, matching FlexRecs'
 // deterministic ordering.
 func byScore(s []Scored) {
-	sort.SliceStable(s, func(a, b int) bool {
-		if s[a].Score != s[b].Score {
-			return s[a].Score > s[b].Score
+	slices.SortStableFunc(s, func(a, b Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return s[a].ID < s[b].ID
+		return 0
 	})
 }
 
-// Engine computes recommendations directly against the store.
+// Engine computes recommendations directly against the store. Point
+// lookups go through the SQL engine so they ride its planner's index
+// access paths; the full-table rating aggregation materializes once and
+// revalidates against the Comments table's mutation counter.
 type Engine struct {
-	db *relation.DB
+	db  *relation.DB
+	sql *sqlmini.Engine
+
+	mu         sync.Mutex
+	ratings    map[int64]flexrecs.Vector // materialized rating view
+	ratingsVer uint64                    // Comments version it was built at
 }
 
 // New returns a baseline engine over the database.
-func New(db *relation.DB) *Engine { return &Engine{db: db} }
+func New(db *relation.DB) *Engine { return &Engine{db: db, sql: sqlmini.New(db)} }
 
-// ratingsBySuID loads every student's rating vector from the Comments
-// table (SuID, CourseID, Rating), skipping unrated comments.
+// ratingsBySuID returns every student's rating vector from the Comments
+// table (SuID, CourseID, Rating), skipping unrated comments. The view is
+// shared and rebuilt only when Comments has changed since the last
+// build; callers must treat the returned vectors as read-only.
 func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
-	out := map[int64]flexrecs.Vector{}
 	t, ok := e.db.Table("Comments")
 	if !ok {
-		return out
+		return map[int64]flexrecs.Vector{}
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v := t.Version(); e.ratings != nil && v == e.ratingsVer {
+		return e.ratings
+	}
+	out := map[int64]flexrecs.Vector{}
+	ver := t.Version()
 	sch := t.Schema()
 	su, co, ra := sch.MustIndex("SuID"), sch.MustIndex("CourseID"), sch.MustIndex("Rating")
 	t.Scan(func(_ int, r relation.Row) bool {
@@ -73,6 +99,7 @@ func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
 		v[r[co]] = val
 		return true
 	})
+	e.ratings, e.ratingsVer = out, ver
 	return out
 }
 
@@ -105,7 +132,12 @@ func (e *Engine) Popularity(minRaters, k int) []Scored {
 // rating vectors to the target student — the hard-coded equivalent of
 // the lower recommend operator in Figure 5(b).
 func (e *Engine) SimilarStudents(suID int64, k int) []Scored {
-	vecs := e.ratingsBySuID()
+	return similarFrom(e.ratingsBySuID(), suID, k)
+}
+
+// similarFrom ranks students by similarity to suID over already-loaded
+// rating vectors, letting UserUserCF reuse one load for both phases.
+func similarFrom(vecs map[int64]flexrecs.Vector, suID int64, k int) []Scored {
 	target, ok := vecs[suID]
 	if !ok {
 		return nil
@@ -131,7 +163,7 @@ func (e *Engine) SimilarStudents(suID int64, k int) []Scored {
 func (e *Engine) UserUserCF(suID int64, neighbors, k int, excludeRated bool) []Scored {
 	vecs := e.ratingsBySuID()
 	target := vecs[suID]
-	sims := e.SimilarStudents(suID, neighbors)
+	sims := similarFrom(vecs, suID, neighbors)
 	num := map[int64]float64{}
 	den := map[int64]float64{}
 	for _, s := range sims {
@@ -195,7 +227,9 @@ func (e *Engine) ItemItemCF(courseID int64, k int) []Scored {
 }
 
 // ContentSimilar ranks courses by title Jaccard similarity to a target
-// course — the hard-coded equivalent of Figure 5(a).
+// course — the hard-coded equivalent of Figure 5(a). The target row
+// resolves through the SQL planner (a primary-key point lookup on
+// Courses) and its title tokenizes once for the whole comparison pass.
 func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
 	t, ok := e.db.Table("Courses")
 	if !ok {
@@ -204,19 +238,12 @@ func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
 	sch := t.Schema()
 	idIdx, titleIdx := sch.MustIndex("CourseID"), sch.MustIndex("Title")
 	yearIdx, hasYear := sch.Index("Year")
-	var targetTitle string
-	found := false
-	t.Scan(func(_ int, r relation.Row) bool {
-		if r[idIdx] == courseID {
-			targetTitle = r[titleIdx].(string)
-			found = true
-			return false
-		}
-		return true
-	})
-	if !found {
+	res, err := e.sql.Query(`SELECT Title FROM Courses WHERE CourseID = ?`, courseID)
+	if err != nil || len(res.Rows) == 0 {
 		return nil
 	}
+	targetTitle, _ := res.Rows[0][0].(string)
+	target := flexrecs.Tokens(targetTitle)
 	var out []Scored
 	t.Scan(func(_ int, r relation.Row) bool {
 		if hasYear && year != 0 && r[yearIdx] != year {
@@ -226,7 +253,8 @@ func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
 		if id == courseID {
 			return true
 		}
-		out = append(out, Scored{ID: id, Score: flexrecs.JaccardText(targetTitle, r[titleIdx].(string))})
+		score := flexrecs.JaccardAgainst(textindex.Tokenize(r[titleIdx].(string)), target)
+		out = append(out, Scored{ID: id, Score: score})
 		return true
 	})
 	byScore(out)

@@ -107,6 +107,16 @@ type Table struct {
 	indexes map[string]*secondaryIndex
 	autoCol int
 	nextAut int64
+	version uint64
+}
+
+// Version returns a counter that increases on every mutation (insert,
+// update, delete). Derived views and caches compare versions to decide
+// whether a rebuild is due, instead of diffing rows.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // NewTable constructs an empty table with the given name and schema.
@@ -244,6 +254,7 @@ func (t *Table) insertLocked(row Row) (int, Row, error) {
 		ix.add(slot, r)
 	}
 	t.live++
+	t.version++
 	return slot, r, nil
 }
 
@@ -367,6 +378,108 @@ func (t *Table) Lookup(col string, v Value) []Row {
 	return t.SelectWhere(func(r Row) bool { return Equal(r[ci], nv) })
 }
 
+// LookupMany returns copies of the rows whose named column equals any
+// of the keys, in slot (scan) order with duplicates removed, acquiring
+// the read lock once for the whole batch. Upper layers use it to drive
+// multi-key index probes (IN lists, batched joins) without per-row
+// locking. NULL keys match nothing, mirroring SQL equality; with no
+// index on the column it degrades to a single scan.
+func (t *Table) LookupMany(col string, keys []Value) []Row {
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k == nil {
+			continue
+		}
+		nk, err := Normalize(k)
+		if err != nil {
+			continue
+		}
+		want[encodeKey([]Value{nk})] = true
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ix, ok := t.indexes[strings.ToLower(col)]; ok {
+		var slots []int
+		for k := range want {
+			slots = append(slots, ix.slots[k]...)
+		}
+		sort.Ints(slots)
+		out := make([]Row, 0, len(slots))
+		prev := -1
+		for _, s := range slots {
+			if s == prev {
+				continue // same row reached via equal-encoding keys
+			}
+			prev = s
+			out = append(out, t.rows[s].Clone())
+		}
+		return out
+	}
+	ci, ok := t.schema.Index(col)
+	if !ok {
+		return nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if r == nil || r[ci] == nil {
+			continue
+		}
+		if want[encodeKey([]Value{r[ci]})] {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}
+
+// GetMany returns copies of the rows matching the given primary keys —
+// a batch Get under one read lock. Rows come back in slot (scan) order
+// with duplicates removed, matching Lookup/LookupMany, so planned
+// multi-key probes order rows exactly as a scan would; absent keys are
+// skipped.
+func (t *Table) GetMany(keys ...[]Value) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pkIndex == nil {
+		return nil
+	}
+	slots := make([]int, 0, len(keys))
+	for _, key := range keys {
+		if len(key) != len(t.pk) {
+			continue
+		}
+		norm := make([]Value, len(key))
+		bad := false
+		for i, v := range key {
+			nv, err := Normalize(v)
+			if err != nil {
+				bad = true
+				break
+			}
+			norm[i] = nv
+		}
+		if bad {
+			continue
+		}
+		if slot, ok := t.pkIndex[encodeKey(norm)]; ok {
+			slots = append(slots, slot)
+		}
+	}
+	sort.Ints(slots)
+	out := make([]Row, 0, len(slots))
+	prev := -1
+	for _, s := range slots {
+		if s == prev {
+			continue
+		}
+		prev = s
+		out = append(out, t.rows[s].Clone())
+	}
+	return out
+}
+
 // HasIndex reports whether a secondary index exists on the column.
 func (t *Table) HasIndex(col string) bool {
 	t.mu.RLock()
@@ -415,6 +528,7 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 		ix.add(slot, repl)
 	}
 	t.rows[slot] = repl
+	t.version++
 	return nil
 }
 
@@ -448,6 +562,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 			ix.add(slot, repl)
 		}
 		t.rows[slot] = repl
+		t.version++
 		n++
 	}
 	return n, nil
@@ -471,6 +586,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		t.rows[slot] = nil
 		t.free = append(t.free, slot)
 		t.live--
+		t.version++
 		n++
 	}
 	return n

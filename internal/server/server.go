@@ -38,6 +38,7 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("POST /api/comment", s.auth(s.handleComment))
 	s.mux.HandleFunc("POST /api/rate", s.auth(s.handleRate))
 	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
+	s.mux.HandleFunc("GET /api/explain/{strategy}", s.auth(s.handleExplain))
 	s.mux.HandleFunc("GET /api/points", s.auth(s.handlePoints))
 	s.mux.HandleFunc("GET /api/leaderboard", s.auth(s.handleLeaderboard))
 	s.mux.HandleFunc("GET /api/components", s.auth(s.handleComponents))
@@ -241,8 +242,10 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, u community.
 // handleRecommend runs a registered FlexRecs strategy with query
 // parameters as workflow parameters — the per-student personalization
 // the paper's FlexRecs interface offers.
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, u community.User) {
-	strategy := r.PathValue("strategy")
+// strategyParams collects a strategy's personalization parameters from
+// the query string: the logged-in student plus every non-reserved query
+// key, integers coerced.
+func strategyParams(r *http.Request, u community.User) map[string]any {
 	params := map[string]any{"student": u.ID}
 	for key, vals := range r.URL.Query() {
 		if len(vals) == 0 || key == "token" {
@@ -254,7 +257,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, u commu
 			params[key] = vals[0]
 		}
 	}
-	res, err := s.site.Strategies.Run(s.site.Flex, strategy, params)
+	return params
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, u community.User) {
+	strategy := r.PathValue("strategy")
+	res, err := s.site.Strategies.Run(s.site.Flex, strategy, strategyParams(r, u))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -264,6 +272,29 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, u commu
 		rows[i] = res.Strings(i)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"columns": res.Cols, "rows": rows})
+}
+
+// handleExplain renders a strategy's execution plan without running it:
+// the FlexRecs operator tree, the SQL statements its relational
+// subtrees compile into, and the access paths and join algorithms the
+// query planner chose for each — the end-to-end view of one
+// recommendation request.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u community.User) {
+	strategy := r.PathValue("strategy")
+	tpl, ok := s.site.Strategies.Get(strategy)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no strategy %q", strategy))
+		return
+	}
+	wf, err := tpl.Build(strategyParams(r, u))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"strategy": strategy,
+		"plan":     s.site.Flex.Explain(wf),
+	})
 }
 
 func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request, u community.User) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"courserank/internal/core"
@@ -200,6 +201,32 @@ func TestRecommendEndpoint(t *testing.T) {
 	resp2, _ := http.Get(ts.URL + "/api/recommend/no-such-strategy?token=" + token)
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown strategy status = %d", resp2.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/explain/related-courses?title=Introduction+to+Programming&year=2008&k=3&token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]string](t, resp)
+	plan := out["plan"]
+	// The plan must surface both layers: the compiled SQL and the
+	// physical access paths the query planner picked underneath it.
+	for _, want := range []string{"SQL>", "index probe", "hash join"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	resp2, err := http.Get(ts.URL + "/api/explain/no-such-strategy?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown strategy status = %d", resp2.StatusCode)
 	}
 }

@@ -1,0 +1,41 @@
+// Package sqlmini is a small SQL engine over the relation store. It
+// supports the subset of SQL that CourseRank's FlexRecs compiler emits:
+// SELECT with joins, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET,
+// DISTINCT, scalar and aggregate functions, plus INSERT, UPDATE, DELETE
+// and CREATE TABLE for loading. It plays the role of the "conventional
+// DBMS" in the paper's FlexRecs architecture (§3.2).
+//
+// # Pipeline
+//
+// Every SELECT flows through three stages:
+//
+//	parse   (parser.go)  — SQL text to AST; placeholders bind to args
+//	plan    (planner.go) — cost-aware physical planning
+//	execute (exec.go)    — plan to materialized Result
+//
+// The planner splits the WHERE/ON trees into conjuncts and decides, per
+// base table, how to read it:
+//
+//   - pk lookup: equality constants cover the primary key → O(1) Get
+//   - index probe: equality or IN over an indexed column →
+//     Lookup/LookupMany against the secondary hash index; when several
+//     indexed equalities compete, table statistics (relation.TableStats)
+//     pick the most selective
+//   - scan: everything else, with the table's pushed-down predicates
+//     evaluated inline during the scan
+//
+// Single-table predicates push below joins wherever SQL semantics allow
+// (never past the null-producing side of a LEFT join); equality
+// conjuncts between two tables become build/probe hash-join keys, with
+// the build side chosen from the row estimates; non-equi joins fall
+// back to a nested loop. Column references are resolved to positions
+// once at plan time (boundRef), so per-row evaluation skips name
+// resolution entirely.
+//
+// Explain returns the chosen plan as text without executing; the
+// FlexRecs engine surfaces it beneath each compiled statement, and the
+// HTTP layer exposes it at /api/explain/{strategy}. SetForceScan
+// switches an engine to the naive strategy — full scans, nested loops,
+// no pushdown — which parity tests use to check that optimized plans
+// return identical results.
+package sqlmini

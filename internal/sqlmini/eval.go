@@ -54,7 +54,7 @@ func hasAggregate(e Expr) bool {
 	switch x := e.(type) {
 	case nil:
 		return false
-	case *Lit, *Ref:
+	case *Lit, *Ref, *boundRef:
 		return false
 	case *Unary:
 		return hasAggregate(x.X)
@@ -105,6 +105,8 @@ func evalScalar(e Expr, row relation.Row, rs *rowset) (relation.Value, error) {
 	switch x := e.(type) {
 	case *Lit:
 		return x.V, nil
+	case *boundRef:
+		return row[x.idx], nil
 	case *Ref:
 		i, err := rs.resolve(x.Qual, x.Name)
 		if err != nil {
@@ -564,7 +566,7 @@ func evalAggregate(e Expr, group []relation.Row, rs *rowset) (relation.Value, er
 	switch x := e.(type) {
 	case *Lit:
 		return x.V, nil
-	case *Ref:
+	case *Ref, *boundRef:
 		if len(group) == 0 {
 			return nil, nil
 		}

@@ -8,11 +8,21 @@ import (
 	"courserank/internal/relation"
 )
 
-// Engine executes SQL statements against a relation.DB.
-type Engine struct{ db *relation.DB }
+// Engine executes SQL statements against a relation.DB. Every SELECT
+// passes through the cost-aware planner in planner.go before execution.
+type Engine struct {
+	db        *relation.DB
+	forceScan bool
+}
 
 // New returns an engine bound to db.
 func New(db *relation.DB) *Engine { return &Engine{db: db} }
+
+// SetForceScan toggles the naive execution strategy — full table scans,
+// nested-loop joins, no predicate pushdown — used by parity tests to
+// check the planner against the unoptimized semantics. Engines default
+// to planning.
+func (e *Engine) SetForceScan(force bool) { e.forceScan = force }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *relation.DB { return e.db }
@@ -58,24 +68,100 @@ func (e *Engine) Exec(sql string, args ...any) (int, error) {
 	return 0, fmt.Errorf("sqlmini: unsupported statement %T", st)
 }
 
-// scan materializes a base table as a rowset qualified by its binding name.
-// Rows are retained by reference: the relation store never mutates a stored
-// row in place, so references stay consistent snapshots.
-func (e *Engine) scan(ref TableRef) (*rowset, error) {
-	t, ok := e.db.Table(ref.Name)
+// execScan materializes one planned base-table access: a primary-key
+// lookup, a secondary-index probe, or a full scan with pushed filters
+// evaluated inline. Scanned rows are retained by reference: the relation
+// store never mutates a stored row in place, so references stay
+// consistent snapshots.
+func (e *Engine) execScan(s *scanNode) (*rowset, error) {
+	t, ok := e.db.Table(s.ref.Name)
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", ref.Name)
+		return nil, fmt.Errorf("sqlmini: unknown table %q", s.ref.Name)
 	}
-	qual := ref.Binding()
-	sch := t.Schema()
-	rs := &rowset{cols: make([]colRef, sch.Len())}
-	for i := 0; i < sch.Len(); i++ {
-		rs.cols[i] = colRef{qual: qual, name: sch.Column(i).Name}
+	rs := &rowset{cols: s.cols}
+	switch s.access {
+	case accessPK:
+		if s.pkMulti {
+			// IN over a single-column primary key: one batched probe.
+			keys := make([][]relation.Value, 0, len(s.probeKeys))
+			for _, ke := range s.probeKeys {
+				v, err := evalScalar(ke, nil, rs)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil { // NULL keys never match
+					keys = append(keys, []relation.Value{v})
+				}
+			}
+			rs.rows = t.GetMany(keys...)
+			break
+		}
+		keys := make([]relation.Value, len(s.probeKeys))
+		for i, ke := range s.probeKeys {
+			v, err := evalScalar(ke, nil, rs)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return rs, nil // "= NULL" matches no row
+			}
+			keys[i] = v
+		}
+		if row, found := t.Get(keys...); found {
+			rs.rows = append(rs.rows, row)
+		}
+	case accessIndex:
+		keys := make([]relation.Value, 0, len(s.probeKeys))
+		for _, ke := range s.probeKeys {
+			v, err := evalScalar(ke, nil, rs)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil { // NULL keys never match
+				keys = append(keys, v)
+			}
+		}
+		rs.rows = t.LookupMany(s.probeCol, keys)
+	default:
+		var evalErr error
+		rs.rows = make([]relation.Row, 0, t.Len())
+		t.Scan(func(_ int, row relation.Row) bool {
+			for _, f := range s.filter {
+				v, err := evalScalar(f, row, rs)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !relation.Truthy(v) {
+					return true
+				}
+			}
+			rs.rows = append(rs.rows, row)
+			return true
+		})
+		return rs, evalErr
 	}
-	t.Scan(func(_ int, row relation.Row) bool {
-		rs.rows = append(rs.rows, row)
-		return true
-	})
+	// Probe paths still owe the residual pushed filters.
+	if len(s.filter) > 0 {
+		kept := rs.rows[:0]
+		for _, row := range rs.rows {
+			pass := true
+			for _, f := range s.filter {
+				v, err := evalScalar(f, row, rs)
+				if err != nil {
+					return nil, err
+				}
+				if !relation.Truthy(v) {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				kept = append(kept, row)
+			}
+		}
+		rs.rows = kept
+	}
 	return rs, nil
 }
 
@@ -99,37 +185,24 @@ func joinKey(vals []relation.Value) string {
 	return strings.Join(parts, "\x00")
 }
 
-// join combines left and right rowsets under the given join type and ON
-// expression. Equality conjuncts between the two sides trigger a hash
-// join; remaining conjuncts are applied as a residual filter.
-func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
-	combined := &rowset{cols: append(append([]colRef{}, left.cols...), right.cols...)}
-	var leftKeys, rightKeys []int
-	var residual []Expr
-	for _, c := range splitConjuncts(on) {
-		b, ok := c.(*Binary)
-		if ok && b.Op == "=" {
-			lref, lok := b.L.(*Ref)
-			rref, rok := b.R.(*Ref)
-			if lok && rok {
-				if li, err := left.resolve(lref.Qual, lref.Name); err == nil {
-					if ri, err := right.resolve(rref.Qual, rref.Name); err == nil {
-						leftKeys = append(leftKeys, li)
-						rightKeys = append(rightKeys, ri)
-						continue
-					}
-				}
-				if ri, err := right.resolve(lref.Qual, lref.Name); err == nil {
-					if li, err := left.resolve(rref.Qual, rref.Name); err == nil {
-						leftKeys = append(leftKeys, li)
-						rightKeys = append(rightKeys, ri)
-						continue
-					}
-				}
-			}
+// rowKey extracts and encodes the join-key values at the given columns,
+// reporting false when any is NULL (NULL keys never join).
+func rowKey(row relation.Row, cols []int, buf []relation.Value) (string, bool) {
+	for i, c := range cols {
+		if row[c] == nil {
+			return "", false
 		}
-		residual = append(residual, c)
+		buf[i] = row[c]
 	}
+	return joinKey(buf), true
+}
+
+// execJoin combines left and right rowsets as the planner decided: a
+// build/probe hash join over the extracted equi keys, or a nested loop
+// when none exist. Residual conjuncts apply per joined pair. Output
+// always preserves left-major row order, whichever side is built.
+func execJoin(left, right *rowset, jn *joinNode) (*rowset, error) {
+	combined := &rowset{cols: append(append([]colRef{}, left.cols...), right.cols...)}
 
 	emit := func(l, r relation.Row) {
 		row := make(relation.Row, 0, len(l)+len(r))
@@ -144,13 +217,13 @@ func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
 		combined.rows = append(combined.rows, row)
 	}
 	passResidual := func(l, r relation.Row) (bool, error) {
-		if len(residual) == 0 {
+		if len(jn.residual) == 0 {
 			return true, nil
 		}
 		row := make(relation.Row, 0, len(l)+len(r))
 		row = append(row, l...)
 		row = append(row, r...)
-		for _, c := range residual {
+		for _, c := range jn.residual {
 			v, err := evalScalar(c, row, combined)
 			if err != nil {
 				return false, err
@@ -162,38 +235,53 @@ func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
 		return true, nil
 	}
 
-	if len(leftKeys) > 0 {
-		// Hash join: build on the right, probe from the left.
-		buckets := make(map[string][]relation.Row, len(right.rows))
+	switch {
+	case len(jn.leftKeys) > 0 && jn.buildLeft:
+		// Build on the (smaller) left side, probe with right rows,
+		// buffering matches per left row to keep left-major order.
+		buckets := make(map[string][]int, len(left.rows))
+		buf := make([]relation.Value, len(jn.leftKeys))
+		for i, l := range left.rows {
+			if k, ok := rowKey(l, jn.leftKeys, buf); ok {
+				buckets[k] = append(buckets[k], i)
+			}
+		}
+		matches := make([][]relation.Row, len(left.rows))
 		for _, r := range right.rows {
-			vals := make([]relation.Value, len(rightKeys))
-			null := false
-			for i, k := range rightKeys {
-				if r[k] == nil {
-					null = true
-					break
+			k, ok := rowKey(r, jn.rightKeys, buf)
+			if !ok {
+				continue
+			}
+			for _, li := range buckets[k] {
+				ok, err := passResidual(left.rows[li], r)
+				if err != nil {
+					return nil, err
 				}
-				vals[i] = r[k]
+				if ok {
+					matches[li] = append(matches[li], r)
+				}
 			}
-			if null {
-				continue // NULL keys never join
+		}
+		for i, l := range left.rows {
+			for _, r := range matches[i] {
+				emit(l, r)
 			}
-			k := joinKey(vals)
-			buckets[k] = append(buckets[k], r)
+		}
+		return combined, nil
+
+	case len(jn.leftKeys) > 0:
+		// Build on the right, probe from the left.
+		buckets := make(map[string][]relation.Row, len(right.rows))
+		buf := make([]relation.Value, len(jn.rightKeys))
+		for _, r := range right.rows {
+			if k, ok := rowKey(r, jn.rightKeys, buf); ok {
+				buckets[k] = append(buckets[k], r)
+			}
 		}
 		for _, l := range left.rows {
-			vals := make([]relation.Value, len(leftKeys))
-			null := false
-			for i, k := range leftKeys {
-				if l[k] == nil {
-					null = true
-					break
-				}
-				vals[i] = l[k]
-			}
 			matched := false
-			if !null {
-				for _, r := range buckets[joinKey(vals)] {
+			if k, ok := rowKey(l, jn.leftKeys, buf); ok {
+				for _, r := range buckets[k] {
 					ok, err := passResidual(l, r)
 					if err != nil {
 						return nil, err
@@ -204,7 +292,7 @@ func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
 					}
 				}
 			}
-			if !matched && jtype == "LEFT" {
+			if !matched && jn.jtype == "LEFT" {
 				emit(l, nil)
 			}
 		}
@@ -215,19 +303,16 @@ func join(left, right *rowset, jtype string, on Expr) (*rowset, error) {
 	for _, l := range left.rows {
 		matched := false
 		for _, r := range right.rows {
-			row := make(relation.Row, 0, len(l)+len(r))
-			row = append(row, l...)
-			row = append(row, r...)
-			v, err := evalScalar(on, row, combined)
+			ok, err := passResidual(l, r)
 			if err != nil {
 				return nil, err
 			}
-			if relation.Truthy(v) {
-				combined.rows = append(combined.rows, row)
+			if ok {
+				emit(l, r)
 				matched = true
 			}
 		}
-		if !matched && jtype == "LEFT" {
+		if !matched && jn.jtype == "LEFT" {
 			emit(l, nil)
 		}
 	}
@@ -268,37 +353,66 @@ func expandStars(items []SelectItem, rs *rowset) ([]SelectItem, error) {
 	return out, nil
 }
 
-func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
-	rs, err := e.scan(st.From)
+// execPlan materializes a planned FROM/JOIN/WHERE pipeline: access
+// paths, joins in written order, then the residual predicates the
+// planner could not push down.
+func (e *Engine) execPlan(p *selectPlan) (*rowset, error) {
+	rs, err := e.execScan(p.scan)
 	if err != nil {
 		return nil, err
 	}
-	for _, j := range st.Joins {
-		right, err := e.scan(j.Ref)
+	for _, jn := range p.joins {
+		right, err := e.execScan(jn.scan)
 		if err != nil {
 			return nil, err
 		}
-		if rs, err = join(rs, right, j.Type, j.On); err != nil {
+		if rs, err = execJoin(rs, right, jn); err != nil {
 			return nil, err
 		}
 	}
-	if st.Where != nil {
+	if len(p.where) > 0 {
 		kept := rs.rows[:0:0]
 		for _, row := range rs.rows {
-			v, err := evalScalar(st.Where, row, rs)
-			if err != nil {
-				return nil, err
+			pass := true
+			for _, c := range p.where {
+				v, err := evalScalar(c, row, rs)
+				if err != nil {
+					return nil, err
+				}
+				if !relation.Truthy(v) {
+					pass = false
+					break
+				}
 			}
-			if relation.Truthy(v) {
+			if pass {
 				kept = append(kept, row)
 			}
 		}
 		rs = &rowset{cols: rs.cols, rows: kept}
 	}
+	return rs, nil
+}
+
+func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	p, err := e.plan(st)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := e.execPlan(p)
+	if err != nil {
+		return nil, err
+	}
 
 	items, err := expandStars(st.List, rs)
 	if err != nil {
 		return nil, err
+	}
+	// Pre-resolve output expressions once; names that fail to bind keep
+	// per-row resolution so error behavior is unchanged.
+	bound := make([]SelectItem, len(items))
+	for i, item := range items {
+		bound[i] = item
+		bound[i].Expr = bindOrKeep(item.Expr, rs)
 	}
 	aggMode := len(st.GroupBy) > 0 || hasAggregate(st.Having)
 	for _, item := range items {
@@ -327,9 +441,13 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 			keys = append(keys, "")
 			groupMap[""] = rs.rows
 		} else {
+			groupBy := make([]Expr, len(st.GroupBy))
+			for i, g := range st.GroupBy {
+				groupBy[i] = bindOrKeep(g, rs)
+			}
+			vals := make([]relation.Value, len(groupBy))
 			for _, row := range rs.rows {
-				vals := make([]relation.Value, len(st.GroupBy))
-				for i, g := range st.GroupBy {
+				for i, g := range groupBy {
 					v, err := evalScalar(g, row, rs)
 					if err != nil {
 						return nil, err
@@ -343,10 +461,11 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 				groupMap[k] = append(groupMap[k], row)
 			}
 		}
+		having := bindOrKeep(st.Having, rs)
 		for _, k := range keys {
 			group := groupMap[k]
-			if st.Having != nil {
-				v, err := evalAggregate(st.Having, group, rs)
+			if having != nil {
+				v, err := evalAggregate(having, group, rs)
 				if err != nil {
 					return nil, err
 				}
@@ -354,8 +473,8 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 					continue
 				}
 			}
-			out := make(relation.Row, len(items))
-			for i, item := range items {
+			out := make(relation.Row, len(bound))
+			for i, item := range bound {
 				v, err := evalAggregate(item.Expr, group, rs)
 				if err != nil {
 					return nil, err
@@ -366,17 +485,41 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 			groups = append(groups, group)
 		}
 	} else {
-		for _, row := range rs.rows {
-			out := make(relation.Row, len(items))
-			for i, item := range items {
-				v, err := evalScalar(item.Expr, row, rs)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = v
+		// Fast path: a projection of plain bound columns copies cells
+		// directly, skipping the expression evaluator per cell.
+		direct := make([]int, len(bound))
+		allDirect := true
+		for i, item := range bound {
+			if b, ok := item.Expr.(*boundRef); ok {
+				direct[i] = b.idx
+			} else {
+				allDirect = false
+				break
 			}
-			outRows = append(outRows, out)
-			sourceRows = append(sourceRows, row)
+		}
+		if allDirect {
+			outRows = make([]relation.Row, len(rs.rows))
+			for ri, row := range rs.rows {
+				out := make(relation.Row, len(direct))
+				for i, ci := range direct {
+					out[i] = row[ci]
+				}
+				outRows[ri] = out
+			}
+			sourceRows = rs.rows
+		} else {
+			for _, row := range rs.rows {
+				out := make(relation.Row, len(bound))
+				for i, item := range bound {
+					v, err := evalScalar(item.Expr, row, rs)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = v
+				}
+				outRows = append(outRows, out)
+				sourceRows = append(sourceRows, row)
+			}
 		}
 	}
 

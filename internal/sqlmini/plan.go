@@ -1,0 +1,141 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// accessKind enumerates the access paths the planner can choose for a
+// base table.
+type accessKind uint8
+
+const (
+	// accessScan reads every live row, applying pushed filters inline.
+	accessScan accessKind = iota
+	// accessPK resolves the row by primary-key point lookup.
+	accessPK
+	// accessIndex probes a secondary hash index with one or more keys.
+	accessIndex
+)
+
+// scanNode is one base-table access: the path the planner chose plus the
+// single-table predicates pushed below any joins.
+type scanNode struct {
+	ref    TableRef
+	cols   []colRef // output columns, qualified by the binding name
+	access accessKind
+
+	// accessPK: probeKeys align with the table's primary-key columns,
+	// or — with pkMulti set — are alternative keys for a single-column
+	// primary key (an IN list), answered batched via GetMany.
+	// accessIndex: probeCol names the indexed column; probeKeys are the
+	// equality keys (several for IN lists).
+	probeCol  string
+	probeKeys []Expr
+	pkMulti   bool
+
+	// filter holds pushed conjuncts evaluated against base rows during
+	// the scan or after the probe; bound at plan time when resolvable.
+	filter []Expr
+
+	est       float64 // estimated output rows
+	tableRows int     // table size when planned
+}
+
+// joinNode combines the accumulated left pipeline with one scan.
+type joinNode struct {
+	jtype string // "INNER" or "LEFT"
+	scan  *scanNode
+
+	// Hash-join equi keys, resolved to column positions in the combined
+	// left rowset and the right scan's rowset. Empty means nested loop.
+	leftKeys, rightKeys []int
+	keyText             []string // rendered "l = r" pairs for Explain
+
+	// residual conjuncts evaluated per joined pair (bound when possible).
+	residual []Expr
+
+	// buildLeft hashes the left (smaller) side instead of the right;
+	// only chosen for INNER joins, where output order can be preserved
+	// by buffering matches per left row.
+	buildLeft bool
+
+	estLeft float64 // estimated left-input rows when planned
+}
+
+// selectPlan is the physical plan for one SELECT: access paths, join
+// order (left-deep, as written), and residual predicates, feeding the
+// projection/aggregation pipeline in exec.go.
+type selectPlan struct {
+	scan  *scanNode
+	joins []*joinNode
+	where []Expr   // post-join conjuncts that could not be pushed
+	cols  []colRef // combined column layout after all joins
+}
+
+func (s *scanNode) describe() string {
+	name := s.ref.Name
+	if s.ref.Alias != "" {
+		name += " AS " + s.ref.Alias
+	}
+	var b strings.Builder
+	switch s.access {
+	case accessPK:
+		fmt.Fprintf(&b, "pk lookup %s (%s = %s)", name, s.probeCol, keyList(s.probeKeys))
+	case accessIndex:
+		fmt.Fprintf(&b, "index probe %s (%s = %s)", name, s.probeCol, keyList(s.probeKeys))
+	default:
+		fmt.Fprintf(&b, "scan %s", name)
+	}
+	if len(s.filter) > 0 {
+		fmt.Fprintf(&b, " filter %s", exprList(s.filter))
+	}
+	fmt.Fprintf(&b, " ~%d of %d rows", int(s.est), s.tableRows)
+	return b.String()
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func keyList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the plan as an indented tree — the output of Explain.
+func (p *selectPlan) String() string {
+	var b strings.Builder
+	depth := 0
+	for i := len(p.joins) - 1; i >= 0; i-- {
+		j := p.joins[i]
+		indent := strings.Repeat("  ", depth)
+		algo := "nested loop"
+		if len(j.leftKeys) > 0 {
+			side := "right"
+			if j.buildLeft {
+				side = "left"
+			}
+			algo = fmt.Sprintf("hash join on %s, build=%s", strings.Join(j.keyText, " AND "), side)
+		}
+		fmt.Fprintf(&b, "%s%s (%s)", indent, algo, j.jtype)
+		if len(j.residual) > 0 {
+			fmt.Fprintf(&b, " residual %s", exprList(j.residual))
+		}
+		b.WriteByte('\n')
+		depth++
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), j.scan.describe())
+	}
+	fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), p.scan.describe())
+	if len(p.where) > 0 {
+		fmt.Fprintf(&b, "where %s\n", exprList(p.where))
+	}
+	return b.String()
+}

@@ -1,0 +1,647 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"courserank/internal/relation"
+)
+
+// This file is the cost-aware planning stage between parsing and
+// execution. plan analyzes a SELECT's WHERE/JOIN tree, splits the
+// conjuncts, pushes single-table predicates below the joins that allow
+// it, picks an access path per table from the table statistics
+// (primary-key lookup, secondary-index probe, or full scan), and decides
+// each join's algorithm and hash build side. The executor in exec.go
+// runs the resulting selectPlan.
+//
+// Semantics notes:
+//   - Predicates only push below a LEFT join on its preserved (left)
+//     side; conjuncts touching a null-producing binding stay after the
+//     join, and ON conjuncts mentioning only the preserved side stay in
+//     the join residual, exactly as SQL requires.
+//   - Binding (resolving column names to positions) happens once at
+//     plan time. Names that fail to resolve fall back to per-row
+//     resolution so that error timing matches the unplanned executor.
+//   - Pushing a filter below a join can surface an evaluation error
+//     (LIKE on a non-string, division by zero) on a row the join would
+//     have discarded — the same class of error, observed earlier.
+
+// boundRef is a column reference resolved to a fixed position at plan
+// time; evaluating it indexes the row directly instead of matching
+// names per row.
+type boundRef struct {
+	idx  int
+	orig *Ref
+}
+
+func (b *boundRef) String() string { return b.orig.String() }
+
+// bindExpr returns a copy of e with every column reference resolved
+// against rs. It fails when any name is unknown or ambiguous; callers
+// fall back to the unbound expression so errors surface at evaluation
+// time, as they did before planning existed.
+func bindExpr(e Expr, rs *rowset) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Lit:
+		return x, nil
+	case *Ref:
+		i, err := rs.resolve(x.Qual, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &boundRef{idx: i, orig: x}, nil
+	case *boundRef:
+		return x, nil
+	case *Unary:
+		in, err := bindExpr(x.X, rs)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: x.Op, X: in}, nil
+	case *Binary:
+		l, err := bindExpr(x.L, rs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(x.R, rs)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: x.Op, L: l, R: r}, nil
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			b, err := bindExpr(a, rs)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = b
+		}
+		return &Call{Name: x.Name, Args: args, Distinct: x.Distinct, Star: x.Star}, nil
+	case *In:
+		v, err := bindExpr(x.X, rs)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, a := range x.List {
+			b, err := bindExpr(a, rs)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = b
+		}
+		return &In{X: v, List: list, Not: x.Not}, nil
+	case *Between:
+		v, err := bindExpr(x.X, rs)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bindExpr(x.Lo, rs)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bindExpr(x.Hi, rs)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: v, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *IsNull:
+		v, err := bindExpr(x.X, rs)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{X: v, Not: x.Not}, nil
+	case *Case:
+		op, err := bindExpr(x.Operand, rs)
+		if err != nil {
+			return nil, err
+		}
+		els, err := bindExpr(x.Else, rs)
+		if err != nil {
+			return nil, err
+		}
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := bindExpr(w.Cond, rs)
+			if err != nil {
+				return nil, err
+			}
+			t, err := bindExpr(w.Then, rs)
+			if err != nil {
+				return nil, err
+			}
+			whens[i] = When{Cond: c, Then: t}
+		}
+		return &Case{Operand: op, Whens: whens, Else: els}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: cannot bind %T", e)
+}
+
+// bindOrKeep binds e against rs, keeping the original on failure.
+func bindOrKeep(e Expr, rs *rowset) Expr {
+	if b, err := bindExpr(e, rs); err == nil {
+		return b
+	}
+	return e
+}
+
+// isConst reports whether e evaluates without reading any column.
+func isConst(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Lit:
+		return true
+	case *Ref, *boundRef:
+		return false
+	case *Unary:
+		return isConst(x.X)
+	case *Binary:
+		return isConst(x.L) && isConst(x.R)
+	case *Call:
+		if aggregates[x.Name] {
+			return false
+		}
+		for _, a := range x.Args {
+			if !isConst(a) {
+				return false
+			}
+		}
+		return true
+	case *In:
+		if !isConst(x.X) {
+			return false
+		}
+		for _, a := range x.List {
+			if !isConst(a) {
+				return false
+			}
+		}
+		return true
+	case *Between:
+		return isConst(x.X) && isConst(x.Lo) && isConst(x.Hi)
+	case *IsNull:
+		return isConst(x.X)
+	case *Case:
+		if !isConst(x.Operand) || !isConst(x.Else) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !isConst(w.Cond) || !isConst(w.Then) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// refsOf appends every column reference in e to out.
+func refsOf(e Expr, out []*Ref) []*Ref {
+	switch x := e.(type) {
+	case nil, *Lit:
+	case *Ref:
+		out = append(out, x)
+	case *boundRef:
+		out = append(out, x.orig)
+	case *Unary:
+		out = refsOf(x.X, out)
+	case *Binary:
+		out = refsOf(x.L, refsOf(x.R, out))
+	case *Call:
+		for _, a := range x.Args {
+			out = refsOf(a, out)
+		}
+	case *In:
+		out = refsOf(x.X, out)
+		for _, a := range x.List {
+			out = refsOf(a, out)
+		}
+	case *Between:
+		out = refsOf(x.X, refsOf(x.Lo, refsOf(x.Hi, out)))
+	case *IsNull:
+		out = refsOf(x.X, out)
+	case *Case:
+		out = refsOf(x.Operand, refsOf(x.Else, out))
+		for _, w := range x.Whens {
+			out = refsOf(w.Cond, refsOf(w.Then, out))
+		}
+	}
+	return out
+}
+
+// planTable carries one binding's planning state.
+type planTable struct {
+	ref   TableRef
+	tbl   *relation.Table
+	rs    *rowset // this table's columns only
+	stats relation.TableStats
+	// nullable marks the right side of a LEFT join: predicates on it
+	// cannot move below the join.
+	nullable bool
+	scan     *scanNode
+}
+
+// bindingsOf reports which tables e references as a bitmask, and whether
+// every reference resolved unambiguously.
+func bindingsOf(e Expr, tables []*planTable) (uint64, bool) {
+	refs := refsOf(e, nil)
+	var mask uint64
+	for _, r := range refs {
+		hit := -1
+		for i, t := range tables {
+			if _, err := t.rs.resolve(r.Qual, r.Name); err == nil {
+				if hit >= 0 {
+					return 0, false // ambiguous across bindings
+				}
+				hit = i
+			}
+		}
+		if hit < 0 {
+			return 0, false // unknown column
+		}
+		mask |= 1 << uint(hit)
+	}
+	return mask, true
+}
+
+// plan builds the physical plan for st. With forceScan set it emits the
+// naive plan — full scans, nested loops, no pushdown — which is the
+// pre-planner execution strategy, kept for parity testing.
+func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
+	tables := make([]*planTable, 0, 1+len(st.Joins))
+	add := func(ref TableRef) error {
+		t, ok := e.db.Table(ref.Name)
+		if !ok {
+			return fmt.Errorf("sqlmini: unknown table %q", ref.Name)
+		}
+		qual := ref.Binding()
+		sch := t.Schema()
+		rs := &rowset{cols: make([]colRef, sch.Len())}
+		for i := 0; i < sch.Len(); i++ {
+			rs.cols[i] = colRef{qual: qual, name: sch.Column(i).Name}
+		}
+		tables = append(tables, &planTable{ref: ref, tbl: t, rs: rs, stats: t.Stats()})
+		return nil
+	}
+	if err := add(st.From); err != nil {
+		return nil, err
+	}
+	for _, j := range st.Joins {
+		if err := add(j.Ref); err != nil {
+			return nil, err
+		}
+		if j.Type == "LEFT" {
+			tables[len(tables)-1].nullable = true
+		}
+	}
+	for _, t := range tables {
+		t.scan = &scanNode{ref: t.ref, cols: t.rs.cols, tableRows: t.stats.Rows}
+	}
+
+	p := &selectPlan{scan: tables[0].scan}
+	combined := &rowset{}
+	for _, t := range tables {
+		combined.cols = append(combined.cols, t.rs.cols...)
+	}
+	p.cols = combined.cols
+
+	if e.forceScan {
+		// Naive plan: everything stays where the query text put it.
+		for _, t := range tables {
+			t.scan.est = float64(t.stats.Rows)
+		}
+		for i, j := range st.Joins {
+			jn := &joinNode{jtype: j.Type, scan: tables[i+1].scan}
+			if j.On != nil {
+				jn.residual = splitConjuncts(j.On)
+			}
+			p.joins = append(p.joins, jn)
+		}
+		if st.Where != nil {
+			p.where = splitConjuncts(st.Where)
+		}
+		return p, nil
+	}
+
+	// Classify WHERE conjuncts: single-table predicates on non-nullable
+	// bindings push into that table's scan; multi-table conjuncts fold
+	// into the latest INNER join that sees all their tables; the rest
+	// stay post-join.
+	type foldedConjunct struct {
+		expr Expr
+		join int // index into st.Joins
+	}
+	var folded []foldedConjunct
+	if st.Where != nil {
+		for _, c := range splitConjuncts(st.Where) {
+			if hasAggregate(c) {
+				p.where = append(p.where, c)
+				continue
+			}
+			mask, ok := bindingsOf(c, tables)
+			if !ok || mask == 0 {
+				p.where = append(p.where, c)
+				continue
+			}
+			if mask&(mask-1) == 0 { // single table
+				ti := bitIndex(mask)
+				if tables[ti].nullable {
+					p.where = append(p.where, c)
+					continue
+				}
+				tables[ti].scan.filter = append(tables[ti].scan.filter, c)
+				continue
+			}
+			last := highestBit(mask)
+			nullableTouched := false
+			for i := 0; i < len(tables); i++ {
+				if mask&(1<<uint(i)) != 0 && tables[i].nullable {
+					nullableTouched = true
+				}
+			}
+			if last >= 1 && st.Joins[last-1].Type == "INNER" && !nullableTouched {
+				folded = append(folded, foldedConjunct{expr: c, join: last - 1})
+			} else {
+				p.where = append(p.where, c)
+			}
+		}
+	}
+
+	// Build each join: split the ON tree, extract equi keys, push
+	// single-table ON conjuncts where the join type permits.
+	leftCols := &rowset{cols: append([]colRef(nil), tables[0].rs.cols...)}
+	for ji, j := range st.Joins {
+		right := tables[ji+1]
+		jn := &joinNode{jtype: j.Type, scan: right.scan}
+		conjs := []Expr(nil)
+		if j.On != nil {
+			conjs = splitConjuncts(j.On)
+		}
+		for _, f := range folded {
+			if f.join == ji {
+				conjs = append(conjs, f.expr)
+			}
+		}
+		for _, c := range conjs {
+			if li, ri, ok := equiKey(c, leftCols, right.rs); ok {
+				jn.leftKeys = append(jn.leftKeys, li)
+				jn.rightKeys = append(jn.rightKeys, ri)
+				jn.keyText = append(jn.keyText, c.String())
+				continue
+			}
+			mask, ok := bindingsOf(c, tables[:ji+2])
+			if ok && mask != 0 && mask&(mask-1) == 0 {
+				ti := bitIndex(mask)
+				switch {
+				case ti == ji+1:
+					// Right-side predicate: filters the right input in
+					// both INNER and LEFT joins (ON-clause semantics).
+					right.scan.filter = append(right.scan.filter, c)
+					continue
+				case j.Type == "INNER" && !tables[ti].nullable:
+					tables[ti].scan.filter = append(tables[ti].scan.filter, c)
+					continue
+				}
+			}
+			jn.residual = append(jn.residual, c)
+		}
+		p.joins = append(p.joins, jn)
+		leftCols.cols = append(leftCols.cols, right.rs.cols...)
+	}
+
+	// Pick access paths now that every pushable predicate has landed.
+	for _, t := range tables {
+		chooseAccess(t)
+	}
+
+	// Decide hash build sides from the estimates, left-deep outward.
+	estLeft := tables[0].scan.est
+	for _, jn := range p.joins {
+		jn.estLeft = estLeft
+		if len(jn.leftKeys) > 0 && jn.jtype == "INNER" && estLeft < jn.scan.est {
+			jn.buildLeft = true
+		}
+		// Crude output estimate: an equi join keeps about the larger
+		// side; a nested loop multiplies.
+		if len(jn.leftKeys) > 0 {
+			estLeft = maxf(estLeft, jn.scan.est)
+		} else {
+			estLeft = estLeft * maxf(jn.scan.est, 1)
+		}
+	}
+
+	// Bind what can be bound once, so per-row evaluation skips name
+	// resolution. Scan filters bind against the table's own columns;
+	// join residuals against the columns joined so far; WHERE against
+	// the full layout.
+	for _, t := range tables {
+		for i, f := range t.scan.filter {
+			t.scan.filter[i] = bindOrKeep(f, t.rs)
+		}
+	}
+	seen := len(tables[0].rs.cols)
+	for ji, jn := range p.joins {
+		seen += len(tables[ji+1].rs.cols)
+		sub := &rowset{cols: combined.cols[:seen]}
+		for i, r := range jn.residual {
+			jn.residual[i] = bindOrKeep(r, sub)
+		}
+	}
+	for i, w := range p.where {
+		p.where[i] = bindOrKeep(w, combined)
+	}
+	return p, nil
+}
+
+// equiKey recognizes "l = r" with one side in the left layout and the
+// other in the right table, returning the resolved positions.
+func equiKey(c Expr, left, right *rowset) (int, int, bool) {
+	b, ok := c.(*Binary)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	lref, lok := b.L.(*Ref)
+	rref, rok := b.R.(*Ref)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if li, err := left.resolve(lref.Qual, lref.Name); err == nil {
+		if ri, err := right.resolve(rref.Qual, rref.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := left.resolve(rref.Qual, rref.Name); err == nil {
+		if ri, err := right.resolve(lref.Qual, lref.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+// chooseAccess selects the cheapest access path for one table from its
+// pushed filters and statistics, moving the predicates an index already
+// guarantees out of the filter list.
+func chooseAccess(t *planTable) {
+	s := t.scan
+	s.est = float64(t.stats.Rows)
+
+	type eq struct {
+		col  string
+		key  Expr
+		pos  int // position in s.filter
+		keys []Expr
+	}
+	var eqs []eq
+	for i, f := range s.filter {
+		switch x := f.(type) {
+		case *Binary:
+			if x.Op != "=" {
+				continue
+			}
+			if r, ok := x.L.(*Ref); ok && isConst(x.R) {
+				eqs = append(eqs, eq{col: r.Name, key: x.R, pos: i})
+			} else if r, ok := x.R.(*Ref); ok && isConst(x.L) {
+				eqs = append(eqs, eq{col: r.Name, key: x.L, pos: i})
+			}
+		case *In:
+			if x.Not {
+				continue
+			}
+			r, ok := x.X.(*Ref)
+			if !ok {
+				continue
+			}
+			constList := true
+			for _, item := range x.List {
+				if !isConst(item) {
+					constList = false
+					break
+				}
+			}
+			if constList {
+				eqs = append(eqs, eq{col: r.Name, keys: x.List, pos: i})
+			}
+		}
+	}
+	if len(eqs) == 0 {
+		return
+	}
+
+	// Primary key first: all key columns covered by single-key
+	// equalities makes the scan a point lookup.
+	pk := t.tbl.PrimaryKey()
+	if len(pk) > 0 {
+		keys := make([]Expr, len(pk))
+		used := make([]int, 0, len(pk))
+		covered := 0
+		for i, col := range pk {
+			for _, c := range eqs {
+				if c.keys == nil && strings.EqualFold(c.col, col) {
+					keys[i] = c.key
+					used = append(used, c.pos)
+					covered++
+					break
+				}
+			}
+		}
+		if covered == len(pk) {
+			s.access = accessPK
+			s.probeCol = strings.Join(pk, ", ")
+			s.probeKeys = keys
+			s.filter = removeAt(s.filter, used)
+			s.est = 1
+			return
+		}
+	}
+
+	// An IN list over a single-column primary key becomes a batched
+	// GetMany probe.
+	if len(pk) == 1 {
+		for _, c := range eqs {
+			if c.keys != nil && strings.EqualFold(c.col, pk[0]) {
+				s.access = accessPK
+				s.pkMulti = true
+				s.probeCol = pk[0]
+				s.probeKeys = c.keys
+				s.filter = removeAt(s.filter, []int{c.pos})
+				s.est = float64(len(c.keys))
+				if s.est > float64(t.stats.Rows) {
+					s.est = float64(t.stats.Rows)
+				}
+				return
+			}
+		}
+	}
+
+	// Otherwise probe the indexed column with the most distinct values
+	// (lowest selectivity).
+	best := -1
+	bestDistinct := 0
+	for i, c := range eqs {
+		if !t.tbl.HasIndex(c.col) {
+			continue
+		}
+		d, _ := t.stats.DistinctOf(c.col)
+		if best < 0 || d > bestDistinct {
+			best, bestDistinct = i, d
+		}
+	}
+	if best < 0 {
+		return
+	}
+	c := eqs[best]
+	s.access = accessIndex
+	s.probeCol = c.col
+	if c.keys != nil {
+		s.probeKeys = c.keys
+	} else {
+		s.probeKeys = []Expr{c.key}
+	}
+	s.filter = removeAt(s.filter, []int{c.pos})
+	per := t.stats.Selectivity(c.col)
+	s.est = per * float64(len(s.probeKeys))
+	if s.est > float64(t.stats.Rows) {
+		s.est = float64(t.stats.Rows)
+	}
+}
+
+// removeAt returns list without the elements at the given positions.
+func removeAt(list []Expr, drop []int) []Expr {
+	if len(drop) == 0 {
+		return list
+	}
+	del := make(map[int]bool, len(drop))
+	for _, i := range drop {
+		del[i] = true
+	}
+	out := list[:0]
+	for i, e := range list {
+		if !del[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func bitIndex(mask uint64) int {
+	i := 0
+	for mask > 1 {
+		mask >>= 1
+		i++
+	}
+	return i
+}
+
+func highestBit(mask uint64) int { return bitIndex(mask) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

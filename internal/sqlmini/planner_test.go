@@ -1,0 +1,250 @@
+package sqlmini
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+// plannerDB builds a miniature CourseRank-shaped schema: an indexed
+// catalog, an offering-year table and a comments table, the shapes the
+// Figure 4/5 queries run against.
+func plannerDB(t *testing.T) *Engine {
+	t.Helper()
+	db := relation.NewDB()
+	courses := relation.MustTable("Courses", relation.NewSchema(
+		relation.NotNullCol("CourseID", relation.TypeInt),
+		relation.NotNullCol("Title", relation.TypeString),
+		relation.NotNullCol("DepID", relation.TypeString),
+	), relation.WithPrimaryKey("CourseID"), relation.WithIndex("DepID"), relation.WithIndex("Title"))
+	db.MustCreate(courses)
+	years := relation.MustTable("CourseYears", relation.NewSchema(
+		relation.NotNullCol("CourseID", relation.TypeInt),
+		relation.NotNullCol("Year", relation.TypeInt),
+	), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"))
+	db.MustCreate(years)
+	comments := relation.MustTable("Comments", relation.NewSchema(
+		relation.NotNullCol("CommentID", relation.TypeInt),
+		relation.NotNullCol("SuID", relation.TypeInt),
+		relation.NotNullCol("CourseID", relation.TypeInt),
+		relation.Col("Rating", relation.TypeFloat),
+	), relation.WithPrimaryKey("CommentID"), relation.WithIndex("SuID"), relation.WithIndex("CourseID"))
+	db.MustCreate(comments)
+
+	deps := []string{"cs", "ee", "me", "cs"}
+	for i := 1; i <= 12; i++ {
+		courses.MustInsert(relation.Row{int64(i), fmt.Sprintf("Course %d intro", i), deps[i%4]})
+		years.MustInsert(relation.Row{int64(i), int64(2008 + i%2)})
+	}
+	cid := int64(1)
+	for i := 1; i <= 30; i++ {
+		var rating relation.Value
+		if i%5 != 0 {
+			rating = float64(1 + i%5)
+		}
+		comments.MustInsert(relation.Row{int64(i), int64(i % 7), cid, rating})
+		cid = cid%12 + 1
+	}
+	return New(db)
+}
+
+// TestExplainGolden pins the access paths the planner must choose for
+// the representative Figure 4/5 query shapes.
+func TestExplainGolden(t *testing.T) {
+	e := plannerDB(t)
+	cases := []struct {
+		name string
+		sql  string
+		args []any
+		want string
+	}{
+		{
+			name: "figure5a reference: indexed equality probe",
+			sql:  `SELECT * FROM Courses WHERE Title = ?`,
+			args: []any{"Course 3 intro"},
+			want: "index probe Courses (Title = 'Course 3 intro') ~1 of 12 rows\n",
+		},
+		{
+			name: "point lookup by primary key",
+			sql:  `SELECT Title FROM Courses WHERE CourseID = 7`,
+			want: "pk lookup Courses (CourseID = 7) ~1 of 12 rows\n",
+		},
+		{
+			name: "IN over the primary key: batched multi-key lookup",
+			sql:  `SELECT Title FROM Courses WHERE CourseID IN (4, 2, 99)`,
+			want: "pk lookup Courses (CourseID = 4, 2, 99) ~3 of 12 rows\n",
+		},
+		{
+			name: "figure5a year scope: pushdown through the join",
+			sql: `SELECT Title FROM Courses JOIN CourseYears ON Courses.CourseID = CourseYears.CourseID ` +
+				`WHERE CourseYears.Year = ?`,
+			args: []any{2008},
+			want: "hash join on (Courses.CourseID = CourseYears.CourseID), build=right (INNER)\n" +
+				"  index probe CourseYears (Year = 2008) ~6 of 12 rows\n" +
+				"  scan Courses ~12 of 12 rows\n",
+		},
+		{
+			name: "figure5b ratings: scan keeps the non-equi filter",
+			sql:  `SELECT SuID, CourseID, Rating FROM Comments WHERE SuID <> ?`,
+			args: []any{1},
+			want: "scan Comments filter (SuID <> 1) ~30 of 30 rows\n",
+		},
+		{
+			name: "IN list becomes a multi-key probe; small side builds",
+			sql: `SELECT c.Title, m.Rating FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID ` +
+				`WHERE m.SuID IN (1, 2)`,
+			want: "hash join on (m.CourseID = c.CourseID), build=left (INNER)\n" +
+				"  scan Courses AS c ~12 of 12 rows\n" +
+				"  index probe Comments AS m (SuID = 1, 2) ~8 of 30 rows\n",
+		},
+		{
+			name: "LEFT join: right ON conjunct pushes, build stays right",
+			sql:  `SELECT * FROM Courses c LEFT JOIN Comments m ON c.CourseID = m.CourseID AND m.Rating > 3`,
+			want: "hash join on (c.CourseID = m.CourseID), build=right (LEFT)\n" +
+				"  scan Comments AS m filter (m.Rating > 3) ~30 of 30 rows\n" +
+				"  scan Courses AS c ~12 of 12 rows\n",
+		},
+		{
+			name: "LEFT join: WHERE on nullable side must not push down",
+			sql: `SELECT * FROM Courses c LEFT JOIN Comments m ON c.CourseID = m.CourseID ` +
+				`WHERE m.Rating > 3`,
+			want: "hash join on (c.CourseID = m.CourseID), build=right (LEFT)\n" +
+				"  scan Comments AS m ~30 of 30 rows\n" +
+				"  scan Courses AS c ~12 of 12 rows\n" +
+				"where (m.Rating > 3)\n",
+		},
+	}
+	for _, tc := range cases {
+		got, err := e.Explain(tc.sql, tc.args...)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s:\n got:\n%s want:\n%s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestExplainRejectsNonSelect(t *testing.T) {
+	e := plannerDB(t)
+	if _, err := e.Explain(`DELETE FROM Comments`); err == nil {
+		t.Fatal("Explain of a non-SELECT should fail")
+	}
+}
+
+// TestPlannerParity runs a spread of query shapes both through the
+// planner and through forced full-scan/nested-loop execution and
+// requires byte-identical results, rows in the same order.
+func TestPlannerParity(t *testing.T) {
+	e := plannerDB(t)
+	forced := New(e.DB())
+	forced.SetForceScan(true)
+
+	queries := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT * FROM Courses WHERE Title = ?`, []any{"Course 3 intro"}},
+		{`SELECT * FROM Courses WHERE CourseID = 7`, nil},
+		{`SELECT * FROM Courses WHERE DepID = 'cs' AND CourseID > 4`, nil},
+		{`SELECT * FROM Comments WHERE SuID IN (1, 2, 5)`, nil},
+		{`SELECT * FROM Courses WHERE CourseID IN (4, 2, 99)`, nil},
+		{`SELECT * FROM Courses WHERE CourseID IN (2, 2, 4.0)`, nil},
+		{`SELECT * FROM Comments WHERE SuID = ? AND Rating IS NOT NULL`, []any{3}},
+		{`SELECT Title FROM Courses JOIN CourseYears ON Courses.CourseID = CourseYears.CourseID WHERE CourseYears.Year = ?`, []any{2008}},
+		{`SELECT c.Title, m.Rating FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID WHERE m.SuID IN (1, 2)`, nil},
+		{`SELECT * FROM Courses c LEFT JOIN Comments m ON c.CourseID = m.CourseID AND m.Rating > 3`, nil},
+		{`SELECT * FROM Courses c LEFT JOIN Comments m ON c.CourseID = m.CourseID WHERE m.Rating > 3`, nil},
+		{`SELECT c.DepID, COUNT(*), AVG(m.Rating) FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID GROUP BY c.DepID ORDER BY c.DepID`, nil},
+		{`SELECT DISTINCT DepID FROM Courses WHERE CourseID <> 1 ORDER BY DepID DESC`, nil},
+		{`SELECT m.CourseID, c.Title FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID AND c.DepID = 'cs' WHERE m.Rating >= 2 ORDER BY m.CourseID LIMIT 5`, nil},
+		{`SELECT * FROM Comments WHERE SuID = 2 OR SuID = 4`, nil},
+		{`SELECT c.Title FROM Courses c JOIN CourseYears y ON c.CourseID = y.CourseID WHERE y.Year = 2009 AND c.DepID = 'cs'`, nil},
+	}
+	for _, q := range queries {
+		plan, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("planned %q: %v", q.sql, err)
+			continue
+		}
+		naive, err := forced.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("forced %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(plan.Columns, naive.Columns) {
+			t.Errorf("%q: columns %v vs %v", q.sql, plan.Columns, naive.Columns)
+		}
+		if len(plan.Rows) != len(naive.Rows) {
+			t.Errorf("%q: %d rows planned vs %d forced", q.sql, len(plan.Rows), len(naive.Rows))
+			continue
+		}
+		for i := range plan.Rows {
+			if !reflect.DeepEqual(plan.Rows[i], naive.Rows[i]) {
+				t.Errorf("%q row %d: %v vs %v", q.sql, i, plan.Rows[i], naive.Rows[i])
+				break
+			}
+		}
+	}
+}
+
+// TestForceScanPlansNaively pins what SetForceScan means: no index
+// paths, no hash joins, no pushdown.
+func TestForceScanPlansNaively(t *testing.T) {
+	e := plannerDB(t)
+	e.SetForceScan(true)
+	out, err := e.Explain(`SELECT Title FROM Courses JOIN CourseYears ON Courses.CourseID = CourseYears.CourseID WHERE CourseYears.Year = 2008`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "hash join") || strings.Contains(out, "probe") {
+		t.Fatalf("forced plan still optimized:\n%s", out)
+	}
+	if !strings.Contains(out, "nested loop") {
+		t.Fatalf("forced plan should nested-loop:\n%s", out)
+	}
+}
+
+// TestPlannerErrorParity keeps the error surface aligned with the
+// pre-planner engine: ambiguous and unknown names still fail.
+func TestPlannerErrorParity(t *testing.T) {
+	e := plannerDB(t)
+	bad := []string{
+		`SELECT Rating FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID WHERE CourseID = 1`, // ambiguous
+		`SELECT * FROM Courses WHERE Nope = 1`,
+		`SELECT * FROM NoSuch WHERE A = 1`,
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+// TestPlannerSeesMutations guards against stale statistics: plans adapt
+// and results stay correct as data changes.
+func TestPlannerSeesMutations(t *testing.T) {
+	e := plannerDB(t)
+	if _, err := e.Exec(`INSERT INTO Courses (CourseID, Title, DepID) VALUES (99, 'Late addition', 'cs')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(`SELECT Title FROM Courses WHERE CourseID = 99`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != "Late addition" {
+		t.Fatalf("pk lookup after insert: %v %v", res, err)
+	}
+	if _, err := e.Exec(`DELETE FROM Courses WHERE CourseID = 99`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(`SELECT Title FROM Courses WHERE CourseID = 99`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("pk lookup after delete: %v %v", res, err)
+	}
+	out, err := e.Explain(`SELECT * FROM Courses WHERE CourseID = 99`)
+	if err != nil || !strings.Contains(out, "of 12 rows") {
+		t.Fatalf("stats should reflect the delete: %q %v", out, err)
+	}
+}

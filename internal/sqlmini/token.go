@@ -1,9 +1,3 @@
-// Package sqlmini is a small SQL engine over the relation store. It
-// supports the subset of SQL that CourseRank's FlexRecs compiler emits:
-// SELECT with joins, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET,
-// DISTINCT, scalar and aggregate functions, plus INSERT, UPDATE, DELETE
-// and CREATE TABLE for loading. It plays the role of the "conventional
-// DBMS" in the paper's FlexRecs architecture (§3.2).
 package sqlmini
 
 import (

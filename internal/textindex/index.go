@@ -103,6 +103,9 @@ func (ix *Index) intern(term string) int32 {
 	if id, ok := ix.vocab[term]; ok {
 		return id
 	}
+	// Tokenize returns slices into the document's lowered text; clone
+	// before storing so the vocabulary doesn't pin whole documents.
+	term = strings.Clone(term)
 	id := int32(len(ix.words))
 	ix.vocab[term] = id
 	ix.words = append(ix.words, term)

@@ -34,30 +34,43 @@ func IsStopword(w string) bool { return stopwords[w] }
 // formation (see Bigrams) treats clause boundaries as adjacency — the
 // same simplification classic tag-cloud systems make.
 func Tokenize(text string) []string {
+	// Lowercase once, then slice tokens out of the lowered string so
+	// each token shares its backing memory instead of being built rune
+	// by rune — this is the hot path of indexing, clouds and Jaccard
+	// comparisons alike.
+	lower := strings.ToLower(text)
 	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() == 0 {
+	start := -1
+	apos := false
+	flush := func(end int) {
+		if start < 0 {
 			return
 		}
-		w := cur.String()
-		cur.Reset()
+		w := lower[start:end]
+		start = -1
+		if apos {
+			// Drop apostrophes so "student's" tokenizes as "students".
+			w = strings.ReplaceAll(w, "'", "")
+			apos = false
+		}
 		if len(w) < 2 || stopwords[w] {
 			return
 		}
 		out = append(out, w)
 	}
-	for _, r := range text {
+	for i, r := range lower {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			cur.WriteRune(unicode.ToLower(r))
+			if start < 0 {
+				start = i
+			}
 		case r == '\'':
-			// Drop apostrophes so "student's" tokenizes as "students".
+			apos = apos || start >= 0
 		default:
-			flush()
+			flush(i)
 		}
 	}
-	flush()
+	flush(len(lower))
 	return out
 }
 

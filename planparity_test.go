@@ -1,0 +1,128 @@
+// Parity tests for the sqlmini query planner over the generated
+// CourseRank corpus: every optimized plan — index probes, pushed
+// predicates, hash joins — must return results identical to forced
+// full-scan/nested-loop execution, and the Figure 5 FlexRecs workflows
+// must rank identically either way.
+package courserank
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"courserank/internal/datagen"
+	"courserank/internal/experiments"
+	"courserank/internal/flexrecs"
+)
+
+var (
+	parityOnce sync.Once
+	parityRun  *experiments.Runner
+	parityErr  error
+)
+
+func parityRunner(t *testing.T) *experiments.Runner {
+	t.Helper()
+	parityOnce.Do(func() { parityRun, parityErr = experiments.NewRunner(datagen.Tiny()) })
+	if parityErr != nil {
+		t.Fatal(parityErr)
+	}
+	return parityRun
+}
+
+// withForcedScans runs fn twice — planned, then forced naive — and
+// hands both results to check.
+func runBothModes(t *testing.T, r *experiments.Runner, fn func() (any, error)) (planned, naive any) {
+	t.Helper()
+	sql := r.Site.Flex.SQL()
+	planned, err := fn()
+	if err != nil {
+		t.Fatalf("planned execution: %v", err)
+	}
+	sql.SetForceScan(true)
+	defer sql.SetForceScan(false)
+	naive, err = fn()
+	if err != nil {
+		t.Fatalf("forced execution: %v", err)
+	}
+	return planned, naive
+}
+
+func TestSQLParityOnCorpus(t *testing.T) {
+	r := parityRunner(t)
+	queries := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT * FROM Courses WHERE Title = ?`, []any{"Introduction to Programming"}},
+		{`SELECT Title, DepID FROM Courses WHERE CourseID = ?`, []any{r.Man.Planted["intro-programming"]}},
+		{`SELECT SuID, CourseID, Rating FROM Comments WHERE SuID = ?`, []any{r.Man.SampleStudent}},
+		{`SELECT SuID, CourseID, Rating FROM Comments WHERE SuID <> ?`, []any{r.Man.SampleStudent}},
+		{`SELECT Courses.CourseID, Title FROM Courses JOIN CourseYears ON Courses.CourseID = CourseYears.CourseID WHERE CourseYears.Year = 2008`, nil},
+		{`SELECT c.DepID, COUNT(*) AS n, AVG(m.Rating) AS avg FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID GROUP BY c.DepID ORDER BY c.DepID`, nil},
+		{`SELECT o.CourseID, o.Year, i.Name FROM Offerings o LEFT JOIN Instructors i ON o.InstructorID = i.InstructorID WHERE o.Year >= 2008 ORDER BY o.OfferingID LIMIT 50`, nil},
+		{`SELECT DISTINCT DepID FROM Courses ORDER BY DepID`, nil},
+	}
+	for _, q := range queries {
+		p, n := runBothModes(t, r, func() (any, error) {
+			return r.Site.SQL.Query(q.sql, q.args...)
+		})
+		if !reflect.DeepEqual(p, n) {
+			t.Errorf("%q: planned and forced results differ", q.sql)
+		}
+	}
+}
+
+func TestWorkflowParityOnCorpus(t *testing.T) {
+	r := parityRunner(t)
+	cases := []struct {
+		strategy string
+		params   map[string]any
+	}{
+		{"related-courses", map[string]any{"title": "Introduction to Programming", "k": 10}},
+		{"related-courses", map[string]any{"title": "Introduction to Programming", "k": 10, "year": 2008}},
+		{"cf-courses", map[string]any{"student": r.Man.SampleStudent, "k": 10, "neighbors": 20}},
+		{"department-popular", map[string]any{"dep": "CS", "k": 10}},
+	}
+	for _, tc := range cases {
+		tpl, ok := r.Site.Strategies.Get(tc.strategy)
+		if !ok {
+			t.Fatalf("missing strategy %q", tc.strategy)
+		}
+		p, n := runBothModes(t, r, func() (any, error) {
+			wf, err := tpl.Build(tc.params)
+			if err != nil {
+				return nil, err
+			}
+			return r.Site.Flex.Run(wf)
+		})
+		pr, nr := p.(*flexrecs.Relation), n.(*flexrecs.Relation)
+		if !reflect.DeepEqual(pr.Cols, nr.Cols) {
+			t.Errorf("%s: columns %v vs %v", tc.strategy, pr.Cols, nr.Cols)
+			continue
+		}
+		if !reflect.DeepEqual(pr.Rows, nr.Rows) {
+			t.Errorf("%s %v: planned and forced rankings differ", tc.strategy, tc.params)
+		}
+	}
+}
+
+// TestWorkflowExplainShowsAccessPaths verifies end to end — strategy
+// registry through FlexRecs through the SQL planner — that the Figure
+// 5(a) workflow's compiled reference query is answered by the Title
+// index and the year scope probes CourseYears.
+func TestWorkflowExplainShowsAccessPaths(t *testing.T) {
+	r := parityRunner(t)
+	tpl, _ := r.Site.Strategies.Get("related-courses")
+	wf, err := tpl.Build(map[string]any{"title": "Introduction to Programming", "k": 5, "year": 2008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Site.Flex.Explain(wf)
+	for _, want := range []string{"index probe Courses (Title = ", "index probe CourseYears (Year = 2008)", "hash join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workflow explain missing %q:\n%s", want, out)
+		}
+	}
+}
