@@ -1,0 +1,85 @@
+// Command benchdiff compares two BENCH_*.json trajectory files (the
+// crbench -bench -benchjson format) and fails when any benchmark
+// present in both regressed beyond the allowed percentage in ns/op —
+// the CI regression gate over the per-PR benchmark records.
+//
+// Usage:
+//
+//	benchdiff [-max-regress 25] old.json new.json
+//
+// Benchmarks appearing in only one file are reported but never fail
+// the gate: workloads are allowed to be added and retired across PRs.
+// When the new file records plan-cache counters, a hit rate at or
+// below 0.9 also fails — repeated parameterized workloads must plan
+// once, not per request.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"courserank/internal/benchfmt"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/op regression, percent")
+	minHitRate := flag.Float64("min-hit-rate", 0.9, "minimum plan-cache hit rate when the new file records one")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := benchfmt.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]benchfmt.Result, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	failed := false
+	seen := make(map[string]bool)
+	fmt.Printf("%-26s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		o, ok := oldBy[b.Name]
+		if !ok {
+			fmt.Printf("%-26s %14s %14.0f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			continue
+		}
+		delta := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := ""
+		if delta > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-26s %14.0f %14.0f %+8.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, delta, mark)
+	}
+	for _, o := range old.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Printf("%-26s %14.0f %14s %9s\n", o.Name, o.NsPerOp, "-", "removed")
+		}
+	}
+	if pc := cur.PlanCache; pc != nil {
+		mark := ""
+		if pc.HitRate <= *minHitRate {
+			mark = "  TOO LOW"
+			failed = true
+		}
+		fmt.Printf("plan-cache hit rate %.4f (%d hits / %d misses / %d invalidations)%s\n",
+			pc.HitRate, pc.Hits, pc.Misses, pc.Invalidations, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% (or hit rate below %.2f) between %s and %s\n",
+			*maxRegress, *minHitRate, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+}

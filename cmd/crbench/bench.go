@@ -8,25 +8,9 @@ import (
 	"runtime"
 	"testing"
 
+	"courserank/internal/benchfmt"
 	"courserank/internal/experiments"
 )
-
-// benchResult is the machine-readable record of one micro-benchmark, the
-// unit of the BENCH_*.json trajectories tracked across PRs.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// benchReport is the file-level JSON shape.
-type benchReport struct {
-	Scale      string        `json:"scale"`
-	GoVersion  string        `json:"go_version"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
 
 // benchmarks defines the tracked workloads over a generated deployment.
 // They mirror the hot paths of the repository's bench_test.go suite:
@@ -94,6 +78,31 @@ func benchmarks(r *experiments.Runner) []struct {
 				}
 			}
 		}},
+		// The prepared/one-shot pair measures what the plan cache took
+		// off the per-request path: both run the same parameterized
+		// point lookup, one through a held *Stmt (bind + execute only),
+		// one through Query (cache lookup + bind + execute).
+		{"PreparedPointLookup", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT Title, DepID FROM Courses WHERE CourseID = ?`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id := r.Man.Planted["intro-programming"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OneShotPointLookup", func(b *testing.B) {
+			id := r.Man.Planted["intro-programming"]
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Site.SQL.Query(`SELECT Title, DepID FROM Courses WHERE CourseID = ?`, id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }
 
@@ -101,10 +110,13 @@ func benchmarks(r *experiments.Runner) []struct {
 // and writes one JSON report, so BENCH_*.json trajectories can be
 // recorded per PR without parsing `go test -bench` text output.
 func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
-	report := benchReport{Scale: scale, GoVersion: runtime.Version()}
+	report := benchfmt.Report{Scale: scale, GoVersion: runtime.Version()}
+	// Counters start clean so the recorded hit rate covers exactly the
+	// benchmark window, not deployment generation.
+	r.Site.SQL.ResetCacheStats()
 	for _, bm := range benchmarks(r) {
 		res := testing.Benchmark(bm.fn)
-		report.Benchmarks = append(report.Benchmarks, benchResult{
+		report.Benchmarks = append(report.Benchmarks, benchfmt.Result{
 			Name:        bm.name,
 			Iterations:  res.N,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
@@ -116,6 +128,15 @@ func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
 			float64(res.T.Nanoseconds())/float64(res.N),
 			res.AllocsPerOp())
 	}
+	cs := r.Site.SQL.CacheStats()
+	report.PlanCache = &benchfmt.PlanCache{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Invalidations: cs.Invalidations,
+		HitRate:       cs.HitRate(),
+	}
+	fmt.Fprintf(os.Stderr, "plan cache: %d hits, %d misses, %d invalidations (hit rate %.4f)\n",
+		cs.Hits, cs.Misses, cs.Invalidations, cs.HitRate())
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

@@ -2,6 +2,13 @@
 // with grades, planning future quarters, hitting a schedule conflict
 // and a prerequisite violation, checking degree requirements, and
 // seeing who else plans to take a class (with privacy opt-out).
+//
+// The closing section shows the query lifecycle a planning session
+// rides on: prepare → plan cache → bind → execute. Per-request SQL is
+// prepared once (parse + plan), the plan lands in the site's shared
+// cache, and every subsequent request just binds its arguments —
+// Explain on the prepared statement shows the access path chosen while
+// the parameter values were still unknown ('?').
 package main
 
 import (
@@ -89,4 +96,39 @@ func main() {
 		}
 	}
 	fmt.Println(" — if Sally likes one of them, she can enroll too (§2.2).")
+
+	// The prepared-statement lifecycle behind requests like the ones
+	// above. Prepare parses and plans once, with the placeholder still
+	// unbound; each execution then only binds a student id and runs the
+	// cached plan. Serving every student's transcript re-uses one plan.
+	stmt, err := site.SQL.Prepare(
+		`SELECT CourseID, Year, Term, Grade FROM Enrollments WHERE SuID = ? AND Planned = FALSE`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := stmt.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPrepared transcript query — plan chosen before any student binds:\n  %s", plan)
+	for _, su := range []int64{sally, man.SampleStudent} {
+		rows, err := stmt.QueryRows(su) // bind → execute: no parse, no plan
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var course, year int64
+			var term string
+			var grade any
+			if err := rows.Scan(&course, &year, &term, &grade); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+		fmt.Printf("student %d: %d completed enrollments\n", su, n)
+	}
+	cs := site.SQL.CacheStats()
+	fmt.Printf("plan cache: %d hits, %d misses, %d invalidations (hit rate %.2f)\n",
+		cs.Hits, cs.Misses, cs.Invalidations, cs.HitRate())
 }

@@ -1,0 +1,50 @@
+// Package benchfmt defines the BENCH_*.json trajectory format shared
+// by its producer (crbench -bench -benchjson) and consumer (benchdiff,
+// the CI regression gate), so the two cannot drift apart.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is the machine-readable record of one micro-benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PlanCache records the shared plan cache's counters over a benchmark
+// run — the acceptance gauge for the prepared-statement engine:
+// repeated parameterized workloads must be almost entirely cache hits.
+type PlanCache struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// Report is the file-level JSON shape of one BENCH_*.json record.
+type Report struct {
+	Scale      string     `json:"scale"`
+	GoVersion  string     `json:"go_version"`
+	Benchmarks []Result   `json:"benchmarks"`
+	PlanCache  *PlanCache `json:"plan_cache,omitempty"`
+}
+
+// Load reads and decodes one trajectory file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -58,18 +58,22 @@ type Site struct {
 }
 
 // NewSite creates an empty CourseRank instance with every subsystem
-// wired and the default FlexRecs strategies registered.
+// wired and the default FlexRecs strategies registered. One SQL engine
+// — and therefore one shared plan cache — backs the facade, the
+// FlexRecs compiler and the baseline recommenders, so any statement
+// text any subsystem repeats plans exactly once.
 func NewSite() (*Site, error) {
 	db := relation.NewDB()
 	dir := community.NewDirectory()
+	sql := sqlmini.New(db)
 	s := &Site{
 		DB:           db,
-		SQL:          sqlmini.New(db),
+		SQL:          sql,
 		Directory:    dir,
 		Requirements: requirements.NewRegistry(),
-		Flex:         flexrecs.NewEngine(db),
+		Flex:         flexrecs.NewEngineOver(sql),
 		Strategies:   flexrecs.NewRegistry(),
-		Baseline:     recommend.New(db),
+		Baseline:     recommend.NewOver(db, sql),
 	}
 	var err error
 	if s.Catalog, err = catalog.Setup(db); err != nil {

@@ -18,10 +18,25 @@ type Engine struct {
 	sql *sqlmini.Engine
 }
 
-// NewEngine builds an engine over the database.
+// NewEngine builds an engine over the database with its own SQL engine
+// (and therefore its own plan cache).
 func NewEngine(db *relation.DB) *Engine {
-	return &Engine{sql: sqlmini.New(db)}
+	return NewEngineOver(sqlmini.New(db))
 }
+
+// NewEngineOver builds an engine over an existing SQL engine, sharing
+// its plan cache — the wiring the Site facade uses so FlexRecs, the
+// baseline recommenders and ad-hoc queries all reuse one plan per
+// statement text.
+func NewEngineOver(sql *sqlmini.Engine) *Engine {
+	return &Engine{sql: sql}
+}
+
+// ForceScan returns a workflow engine whose compiled statements execute
+// with the naive full-scan/nested-loop strategy — the forced side of
+// planner parity tests. The returned engine shares the database and is
+// safe to use concurrently with the planning engine.
+func (e *Engine) ForceScan() *Engine { return &Engine{sql: e.sql.ForceScan()} }
 
 // SQL exposes the underlying SQL engine (used by tests and the facade).
 func (e *Engine) SQL() *sqlmini.Engine { return e.sql }
@@ -126,6 +141,10 @@ func (e *Engine) runSQL(s *Step) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Query is the one-shot face of the prepared-statement path: the
+	// statement text a workflow compiles to is stable across requests,
+	// so after the first request the plan comes straight from the shared
+	// plan cache and only argument binding runs per call.
 	res, err := e.sql.Query(sql, args...)
 	if err != nil {
 		return nil, fmt.Errorf("flexrecs: executing %q: %w", sql, err)

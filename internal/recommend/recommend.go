@@ -44,20 +44,48 @@ func byScore(s []Scored) {
 }
 
 // Engine computes recommendations directly against the store. Point
-// lookups go through the SQL engine so they ride its planner's index
-// access paths; the full-table rating aggregation materializes once and
-// revalidates against the Comments table's mutation counter.
+// lookups run as prepared statements — planned once, bound per call —
+// so they ride the planner's index access paths without per-request
+// parse/plan cost; the full-table rating aggregation streams through a
+// prepared Rows cursor, materializes once, and revalidates against the
+// Comments table's mutation counter.
 type Engine struct {
 	db  *relation.DB
 	sql *sqlmini.Engine
 
-	mu         sync.Mutex
-	ratings    map[int64]flexrecs.Vector // materialized rating view
-	ratingsVer uint64                    // Comments version it was built at
+	mu          sync.Mutex
+	ratings     map[int64]flexrecs.Vector // materialized rating view
+	ratingsVer  uint64                    // Comments version it was built at
+	titleStmt   *sqlmini.Stmt             // pk lookup behind ContentSimilar
+	ratingsStmt *sqlmini.Stmt             // ratings projection behind the view
 }
 
-// New returns a baseline engine over the database.
-func New(db *relation.DB) *Engine { return &Engine{db: db, sql: sqlmini.New(db)} }
+// New returns a baseline engine over the database with its own SQL
+// engine (and plan cache).
+func New(db *relation.DB) *Engine { return NewOver(db, sqlmini.New(db)) }
+
+// NewOver returns a baseline engine executing through an existing SQL
+// engine, sharing its plan cache with the other subsystems over the
+// same database.
+func NewOver(db *relation.DB, sql *sqlmini.Engine) *Engine {
+	return &Engine{db: db, sql: sql}
+}
+
+// prepare lazily prepares one of the engine's statements. Preparation
+// is deferred to first use because the engine is constructed before the
+// schema is loaded; a failed prepare (table not created yet) is not
+// cached, so the next call retries. Caller holds e.mu.
+func (e *Engine) prepare(slot **sqlmini.Stmt, text string) (*sqlmini.Stmt, error) {
+	if *slot != nil {
+		return *slot, nil
+	}
+	st, err := e.sql.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	*slot = st
+	return st, nil
+}
 
 // ratingsBySuID returns every student's rating vector from the Comments
 // table (SuID, CourseID, Rating), skipping unrated comments. The view is
@@ -73,32 +101,39 @@ func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
 	if v := t.Version(); e.ratings != nil && v == e.ratingsVer {
 		return e.ratings
 	}
-	out := map[int64]flexrecs.Vector{}
 	ver := t.Version()
-	sch := t.Schema()
-	su, co, ra := sch.MustIndex("SuID"), sch.MustIndex("CourseID"), sch.MustIndex("Rating")
-	t.Scan(func(_ int, r relation.Row) bool {
-		if r[ra] == nil {
-			return true
+	st, err := e.prepare(&e.ratingsStmt, `SELECT SuID, CourseID, Rating FROM Comments`)
+	if err != nil {
+		return map[int64]flexrecs.Vector{}
+	}
+	rows, err := st.QueryRows()
+	if err != nil {
+		return map[int64]flexrecs.Vector{}
+	}
+	defer rows.Close()
+	out := map[int64]flexrecs.Vector{}
+	for rows.Next() {
+		var sid int64
+		var cid, rating any
+		if err := rows.Scan(&sid, &cid, &rating); err != nil {
+			return map[int64]flexrecs.Vector{}
 		}
 		var val float64
-		switch x := r[ra].(type) {
+		switch x := rating.(type) {
 		case float64:
 			val = x
 		case int64:
 			val = float64(x)
-		default:
-			return true
+		default: // NULL: unrated comment
+			continue
 		}
-		sid := r[su].(int64)
 		v, okv := out[sid]
 		if !okv {
 			v = flexrecs.Vector{}
 			out[sid] = v
 		}
-		v[r[co]] = val
-		return true
-	})
+		v[cid] = val
+	}
 	e.ratings, e.ratingsVer = out, ver
 	return out
 }
@@ -228,8 +263,9 @@ func (e *Engine) ItemItemCF(courseID int64, k int) []Scored {
 
 // ContentSimilar ranks courses by title Jaccard similarity to a target
 // course — the hard-coded equivalent of Figure 5(a). The target row
-// resolves through the SQL planner (a primary-key point lookup on
-// Courses) and its title tokenizes once for the whole comparison pass.
+// resolves through a prepared statement (a primary-key point lookup on
+// Courses, planned once for every request) and its title tokenizes once
+// for the whole comparison pass.
 func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
 	t, ok := e.db.Table("Courses")
 	if !ok {
@@ -238,7 +274,13 @@ func (e *Engine) ContentSimilar(courseID int64, year int64, k int) []Scored {
 	sch := t.Schema()
 	idIdx, titleIdx := sch.MustIndex("CourseID"), sch.MustIndex("Title")
 	yearIdx, hasYear := sch.Index("Year")
-	res, err := e.sql.Query(`SELECT Title FROM Courses WHERE CourseID = ?`, courseID)
+	e.mu.Lock()
+	st, err := e.prepare(&e.titleStmt, `SELECT Title FROM Courses WHERE CourseID = ?`)
+	e.mu.Unlock()
+	if err != nil {
+		return nil
+	}
+	res, err := st.Query(courseID)
 	if err != nil || len(res.Rows) == 0 {
 		return nil
 	}

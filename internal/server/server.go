@@ -39,6 +39,7 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("POST /api/rate", s.auth(s.handleRate))
 	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
 	s.mux.HandleFunc("GET /api/explain/{strategy}", s.auth(s.handleExplain))
+	s.mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
 	s.mux.HandleFunc("GET /api/points", s.auth(s.handlePoints))
 	s.mux.HandleFunc("GET /api/leaderboard", s.auth(s.handleLeaderboard))
 	s.mux.HandleFunc("GET /api/components", s.auth(s.handleComponents))
@@ -294,6 +295,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u communi
 	writeJSON(w, http.StatusOK, map[string]any{
 		"strategy": strategy,
 		"plan":     s.site.Flex.Explain(wf),
+	})
+}
+
+// handleStats reports engine health counters: the shared plan cache's
+// hit/miss/invalidation tallies (every subsystem's SQL flows through
+// it, so the hit rate is the fraction of requests that skipped
+// parse/plan entirely) plus the deployment scale.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community.User) {
+	cs := s.site.SQL.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"planCache": map[string]any{
+			"hits":          cs.Hits,
+			"misses":        cs.Misses,
+			"invalidations": cs.Invalidations,
+			"entries":       cs.Entries,
+			"hitRate":       cs.HitRate(),
+		},
+		"scale": s.site.Scale(),
 	})
 }
 

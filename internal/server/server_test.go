@@ -231,6 +231,56 @@ func TestExplainEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsEndpoint: /api/stats is authenticated, reports the shared
+// plan cache, and its counters move when repeated recommendation
+// requests hit cached plans.
+func TestStatsEndpoint(t *testing.T) {
+	ts, site, _ := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated stats status = %d", resp.StatusCode)
+	}
+
+	token := login(t, ts, "stu00001")
+	site.SQL.ResetCacheStats()
+	// Same strategy three times: the first may plan, the rest must hit.
+	for i := 0; i < 3; i++ {
+		r, err := http.Get(ts.URL + "/api/recommend/related-courses?title=Introduction+to+Programming&k=3&token=" + token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	resp, err = http.Get(ts.URL + "/api/stats?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	pc, ok := out["planCache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no planCache in %v", out)
+	}
+	for _, key := range []string{"hits", "misses", "invalidations", "entries", "hitRate"} {
+		if _, ok := pc[key]; !ok {
+			t.Errorf("planCache missing %q: %v", key, pc)
+		}
+	}
+	if hits := pc["hits"].(float64); hits == 0 {
+		t.Errorf("repeated recommendations produced no cache hits: %v", pc)
+	}
+	if rate := pc["hitRate"].(float64); rate <= 0.5 {
+		t.Errorf("hit rate %v after repeated identical requests", rate)
+	}
+	if _, ok := out["scale"]; !ok {
+		t.Errorf("stats missing scale: %v", out)
+	}
+}
+
 func TestLeaderboardAndComponents(t *testing.T) {
 	ts, _, _ := testServer(t)
 	token := login(t, ts, "stu00001")

@@ -15,15 +15,7 @@ func ParseExpr(src string, args ...any) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	norm := make([]relation.Value, len(args))
-	for i, a := range args {
-		v, err := relation.Normalize(a)
-		if err != nil {
-			return nil, fmt.Errorf("sqlmini: arg %d: %w", i, err)
-		}
-		norm[i] = v
-	}
-	p := &parser{toks: toks, args: norm}
+	p := &parser{toks: toks}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -31,10 +23,11 @@ func ParseExpr(src string, args ...any) (Expr, error) {
 	if p.peek().kind != tokEOF {
 		return nil, p.errf("unexpected trailing input %q", p.peek().text)
 	}
-	if p.argNext != len(p.args) {
-		return nil, fmt.Errorf("sqlmini: %d args provided, %d placeholders used", len(p.args), p.argNext)
+	params, err := bindArgs(p.nParams, args)
+	if err != nil {
+		return nil, err
 	}
-	return e, nil
+	return substExpr(e, params), nil
 }
 
 // EvalExpr evaluates a parsed expression against one row described by

@@ -9,8 +9,7 @@ import (
 // Expr is a parsed SQL expression.
 type Expr interface{ String() string }
 
-// Lit is a literal value (number, string, TRUE/FALSE, NULL, or a bound
-// placeholder argument).
+// Lit is a literal value (number, string, TRUE/FALSE, or NULL).
 type Lit struct{ V relation.Value }
 
 func (l *Lit) String() string {
@@ -19,6 +18,15 @@ func (l *Lit) String() string {
 	}
 	return relation.Format(l.V)
 }
+
+// Param is a late-bound placeholder ('?'): it survives parsing and
+// planning unresolved, so one parse/plan serves every execution, and
+// takes a concrete value only when a statement binds arguments at
+// Query/Exec time. Idx is the zero-based position among the
+// statement's placeholders.
+type Param struct{ Idx int }
+
+func (p *Param) String() string { return "?" }
 
 // Ref is a column reference, optionally qualified by a table alias.
 type Ref struct{ Qual, Name string }
@@ -180,8 +188,8 @@ type OrderItem struct {
 	Desc bool
 }
 
-// Stmt is any parsed statement.
-type Stmt interface{ stmt() }
+// Statement is any parsed statement.
+type Statement interface{ stmt() }
 
 // SelectStmt is a parsed SELECT.
 type SelectStmt struct {

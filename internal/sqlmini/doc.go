@@ -5,18 +5,47 @@
 // and CREATE TABLE for loading. It plays the role of the "conventional
 // DBMS" in the paper's FlexRecs architecture (§3.2).
 //
-// # Pipeline
+// # Lifecycle: prepare → plan cache → bind → execute
 //
-// Every SELECT flows through three stages:
+// The public API is database/sql-shaped, built so that serving the same
+// parameterized query per user request costs one plan, ever:
 //
-//	parse   (parser.go)  — SQL text to AST; placeholders bind to args
-//	plan    (planner.go) — cost-aware physical planning
-//	execute (exec.go)    — plan to materialized Result
+//	stmt, _ := engine.Prepare(`SELECT Title FROM Courses WHERE CourseID = ?`)
+//	res, _  := stmt.Query(courseID)        // materialized *Result
+//	rows, _ := stmt.QueryRows(courseID)    // streaming Next/Scan cursor
+//
+// Prepare runs the per-statement stages exactly once:
+//
+//	lex+parse (parser.go) — SQL text to AST; '?' stays a late-bound Param
+//	plan      (planner.go) — cost-aware physical planning
+//	prepare   (stmt.go)    — star expansion, output naming, name binding
+//
+// Param expressions survive parsing and planning unresolved: the
+// planner costs them as unknown equality constants, so an index probe
+// or primary-key lookup is chosen while the key's value is still
+// unknown (Stmt.Explain renders such keys as '?'). Execution then only
+// binds — arguments substitute into copy-on-write shadows of the shared
+// plan (bind.go) — and runs (exec.go). The legacy one-shot
+// Query/Exec(sql, args...) remain as thin wrappers over the same path.
+//
+// Every prepared statement lands in the engine's PlanCache, keyed on
+// the statement text and fingerprinted by the identity and mutation
+// version (relation.Table.Version) of each table the plan touches. A
+// lookup whose fingerprint went stale — the table mutated, or was
+// dropped and recreated — invalidates the entry and replans; held
+// *Stmt handles revalidate the same way before every execution, so
+// statements survive DDL. The Site facade shares one engine (hence one
+// cache) across the SQL facade, FlexRecs and the baseline recommenders,
+// and exposes the hit/miss/invalidation counters (CacheStats) at
+// /api/stats.
+//
+// # Planning
 //
 // The planner splits the WHERE/ON trees into conjuncts and decides, per
 // base table, how to read it:
 //
-//   - pk lookup: equality constants cover the primary key → O(1) Get
+//   - pk lookup: equality constants (literals or params) cover the
+//     primary key → O(1) Get
 //   - index probe: equality or IN over an indexed column →
 //     Lookup/LookupMany against the secondary hash index; when several
 //     indexed equalities compete, table statistics (relation.TableStats)
@@ -29,13 +58,13 @@
 // conjuncts between two tables become build/probe hash-join keys, with
 // the build side chosen from the row estimates; non-equi joins fall
 // back to a nested loop. Column references are resolved to positions
-// once at plan time (boundRef), so per-row evaluation skips name
+// once at prepare time (boundRef), so per-row evaluation skips name
 // resolution entirely.
 //
 // Explain returns the chosen plan as text without executing; the
 // FlexRecs engine surfaces it beneath each compiled statement, and the
-// HTTP layer exposes it at /api/explain/{strategy}. SetForceScan
-// switches an engine to the naive strategy — full scans, nested loops,
-// no pushdown — which parity tests use to check that optimized plans
-// return identical results.
+// HTTP layer exposes it at /api/explain/{strategy}. ForceScan returns a
+// derived engine handle using the naive strategy — full scans, nested
+// loops, no pushdown, no caching — which parity tests run beside the
+// planning engine; handles are immutable, so the two never race.
 package sqlmini

@@ -54,7 +54,7 @@ func hasAggregate(e Expr) bool {
 	switch x := e.(type) {
 	case nil:
 		return false
-	case *Lit, *Ref, *boundRef:
+	case *Lit, *Ref, *boundRef, *Param:
 		return false
 	case *Unary:
 		return hasAggregate(x.X)
@@ -105,6 +105,8 @@ func evalScalar(e Expr, row relation.Row, rs *rowset) (relation.Value, error) {
 	switch x := e.(type) {
 	case *Lit:
 		return x.V, nil
+	case *Param:
+		return nil, fmt.Errorf("sqlmini: placeholder %d evaluated before binding", x.Idx+1)
 	case *boundRef:
 		return row[x.idx], nil
 	case *Ref:

@@ -9,20 +9,25 @@ import (
 )
 
 // Engine executes SQL statements against a relation.DB. Every SELECT
-// passes through the cost-aware planner in planner.go before execution.
+// passes through the cost-aware planner in planner.go before execution,
+// and every statement — one-shot or prepared — shares the engine's plan
+// cache. Engine handles are immutable and safe for concurrent use.
 type Engine struct {
 	db        *relation.DB
+	cache     *PlanCache
 	forceScan bool
 }
 
-// New returns an engine bound to db.
-func New(db *relation.DB) *Engine { return &Engine{db: db} }
+// New returns an engine bound to db with a fresh plan cache.
+func New(db *relation.DB) *Engine { return &Engine{db: db, cache: newPlanCache()} }
 
-// SetForceScan toggles the naive execution strategy — full table scans,
-// nested-loop joins, no predicate pushdown — used by parity tests to
-// check the planner against the unoptimized semantics. Engines default
-// to planning.
-func (e *Engine) SetForceScan(force bool) { e.forceScan = force }
+// ForceScan returns a handle over the same database whose SELECTs use
+// the naive execution strategy — full table scans, nested-loop joins,
+// no predicate pushdown — planning fresh on every call and bypassing
+// the plan cache. Parity tests run a forced handle next to the planning
+// engine; because handles are immutable, concurrent queries through
+// both never race.
+func (e *Engine) ForceScan() *Engine { return &Engine{db: e.db, forceScan: true} }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *relation.DB { return e.db }
@@ -33,27 +38,50 @@ type Result struct {
 	Rows    []relation.Row
 }
 
-// Query parses and executes a SELECT. Placeholders ('?') bind to args.
+// Query executes a SELECT, binding placeholders ('?') to args. It is a
+// thin wrapper over the prepared-statement path: the plan comes from
+// the engine's cache, so a repeated statement text parses and plans
+// only once.
 func (e *Engine) Query(sql string, args ...any) (*Result, error) {
-	st, err := Parse(sql, args...)
+	en, err := e.entryFor(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := st.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqlmini: Query requires a SELECT statement")
-	}
-	return e.execSelect(sel)
+	return e.queryEntry(en, args)
 }
 
-// Exec parses and executes a non-SELECT statement, returning the number of
-// rows affected (or 0 for CREATE TABLE).
+// Exec executes a non-SELECT statement through the statement cache,
+// returning the number of rows affected (or 0 for CREATE TABLE).
 func (e *Engine) Exec(sql string, args ...any) (int, error) {
-	st, err := Parse(sql, args...)
+	en, err := e.entryFor(sql)
 	if err != nil {
 		return 0, err
 	}
-	switch s := st.(type) {
+	return e.execEntry(en, args)
+}
+
+// queryEntry binds args and runs a cached SELECT.
+func (e *Engine) queryEntry(en *cacheEntry, args []any) (*Result, error) {
+	if en.sel == nil {
+		return nil, fmt.Errorf("sqlmini: Query requires a SELECT statement")
+	}
+	params, err := bindArgs(en.nParams, args)
+	if err != nil {
+		return nil, err
+	}
+	return e.execSelect(en.sel, params)
+}
+
+// execEntry binds args and runs a cached non-SELECT statement.
+func (e *Engine) execEntry(en *cacheEntry, args []any) (int, error) {
+	if en.sel != nil {
+		return 0, fmt.Errorf("sqlmini: use Query for SELECT")
+	}
+	params, err := bindArgs(en.nParams, args)
+	if err != nil {
+		return 0, err
+	}
+	switch s := substStatement(en.ast, params).(type) {
 	case *InsertStmt:
 		return e.execInsert(s)
 	case *UpdateStmt:
@@ -62,10 +90,8 @@ func (e *Engine) Exec(sql string, args ...any) (int, error) {
 		return e.execDelete(s)
 	case *CreateStmt:
 		return 0, e.execCreate(s)
-	case *SelectStmt:
-		return 0, fmt.Errorf("sqlmini: use Query for SELECT")
 	}
-	return 0, fmt.Errorf("sqlmini: unsupported statement %T", st)
+	return 0, fmt.Errorf("sqlmini: unsupported statement %T", en.ast)
 }
 
 // execScan materializes one planned base-table access: a primary-key
@@ -393,58 +419,30 @@ func (e *Engine) execPlan(p *selectPlan) (*rowset, error) {
 	return rs, nil
 }
 
-func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
-	p, err := e.plan(st)
+// execSelect runs one prepared SELECT with the given bound parameters.
+// Everything parameter-independent — the physical plan, star expansion,
+// output naming, expression binding, aggregation mode — happened at
+// prepare time; here parameters substitute into copy-on-write shadows
+// of the shared structures and the pipeline executes.
+func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Result, error) {
+	rs, err := e.execPlan(bindPlan(ps.plan, params))
 	if err != nil {
 		return nil, err
 	}
-	rs, err := e.execPlan(p)
-	if err != nil {
-		return nil, err
-	}
-
-	items, err := expandStars(st.List, rs)
-	if err != nil {
-		return nil, err
-	}
-	// Pre-resolve output expressions once; names that fail to bind keep
-	// per-row resolution so error behavior is unchanged.
-	bound := make([]SelectItem, len(items))
-	for i, item := range items {
-		bound[i] = item
-		bound[i].Expr = bindOrKeep(item.Expr, rs)
-	}
-	aggMode := len(st.GroupBy) > 0 || hasAggregate(st.Having)
-	for _, item := range items {
-		if hasAggregate(item.Expr) {
-			aggMode = true
-		}
-	}
-
-	outCols := make([]string, len(items))
-	for i, item := range items {
-		outCols[i] = outputName(item)
-	}
-	outRS := &rowset{cols: make([]colRef, len(outCols))}
-	for i, n := range outCols {
-		outRS.cols[i] = colRef{name: n}
-	}
+	bound := substItems(ps.items, params)
 
 	var outRows []relation.Row
 	var sourceRows []relation.Row // parallel source row per output row (non-agg)
 	var groups [][]relation.Row   // parallel group per output row (agg)
 
-	if aggMode {
+	if ps.aggMode {
 		keys := []string{}
 		groupMap := map[string][]relation.Row{}
-		if len(st.GroupBy) == 0 {
+		if len(ps.groupBy) == 0 {
 			keys = append(keys, "")
 			groupMap[""] = rs.rows
 		} else {
-			groupBy := make([]Expr, len(st.GroupBy))
-			for i, g := range st.GroupBy {
-				groupBy[i] = bindOrKeep(g, rs)
-			}
+			groupBy, _ := substList(ps.groupBy, params)
 			vals := make([]relation.Value, len(groupBy))
 			for _, row := range rs.rows {
 				for i, g := range groupBy {
@@ -461,7 +459,7 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 				groupMap[k] = append(groupMap[k], row)
 			}
 		}
-		having := bindOrKeep(st.Having, rs)
+		having := substExpr(ps.having, params)
 		for _, k := range keys {
 			group := groupMap[k]
 			if having != nil {
@@ -523,25 +521,28 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		}
 	}
 
-	// ORDER BY: alias names resolve against the output row; anything else
-	// evaluates against the source row (or group, in aggregate mode).
-	if len(st.OrderBy) > 0 {
+	// ORDER BY: keys resolved to output columns at prepare time read the
+	// output row; anything else evaluates against the source row (or
+	// group, in aggregate mode).
+	if len(ps.order) > 0 {
+		orderExprs := make([]Expr, len(ps.order))
+		for j, ob := range ps.order {
+			orderExprs[j] = substExpr(ob.expr, params)
+		}
 		sortKeys := make([][]relation.Value, len(outRows))
 		for i := range outRows {
-			keys := make([]relation.Value, len(st.OrderBy))
-			for j, ob := range st.OrderBy {
+			keys := make([]relation.Value, len(ps.order))
+			for j, ob := range ps.order {
+				if ob.aliasIdx >= 0 {
+					keys[j] = outRows[i][ob.aliasIdx]
+					continue
+				}
 				var v relation.Value
 				var err error
-				if ref, ok := ob.Expr.(*Ref); ok && ref.Qual == "" {
-					if ci, rerr := outRS.resolve("", ref.Name); rerr == nil {
-						keys[j] = outRows[i][ci]
-						continue
-					}
-				}
-				if aggMode {
-					v, err = evalAggregate(ob.Expr, groups[i], rs)
+				if ps.aggMode {
+					v, err = evalAggregate(orderExprs[j], groups[i], rs)
 				} else {
-					v, err = evalScalar(ob.Expr, sourceRows[i], rs)
+					v, err = evalScalar(orderExprs[j], sourceRows[i], rs)
 				}
 				if err != nil {
 					return nil, err
@@ -556,12 +557,12 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		}
 		sort.SliceStable(idx, func(a, b int) bool {
 			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
-			for j, ob := range st.OrderBy {
+			for j, ob := range ps.order {
 				c := relation.Compare(ka[j], kb[j])
 				if c == 0 {
 					continue
 				}
-				if ob.Desc {
+				if ob.desc {
 					return c > 0
 				}
 				return c < 0
@@ -575,7 +576,7 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		outRows = sorted
 	}
 
-	if st.Distinct {
+	if ps.sel.Distinct {
 		seen := map[string]bool{}
 		kept := outRows[:0:0]
 		for _, row := range outRows {
@@ -588,12 +589,12 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		outRows = kept
 	}
 
-	if st.Limit != nil || st.Offset != nil {
-		offset, err := evalIntClause(st.Offset, 0)
+	if ps.sel.Limit != nil || ps.sel.Offset != nil {
+		offset, err := evalIntClause(substExpr(ps.sel.Offset, params), 0)
 		if err != nil {
 			return nil, err
 		}
-		limit, err := evalIntClause(st.Limit, int64(len(outRows)))
+		limit, err := evalIntClause(substExpr(ps.sel.Limit, params), int64(len(outRows)))
 		if err != nil {
 			return nil, err
 		}
@@ -610,7 +611,9 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		outRows = outRows[offset:end]
 	}
 
-	return &Result{Columns: outCols, Rows: outRows}, nil
+	// Columns are copied so callers can keep or reshape the slice without
+	// reaching into the shared prepared statement.
+	return &Result{Columns: append([]string(nil), ps.outCols...), Rows: outRows}, nil
 }
 
 // evalIntClause evaluates a LIMIT/OFFSET expression, which must reduce to

@@ -9,40 +9,45 @@ import (
 )
 
 // parser is a recursive-descent parser over the token stream. Placeholder
-// tokens ('?') bind positionally to args.
+// tokens ('?') become late-bound Param expressions numbered in order.
 type parser struct {
 	toks    []token
 	i       int
-	args    []relation.Value
-	argNext int
+	nParams int
 }
 
-// Parse parses a single SQL statement. Placeholders bind to args in order.
-func Parse(src string, args ...any) (Stmt, error) {
+// Parse parses a single SQL statement with its argument values
+// substituted for the placeholders — the eagerly-bound form the one-shot
+// helpers and Explain use. Prepared statements instead keep placeholders
+// late-bound via parseStatement.
+func Parse(src string, args ...any) (Statement, error) {
+	stmt, n, err := parseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(n, args)
+	if err != nil {
+		return nil, err
+	}
+	return substStatement(stmt, params), nil
+}
+
+// parseStatement parses src leaving placeholders as Param expressions,
+// reporting how many the statement declares.
+func parseStatement(src string) (Statement, int, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	norm := make([]relation.Value, len(args))
-	for i, a := range args {
-		v, err := relation.Normalize(a)
-		if err != nil {
-			return nil, fmt.Errorf("sqlmini: arg %d: %w", i, err)
-		}
-		norm[i] = v
-	}
-	p := &parser{toks: toks, args: norm}
+	p := &parser{toks: toks}
 	stmt, err := p.parseStmt()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if p.peek().kind != tokEOF {
-		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+		return nil, 0, p.errf("unexpected trailing input %q", p.peek().text)
 	}
-	if p.argNext != len(p.args) {
-		return nil, fmt.Errorf("sqlmini: %d args provided, %d placeholders used", len(p.args), p.argNext)
-	}
-	return stmt, nil
+	return stmt, p.nParams, nil
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -90,7 +95,7 @@ func (p *parser) expectIdent() (string, error) {
 	return "", p.errf("expected identifier, got %q", p.peek().text)
 }
 
-func (p *parser) parseStmt() (Stmt, error) {
+func (p *parser) parseStmt() (Statement, error) {
 	switch p.peek().upper() {
 	case "SELECT":
 		return p.parseSelect()
@@ -739,12 +744,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return &Lit{V: t.text}, nil
 	case tokPlaceholder:
 		p.i++
-		if p.argNext >= len(p.args) {
-			return nil, p.errf("placeholder %d has no bound argument", p.argNext+1)
-		}
-		v := p.args[p.argNext]
-		p.argNext++
-		return &Lit{V: v}, nil
+		p.nParams++
+		return &Param{Idx: p.nParams - 1}, nil
 	case tokSymbol:
 		if t.text == "(" {
 			p.i++

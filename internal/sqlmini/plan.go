@@ -71,6 +71,7 @@ type selectPlan struct {
 	joins []*joinNode
 	where []Expr   // post-join conjuncts that could not be pushed
 	cols  []colRef // combined column layout after all joins
+	deps  []tableDep // tables and versions the plan was built against
 }
 
 func (s *scanNode) describe() string {

@@ -45,7 +45,7 @@ func bindExpr(e Expr, rs *rowset) (Expr, error) {
 	switch x := e.(type) {
 	case nil:
 		return nil, nil
-	case *Lit:
+	case *Lit, *Param:
 		return x, nil
 	case *Ref:
 		i, err := rs.resolve(x.Qual, x.Name)
@@ -149,12 +149,15 @@ func bindOrKeep(e Expr, rs *rowset) Expr {
 	return e
 }
 
-// isConst reports whether e evaluates without reading any column.
+// isConst reports whether e evaluates without reading any column. A
+// late-bound Param counts: its value is fixed before execution starts,
+// so the planner may cost it as an (unknown) constant and build index
+// probes whose keys resolve at bind time.
 func isConst(e Expr) bool {
 	switch x := e.(type) {
 	case nil:
 		return true
-	case *Lit:
+	case *Lit, *Param:
 		return true
 	case *Ref, *boundRef:
 		return false
@@ -203,7 +206,7 @@ func isConst(e Expr) bool {
 // refsOf appends every column reference in e to out.
 func refsOf(e Expr, out []*Ref) []*Ref {
 	switch x := e.(type) {
-	case nil, *Lit:
+	case nil, *Lit, *Param:
 	case *Ref:
 		out = append(out, x)
 	case *boundRef:
@@ -274,11 +277,16 @@ func bindingsOf(e Expr, tables []*planTable) (uint64, bool) {
 // pre-planner execution strategy, kept for parity testing.
 func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 	tables := make([]*planTable, 0, 1+len(st.Joins))
+	var deps []tableDep
 	add := func(ref TableRef) error {
 		t, ok := e.db.Table(ref.Name)
 		if !ok {
 			return fmt.Errorf("sqlmini: unknown table %q", ref.Name)
 		}
+		// The version is read before the statistics: a mutation racing
+		// the plan then leaves a stale fingerprint, forcing a replan,
+		// rather than a fresh fingerprint over stale statistics.
+		deps = append(deps, tableDep{name: ref.Name, tbl: t, version: t.Version()})
 		qual := ref.Binding()
 		sch := t.Schema()
 		rs := &rowset{cols: make([]colRef, sch.Len())}
@@ -303,7 +311,7 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 		t.scan = &scanNode{ref: t.ref, cols: t.rs.cols, tableRows: t.stats.Rows}
 	}
 
-	p := &selectPlan{scan: tables[0].scan}
+	p := &selectPlan{scan: tables[0].scan, deps: deps}
 	combined := &rowset{}
 	for _, t := range tables {
 		combined.cols = append(combined.cols, t.rs.cols...)

@@ -141,8 +141,7 @@ func TestExplainRejectsNonSelect(t *testing.T) {
 // requires byte-identical results, rows in the same order.
 func TestPlannerParity(t *testing.T) {
 	e := plannerDB(t)
-	forced := New(e.DB())
-	forced.SetForceScan(true)
+	forced := e.ForceScan()
 
 	queries := []struct {
 		sql  string
@@ -192,11 +191,10 @@ func TestPlannerParity(t *testing.T) {
 	}
 }
 
-// TestForceScanPlansNaively pins what SetForceScan means: no index
-// paths, no hash joins, no pushdown.
+// TestForceScanPlansNaively pins what a ForceScan handle means: no
+// index paths, no hash joins, no pushdown.
 func TestForceScanPlansNaively(t *testing.T) {
-	e := plannerDB(t)
-	e.SetForceScan(true)
+	e := plannerDB(t).ForceScan()
 	out, err := e.Explain(`SELECT Title FROM Courses JOIN CourseYears ON Courses.CourseID = CourseYears.CourseID WHERE CourseYears.Year = 2008`)
 	if err != nil {
 		t.Fatal(err)

@@ -31,18 +31,18 @@ func parityRunner(t *testing.T) *experiments.Runner {
 	return parityRun
 }
 
-// withForcedScans runs fn twice — planned, then forced naive — and
-// hands both results to check.
-func runBothModes(t *testing.T, r *experiments.Runner, fn func() (any, error)) (planned, naive any) {
+// runBothModes runs fn twice — once against the planning engines, once
+// against force-scan handles of the same database — and returns both
+// results. ForceScan handles are per-call derived engines, not a
+// mutable engine-wide flag, so both executions could even run
+// concurrently without racing.
+func runBothModes(t *testing.T, r *experiments.Runner, fn func(flex *flexrecs.Engine) (any, error)) (planned, naive any) {
 	t.Helper()
-	sql := r.Site.Flex.SQL()
-	planned, err := fn()
+	planned, err := fn(r.Site.Flex)
 	if err != nil {
 		t.Fatalf("planned execution: %v", err)
 	}
-	sql.SetForceScan(true)
-	defer sql.SetForceScan(false)
-	naive, err = fn()
+	naive, err = fn(r.Site.Flex.ForceScan())
 	if err != nil {
 		t.Fatalf("forced execution: %v", err)
 	}
@@ -65,11 +65,26 @@ func TestSQLParityOnCorpus(t *testing.T) {
 		{`SELECT DISTINCT DepID FROM Courses ORDER BY DepID`, nil},
 	}
 	for _, q := range queries {
-		p, n := runBothModes(t, r, func() (any, error) {
-			return r.Site.SQL.Query(q.sql, q.args...)
+		p, n := runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
+			return flex.SQL().Query(q.sql, q.args...)
 		})
 		if !reflect.DeepEqual(p, n) {
 			t.Errorf("%q: planned and forced results differ", q.sql)
+		}
+		// The prepared path must agree with both: same plan, late-bound
+		// parameters instead of baked-in values.
+		st, err := r.Site.SQL.Prepare(q.sql)
+		if err != nil {
+			t.Errorf("prepare %q: %v", q.sql, err)
+			continue
+		}
+		prep, err := st.Query(q.args...)
+		if err != nil {
+			t.Errorf("prepared %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(any(prep), p) {
+			t.Errorf("%q: prepared and one-shot results differ", q.sql)
 		}
 	}
 }
@@ -90,12 +105,12 @@ func TestWorkflowParityOnCorpus(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing strategy %q", tc.strategy)
 		}
-		p, n := runBothModes(t, r, func() (any, error) {
+		p, n := runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
 			wf, err := tpl.Build(tc.params)
 			if err != nil {
 				return nil, err
 			}
-			return r.Site.Flex.Run(wf)
+			return flex.Run(wf)
 		})
 		pr, nr := p.(*flexrecs.Relation), n.(*flexrecs.Relation)
 		if !reflect.DeepEqual(pr.Cols, nr.Cols) {
@@ -105,6 +120,43 @@ func TestWorkflowParityOnCorpus(t *testing.T) {
 		if !reflect.DeepEqual(pr.Rows, nr.Rows) {
 			t.Errorf("%s %v: planned and forced rankings differ", tc.strategy, tc.params)
 		}
+	}
+}
+
+// TestWorkflowPlanCacheHitRate pins the headline property of the
+// prepared-statement redesign: a repeated parameterized workflow — the
+// Figure 5(a) per-user request — plans its SQL exactly once. After one
+// warm-up run, fifty further runs must be pure cache hits (rate > 0.9;
+// with no DDL in flight it is exactly 1.0).
+func TestWorkflowPlanCacheHitRate(t *testing.T) {
+	r := parityRunner(t)
+	tpl, ok := r.Site.Strategies.Get("related-courses")
+	if !ok {
+		t.Fatal("missing strategy related-courses")
+	}
+	run := func() {
+		wf, err := tpl.Build(map[string]any{"title": "Introduction to Programming", "k": 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Site.Flex.Run(wf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: the first request may parse and plan
+	r.Site.SQL.ResetCacheStats()
+	for i := 0; i < 50; i++ {
+		run()
+	}
+	cs := r.Site.SQL.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", cs)
+	}
+	if cs.Misses != 0 {
+		t.Errorf("repeated workflow replanned %d times: %+v", cs.Misses, cs)
+	}
+	if rate := cs.HitRate(); rate <= 0.9 {
+		t.Errorf("plan-cache hit rate %.3f, want > 0.9 (%+v)", rate, cs)
 	}
 }
 
