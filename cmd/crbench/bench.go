@@ -103,6 +103,61 @@ func benchmarks(r *experiments.Runner) []struct {
 				}
 			}
 		}},
+		// RangeYearElidedSort exercises the ordered-index range path end
+		// to end: the Year >= ? predicate rides the CourseYears ordered
+		// index and the ORDER BY on the same key is elided.
+		{"RangeYearElidedSort", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT CourseID, Year FROM CourseYears WHERE Year >= ? ORDER BY Year`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(int64(2008)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// RatedCoursesINLJ is the per-student history feed: a handful of
+		// comments probing the whole catalog through an index nested-loop
+		// join over the Courses primary key.
+		{"RatedCoursesINLJ", func(b *testing.B) {
+			tpl, _ := r.Site.Strategies.Get("rated-courses")
+			for i := 0; i < b.N; i++ {
+				wf, err := tpl.Build(map[string]any{"student": r.Man.SampleStudent, "k": 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Site.Flex.Run(wf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// WideJoinStreamFirst50 measures true streaming below the Rows
+		// API: a comments×catalog join consumed 50 rows at a time — the
+		// iterator pipeline stops scanning and probing once the reader
+		// closes, where the materialized executor paid for every row.
+		{"WideJoinStreamFirst50", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT m.SuID, m.Rating, c.Title, c.DepID FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := st.QueryRows()
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for rows.Next() && n < 50 {
+					n++
+				}
+				rows.Close()
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }
 
@@ -135,8 +190,11 @@ func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
 		Invalidations: cs.Invalidations,
 		HitRate:       cs.HitRate(),
 	}
+	fh, fm := r.Site.Flex.CompileStats()
+	report.FlexCompile = &benchfmt.FlexCompile{Hits: fh, Misses: fm}
 	fmt.Fprintf(os.Stderr, "plan cache: %d hits, %d misses, %d invalidations (hit rate %.4f)\n",
 		cs.Hits, cs.Misses, cs.Invalidations, cs.HitRate())
+	fmt.Fprintf(os.Stderr, "flex compile cache: %d hits, %d misses\n", fh, fm)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

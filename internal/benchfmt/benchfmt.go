@@ -28,12 +28,21 @@ type PlanCache struct {
 	HitRate       float64 `json:"hit_rate"`
 }
 
+// FlexCompile records the FlexRecs workflow-shape compile cache over a
+// benchmark run: a hit means a workflow request skipped SQL
+// re-rendering and statement lookup entirely.
+type FlexCompile struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
 // Report is the file-level JSON shape of one BENCH_*.json record.
 type Report struct {
-	Scale      string     `json:"scale"`
-	GoVersion  string     `json:"go_version"`
-	Benchmarks []Result   `json:"benchmarks"`
-	PlanCache  *PlanCache `json:"plan_cache,omitempty"`
+	Scale       string       `json:"scale"`
+	GoVersion   string       `json:"go_version"`
+	Benchmarks  []Result     `json:"benchmarks"`
+	PlanCache   *PlanCache   `json:"plan_cache,omitempty"`
+	FlexCompile *FlexCompile `json:"flex_compile,omitempty"`
 }
 
 // Load reads and decodes one trajectory file.

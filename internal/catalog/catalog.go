@@ -174,7 +174,10 @@ func Setup(db *relation.DB) (*Store, error) {
 				relation.NotNullCol("StartMin", relation.TypeInt),
 				relation.NotNullCol("EndMin", relation.TypeInt),
 				relation.Col("InstructorID", relation.TypeInt),
-			), relation.WithPrimaryKey("OfferingID"), relation.WithAutoIncrement("OfferingID"), relation.WithIndex("CourseID")),
+			), relation.WithPrimaryKey("OfferingID"), relation.WithAutoIncrement("OfferingID"), relation.WithIndex("CourseID"),
+			// "Year >= 2008"-style schedule scopes ride the ordered
+			// index as planner range scans instead of full scans.
+			relation.WithOrderedIndex("Year")),
 		relation.MustTable("Instructors",
 			relation.NewSchema(
 				relation.NotNullCol("InstructorID", relation.TypeInt),

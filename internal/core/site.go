@@ -395,18 +395,39 @@ func (s *Site) registerDefaultStrategies() error {
 	reg := []flexrecs.Template{
 		{
 			Name:        "related-courses",
-			Description: "Courses offered in a year whose titles resemble a given course (Figure 5a)",
-			Params:      []string{"title", "year", "k"},
+			Description: "Courses offered in a year (or since one, with 'since') whose titles resemble a given course (Figure 5a)",
+			Params:      []string{"title", "year", "since", "k"},
 			Build: func(p map[string]any) (*flexrecs.Step, error) {
 				title, ok := p["title"].(string)
 				if !ok {
 					return nil, fmt.Errorf("related-courses needs a title")
 				}
 				return flexrecs.Recommend(
-					offeredCourses(p["year"]),
+					offeredCourses(p["year"], p["since"]),
 					flexrecs.Rel("Courses").Select("Title = ?", title),
 					flexrecs.JaccardOn("Title"),
 				).Top(intParam(p, "k", 10)), nil
+			},
+		},
+		{
+			Name:        "rated-courses",
+			Description: "The courses you rated, best first — the per-student history feed",
+			Params:      []string{"student", "k"},
+			Build: func(p map[string]any) (*flexrecs.Step, error) {
+				student, ok := p["student"].(int64)
+				if !ok {
+					return nil, fmt.Errorf("rated-courses needs a student id")
+				}
+				// The compiled join probes Comments on the student's id
+				// (a handful of rows) against the whole catalog — the
+				// shape the planner answers with an index nested-loop
+				// join through the Courses primary key.
+				return flexrecs.Rel("Comments").
+					Select("Comments.SuID = ?", student).
+					JoinOn(flexrecs.Rel("Courses"), "Comments.CourseID = Courses.CourseID").
+					Project("Courses.CourseID", "Title", "Rating").
+					OrderBy("Rating", true).
+					Top(intParam(p, "k", 20)), nil
 			},
 		},
 		{
@@ -425,7 +446,7 @@ func (s *Site) registerDefaultStrategies() error {
 					flexrecs.InvEuclideanOn("Ratings"),
 				).Top(intParam(p, "neighbors", 20))
 				return flexrecs.Recommend(
-					offeredCourses(p["year"]),
+					offeredCourses(p["year"], nil),
 					similar,
 					flexrecs.WeightedAvg("CourseID", "Ratings", "Score"),
 				).Top(intParam(p, "k", 10)), nil
@@ -514,18 +535,23 @@ func (s *Site) registerDefaultStrategies() error {
 	return nil
 }
 
-// offeredCourses scopes the Courses relation to one offering year when a
-// year parameter is supplied. Courses carry no Year column in the full
-// catalog schema; the datagen layer materializes a CourseYears view for
-// this purpose.
-func offeredCourses(year any) *flexrecs.Step {
-	if year == nil {
+// offeredCourses scopes the Courses relation to one offering year (an
+// equality probe) or to every year since one (a range scan over the
+// CourseYears ordered index) when the parameters are supplied. Courses
+// carry no Year column in the full catalog schema; the datagen layer
+// materializes a CourseYears view for this purpose.
+func offeredCourses(year, since any) *flexrecs.Step {
+	if year == nil && since == nil {
 		return flexrecs.Rel("Courses")
 	}
-	return flexrecs.Rel("Courses").
-		JoinOn(flexrecs.Rel("CourseYears"), "Courses.CourseID = CourseYears.CourseID").
-		Select("CourseYears.Year = ?", year).
-		Project("Courses.CourseID", "Title", "DepID", "Units")
+	scoped := flexrecs.Rel("Courses").
+		JoinOn(flexrecs.Rel("CourseYears"), "Courses.CourseID = CourseYears.CourseID")
+	if year != nil {
+		scoped = scoped.Select("CourseYears.Year = ?", year)
+	} else {
+		scoped = scoped.Select("CourseYears.Year >= ?", since)
+	}
+	return scoped.Project("Courses.CourseID", "Title", "DepID", "Units")
 }
 
 func intParam(p map[string]any, key string, def int) int {
@@ -573,13 +599,15 @@ func (s *Site) RefreshDerived() error {
 	}
 
 	s.DB.Drop("CourseYears")
-	// The Year index turns the Figure 5(a) year-scoped join into an
-	// index probe under the SQL planner.
+	// The hash index on Year turns the Figure 5(a) year-scoped join into
+	// an index probe under the SQL planner; the ordered index covers the
+	// "Year >= since" recency scope as a range scan.
 	cy := relation.MustTable("CourseYears",
 		relation.NewSchema(
 			relation.NotNullCol("CourseID", relation.TypeInt),
 			relation.NotNullCol("Year", relation.TypeInt),
-		), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"))
+		), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"),
+		relation.WithOrderedIndex("Year"))
 	if err := s.DB.Create(cy); err != nil {
 		return err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"courserank/internal/relation"
 	"courserank/internal/sqlmini"
@@ -14,9 +16,34 @@ import (
 // conventional DBMS; extend, recommend and residual operators over
 // nested attributes execute as external functions over materialized
 // results — the hybrid strategy of paper §3.2.
+//
+// Compiled statements memoize per workflow SHAPE: template builds
+// produce a fresh Step tree per personalized request, but the tree's
+// structure — and therefore its SQL text — is stable across requests,
+// only the '?' arguments change. The engine keys a prepared *Stmt on a
+// structural fingerprint of the subtree, so a repeated workflow skips
+// string re-rendering AND the SQL engine's text-keyed cache lookup:
+// per request only argument gathering, bind and execute remain.
 type Engine struct {
 	sql *sqlmini.Engine
+
+	compiled      sync.Map // shape fingerprint → *compiledSQL
+	compiledN     atomic.Int64
+	compileHits   atomic.Uint64
+	compileMisses atomic.Uint64
 }
+
+// compiledSQL is one memoized sqlable subtree: its rendered statement
+// text and the prepared statement executing it.
+type compiledSQL struct {
+	sql  string
+	stmt *sqlmini.Stmt
+}
+
+// compiledCacheMax bounds the shape cache. Deployed sites register a
+// fixed handful of strategies, so the bound only guards degenerate
+// workloads; past it, new shapes compile per call without caching.
+const compiledCacheMax = 256
 
 // NewEngine builds an engine over the database with its own SQL engine
 // (and therefore its own plan cache).
@@ -136,18 +163,101 @@ func CompileSQL(s *Step) (string, []any, error) {
 	return sql, args, nil
 }
 
-func (e *Engine) runSQL(s *Step) (*Relation, error) {
-	sql, args, err := CompileSQL(s)
+// shapeKey writes a structural fingerprint of a sqlable subtree:
+// operator kinds and their SQL text fragments, excluding argument
+// values. Two trees with equal fingerprints compile to identical SQL.
+func shapeKey(s *Step, b *strings.Builder) {
+	switch s.kind {
+	case relStep:
+		b.WriteString("R|")
+		b.WriteString(s.table)
+		b.WriteByte(0)
+	case selectStep:
+		b.WriteString("S|")
+		b.WriteString(s.cond)
+		b.WriteByte(0)
+		shapeKey(s.child, b)
+	case projectStep:
+		b.WriteString("P|")
+		for _, c := range s.cols {
+			b.WriteString(c)
+			b.WriteByte(1)
+		}
+		b.WriteByte(0)
+		shapeKey(s.child, b)
+	case joinStep:
+		b.WriteString("J|")
+		b.WriteString(s.on)
+		b.WriteByte(0)
+		shapeKey(s.child, b)
+		shapeKey(s.other, b)
+	}
+}
+
+// gatherShapeArgs collects the subtree's placeholder arguments in the
+// same traversal order gather uses; CompileSQL reverses its gathered
+// list, so callers reverse this one identically.
+func gatherShapeArgs(s *Step, args []any) []any {
+	switch s.kind {
+	case selectStep:
+		args = append(args, s.args...)
+		return gatherShapeArgs(s.child, args)
+	case projectStep:
+		return gatherShapeArgs(s.child, args)
+	case joinStep:
+		args = gatherShapeArgs(s.child, args)
+		return gatherShapeArgs(s.other, args)
+	}
+	return args
+}
+
+// compiledFor resolves a sqlable subtree to its memoized prepared
+// statement, compiling and preparing on first sight of the shape.
+func (e *Engine) compiledFor(s *Step) (*compiledSQL, error) {
+	var b strings.Builder
+	shapeKey(s, &b)
+	key := b.String()
+	if v, ok := e.compiled.Load(key); ok {
+		e.compileHits.Add(1)
+		return v.(*compiledSQL), nil
+	}
+	e.compileMisses.Add(1)
+	sql, _, err := CompileSQL(s)
 	if err != nil {
 		return nil, err
 	}
-	// Query is the one-shot face of the prepared-statement path: the
-	// statement text a workflow compiles to is stable across requests,
-	// so after the first request the plan comes straight from the shared
-	// plan cache and only argument binding runs per call.
-	res, err := e.sql.Query(sql, args...)
+	st, err := e.sql.Prepare(sql)
 	if err != nil {
-		return nil, fmt.Errorf("flexrecs: executing %q: %w", sql, err)
+		return nil, fmt.Errorf("flexrecs: compiling %q: %w", sql, err)
+	}
+	cs := &compiledSQL{sql: sql, stmt: st}
+	if e.compiledN.Load() < compiledCacheMax {
+		if _, loaded := e.compiled.LoadOrStore(key, cs); !loaded {
+			e.compiledN.Add(1)
+		}
+	}
+	return cs, nil
+}
+
+// CompileStats reports the workflow-shape compile cache's counters: a
+// hit means a request skipped SQL re-rendering and statement lookup
+// entirely, going straight to bind + execute.
+func (e *Engine) CompileStats() (hits, misses uint64) {
+	return e.compileHits.Load(), e.compileMisses.Load()
+}
+
+func (e *Engine) runSQL(s *Step) (*Relation, error) {
+	cs, err := e.compiledFor(s)
+	if err != nil {
+		return nil, err
+	}
+	args := gatherShapeArgs(s, nil)
+	for i, j := 0, len(args)-1; i < j; i, j = i+1, j-1 {
+		args[i], args[j] = args[j], args[i]
+	}
+	res, err := cs.stmt.Query(args...)
+	if err != nil {
+		return nil, fmt.Errorf("flexrecs: executing %q: %w", cs.sql, err)
 	}
 	rel := &Relation{Cols: res.Columns, Rows: make([][]any, len(res.Rows))}
 	for i, r := range res.Rows {

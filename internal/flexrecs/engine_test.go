@@ -428,3 +428,54 @@ func TestRelationHelpers(t *testing.T) {
 	}()
 	r.MustCol("z")
 }
+
+// TestCompileMemoization pins the workflow-shape cache: two builds of
+// the same template shape — fresh Step trees, different argument values
+// — compile SQL exactly once, and the memoized prepared statement
+// returns exactly what per-request compilation did.
+func TestCompileMemoization(t *testing.T) {
+	e := NewEngine(paperDB(t))
+	build := func(title string) *Step {
+		return Rel("Courses").Select("Year = 2008").Select("Title = ?", title).Project("CourseID", "Title")
+	}
+	first, err := e.Run(build("Introduction to Programming"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) != 1 || first.Rows[0][0] != int64(1) {
+		t.Fatalf("first run rows: %v", first.Rows)
+	}
+	hits0, misses0 := e.CompileStats()
+	if misses0 == 0 {
+		t.Fatal("first run should compile")
+	}
+	// Same shape, different argument: pure compile-cache hit, correct rows.
+	second, err := e.Run(build("American History"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Rows) != 1 || second.Rows[0][0] != int64(4) {
+		t.Fatalf("second run rows: %v", second.Rows)
+	}
+	hits1, misses1 := e.CompileStats()
+	if misses1 != misses0 {
+		t.Fatalf("same shape recompiled: misses %d → %d", misses0, misses1)
+	}
+	if hits1 <= hits0 {
+		t.Fatalf("expected a compile-cache hit: hits %d → %d", hits0, hits1)
+	}
+	// A different shape misses once, then hits.
+	if _, err := e.Run(Rel("Courses").Select("Units >= ?", 4)); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2 := e.CompileStats()
+	if misses2 != misses1+1 {
+		t.Fatalf("new shape should compile once: misses %d → %d", misses1, misses2)
+	}
+	if _, err := e.Run(Rel("Courses").Select("Units >= ?", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses3 := e.CompileStats(); misses3 != misses2 {
+		t.Fatalf("repeated new shape recompiled: misses %d → %d", misses2, misses3)
+	}
+}

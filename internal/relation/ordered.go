@@ -1,0 +1,290 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ordered secondary indexes: a sorted slot list per column, maintained
+// incrementally by binary search on every insert, update and delete.
+// Where the hash indexes in table.go answer equality probes, an ordered
+// index answers range predicates (<, <=, >, >=, BETWEEN) and yields its
+// rows in key order — which lets the SQL planner elide an ORDER BY whose
+// key the chosen index already sorts by.
+
+// orderedEntry pairs one indexed value with the slot storing it.
+type orderedEntry struct {
+	val  Value
+	slot int
+}
+
+// orderedIndex keeps entries sorted by (Compare(val), slot). NULLs are
+// not indexed: no range predicate matches NULL, mirroring SQL
+// comparison semantics.
+type orderedIndex struct {
+	col     int
+	entries []orderedEntry
+}
+
+// search returns the position of the first entry >= (val, slot).
+func (ix *orderedIndex) search(val Value, slot int) int {
+	return sort.Search(len(ix.entries), func(i int) bool {
+		c := Compare(ix.entries[i].val, val)
+		if c != 0 {
+			return c > 0
+		}
+		return ix.entries[i].slot >= slot
+	})
+}
+
+func (ix *orderedIndex) add(slot int, row Row) {
+	v := row[ix.col]
+	if v == nil {
+		return
+	}
+	i := ix.search(v, slot)
+	ix.entries = append(ix.entries, orderedEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = orderedEntry{val: v, slot: slot}
+}
+
+func (ix *orderedIndex) remove(slot int, row Row) {
+	v := row[ix.col]
+	if v == nil {
+		return
+	}
+	i := ix.search(v, slot)
+	if i < len(ix.entries) && ix.entries[i].slot == slot && Equal(ix.entries[i].val, v) {
+		ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+	}
+}
+
+// RangeBound is one end of a range probe. A nil *RangeBound means the
+// end is unbounded; NULL bound values match nothing (x >= NULL is never
+// true), which callers handle before building the bound.
+type RangeBound struct {
+	Value     Value
+	Inclusive bool
+}
+
+// span returns the half-open entry interval [i, j) matching the bounds.
+func (ix *orderedIndex) span(lo, hi *RangeBound) (int, int) {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := Compare(ix.entries[i].val, lo.Value)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix.entries)
+	if hi != nil {
+		end = sort.Search(len(ix.entries), func(i int) bool {
+			c := Compare(ix.entries[i].val, hi.Value)
+			if hi.Inclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// WithOrderedIndex adds an ordered secondary index on a single column,
+// accelerating range predicates and ordered iteration. A column may
+// carry both a hash index (equality) and an ordered index (ranges).
+func WithOrderedIndex(col string) TableOption {
+	return func(t *Table) error {
+		i, ok := t.schema.Index(col)
+		if !ok {
+			return fmt.Errorf("relation: ordered index column %q not in schema", col)
+		}
+		t.ordered[strings.ToLower(col)] = &orderedIndex{col: i}
+		return nil
+	}
+}
+
+// AddOrderedIndex builds an ordered index on the column over the
+// existing rows. It is the one in-place DDL operation tables support,
+// so it bumps the schema epoch: cached query plans fingerprinted on the
+// old epoch replan and can adopt the new access path. Adding an index
+// that already exists is a no-op.
+func (t *Table) AddOrderedIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := strings.ToLower(col)
+	if _, dup := t.ordered[key]; dup {
+		return nil
+	}
+	ci, ok := t.schema.Index(col)
+	if !ok {
+		return fmt.Errorf("relation: ordered index column %q not in schema", col)
+	}
+	ix := &orderedIndex{col: ci}
+	for slot, r := range t.rows {
+		if r == nil || r[ci] == nil {
+			continue
+		}
+		ix.entries = append(ix.entries, orderedEntry{val: r[ci], slot: slot})
+	}
+	sort.Slice(ix.entries, func(a, b int) bool {
+		c := Compare(ix.entries[a].val, ix.entries[b].val)
+		if c != 0 {
+			return c < 0
+		}
+		return ix.entries[a].slot < ix.entries[b].slot
+	})
+	t.ordered[key] = ix
+	t.epoch++
+	return nil
+}
+
+// HasOrderedIndex reports whether an ordered index exists on the column.
+func (t *Table) HasOrderedIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.ordered[strings.ToLower(col)]
+	return ok
+}
+
+// OrderedIndexes returns the names of columns with ordered indexes,
+// sorted.
+func (t *Table) OrderedIndexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.ordered))
+	for name := range t.ordered {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RangeCount returns how many index entries fall inside the bounds —
+// an O(log n) selectivity estimate for the query planner — and whether
+// the column has an ordered index at all.
+func (t *Table) RangeCount(col string, lo, hi *RangeBound) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.ordered[strings.ToLower(col)]
+	if !ok {
+		return 0, false
+	}
+	i, j := ix.span(lo, hi)
+	return j - i, true
+}
+
+// RangeCursor iterates the rows an ordered index places inside [lo, hi]
+// in key order (ties in slot order). The matching (key, slot) entries
+// are snapshotted when the cursor opens; rows are then fetched in
+// batches under the read lock, so an open cursor never blocks writers
+// and a long drain holds the lock only per batch. Concurrent DML is
+// handled by comparing each fetched row's current key against the
+// snapshotted one: a deleted row, or one whose key changed since the
+// snapshot (including a slot reused for a different key), is skipped
+// rather than emitted out of order. A slot reused for an EQUAL key may
+// surface a row inserted after the cursor opened — the same
+// read-committed-flavored visibility the scan cursor has — but every
+// emitted row still satisfies the range and the emitted key sequence is
+// always ascending (the basis of ORDER BY elision).
+type RangeCursor struct {
+	t       *Table
+	col     int
+	entries []orderedEntry
+	pos     int
+}
+
+// NewRangeCursor opens a range iteration over the column's ordered
+// index, reporting false when the column has none.
+func (t *Table) NewRangeCursor(col string, lo, hi *RangeBound) (*RangeCursor, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.ordered[strings.ToLower(col)]
+	if !ok {
+		return nil, false
+	}
+	i, j := ix.span(lo, hi)
+	entries := make([]orderedEntry, j-i)
+	copy(entries, ix.entries[i:j])
+	return &RangeCursor{t: t, col: ix.col, entries: entries}, true
+}
+
+// NextBatch fills dst with row references in key order, returning how
+// many it produced; 0 means the cursor is exhausted. The rows must not
+// be mutated (stored rows are immutable once inserted, so holding the
+// references across batches is safe).
+func (c *RangeCursor) NextBatch(dst []Row) int {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	n := 0
+	for c.pos < len(c.entries) && n < len(dst) {
+		en := c.entries[c.pos]
+		c.pos++
+		if en.slot >= len(c.t.rows) {
+			continue
+		}
+		row := c.t.rows[en.slot]
+		if row == nil || row[c.col] == nil || !Equal(row[c.col], en.val) {
+			continue
+		}
+		dst[n] = row
+		n++
+	}
+	return n
+}
+
+// Range returns copies of the rows whose column value lies inside the
+// bounds, in key order — the materialized convenience over RangeCursor.
+func (t *Table) Range(col string, lo, hi *RangeBound) []Row {
+	cur, ok := t.NewRangeCursor(col, lo, hi)
+	if !ok {
+		return nil
+	}
+	var out []Row
+	buf := make([]Row, 64)
+	for {
+		n := cur.NextBatch(buf)
+		if n == 0 {
+			return out
+		}
+		for _, r := range buf[:n] {
+			out = append(out, r.Clone())
+		}
+	}
+}
+
+// ScanCursor iterates every live row in slot order, fetching references
+// in batches under the read lock — the streaming counterpart of Scan
+// for pull-based executors. Rows inserted behind the cursor's position
+// during iteration are not revisited; rows appended ahead are seen.
+type ScanCursor struct {
+	t    *Table
+	next int
+}
+
+// NewScanCursor opens a batched full-table iteration.
+func (t *Table) NewScanCursor() *ScanCursor { return &ScanCursor{t: t} }
+
+// NextBatch fills dst with live row references in slot order, returning
+// how many it produced; 0 means the table is exhausted.
+func (c *ScanCursor) NextBatch(dst []Row) int {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	n := 0
+	for c.next < len(c.t.rows) && n < len(dst) {
+		row := c.t.rows[c.next]
+		c.next++
+		if row == nil {
+			continue
+		}
+		dst[n] = row
+		n++
+	}
+	return n
+}

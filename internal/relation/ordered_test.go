@@ -1,0 +1,153 @@
+package relation
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func orderedTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := MustTable("m", NewSchema(
+		NotNullCol("ID", TypeInt),
+		Col("Score", TypeInt),
+	), WithPrimaryKey("ID"), WithOrderedIndex("Score"))
+	for i := 0; i < 10; i++ {
+		var score Value
+		if i != 7 { // one NULL: must never match a range
+			score = int64((i * 3) % 10)
+		}
+		tbl.MustInsert(Row{int64(i), score})
+	}
+	return tbl
+}
+
+func scores(rows []Row) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[1].(int64)
+	}
+	return out
+}
+
+func TestOrderedRangeBounds(t *testing.T) {
+	tbl := orderedTable(t)
+	// Scores present: 0,3,6,9,2,5,8,(NULL),4,7 → sorted 0,2,3,4,5,6,7,8,9
+	got := scores(tbl.Range("Score", &RangeBound{Value: int64(3), Inclusive: true}, &RangeBound{Value: int64(7), Inclusive: true}))
+	if want := []int64{3, 4, 5, 6, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("inclusive range = %v, want %v", got, want)
+	}
+	got = scores(tbl.Range("Score", &RangeBound{Value: int64(3)}, &RangeBound{Value: int64(7)}))
+	if want := []int64{4, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("exclusive range = %v, want %v", got, want)
+	}
+	got = scores(tbl.Range("Score", nil, &RangeBound{Value: int64(2), Inclusive: true}))
+	if want := []int64{0, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unbounded-low range = %v, want %v", got, want)
+	}
+	if got := tbl.Range("nope", nil, nil); got != nil {
+		t.Fatalf("range over unindexed column = %v, want nil", got)
+	}
+	// NULL never matches, even fully unbounded.
+	if got := tbl.Range("Score", nil, nil); len(got) != 9 {
+		t.Fatalf("unbounded range saw %d rows, want 9 (NULL excluded)", len(got))
+	}
+	if n, ok := tbl.RangeCount("Score", &RangeBound{Value: int64(5), Inclusive: true}, nil); !ok || n != 5 {
+		t.Fatalf("RangeCount = %d,%v want 5,true", n, ok)
+	}
+}
+
+func TestOrderedIndexMaintenance(t *testing.T) {
+	tbl := orderedTable(t)
+	// Update moves a row across the order.
+	if err := tbl.UpdateByKey([]Value{int64(0)}, func(r Row) Row { r[1] = int64(99); return r }); err != nil {
+		t.Fatal(err)
+	}
+	got := scores(tbl.Range("Score", &RangeBound{Value: int64(90)}, nil))
+	if want := []int64{99}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after update: %v, want %v", got, want)
+	}
+	// Delete removes entries.
+	tbl.DeleteWhere(func(r Row) bool { return r[1] != nil && r[1].(int64) >= 5 })
+	got = scores(tbl.Range("Score", nil, nil))
+	if want := []int64{2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after delete: %v, want %v", got, want)
+	}
+	// Reinserted rows (reusing tombstone slots) index correctly.
+	tbl.MustInsert(Row{int64(50), int64(6)})
+	got = scores(tbl.Range("Score", &RangeBound{Value: int64(5)}, nil))
+	if want := []int64{6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reinsert: %v, want %v", got, want)
+	}
+}
+
+func TestSchemaEpoch(t *testing.T) {
+	tbl := orderedTable(t)
+	e0 := tbl.SchemaEpoch()
+	tbl.MustInsert(Row{int64(100), int64(1)})
+	tbl.DeleteWhere(func(r Row) bool { return r[0] == int64(100) })
+	if tbl.SchemaEpoch() != e0 {
+		t.Fatal("row DML must not move the schema epoch")
+	}
+	if err := tbl.AddOrderedIndex("ID"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SchemaEpoch() != e0+1 {
+		t.Fatalf("AddOrderedIndex should bump the epoch: %d → %d", e0, tbl.SchemaEpoch())
+	}
+	// Idempotent: re-adding is a no-op and does not bump again.
+	if err := tbl.AddOrderedIndex("ID"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SchemaEpoch() != e0+1 {
+		t.Fatal("re-adding an existing ordered index must not bump the epoch")
+	}
+	if err := tbl.AddOrderedIndex("Nope"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	// The freshly built index answers ranges over pre-existing rows.
+	if n, ok := tbl.RangeCount("ID", &RangeBound{Value: int64(5), Inclusive: true}, nil); !ok || n != 5 {
+		t.Fatalf("built-from-rows index RangeCount = %d,%v", n, ok)
+	}
+}
+
+func TestOrderedIndexSnapshotRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.MustCreate(orderedTable(t))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := loaded.MustTable("m")
+	if !lt.HasOrderedIndex("Score") {
+		t.Fatal("ordered index lost across snapshot")
+	}
+	want := scores(db.MustTable("m").Range("Score", nil, nil))
+	got := scores(lt.Range("Score", nil, nil))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range after load = %v, want %v", got, want)
+	}
+}
+
+func TestScanCursorBatches(t *testing.T) {
+	tbl := orderedTable(t)
+	cur := tbl.NewScanCursor()
+	buf := make([]Row, 3)
+	var ids []int64
+	for {
+		n := cur.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, r := range buf[:n] {
+			ids = append(ids, r[0].(int64))
+		}
+	}
+	if len(ids) != 10 || ids[0] != 0 || ids[9] != 9 {
+		t.Fatalf("scan cursor ids = %v", ids)
+	}
+}

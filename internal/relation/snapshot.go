@@ -19,6 +19,7 @@ type snapshotHeader struct {
 	PK      []string     `json:"pk,omitempty"`
 	AutoInc string       `json:"autoInc,omitempty"`
 	Indexes []string     `json:"indexes,omitempty"`
+	Ordered []string     `json:"ordered,omitempty"`
 	Rows    int          `json:"rows"`
 }
 
@@ -45,6 +46,7 @@ func (db *DB) Save(w io.Writer) error {
 			PK:      t.PrimaryKey(),
 			AutoInc: t.AutoIncrement(),
 			Indexes: t.SecondaryIndexes(),
+			Ordered: t.OrderedIndexes(),
 			Rows:    t.Len(),
 		}
 		for _, c := range sch.Columns() {
@@ -93,6 +95,9 @@ func Load(r io.Reader) (*DB, error) {
 		}
 		for _, ix := range head.Indexes {
 			opts = append(opts, WithIndex(ix))
+		}
+		for _, ix := range head.Ordered {
+			opts = append(opts, WithOrderedIndex(ix))
 		}
 		t, err := NewTable(head.Table, NewSchema(cols...), opts...)
 		if err != nil {

@@ -105,9 +105,11 @@ type Table struct {
 	pk      []int
 	pkIndex map[string]int
 	indexes map[string]*secondaryIndex
+	ordered map[string]*orderedIndex
 	autoCol int
 	nextAut int64
 	version uint64
+	epoch   uint64
 }
 
 // Version returns a counter that increases on every mutation (insert,
@@ -119,12 +121,34 @@ func (t *Table) Version() uint64 {
 	return t.version
 }
 
+// SchemaEpoch returns a counter that increases only when the table's
+// shape changes — today, when an index is added to a live table
+// (AddOrderedIndex). Row DML never moves it. Query plans fingerprint on
+// the epoch rather than the mutation version, so cached plans survive
+// writes and replan only when an access path could have appeared or
+// vanished (or when statistics drift far enough; see sqlmini's cache).
+func (t *Table) SchemaEpoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// PlanFingerprint returns the schema epoch and live-row count under a
+// single lock acquisition — the plan-cache validity probe, which runs
+// once per dependent table on every statement execution.
+func (t *Table) PlanFingerprint() (epoch uint64, rows int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch, t.live
+}
+
 // NewTable constructs an empty table with the given name and schema.
 func NewTable(name string, schema *Schema, opts ...TableOption) (*Table, error) {
 	t := &Table{
 		name:    name,
 		schema:  schema,
 		indexes: make(map[string]*secondaryIndex),
+		ordered: make(map[string]*orderedIndex),
 		autoCol: -1,
 		nextAut: 1,
 	}
@@ -251,6 +275,9 @@ func (t *Table) insertLocked(row Row) (int, Row, error) {
 		t.pkIndex[key] = slot
 	}
 	for _, ix := range t.indexes {
+		ix.add(slot, r)
+	}
+	for _, ix := range t.ordered {
 		ix.add(slot, r)
 	}
 	t.live++
@@ -527,6 +554,10 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 		ix.remove(slot, old)
 		ix.add(slot, repl)
 	}
+	for _, ix := range t.ordered {
+		ix.remove(slot, old)
+		ix.add(slot, repl)
+	}
 	t.rows[slot] = repl
 	t.version++
 	return nil
@@ -561,6 +592,10 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 			ix.remove(slot, r)
 			ix.add(slot, repl)
 		}
+		for _, ix := range t.ordered {
+			ix.remove(slot, r)
+			ix.add(slot, repl)
+		}
 		t.rows[slot] = repl
 		t.version++
 		n++
@@ -581,6 +616,9 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 			delete(t.pkIndex, t.pkKey(r))
 		}
 		for _, ix := range t.indexes {
+			ix.remove(slot, r)
+		}
+		for _, ix := range t.ordered {
 			ix.remove(slot, r)
 		}
 		t.rows[slot] = nil

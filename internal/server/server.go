@@ -301,9 +301,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u communi
 // handleStats reports engine health counters: the shared plan cache's
 // hit/miss/invalidation tallies (every subsystem's SQL flows through
 // it, so the hit rate is the fraction of requests that skipped
-// parse/plan entirely) plus the deployment scale.
+// parse/plan entirely), the FlexRecs compile cache (a hit means a
+// workflow request skipped SQL re-rendering too), plus the deployment
+// scale.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community.User) {
 	cs := s.site.SQL.CacheStats()
+	fh, fm := s.site.Flex.CompileStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"planCache": map[string]any{
 			"hits":          cs.Hits,
@@ -311,6 +314,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community
 			"invalidations": cs.Invalidations,
 			"entries":       cs.Entries,
 			"hitRate":       cs.HitRate(),
+		},
+		"flexCompile": map[string]any{
+			"hits":   fh,
+			"misses": fm,
 		},
 		"scale": s.site.Scale(),
 	})

@@ -246,6 +246,7 @@ type CreateStmt struct {
 	PK      []string
 	AutoInc string
 	Indexes []string
+	Ordered []string // ORDERED INDEX (col): ordered secondary indexes
 }
 
 func (*CreateStmt) stmt() {}

@@ -205,16 +205,20 @@ func substSelect(s *SelectStmt, params []relation.Value) *SelectStmt {
 	return &ns
 }
 
-// bindScan returns s with its probe keys and filters bound; the shared
-// node is returned untouched when nothing references a parameter.
+// bindScan returns s with its probe keys, range bounds and filters
+// bound; the shared node is returned untouched when nothing references
+// a parameter.
 func bindScan(s *scanNode, params []relation.Value) *scanNode {
 	keys, kc := substList(s.probeKeys, params)
 	filter, fc := substList(s.filter, params)
-	if !kc && !fc {
+	lo := substExpr(s.rangeLo, params)
+	hi := substExpr(s.rangeHi, params)
+	if !kc && !fc && lo == s.rangeLo && hi == s.rangeHi {
 		return s
 	}
 	ns := *s
 	ns.probeKeys, ns.filter = keys, filter
+	ns.rangeLo, ns.rangeHi = lo, hi
 	return &ns
 }
 

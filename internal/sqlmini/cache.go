@@ -8,12 +8,26 @@ import (
 )
 
 // tableDep is one base table a cached plan was built against: the table
-// pointer pins identity across DROP/CREATE, and the mutation counter
-// (relation.Table.Version) pins the statistics the planner costed with.
+// pointer pins identity across DROP/CREATE, the schema epoch
+// (relation.Table.SchemaEpoch) pins the set of available access paths,
+// and rows records the statistics the planner costed with. Row DML does
+// not move the epoch — cached plans stay correct across writes, since
+// plans bake in access-path choices, never data — so a plan survives
+// arbitrary churn until the table's size drifts far enough that the
+// costing deserves a second look.
 type tableDep struct {
-	name    string
-	tbl     *relation.Table
-	version uint64
+	name  string
+	tbl   *relation.Table
+	epoch uint64
+	rows  int
+}
+
+// statsDrifted reports whether a table's live-row count moved far
+// enough from what the plan was costed with to justify a replan: grown
+// past double or shrunk below half, with absolute slack so tiny tables
+// don't thrash.
+func statsDrifted(planned, cur int) bool {
+	return cur > 2*planned+16 || 2*cur+16 < planned
 }
 
 // cacheEntry is one prepared statement: the parsed AST with placeholders
@@ -28,13 +42,19 @@ type cacheEntry struct {
 	deps    []tableDep
 }
 
-// valid reports whether every table the entry's plan depends on is still
-// the same table at the same version. Non-SELECT entries carry no deps
-// and stay valid forever: they resolve tables and columns at execution.
+// valid reports whether every table the entry's plan depends on is
+// still the same table, at the same schema epoch, with statistics that
+// have not drifted past the replan threshold. Non-SELECT entries carry
+// no deps and stay valid forever: they resolve tables and columns at
+// execution.
 func (en *cacheEntry) valid(db *relation.DB) bool {
 	for _, d := range en.deps {
 		t, ok := db.Table(d.name)
-		if !ok || t != d.tbl || t.Version() != d.version {
+		if !ok || t != d.tbl {
+			return false
+		}
+		epoch, rows := t.PlanFingerprint()
+		if epoch != d.epoch || statsDrifted(d.rows, rows) {
 			return false
 		}
 	}

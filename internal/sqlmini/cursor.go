@@ -1,0 +1,859 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+
+	"courserank/internal/relation"
+)
+
+// This file is the volcano-style iterator executor: every plan node
+// opens as a cursor, and rows are pulled one at a time from the top of
+// the pipeline — through Rows.Next all the way down to the storage
+// layer's batched table cursors. Nothing below a hash-join build side
+// materializes, so wide joins consumed a row at a time (or cut short by
+// LIMIT or an early Close) never pay for the rows nobody reads.
+//
+// Ordering contract: every join cursor emits left-major row order, with
+// right matches per left row in right slot order — exactly the order
+// the materialized executor produced — so forced-scan parity holds row
+// for row, and a driver range scan's key order survives to the output
+// (the basis of ORDER BY elision).
+
+// scanBatch is how many row references a storage cursor fetches per
+// lock acquisition; inljBatch is how many left rows feed one batched
+// index probe.
+const (
+	scanBatch = 256
+	inljBatch = 256
+)
+
+// cursor is the executor's pull interface. Next returns (nil, nil) at
+// end of stream; after an error or Close the cursor stays exhausted.
+type cursor interface {
+	Next() (relation.Row, error)
+	Close()
+}
+
+// passFilters evaluates bound conjuncts against one row.
+func passFilters(filters []Expr, row relation.Row, rs *rowset) (bool, error) {
+	for _, f := range filters {
+		v, err := evalScalar(f, row, rs)
+		if err != nil {
+			return false, err
+		}
+		if !relation.Truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// combineRows concatenates a left and right row; a nil right emits the
+// LEFT-join null extension.
+func combineRows(l, r relation.Row, rightWidth int) relation.Row {
+	row := make(relation.Row, 0, len(l)+rightWidth)
+	row = append(row, l...)
+	if r == nil {
+		for i := 0; i < rightWidth; i++ {
+			row = append(row, nil)
+		}
+	} else {
+		row = append(row, r...)
+	}
+	return row
+}
+
+// sliceCursor iterates a materialized row list (probe results), with
+// the scan's residual pushed filters applied inline.
+type sliceCursor struct {
+	rows   []relation.Row
+	pos    int
+	filter []Expr
+	rs     *rowset
+}
+
+func (c *sliceCursor) Next() (relation.Row, error) {
+	for c.pos < len(c.rows) {
+		row := c.rows[c.pos]
+		c.pos++
+		ok, err := passFilters(c.filter, row, c.rs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+func (c *sliceCursor) Close() { c.rows, c.pos = nil, 0 }
+
+// batchSource is the storage layer's pull shape: both the full-table
+// ScanCursor and the ordered-index RangeCursor fill a reference batch
+// under one lock acquisition.
+type batchSource interface {
+	NextBatch(dst []relation.Row) int
+}
+
+// batchScanCursor streams rows from a storage batch source (full scan
+// in slot order, or range scan in key order), applying pushed filters
+// — and, on the degraded range path, a bounds re-check — per row.
+type batchScanCursor struct {
+	src    batchSource
+	rs     *rowset
+	filter []Expr
+	check  func(relation.Row) bool // optional extra predicate
+	buf    []relation.Row
+	pos, n int
+	done   bool
+}
+
+func (c *batchScanCursor) Next() (relation.Row, error) {
+	for {
+		for c.pos < c.n {
+			row := c.buf[c.pos]
+			c.pos++
+			if c.check != nil && !c.check(row) {
+				continue
+			}
+			ok, err := passFilters(c.filter, row, c.rs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return row, nil
+			}
+		}
+		if c.done {
+			return nil, nil
+		}
+		if c.buf == nil {
+			c.buf = make([]relation.Row, scanBatch)
+		}
+		c.n, c.pos = c.src.NextBatch(c.buf), 0
+		if c.n == 0 {
+			c.done = true
+			return nil, nil
+		}
+	}
+}
+
+func (c *batchScanCursor) Close() { c.done, c.n, c.pos = true, 0, 0 }
+
+// evalRangeBounds evaluates a range scan's bound expressions at cursor
+// open. A bound that evaluates to NULL matches nothing ("x >= NULL" is
+// never true), reported via empty.
+func evalRangeBounds(s *scanNode, rs *rowset) (lo, hi *relation.RangeBound, empty bool, err error) {
+	if s.rangeLo != nil {
+		v, err := evalScalar(s.rangeLo, nil, rs)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v == nil {
+			return nil, nil, true, nil
+		}
+		lo = &relation.RangeBound{Value: v, Inclusive: s.loInc}
+	}
+	if s.rangeHi != nil {
+		v, err := evalScalar(s.rangeHi, nil, rs)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v == nil {
+			return nil, nil, true, nil
+		}
+		hi = &relation.RangeBound{Value: v, Inclusive: s.hiInc}
+	}
+	return lo, hi, false, nil
+}
+
+// probeRows materializes a pk-lookup or index-probe access: the result
+// is bounded by the probe keys, so nothing is gained by streaming it.
+// Pushed residual filters apply before returning.
+func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, error) {
+	var rows []relation.Row
+	switch s.access {
+	case accessPK:
+		if s.pkMulti {
+			// IN over a single-column primary key: one batched probe.
+			keys := make([][]relation.Value, 0, len(s.probeKeys))
+			for _, ke := range s.probeKeys {
+				v, err := evalScalar(ke, nil, rs)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil { // NULL keys never match
+					keys = append(keys, []relation.Value{v})
+				}
+			}
+			rows = t.GetMany(keys...)
+			break
+		}
+		keys := make([]relation.Value, len(s.probeKeys))
+		for i, ke := range s.probeKeys {
+			v, err := evalScalar(ke, nil, rs)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, nil // "= NULL" matches no row
+			}
+			keys[i] = v
+		}
+		if row, found := t.Get(keys...); found {
+			rows = append(rows, row)
+		}
+	case accessIndex:
+		keys := make([]relation.Value, 0, len(s.probeKeys))
+		for _, ke := range s.probeKeys {
+			v, err := evalScalar(ke, nil, rs)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil { // NULL keys never match
+				keys = append(keys, v)
+			}
+		}
+		rows = t.LookupMany(s.probeCol, keys)
+	}
+	if len(s.filter) > 0 {
+		kept := rows[:0]
+		for _, row := range rows {
+			ok, err := passFilters(s.filter, row, rs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// openScan opens one planned base-table access as a cursor. Probe paths
+// (pk lookup, index probe) materialize their small key-bounded results;
+// scans and range scans stream in batches. keyOrder demands the output
+// come back in the range column's key order even on the degraded path —
+// set when the plan elided an ORDER BY on the strength of this scan.
+// Scanned rows are retained by reference: the relation store never
+// mutates a stored row in place, so references stay consistent
+// snapshots.
+func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
+	t, ok := e.db.Table(s.ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", s.ref.Name)
+	}
+	rs := &rowset{cols: s.cols}
+	switch s.access {
+	case accessPK, accessIndex:
+		rows, err := probeRows(s, t, rs)
+		if err != nil {
+			return nil, err
+		}
+		return &sliceCursor{rows: rows}, nil
+	case accessRange:
+		lo, hi, empty, err := evalRangeBounds(s, rs)
+		if err != nil {
+			return nil, err
+		}
+		if empty {
+			return &sliceCursor{}, nil
+		}
+		if rc, ok := t.NewRangeCursor(s.rangeCol, lo, hi); ok {
+			return &batchScanCursor{src: rc, rs: rs, filter: s.filter}, nil
+		}
+		// The ordered index vanished beneath a replaced table: degrade
+		// to a checked full scan so results stay correct. The plan is
+		// about to be invalidated, but THIS execution must still honor
+		// an elided ORDER BY, so keyOrder sorts the fallback.
+		ci, err := rs.resolve("", s.rangeCol)
+		if err != nil {
+			return nil, err
+		}
+		check := func(row relation.Row) bool {
+			v := row[ci]
+			if v == nil {
+				return false
+			}
+			if lo != nil {
+				c := relation.Compare(v, lo.Value)
+				if c < 0 || (c == 0 && !lo.Inclusive) {
+					return false
+				}
+			}
+			if hi != nil {
+				c := relation.Compare(v, hi.Value)
+				if c > 0 || (c == 0 && !hi.Inclusive) {
+					return false
+				}
+			}
+			return true
+		}
+		cur := cursor(&batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, check: check})
+		if keyOrder {
+			rows, err := drainCursor(cur)
+			if err != nil {
+				return nil, err
+			}
+			sort.SliceStable(rows, func(a, b int) bool {
+				return relation.Compare(rows[a][ci], rows[b][ci]) < 0
+			})
+			cur = &sliceCursor{rows: rows}
+		}
+		return cur, nil
+	default:
+		return &batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter}, nil
+	}
+}
+
+// passResidual applies a join's residual conjuncts to one combined row.
+func passResidual(jn *joinNode, row relation.Row, combined *rowset) (bool, error) {
+	if len(jn.residual) == 0 {
+		return true, nil
+	}
+	return passFilters(jn.residual, row, combined)
+}
+
+// hashJoinCursor is the build=right hash join: the right side drains
+// into hash buckets when the first row is pulled, then the left side
+// streams through, probing per row. Memory is bounded by the build
+// side; the (usually larger) probe side never materializes.
+type hashJoinCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	rightWidth int
+
+	started bool
+	closed  bool
+	buckets map[string][]relation.Row
+	keyBuf  []relation.Value
+	cur     relation.Row
+	bucket  []relation.Row
+	bi      int
+	matched bool
+}
+
+func (c *hashJoinCursor) start() error {
+	rc, err := c.e.openScan(c.jn.scan, false)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	c.buckets = make(map[string][]relation.Row)
+	buf := make([]relation.Value, len(c.jn.rightKeys))
+	for {
+		r, err := rc.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		if k, ok := rowKey(r, c.jn.rightKeys, buf); ok {
+			c.buckets[k] = append(c.buckets[k], r)
+		}
+	}
+	c.keyBuf = make([]relation.Value, len(c.jn.leftKeys))
+	c.started = true
+	return nil
+}
+
+func (c *hashJoinCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	if !c.started {
+		if err := c.start(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		for c.bi < len(c.bucket) {
+			r := c.bucket[c.bi]
+			c.bi++
+			row := combineRows(c.cur, r, c.rightWidth)
+			ok, err := passResidual(c.jn, row, c.combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				c.matched = true
+				return row, nil
+			}
+		}
+		if c.cur != nil && !c.matched && c.jn.jtype == "LEFT" {
+			row := combineRows(c.cur, nil, c.rightWidth)
+			c.cur = nil
+			return row, nil
+		}
+		l, err := c.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			return nil, nil
+		}
+		c.cur, c.matched, c.bi, c.bucket = l, false, 0, nil
+		if k, ok := rowKey(l, c.jn.leftKeys, c.keyBuf); ok {
+			c.bucket = c.buckets[k]
+		}
+	}
+}
+
+func (c *hashJoinCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	c.buckets, c.bucket, c.cur = nil, nil, nil
+}
+
+// buildLeftJoinCursor hashes the (smaller) left side instead, streaming
+// the right side through it once and buffering matches per left row to
+// keep left-major output order. Chosen by the planner for INNER joins
+// only, where buffering preserves order without LEFT's bookkeeping.
+type buildLeftJoinCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	rightWidth int
+
+	started bool
+	closed  bool
+	matches [][]relation.Row // combined rows per left row
+	li, mi  int
+}
+
+func (c *buildLeftJoinCursor) start() error {
+	var leftRows []relation.Row
+	for {
+		l, err := c.left.Next()
+		if err != nil {
+			return err
+		}
+		if l == nil {
+			break
+		}
+		leftRows = append(leftRows, l)
+	}
+	buckets := make(map[string][]int, len(leftRows))
+	buf := make([]relation.Value, len(c.jn.leftKeys))
+	for i, l := range leftRows {
+		if k, ok := rowKey(l, c.jn.leftKeys, buf); ok {
+			buckets[k] = append(buckets[k], i)
+		}
+	}
+	c.matches = make([][]relation.Row, len(leftRows))
+	rc, err := c.e.openScan(c.jn.scan, false)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	rbuf := make([]relation.Value, len(c.jn.rightKeys))
+	for {
+		r, err := rc.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		k, ok := rowKey(r, c.jn.rightKeys, rbuf)
+		if !ok {
+			continue
+		}
+		for _, li := range buckets[k] {
+			row := combineRows(leftRows[li], r, c.rightWidth)
+			ok, err := passResidual(c.jn, row, c.combined)
+			if err != nil {
+				return err
+			}
+			if ok {
+				c.matches[li] = append(c.matches[li], row)
+			}
+		}
+	}
+	c.started = true
+	return nil
+}
+
+func (c *buildLeftJoinCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	if !c.started {
+		if err := c.start(); err != nil {
+			return nil, err
+		}
+	}
+	for c.li < len(c.matches) {
+		if c.mi < len(c.matches[c.li]) {
+			row := c.matches[c.li][c.mi]
+			c.mi++
+			return row, nil
+		}
+		c.li, c.mi = c.li+1, 0
+	}
+	return nil, nil
+}
+
+func (c *buildLeftJoinCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	c.matches = nil
+}
+
+// inljCursor is the index nested-loop join: left rows arrive in
+// batches, their join keys drive one batched index probe (LookupMany,
+// or GetMany through a single-column primary key), and only the right
+// rows that can possibly match are ever fetched. Output is left-major
+// with right matches in slot order — identical to the hash join — and
+// memory is bounded by one batch.
+type inljCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	rightRS    *rowset
+	rightWidth int
+
+	queue    []relation.Row
+	qi       int
+	leftDone bool
+	closed   bool
+}
+
+func (c *inljCursor) fillBatch() error {
+	c.queue, c.qi = c.queue[:0], 0
+	var batch []relation.Row
+	for len(batch) < inljBatch {
+		l, err := c.left.Next()
+		if err != nil {
+			return err
+		}
+		if l == nil {
+			c.leftDone = true
+			break
+		}
+		batch = append(batch, l)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	t, ok := c.e.db.Table(c.jn.scan.ref.Name)
+	if !ok {
+		return fmt.Errorf("sqlmini: unknown table %q", c.jn.scan.ref.Name)
+	}
+	// Distinct probe keys across the batch; NULL keys never join.
+	probePos := c.jn.leftKeys[c.jn.inljKeyIdx]
+	var keys []relation.Value
+	seen := make(map[string]bool, len(batch))
+	kbuf := make([]relation.Value, 1)
+	for _, l := range batch {
+		v := l[probePos]
+		if v == nil {
+			continue
+		}
+		kbuf[0] = v
+		k := joinKey(kbuf)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, v)
+		}
+	}
+	var fetched []relation.Row
+	if len(keys) > 0 {
+		if c.jn.inljPK {
+			pkKeys := make([][]relation.Value, len(keys))
+			for i, v := range keys {
+				pkKeys[i] = []relation.Value{v}
+			}
+			fetched = t.GetMany(pkKeys...)
+		} else {
+			fetched = t.LookupMany(c.jn.inljCol, keys)
+		}
+	}
+	// The right side's pushed filters still apply to fetched rows, then
+	// rows bucket by the full join key for the probe pass.
+	buckets := make(map[string][]relation.Row, len(fetched))
+	rbuf := make([]relation.Value, len(c.jn.rightKeys))
+	for _, r := range fetched {
+		ok, err := passFilters(c.jn.scan.filter, r, c.rightRS)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if k, okk := rowKey(r, c.jn.rightKeys, rbuf); okk {
+			buckets[k] = append(buckets[k], r)
+		}
+	}
+	lbuf := make([]relation.Value, len(c.jn.leftKeys))
+	for _, l := range batch {
+		matched := false
+		if k, okk := rowKey(l, c.jn.leftKeys, lbuf); okk {
+			for _, r := range buckets[k] {
+				row := combineRows(l, r, c.rightWidth)
+				ok, err := passResidual(c.jn, row, c.combined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					c.queue = append(c.queue, row)
+					matched = true
+				}
+			}
+		}
+		if !matched && c.jn.jtype == "LEFT" {
+			c.queue = append(c.queue, combineRows(l, nil, c.rightWidth))
+		}
+	}
+	return nil
+}
+
+func (c *inljCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	for {
+		if c.qi < len(c.queue) {
+			row := c.queue[c.qi]
+			c.qi++
+			return row, nil
+		}
+		if c.leftDone {
+			return nil, nil
+		}
+		if err := c.fillBatch(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *inljCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	c.queue = nil
+}
+
+// nestedLoopCursor handles joins without equi keys: the right side
+// materializes once, the left streams through it.
+type nestedLoopCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	rightWidth int
+
+	started   bool
+	closed    bool
+	rightRows []relation.Row
+	cur       relation.Row
+	ri        int
+	matched   bool
+}
+
+func (c *nestedLoopCursor) start() error {
+	rc, err := c.e.openScan(c.jn.scan, false)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	for {
+		r, err := rc.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		c.rightRows = append(c.rightRows, r)
+	}
+	c.started = true
+	return nil
+}
+
+func (c *nestedLoopCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	if !c.started {
+		if err := c.start(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if c.cur != nil {
+			for c.ri < len(c.rightRows) {
+				r := c.rightRows[c.ri]
+				c.ri++
+				row := combineRows(c.cur, r, c.rightWidth)
+				ok, err := passResidual(c.jn, row, c.combined)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					c.matched = true
+					return row, nil
+				}
+			}
+			if !c.matched && c.jn.jtype == "LEFT" {
+				row := combineRows(c.cur, nil, c.rightWidth)
+				c.cur = nil
+				return row, nil
+			}
+			c.cur = nil
+		}
+		l, err := c.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			return nil, nil
+		}
+		c.cur, c.ri, c.matched = l, 0, false
+	}
+}
+
+func (c *nestedLoopCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	c.rightRows, c.cur = nil, nil
+}
+
+// permCursor permutes each row from executed column order back to
+// written order after a cost-based join reorder.
+type permCursor struct {
+	in   cursor
+	perm []int
+}
+
+func (c *permCursor) Next() (relation.Row, error) {
+	row, err := c.in.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	out := make(relation.Row, len(c.perm))
+	for w, e := range c.perm {
+		out[w] = row[e]
+	}
+	return out, nil
+}
+
+func (c *permCursor) Close() { c.in.Close() }
+
+// filterCursor applies the post-join WHERE conjuncts.
+type filterCursor struct {
+	in    cursor
+	rs    *rowset
+	conds []Expr
+}
+
+func (c *filterCursor) Next() (relation.Row, error) {
+	for {
+		row, err := c.in.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		ok, err := passFilters(c.conds, row, c.rs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (c *filterCursor) Close() { c.in.Close() }
+
+// limitCursor implements streaming OFFSET/LIMIT for pipelines whose
+// output order is already final (no sort pending): skip rows, then stop
+// the whole pipeline — and all the work below it — once the limit is
+// reached.
+type limitCursor struct {
+	in        cursor
+	skip      int64
+	remain    int64
+	unlimited bool
+}
+
+func (c *limitCursor) Next() (relation.Row, error) {
+	for c.skip > 0 {
+		row, err := c.in.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		c.skip--
+	}
+	if !c.unlimited {
+		if c.remain <= 0 {
+			return nil, nil
+		}
+		c.remain--
+	}
+	return c.in.Next()
+}
+
+func (c *limitCursor) Close() { c.in.Close() }
+
+// openPlan opens the full planned pipeline: driver access, joins in
+// executed order, the written-order permutation when reordered, then
+// residual WHERE conjuncts.
+func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
+	cur, err := e.openScan(p.scan, p.orderElide)
+	if err != nil {
+		return nil, err
+	}
+	var acc []colRef
+	if len(p.joins) > 0 {
+		acc = append(acc, p.scan.cols...)
+	}
+	for _, jn := range p.joins {
+		rightWidth := len(jn.scan.cols)
+		acc = append(acc, jn.scan.cols...)
+		combined := &rowset{cols: append([]colRef(nil), acc...)}
+		switch {
+		case jn.inlj:
+			cur = &inljCursor{e: e, left: cur, jn: jn, combined: combined,
+				rightRS: &rowset{cols: jn.scan.cols}, rightWidth: rightWidth}
+		case len(jn.leftKeys) > 0 && jn.buildLeft:
+			cur = &buildLeftJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+		case len(jn.leftKeys) > 0:
+			cur = &hashJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+		default:
+			cur = &nestedLoopCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+		}
+	}
+	if p.perm != nil {
+		cur = &permCursor{in: cur, perm: p.perm}
+	}
+	if len(p.where) > 0 {
+		cur = &filterCursor{in: cur, rs: &rowset{cols: p.cols}, conds: p.where}
+	}
+	return cur, nil
+}
+
+// drainCursor pulls a pipeline dry into a materialized row list — the
+// bridge to the aggregation/sort/DISTINCT stages, which need the full
+// result anyway.
+func drainCursor(cur cursor) ([]relation.Row, error) {
+	defer cur.Close()
+	var out []relation.Row
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -29,14 +29,18 @@
 // Query/Exec(sql, args...) remain as thin wrappers over the same path.
 //
 // Every prepared statement lands in the engine's PlanCache, keyed on
-// the statement text and fingerprinted by the identity and mutation
-// version (relation.Table.Version) of each table the plan touches. A
-// lookup whose fingerprint went stale — the table mutated, or was
-// dropped and recreated — invalidates the entry and replans; held
-// *Stmt handles revalidate the same way before every execution, so
-// statements survive DDL. The Site facade shares one engine (hence one
-// cache) across the SQL facade, FlexRecs and the baseline recommenders,
-// and exposes the hit/miss/invalidation counters (CacheStats) at
+// the statement text and fingerprinted by the identity, SCHEMA EPOCH
+// (relation.Table.SchemaEpoch) and planned row count of each table the
+// plan touches. Row DML never invalidates: plans bake in access-path
+// choices, not data, so a cached plan keeps serving across arbitrary
+// insert/update/delete churn. A plan replans only when its fingerprint
+// genuinely staled — the table was dropped and recreated, an index was
+// added in place (the epoch moved), or the live-row count drifted past
+// double or below half of what the planner costed with. Held *Stmt
+// handles revalidate the same way before every execution, so statements
+// survive DDL. The Site facade shares one engine (hence one cache)
+// across the SQL facade, FlexRecs and the baseline recommenders, and
+// exposes the hit/miss/invalidation counters (CacheStats) at
 // /api/stats.
 //
 // # Planning
@@ -50,16 +54,49 @@
 //     Lookup/LookupMany against the secondary hash index; when several
 //     indexed equalities compete, table statistics (relation.TableStats)
 //     pick the most selective
+//   - range scan: <, <=, >, >= or BETWEEN over a column with an ordered
+//     index (relation.WithOrderedIndex / ORDERED INDEX in CREATE TABLE)
+//     → an index walk between the bounds, yielding rows in key order;
+//     literal bounds are costed by counting index entries, late-bound
+//     params by a fixed fraction
 //   - scan: everything else, with the table's pushed-down predicates
 //     evaluated inline during the scan
 //
 // Single-table predicates push below joins wherever SQL semantics allow
-// (never past the null-producing side of a LEFT join); equality
-// conjuncts between two tables become build/probe hash-join keys, with
-// the build side chosen from the row estimates; non-equi joins fall
-// back to a nested loop. Column references are resolved to positions
-// once at prepare time (boundRef), so per-row evaluation skips name
-// resolution entirely.
+// (never past the null-producing side of a LEFT join). Joins pick their
+// algorithm from the estimates: equality conjuncts become build/probe
+// hash-join keys with the smaller side as build; when the probe input
+// is far smaller than an indexed right scan, the hash build is replaced
+// by an index nested-loop join — left rows arrive in batches whose keys
+// drive LookupMany (or GetMany through a single-column primary key), so
+// only right rows that can match are ever fetched; non-equi joins fall
+// back to a nested loop. Chains of two or more INNER joins additionally
+// reorder by estimated cost (greedy smallest-first over the connected
+// tables), with output columns permuted back to written order so
+// projection and callers are oblivious. Column references are resolved
+// to positions once at prepare time (boundRef), so per-row evaluation
+// skips name resolution entirely.
+//
+// # Execution: the iterator pipeline
+//
+// Execution is volcano-style (cursor.go): every plan node opens as a
+// cursor and rows are pulled one at a time from the top — Rows.Next
+// reaches all the way down to the storage layer's batched table
+// cursors, which fetch row references a few hundred at a time under the
+// read lock. Nothing below a hash-join build side materializes, so a
+// wide join consumed through Rows a row at a time — or cut short by a
+// streaming LIMIT or an early Close — never pays for rows nobody
+// reads. Aggregation, DISTINCT and un-elided ORDER BY drain the
+// pipeline first, since they need the full result anyway.
+//
+// Every join cursor emits left-major row order — identical to the
+// materialized executor it replaced — which makes two things true: the
+// planning engine returns byte-identical results to ForceScan (parity
+// tests), and a driver range scan's key order survives to the output.
+// The planner exploits the latter to ELIDE an ORDER BY whose single
+// ascending key is the driver's range column (Explain shows "order by …
+// elided"); elided-order queries stream through Rows like unordered
+// ones.
 //
 // Explain returns the chosen plan as text without executing; the
 // FlexRecs engine surfaces it beneath each compiled statement, and the

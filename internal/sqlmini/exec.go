@@ -94,103 +94,6 @@ func (e *Engine) execEntry(en *cacheEntry, args []any) (int, error) {
 	return 0, fmt.Errorf("sqlmini: unsupported statement %T", en.ast)
 }
 
-// execScan materializes one planned base-table access: a primary-key
-// lookup, a secondary-index probe, or a full scan with pushed filters
-// evaluated inline. Scanned rows are retained by reference: the relation
-// store never mutates a stored row in place, so references stay
-// consistent snapshots.
-func (e *Engine) execScan(s *scanNode) (*rowset, error) {
-	t, ok := e.db.Table(s.ref.Name)
-	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", s.ref.Name)
-	}
-	rs := &rowset{cols: s.cols}
-	switch s.access {
-	case accessPK:
-		if s.pkMulti {
-			// IN over a single-column primary key: one batched probe.
-			keys := make([][]relation.Value, 0, len(s.probeKeys))
-			for _, ke := range s.probeKeys {
-				v, err := evalScalar(ke, nil, rs)
-				if err != nil {
-					return nil, err
-				}
-				if v != nil { // NULL keys never match
-					keys = append(keys, []relation.Value{v})
-				}
-			}
-			rs.rows = t.GetMany(keys...)
-			break
-		}
-		keys := make([]relation.Value, len(s.probeKeys))
-		for i, ke := range s.probeKeys {
-			v, err := evalScalar(ke, nil, rs)
-			if err != nil {
-				return nil, err
-			}
-			if v == nil {
-				return rs, nil // "= NULL" matches no row
-			}
-			keys[i] = v
-		}
-		if row, found := t.Get(keys...); found {
-			rs.rows = append(rs.rows, row)
-		}
-	case accessIndex:
-		keys := make([]relation.Value, 0, len(s.probeKeys))
-		for _, ke := range s.probeKeys {
-			v, err := evalScalar(ke, nil, rs)
-			if err != nil {
-				return nil, err
-			}
-			if v != nil { // NULL keys never match
-				keys = append(keys, v)
-			}
-		}
-		rs.rows = t.LookupMany(s.probeCol, keys)
-	default:
-		var evalErr error
-		rs.rows = make([]relation.Row, 0, t.Len())
-		t.Scan(func(_ int, row relation.Row) bool {
-			for _, f := range s.filter {
-				v, err := evalScalar(f, row, rs)
-				if err != nil {
-					evalErr = err
-					return false
-				}
-				if !relation.Truthy(v) {
-					return true
-				}
-			}
-			rs.rows = append(rs.rows, row)
-			return true
-		})
-		return rs, evalErr
-	}
-	// Probe paths still owe the residual pushed filters.
-	if len(s.filter) > 0 {
-		kept := rs.rows[:0]
-		for _, row := range rs.rows {
-			pass := true
-			for _, f := range s.filter {
-				v, err := evalScalar(f, row, rs)
-				if err != nil {
-					return nil, err
-				}
-				if !relation.Truthy(v) {
-					pass = false
-					break
-				}
-			}
-			if pass {
-				kept = append(kept, row)
-			}
-		}
-		rs.rows = kept
-	}
-	return rs, nil
-}
-
 // splitConjuncts flattens a tree of ANDs into its conjuncts.
 func splitConjuncts(e Expr) []Expr {
 	if b, ok := e.(*Binary); ok && b.Op == "AND" {
@@ -221,128 +124,6 @@ func rowKey(row relation.Row, cols []int, buf []relation.Value) (string, bool) {
 		buf[i] = row[c]
 	}
 	return joinKey(buf), true
-}
-
-// execJoin combines left and right rowsets as the planner decided: a
-// build/probe hash join over the extracted equi keys, or a nested loop
-// when none exist. Residual conjuncts apply per joined pair. Output
-// always preserves left-major row order, whichever side is built.
-func execJoin(left, right *rowset, jn *joinNode) (*rowset, error) {
-	combined := &rowset{cols: append(append([]colRef{}, left.cols...), right.cols...)}
-
-	emit := func(l, r relation.Row) {
-		row := make(relation.Row, 0, len(l)+len(r))
-		row = append(row, l...)
-		if r == nil {
-			for range right.cols {
-				row = append(row, nil)
-			}
-		} else {
-			row = append(row, r...)
-		}
-		combined.rows = append(combined.rows, row)
-	}
-	passResidual := func(l, r relation.Row) (bool, error) {
-		if len(jn.residual) == 0 {
-			return true, nil
-		}
-		row := make(relation.Row, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		for _, c := range jn.residual {
-			v, err := evalScalar(c, row, combined)
-			if err != nil {
-				return false, err
-			}
-			if !relation.Truthy(v) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-
-	switch {
-	case len(jn.leftKeys) > 0 && jn.buildLeft:
-		// Build on the (smaller) left side, probe with right rows,
-		// buffering matches per left row to keep left-major order.
-		buckets := make(map[string][]int, len(left.rows))
-		buf := make([]relation.Value, len(jn.leftKeys))
-		for i, l := range left.rows {
-			if k, ok := rowKey(l, jn.leftKeys, buf); ok {
-				buckets[k] = append(buckets[k], i)
-			}
-		}
-		matches := make([][]relation.Row, len(left.rows))
-		for _, r := range right.rows {
-			k, ok := rowKey(r, jn.rightKeys, buf)
-			if !ok {
-				continue
-			}
-			for _, li := range buckets[k] {
-				ok, err := passResidual(left.rows[li], r)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					matches[li] = append(matches[li], r)
-				}
-			}
-		}
-		for i, l := range left.rows {
-			for _, r := range matches[i] {
-				emit(l, r)
-			}
-		}
-		return combined, nil
-
-	case len(jn.leftKeys) > 0:
-		// Build on the right, probe from the left.
-		buckets := make(map[string][]relation.Row, len(right.rows))
-		buf := make([]relation.Value, len(jn.rightKeys))
-		for _, r := range right.rows {
-			if k, ok := rowKey(r, jn.rightKeys, buf); ok {
-				buckets[k] = append(buckets[k], r)
-			}
-		}
-		for _, l := range left.rows {
-			matched := false
-			if k, ok := rowKey(l, jn.leftKeys, buf); ok {
-				for _, r := range buckets[k] {
-					ok, err := passResidual(l, r)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						emit(l, r)
-						matched = true
-					}
-				}
-			}
-			if !matched && jn.jtype == "LEFT" {
-				emit(l, nil)
-			}
-		}
-		return combined, nil
-	}
-
-	// Nested-loop join for non-equi conditions.
-	for _, l := range left.rows {
-		matched := false
-		for _, r := range right.rows {
-			ok, err := passResidual(l, r)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				emit(l, r)
-				matched = true
-			}
-		}
-		if !matched && jn.jtype == "LEFT" {
-			emit(l, nil)
-		}
-	}
-	return combined, nil
 }
 
 // outputName picks the result column name for a select item.
@@ -379,56 +160,39 @@ func expandStars(items []SelectItem, rs *rowset) ([]SelectItem, error) {
 	return out, nil
 }
 
-// execPlan materializes a planned FROM/JOIN/WHERE pipeline: access
-// paths, joins in written order, then the residual predicates the
-// planner could not push down.
-func (e *Engine) execPlan(p *selectPlan) (*rowset, error) {
-	rs, err := e.execScan(p.scan)
-	if err != nil {
-		return nil, err
-	}
-	for _, jn := range p.joins {
-		right, err := e.execScan(jn.scan)
-		if err != nil {
-			return nil, err
-		}
-		if rs, err = execJoin(rs, right, jn); err != nil {
-			return nil, err
-		}
-	}
-	if len(p.where) > 0 {
-		kept := rs.rows[:0:0]
-		for _, row := range rs.rows {
-			pass := true
-			for _, c := range p.where {
-				v, err := evalScalar(c, row, rs)
-				if err != nil {
-					return nil, err
-				}
-				if !relation.Truthy(v) {
-					pass = false
-					break
-				}
-			}
-			if pass {
-				kept = append(kept, row)
-			}
-		}
-		rs = &rowset{cols: rs.cols, rows: kept}
-	}
-	return rs, nil
-}
-
 // execSelect runs one prepared SELECT with the given bound parameters.
 // Everything parameter-independent — the physical plan, star expansion,
 // output naming, expression binding, aggregation mode — happened at
 // prepare time; here parameters substitute into copy-on-write shadows
-// of the shared structures and the pipeline executes.
+// of the shared structures, the cursor pipeline opens (cursor.go), and
+// its rows drain into the projection/aggregation stages below.
 func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Result, error) {
-	rs, err := e.execPlan(bindPlan(ps.plan, params))
-	if err != nil {
-		return nil, err
+	plan := bindPlan(ps.plan, params)
+	var drained []relation.Row
+	if len(plan.joins) == 0 && len(plan.where) == 0 &&
+		(plan.scan.access == accessPK || plan.scan.access == accessIndex) {
+		// Probe-only plan: the result is key-bounded; materialize it
+		// directly and skip the cursor plumbing — this is the prepared
+		// point-lookup hot path.
+		t, ok := e.db.Table(plan.scan.ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: unknown table %q", plan.scan.ref.Name)
+		}
+		var err error
+		drained, err = probeRows(plan.scan, t, &rowset{cols: plan.scan.cols})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cur, err := e.openPlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		if drained, err = drainCursor(cur); err != nil {
+			return nil, err
+		}
 	}
+	rs := &rowset{cols: plan.cols, rows: drained}
 	bound := substItems(ps.items, params)
 
 	var outRows []relation.Row
@@ -523,8 +287,10 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 
 	// ORDER BY: keys resolved to output columns at prepare time read the
 	// output row; anything else evaluates against the source row (or
-	// group, in aggregate mode).
-	if len(ps.order) > 0 {
+	// group, in aggregate mode). When the planner proved the pipeline
+	// already emits the sort order (a driver range scan over the sort
+	// key), the sort is elided entirely.
+	if len(ps.order) > 0 && !ps.plan.orderElide {
 		orderExprs := make([]Expr, len(ps.order))
 		for j, ob := range ps.order {
 			orderExprs[j] = substExpr(ob.expr, params)
@@ -769,6 +535,9 @@ func (e *Engine) execCreate(st *CreateStmt) error {
 	}
 	for _, ix := range st.Indexes {
 		opts = append(opts, relation.WithIndex(ix))
+	}
+	for _, ix := range st.Ordered {
+		opts = append(opts, relation.WithOrderedIndex(ix))
 	}
 	t, err := relation.NewTable(st.Table, relation.NewSchema(st.Cols...), opts...)
 	if err != nil {

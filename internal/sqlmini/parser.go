@@ -451,6 +451,21 @@ func (p *parser) parseCreate() (*CreateStmt, error) {
 			if err := p.expectSymbol(")"); err != nil {
 				return nil, err
 			}
+		case p.acceptKeyword("ORDERED"):
+			if err := p.expectKeyword("INDEX"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Ordered = append(st.Ordered, c)
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
 		default:
 			name, err := p.expectIdent()
 			if err != nil {

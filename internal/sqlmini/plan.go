@@ -16,6 +16,9 @@ const (
 	accessPK
 	// accessIndex probes a secondary hash index with one or more keys.
 	accessIndex
+	// accessRange walks an ordered secondary index between two bounds,
+	// yielding rows in key order.
+	accessRange
 )
 
 // scanNode is one base-table access: the path the planner chose plus the
@@ -33,6 +36,13 @@ type scanNode struct {
 	probeCol  string
 	probeKeys []Expr
 	pkMulti   bool
+
+	// accessRange: rangeCol names the ordered-indexed column; a nil
+	// bound expression leaves that end open. Bound values evaluate when
+	// the cursor opens (they may be late-bound params).
+	rangeCol         string
+	rangeLo, rangeHi Expr
+	loInc, hiInc     bool
 
 	// filter holds pushed conjuncts evaluated against base rows during
 	// the scan or after the probe; bound at plan time when resolvable.
@@ -60,18 +70,37 @@ type joinNode struct {
 	// by buffering matches per left row.
 	buildLeft bool
 
+	// inlj replaces building a hash over the whole right side with
+	// batched index probes: left rows arrive in batches, their keys
+	// drive LookupMany (or GetMany when inljPK) against inljCol, and
+	// only the matching right rows are ever fetched. Chosen when the
+	// probe side is far smaller than the build side.
+	inlj       bool
+	inljCol    string // right column probed through its index
+	inljPK     bool   // probe the single-column primary key via GetMany
+	inljKeyIdx int    // which leftKeys/rightKeys pair feeds the probe
+
 	estLeft float64 // estimated left-input rows when planned
 }
 
 // selectPlan is the physical plan for one SELECT: access paths, join
-// order (left-deep, as written), and residual predicates, feeding the
-// projection/aggregation pipeline in exec.go.
+// order, and residual predicates, feeding the cursor pipeline in
+// cursor.go and the projection/aggregation stages in exec.go.
 type selectPlan struct {
 	scan  *scanNode
 	joins []*joinNode
-	where []Expr   // post-join conjuncts that could not be pushed
-	cols  []colRef // combined column layout after all joins
-	deps  []tableDep // tables and versions the plan was built against
+	where []Expr     // post-join conjuncts that could not be pushed
+	cols  []colRef   // column layout in WRITTEN order (projection binds here)
+	deps  []tableDep // tables and epochs the plan was built against
+
+	// perm maps written column positions to executed positions when the
+	// join chain was reordered; nil means the orders coincide. The
+	// executor permutes each joined row back to written order before the
+	// WHERE filter and projection run.
+	perm       []int
+	joinOrder  []string // binding names in executed order, set when reordered
+	orderElide bool     // pipeline already emits ORDER BY's order; skip the sort
+	orderText  string   // the elided ORDER BY key, for Explain
 }
 
 func (s *scanNode) describe() string {
@@ -85,6 +114,8 @@ func (s *scanNode) describe() string {
 		fmt.Fprintf(&b, "pk lookup %s (%s = %s)", name, s.probeCol, keyList(s.probeKeys))
 	case accessIndex:
 		fmt.Fprintf(&b, "index probe %s (%s = %s)", name, s.probeCol, keyList(s.probeKeys))
+	case accessRange:
+		fmt.Fprintf(&b, "range scan %s (%s)", name, s.rangeText())
 	default:
 		fmt.Fprintf(&b, "scan %s", name)
 	}
@@ -93,6 +124,27 @@ func (s *scanNode) describe() string {
 	}
 	fmt.Fprintf(&b, " ~%d of %d rows", int(s.est), s.tableRows)
 	return b.String()
+}
+
+// rangeText renders the bounds of a range access, e.g. "Year >= 2008"
+// or "Rating > 2 AND Rating <= 4".
+func (s *scanNode) rangeText() string {
+	var parts []string
+	if s.rangeLo != nil {
+		op := ">"
+		if s.loInc {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", s.rangeCol, op, s.rangeLo.String()))
+	}
+	if s.rangeHi != nil {
+		op := "<"
+		if s.hiInc {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", s.rangeCol, op, s.rangeHi.String()))
+	}
+	return strings.Join(parts, " AND ")
 }
 
 func exprList(es []Expr) string {
@@ -114,12 +166,21 @@ func keyList(es []Expr) string {
 // String renders the plan as an indented tree — the output of Explain.
 func (p *selectPlan) String() string {
 	var b strings.Builder
+	if len(p.joinOrder) > 0 {
+		fmt.Fprintf(&b, "join order: %s (reordered by estimated cost)\n", strings.Join(p.joinOrder, " ⋈ "))
+	}
 	depth := 0
 	for i := len(p.joins) - 1; i >= 0; i-- {
 		j := p.joins[i]
 		indent := strings.Repeat("  ", depth)
 		algo := "nested loop"
-		if len(j.leftKeys) > 0 {
+		if j.inlj {
+			kind := "index"
+			if j.inljPK {
+				kind = "pk"
+			}
+			algo = fmt.Sprintf("index nested loop on %s, probe=%s(%s)", strings.Join(j.keyText, " AND "), kind, j.inljCol)
+		} else if len(j.leftKeys) > 0 {
 			side := "right"
 			if j.buildLeft {
 				side = "left"
@@ -137,6 +198,9 @@ func (p *selectPlan) String() string {
 	fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), p.scan.describe())
 	if len(p.where) > 0 {
 		fmt.Fprintf(&b, "where %s\n", exprList(p.where))
+	}
+	if p.orderElide {
+		fmt.Fprintf(&b, "order by %s elided (range scan emits sort order)\n", p.orderText)
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package sqlmini
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"courserank/internal/relation"
@@ -283,17 +284,19 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 		if !ok {
 			return fmt.Errorf("sqlmini: unknown table %q", ref.Name)
 		}
-		// The version is read before the statistics: a mutation racing
-		// the plan then leaves a stale fingerprint, forcing a replan,
-		// rather than a fresh fingerprint over stale statistics.
-		deps = append(deps, tableDep{name: ref.Name, tbl: t, version: t.Version()})
+		// The schema epoch is read before the statistics: a shape change
+		// racing the plan then leaves a stale fingerprint, forcing a
+		// replan, rather than a fresh fingerprint over stale statistics.
+		epoch := t.SchemaEpoch()
+		stats := t.Stats()
+		deps = append(deps, tableDep{name: ref.Name, tbl: t, epoch: epoch, rows: stats.Rows})
 		qual := ref.Binding()
 		sch := t.Schema()
 		rs := &rowset{cols: make([]colRef, sch.Len())}
 		for i := 0; i < sch.Len(); i++ {
 			rs.cols[i] = colRef{qual: qual, name: sch.Column(i).Name}
 		}
-		tables = append(tables, &planTable{ref: ref, tbl: t, rs: rs, stats: t.Stats()})
+		tables = append(tables, &planTable{ref: ref, tbl: t, rs: rs, stats: stats})
 		return nil
 	}
 	if err := add(st.From); err != nil {
@@ -334,6 +337,12 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 			p.where = splitConjuncts(st.Where)
 		}
 		return p, nil
+	}
+
+	// Chains of two or more INNER joins are fair game for cost-based
+	// reordering; the dedicated builder also handles conjunct pooling.
+	if rp, ok := e.planReordered(st, tables, deps, combined); ok {
+		return rp, nil
 	}
 
 	// Classify WHERE conjuncts: single-table predicates on non-nullable
@@ -427,21 +436,8 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 		chooseAccess(t)
 	}
 
-	// Decide hash build sides from the estimates, left-deep outward.
-	estLeft := tables[0].scan.est
-	for _, jn := range p.joins {
-		jn.estLeft = estLeft
-		if len(jn.leftKeys) > 0 && jn.jtype == "INNER" && estLeft < jn.scan.est {
-			jn.buildLeft = true
-		}
-		// Crude output estimate: an equi join keeps about the larger
-		// side; a nested loop multiplies.
-		if len(jn.leftKeys) > 0 {
-			estLeft = maxf(estLeft, jn.scan.est)
-		} else {
-			estLeft = estLeft * maxf(jn.scan.est, 1)
-		}
-	}
+	// Decide join algorithms and build sides from the estimates.
+	decideJoins(p, tables)
 
 	// Bind what can be bound once, so per-row evaluation skips name
 	// resolution. Scan filters bind against the table's own columns;
@@ -463,7 +459,406 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 	for i, w := range p.where {
 		p.where[i] = bindOrKeep(w, combined)
 	}
+	setOrderElision(p, st, tables, 0)
 	return p, nil
+}
+
+// planReordered builds the plan for a chain of two or more INNER joins,
+// where join order is a pure cost decision: conjuncts from every ON
+// clause and the WHERE pool together, single-table predicates push into
+// their scans unconditionally, and the chain executes in the cheapest
+// greedy order. Output columns stay in written order — the executor
+// permutes each joined row back through plan.perm — so projection,
+// ORDER BY and star expansion are oblivious to the reorder. It reports
+// false (and leaves the tables untouched) when the query shape
+// disqualifies it, falling back to the written-order planner.
+func (e *Engine) planReordered(st *SelectStmt, tables []*planTable, deps []tableDep, combined *rowset) (*selectPlan, bool) {
+	if len(st.Joins) < 2 {
+		return nil, false
+	}
+	for _, j := range st.Joins {
+		if j.Type != "INNER" {
+			return nil, false
+		}
+	}
+
+	// Classify every conjunct into per-table filters or the join pool
+	// WITHOUT touching shared planner state, so a bail-out leaves the
+	// written-order path a clean slate.
+	scanFilters := make([][]Expr, len(tables))
+	var onPool, wherePool []poolConj
+	var where []Expr
+	classify := func(c Expr, fromOn bool) bool {
+		if hasAggregate(c) {
+			if fromOn {
+				return false
+			}
+			where = append(where, c)
+			return true
+		}
+		mask, ok := bindingsOf(c, tables)
+		if !ok || mask == 0 {
+			if fromOn {
+				return false // keep ON-residual timing: use the written-order path
+			}
+			where = append(where, c)
+			return true
+		}
+		if mask&(mask-1) == 0 {
+			ti := bitIndex(mask)
+			scanFilters[ti] = append(scanFilters[ti], c)
+			return true
+		}
+		pc := poolConj{expr: c, mask: mask}
+		if b, isBin := c.(*Binary); isBin && b.Op == "=" {
+			_, lok := b.L.(*Ref)
+			_, rok := b.R.(*Ref)
+			pc.equi = lok && rok && bits.OnesCount64(mask) == 2
+		}
+		if fromOn {
+			onPool = append(onPool, pc)
+		} else {
+			wherePool = append(wherePool, pc)
+		}
+		return true
+	}
+	if st.Where != nil {
+		for _, c := range splitConjuncts(st.Where) {
+			if !classify(c, false) {
+				return nil, false
+			}
+		}
+	}
+	for _, j := range st.Joins {
+		if j.On == nil {
+			continue
+		}
+		for _, c := range splitConjuncts(j.On) {
+			if !classify(c, true) {
+				return nil, false
+			}
+		}
+	}
+
+	// Commit the pushdowns and cost the access paths.
+	for i, t := range tables {
+		t.scan.filter = scanFilters[i]
+	}
+	for _, t := range tables {
+		chooseAccess(t)
+	}
+
+	pool := append(append([]poolConj(nil), onPool...), wherePool...)
+	written := make([]int, len(tables))
+	for i := range written {
+		written[i] = i
+	}
+	order := greedyOrder(tables, pool)
+	reordered := false
+	for i := range order {
+		if order[i] != written[i] {
+			reordered = true
+			break
+		}
+	}
+	// Only adopt a different order when the model says it clearly wins;
+	// estimates are crude and churn has a cost of its own.
+	if reordered && chainCost(tables, pool, order) >= 0.9*chainCost(tables, pool, written) {
+		order, reordered = written, false
+	}
+
+	p := &selectPlan{scan: tables[order[0]].scan, deps: deps, cols: combined.cols}
+	ordTables := []*planTable{tables[order[0]]}
+	left := &rowset{cols: append([]colRef(nil), tables[order[0]].rs.cols...)}
+	placed := uint64(1) << uint(order[0])
+	usedOn := make([]bool, len(onPool))
+	usedWhere := make([]bool, len(wherePool))
+	for _, ti := range order[1:] {
+		right := tables[ti]
+		jn := &joinNode{jtype: "INNER", scan: right.scan}
+		newMask := placed | 1<<uint(ti)
+		assign := func(pool []poolConj, used []bool) {
+			for pi, pc := range pool {
+				if used[pi] || pc.mask&^newMask != 0 {
+					continue
+				}
+				used[pi] = true
+				if li, ri, ok := equiKey(pc.expr, left, right.rs); ok {
+					jn.leftKeys = append(jn.leftKeys, li)
+					jn.rightKeys = append(jn.rightKeys, ri)
+					jn.keyText = append(jn.keyText, pc.expr.String())
+					continue
+				}
+				jn.residual = append(jn.residual, pc.expr)
+			}
+		}
+		assign(onPool, usedOn)
+		assign(wherePool, usedWhere)
+		p.joins = append(p.joins, jn)
+		left.cols = append(left.cols, right.rs.cols...)
+		placed = newMask
+		ordTables = append(ordTables, right)
+	}
+	p.where = where
+	decideJoins(p, ordTables)
+
+	if reordered {
+		p.joinOrder = make([]string, len(ordTables))
+		for i, t := range ordTables {
+			p.joinOrder[i] = t.ref.Binding()
+		}
+		p.perm = columnPerm(tables, order)
+	}
+
+	// Bind: scan filters against their own table, residuals against the
+	// columns joined so far IN EXECUTED ORDER, WHERE against the written
+	// layout (the executor permutes rows back before the WHERE filter).
+	for _, t := range tables {
+		for i, f := range t.scan.filter {
+			t.scan.filter[i] = bindOrKeep(f, t.rs)
+		}
+	}
+	execCols := append([]colRef(nil), ordTables[0].rs.cols...)
+	for ji, jn := range p.joins {
+		execCols = append(execCols, ordTables[ji+1].rs.cols...)
+		sub := &rowset{cols: execCols}
+		for i, r := range jn.residual {
+			jn.residual[i] = bindOrKeep(r, sub)
+		}
+	}
+	for i, w := range p.where {
+		p.where[i] = bindOrKeep(w, combined)
+	}
+	setOrderElision(p, st, tables, order[0])
+	return p, true
+}
+
+// poolConj is one multi-table conjunct awaiting assignment to the
+// earliest join that sees all its tables.
+type poolConj struct {
+	expr Expr
+	mask uint64
+	equi bool // structurally "ref = ref" across exactly two tables
+}
+
+// greedyOrder picks a join order: start at the table with the smallest
+// estimated output, then repeatedly take the cheapest table connected
+// to the placed set by an equi conjunct (falling back to the cheapest
+// unconnected table, which costs a cross product).
+func greedyOrder(tables []*planTable, pool []poolConj) []int {
+	n := len(tables)
+	start := 0
+	for i := 1; i < n; i++ {
+		if tables[i].scan.est < tables[start].scan.est {
+			start = i
+		}
+	}
+	order := []int{start}
+	placed := uint64(1) << uint(start)
+	connected := func(ti int) bool {
+		for _, pc := range pool {
+			if pc.equi && pc.mask&(1<<uint(ti)) != 0 && pc.mask&^(placed|1<<uint(ti)) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for len(order) < n {
+		best := -1
+		for ti := 0; ti < n; ti++ {
+			if placed&(1<<uint(ti)) != 0 || !connected(ti) {
+				continue
+			}
+			if best < 0 || tables[ti].scan.est < tables[best].scan.est {
+				best = ti
+			}
+		}
+		if best < 0 {
+			for ti := 0; ti < n; ti++ {
+				if placed&(1<<uint(ti)) != 0 {
+					continue
+				}
+				if best < 0 || tables[ti].scan.est < tables[best].scan.est {
+					best = ti
+				}
+			}
+		}
+		order = append(order, best)
+		placed |= 1 << uint(best)
+	}
+	return order
+}
+
+// chainCost estimates executing the chain in the given order: each
+// equi-connected step pays a hash build over the right side plus a
+// probe pass over the intermediate; an unconnected step pays the cross
+// product. The same crude model prices both candidate orders, so only
+// the comparison matters.
+func chainCost(tables []*planTable, pool []poolConj, order []int) float64 {
+	placed := uint64(1) << uint(order[0])
+	interm := tables[order[0]].scan.est
+	cost := interm
+	for _, ti := range order[1:] {
+		est := tables[ti].scan.est
+		connected := false
+		for _, pc := range pool {
+			if pc.equi && pc.mask&(1<<uint(ti)) != 0 && pc.mask&^(placed|1<<uint(ti)) == 0 {
+				connected = true
+				break
+			}
+		}
+		if connected {
+			cost += est + interm
+			interm = maxf(interm, est)
+		} else {
+			interm = interm * maxf(est, 1)
+			cost += interm
+		}
+		placed |= 1 << uint(ti)
+	}
+	return cost
+}
+
+// columnPerm maps written column positions to executed positions for a
+// reordered chain: out[writtenIdx] = executedIdx.
+func columnPerm(tables []*planTable, order []int) []int {
+	writtenOff := make([]int, len(tables))
+	off := 0
+	for i, t := range tables {
+		writtenOff[i] = off
+		off += len(t.rs.cols)
+	}
+	execOff := make([]int, len(tables))
+	off = 0
+	for _, ti := range order {
+		execOff[ti] = off
+		off += len(tables[ti].rs.cols)
+	}
+	perm := make([]int, off)
+	for i, t := range tables {
+		for j := range t.rs.cols {
+			perm[writtenOff[i]+j] = execOff[i] + j
+		}
+	}
+	return perm
+}
+
+// Index nested-loop thresholds: the probe side must be at least this
+// much smaller than the build side, and the build side big enough that
+// skipping its hash build is worth per-batch probe overhead.
+const (
+	inljMinRight    = 64
+	inljProbeFactor = 4
+)
+
+// decideJoins picks each join's physical algorithm from the estimates,
+// left-deep outward: index nested-loop when the left input is far
+// smaller than an indexed right scan, otherwise a hash join with the
+// smaller side as build (INNER only), otherwise the nested loop the
+// missing equi keys force. ordTables lists the tables in executed
+// order, aligned with p.scan and p.joins.
+func decideJoins(p *selectPlan, ordTables []*planTable) {
+	estLeft := ordTables[0].scan.est
+	for i, jn := range p.joins {
+		right := ordTables[i+1]
+		jn.estLeft = estLeft
+		if len(jn.leftKeys) > 0 {
+			if right.scan.access == accessScan && right.scan.est >= inljMinRight &&
+				estLeft*inljProbeFactor <= right.scan.est {
+				if ki, col, pk, ok := inljProbe(right, jn.rightKeys); ok {
+					jn.inlj, jn.inljCol, jn.inljPK, jn.inljKeyIdx = true, col, pk, ki
+				}
+			}
+			if !jn.inlj && jn.jtype == "INNER" && estLeft < jn.scan.est {
+				jn.buildLeft = true
+			}
+			// Crude output estimate: an equi join keeps about the larger
+			// side; a nested loop multiplies.
+			estLeft = maxf(estLeft, jn.scan.est)
+		} else {
+			estLeft = estLeft * maxf(jn.scan.est, 1)
+		}
+	}
+}
+
+// inljProbe finds a right-side join key column answerable through an
+// index: a secondary hash index, or a single-column primary key (probed
+// batched via GetMany).
+func inljProbe(right *planTable, rightKeys []int) (int, string, bool, bool) {
+	for ki, rpos := range rightKeys {
+		col := right.rs.cols[rpos].name
+		if right.tbl.HasIndex(col) {
+			return ki, col, false, true
+		}
+		if pk := right.tbl.PrimaryKey(); len(pk) == 1 && strings.EqualFold(pk[0], col) {
+			return ki, col, true, true
+		}
+	}
+	return 0, "", false, false
+}
+
+// setOrderElision marks the plan when the pipeline already emits the
+// query's ORDER BY order: the executed driver is a range scan over an
+// ordered index, the single ascending sort key resolves to that very
+// column, and no aggregation reshapes rows. Every join algorithm
+// preserves left-major row order, so the driver's key order survives to
+// the output and the sort can be skipped (ties break by slot order on
+// both the sorted and elided paths, keeping forced-scan parity exact).
+func setOrderElision(p *selectPlan, st *SelectStmt, tables []*planTable, driverIdx int) {
+	driver := tables[driverIdx]
+	if driver.scan.access != accessRange {
+		return
+	}
+	if len(st.OrderBy) != 1 || st.OrderBy[0].Desc {
+		return
+	}
+	if len(st.GroupBy) > 0 || hasAggregate(st.Having) {
+		return
+	}
+	for _, item := range st.List {
+		if hasAggregate(item.Expr) {
+			return
+		}
+	}
+	ref, ok := st.OrderBy[0].Expr.(*Ref)
+	if !ok {
+		return
+	}
+	combined := &rowset{cols: p.cols}
+	gi, err := combined.resolve(ref.Qual, ref.Name)
+	if err != nil {
+		return
+	}
+	off := 0
+	for _, t := range tables {
+		if t == driver {
+			break
+		}
+		off += len(t.rs.cols)
+	}
+	ci, err := driver.rs.resolve("", driver.scan.rangeCol)
+	if err != nil || gi != off+ci {
+		return
+	}
+	// ORDER BY resolves output aliases before source columns: an
+	// explicit item whose name shadows the sort key must itself be that
+	// same column, or the sort reads different values and must run.
+	if ref.Qual == "" {
+		for _, item := range st.List {
+			if item.Star || !strings.EqualFold(outputName(item), ref.Name) {
+				continue
+			}
+			r2, isRef := item.Expr.(*Ref)
+			if !isRef {
+				return
+			}
+			gi2, err := combined.resolve(r2.Qual, r2.Name)
+			if err != nil || gi2 != gi {
+				return
+			}
+		}
+	}
+	p.orderElide, p.orderText = true, st.OrderBy[0].Expr.String()
 }
 
 // equiKey recognizes "l = r" with one side in the left layout and the
@@ -537,6 +932,7 @@ func chooseAccess(t *planTable) {
 		}
 	}
 	if len(eqs) == 0 {
+		chooseRange(t)
 		return
 	}
 
@@ -600,6 +996,7 @@ func chooseAccess(t *planTable) {
 		}
 	}
 	if best < 0 {
+		chooseRange(t)
 		return
 	}
 	c := eqs[best]
@@ -616,6 +1013,193 @@ func chooseAccess(t *planTable) {
 	if s.est > float64(t.stats.Rows) {
 		s.est = float64(t.stats.Rows)
 	}
+}
+
+// chooseRange upgrades a scan to an ordered-index range access when its
+// pushed filters bound an ordered-indexed column with <, <=, >, >= or
+// BETWEEN. One lower and one upper conjunct per column combine; with
+// literal bounds the index itself counts the matching rows (O(log n)),
+// late-bound params fall back to fixed fractions. The used conjuncts
+// leave the filter list — the range cursor enforces them.
+func chooseRange(t *planTable) {
+	s := t.scan
+	type cand struct {
+		col          string
+		lo, hi       Expr
+		loInc, hiInc bool
+		drop         []int
+	}
+	var cands []*cand
+	candFor := func(col string) *cand {
+		for _, c := range cands {
+			if strings.EqualFold(c.col, col) {
+				return c
+			}
+		}
+		c := &cand{col: col}
+		cands = append(cands, c)
+		return c
+	}
+	for i, f := range s.filter {
+		switch x := f.(type) {
+		case *Binary:
+			op := x.Op
+			var ref *Ref
+			var key Expr
+			if r, ok := x.L.(*Ref); ok && isConst(x.R) {
+				ref, key = r, x.R
+			} else if r, ok := x.R.(*Ref); ok && isConst(x.L) {
+				ref, key = r, x.L
+				op = flipCompare(op)
+			} else {
+				continue
+			}
+			if op != "<" && op != "<=" && op != ">" && op != ">=" {
+				continue
+			}
+			if !t.tbl.HasOrderedIndex(ref.Name) {
+				continue
+			}
+			c := candFor(ref.Name)
+			switch op {
+			case ">", ">=":
+				if c.lo == nil {
+					c.lo, c.loInc = key, op == ">="
+					c.drop = append(c.drop, i)
+				}
+			case "<", "<=":
+				if c.hi == nil {
+					c.hi, c.hiInc = key, op == "<="
+					c.drop = append(c.drop, i)
+				}
+			}
+		case *Between:
+			if x.Not {
+				continue
+			}
+			r, ok := x.X.(*Ref)
+			if !ok || !isConst(x.Lo) || !isConst(x.Hi) {
+				continue
+			}
+			if !t.tbl.HasOrderedIndex(r.Name) {
+				continue
+			}
+			c := candFor(r.Name)
+			if c.lo == nil && c.hi == nil {
+				c.lo, c.loInc, c.hi, c.hiInc = x.Lo, true, x.Hi, true
+				c.drop = append(c.drop, i)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	estOf := func(c *cand) float64 {
+		lo, loOK := rangeBoundOf(c.lo, c.loInc)
+		hi, hiOK := rangeBoundOf(c.hi, c.hiInc)
+		if loOK && hiOK {
+			if n, ok := t.tbl.RangeCount(c.col, lo, hi); ok {
+				return float64(n)
+			}
+		}
+		if c.lo != nil && c.hi != nil {
+			return float64(t.stats.Rows) / 4
+		}
+		return float64(t.stats.Rows) / 3
+	}
+	best := cands[0]
+	bestEst := estOf(best)
+	for _, c := range cands[1:] {
+		if est := estOf(c); est < bestEst {
+			best, bestEst = c, est
+		}
+	}
+	s.access = accessRange
+	s.rangeCol = best.col
+	s.rangeLo, s.loInc = best.lo, best.loInc
+	s.rangeHi, s.hiInc = best.hi, best.hiInc
+	s.filter = removeAt(s.filter, best.drop)
+	s.est = bestEst
+	if s.est > float64(t.stats.Rows) {
+		s.est = float64(t.stats.Rows)
+	}
+}
+
+// rangeBoundOf evaluates a planning-time bound expression into a
+// relation.RangeBound, reporting false when the value is only known at
+// bind time (it contains a param) or fails to evaluate.
+func rangeBoundOf(e Expr, inclusive bool) (*relation.RangeBound, bool) {
+	if e == nil {
+		return nil, true
+	}
+	if containsParam(e) {
+		return nil, false
+	}
+	v, err := evalScalar(e, nil, &rowset{})
+	if err != nil || v == nil {
+		return nil, false
+	}
+	return &relation.RangeBound{Value: v, Inclusive: inclusive}, true
+}
+
+// flipCompare mirrors a comparison operator across its operands:
+// "k < col" means "col > k".
+func flipCompare(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// containsParam reports whether e has any late-bound placeholder.
+func containsParam(e Expr) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if found {
+			return
+		}
+		switch x := e.(type) {
+		case *Param:
+			found = true
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *In:
+			walk(x.X)
+			for _, a := range x.List {
+				walk(a)
+			}
+		case *Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *IsNull:
+			walk(x.X)
+		case *Case:
+			walk(x.Operand)
+			walk(x.Else)
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+		}
+	}
+	walk(e)
+	return found
 }
 
 // removeAt returns list without the elements at the given positions.

@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -24,7 +25,8 @@ func plannerDB(t *testing.T) *Engine {
 	years := relation.MustTable("CourseYears", relation.NewSchema(
 		relation.NotNullCol("CourseID", relation.TypeInt),
 		relation.NotNullCol("Year", relation.TypeInt),
-	), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"))
+	), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"),
+		relation.WithOrderedIndex("Year"))
 	db.MustCreate(years)
 	comments := relation.MustTable("Comments", relation.NewSchema(
 		relation.NotNullCol("CommentID", relation.TypeInt),
@@ -47,6 +49,17 @@ func plannerDB(t *testing.T) *Engine {
 		}
 		comments.MustInsert(relation.Row{int64(i), int64(i % 7), cid, rating})
 		cid = cid%12 + 1
+	}
+	// Enrollments is big enough (200 rows ≥ inljMinRight) that joining a
+	// small probe side against it picks an index nested-loop join.
+	enroll := relation.MustTable("Enrollments", relation.NewSchema(
+		relation.NotNullCol("SuID", relation.TypeInt),
+		relation.NotNullCol("CourseID", relation.TypeInt),
+		relation.NotNullCol("Units", relation.TypeInt),
+	), relation.WithIndex("SuID"))
+	db.MustCreate(enroll)
+	for i := 0; i < 200; i++ {
+		enroll.MustInsert(relation.Row{int64(i % 25), int64(1 + i%12), int64(3 + i%3)})
 	}
 	return New(db)
 }
@@ -204,6 +217,212 @@ func TestForceScanPlansNaively(t *testing.T) {
 	}
 	if !strings.Contains(out, "nested loop") {
 		t.Fatalf("forced plan should nested-loop:\n%s", out)
+	}
+}
+
+// TestExplainGoldenRangeINLJReorder pins the access paths and join
+// algorithms introduced by the iterator executor: ordered-index range
+// scans for inequality/BETWEEN predicates, index nested-loop joins when
+// the probe side is far smaller than an indexed build side, cost-based
+// reordering of INNER chains, and ORDER BY elision when the driving
+// range scan already emits the sort key's order.
+func TestExplainGoldenRangeINLJReorder(t *testing.T) {
+	e := plannerDB(t)
+	cases := []struct {
+		name string
+		sql  string
+		args []any
+		want string
+	}{
+		{
+			name: "range scan with a literal lower bound, exact count from the index",
+			sql:  `SELECT * FROM CourseYears WHERE Year >= 2009`,
+			want: "range scan CourseYears (Year >= 2009) ~6 of 12 rows\n",
+		},
+		{
+			name: "BETWEEN compiles to a two-bound range scan",
+			sql:  `SELECT * FROM CourseYears WHERE Year BETWEEN 2008 AND 2009`,
+			want: "range scan CourseYears (Year >= 2008 AND Year <= 2009) ~12 of 12 rows\n",
+		},
+		{
+			name: "strict bound stays exclusive",
+			sql:  `SELECT * FROM CourseYears WHERE Year > 2008`,
+			want: "range scan CourseYears (Year > 2008) ~6 of 12 rows\n",
+		},
+		{
+			name: "tiny probe side against a big indexed table: index nested loop",
+			sql:  `SELECT * FROM Comments m JOIN Enrollments en ON m.SuID = en.SuID WHERE m.CommentID = 1`,
+			want: "index nested loop on (m.SuID = en.SuID), probe=index(SuID) (INNER)\n" +
+				"  scan Enrollments AS en ~200 of 200 rows\n" +
+				"  pk lookup Comments AS m (CommentID = 1) ~1 of 30 rows\n",
+		},
+		{
+			name: "INNER chain reorders to start from the most selective probe",
+			sql: `SELECT c.Title FROM Courses c JOIN Comments m ON c.CourseID = m.CourseID ` +
+				`JOIN CourseYears y ON c.CourseID = y.CourseID WHERE m.SuID = 1 AND y.Year = 2009`,
+			want: "join order: m ⋈ c ⋈ y (reordered by estimated cost)\n" +
+				"hash join on (c.CourseID = y.CourseID), build=right (INNER)\n" +
+				"  index probe CourseYears AS y (Year = 2009) ~6 of 12 rows\n" +
+				"  hash join on (c.CourseID = m.CourseID), build=left (INNER)\n" +
+				"    scan Courses AS c ~12 of 12 rows\n" +
+				"    index probe Comments AS m (SuID = 1) ~4 of 30 rows\n",
+		},
+		{
+			name: "ORDER BY on the range column elides the sort",
+			sql:  `SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year`,
+			want: "range scan CourseYears (Year >= 2009) ~6 of 12 rows\n" +
+				"order by Year elided (range scan emits sort order)\n",
+		},
+	}
+	for _, tc := range cases {
+		got, err := e.Explain(tc.sql, tc.args...)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s:\n got:\n%s want:\n%s", tc.name, got, tc.want)
+		}
+	}
+
+	// A prepared range plan is chosen with the bound still unknown and
+	// costed as a fixed fraction; the key renders as '?'.
+	st, err := e.Prepare(`SELECT * FROM CourseYears WHERE Year >= ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "range scan CourseYears (Year >= ?) ~4 of 12 rows\n"; out != want {
+		t.Errorf("prepared range explain:\n got:\n%s want:\n%s", out, want)
+	}
+}
+
+// TestNoElisionWhenOrderDiffers pins the cases that must keep sorting:
+// descending keys, a different column, aggregation, and an output alias
+// shadowing the range column with a different source.
+func TestNoElisionWhenOrderDiffers(t *testing.T) {
+	e := plannerDB(t)
+	for _, sql := range []string{
+		`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year DESC`,
+		`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY CourseID`,
+		`SELECT Year, COUNT(*) AS n FROM CourseYears WHERE Year >= 2008 GROUP BY Year ORDER BY Year`,
+		`SELECT CourseID AS Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year`,
+	} {
+		out, err := e.Explain(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if strings.Contains(out, "elided") {
+			t.Errorf("%q must not elide its sort:\n%s", sql, out)
+		}
+	}
+}
+
+// sortedRows renders and sorts a result's rows for order-insensitive
+// comparison — range scans emit key order, reordered joins another
+// table's major order, so only the multiset is pinned for those.
+func sortedRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRangeINLJReorderParity runs the new plan shapes against forced
+// full-scan execution. Queries whose output order the engine guarantees
+// (ORDER BY, with or without elision) compare exactly; the rest compare
+// as multisets.
+func TestRangeINLJReorderParity(t *testing.T) {
+	e := plannerDB(t)
+	forced := e.ForceScan()
+
+	exact := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year`, nil},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= ? ORDER BY Year LIMIT 4`, []any{2008}},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year BETWEEN 2008 AND 2009 ORDER BY Year, CourseID`, nil},
+		{`SELECT * FROM Comments m JOIN Enrollments en ON m.SuID = en.SuID WHERE m.CommentID = 1`, nil},
+		{`SELECT en.CourseID, c.Title FROM Enrollments en JOIN Courses c ON en.CourseID = c.CourseID WHERE en.SuID = 3`, nil},
+	}
+	for _, q := range exact {
+		plan, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("planned %q: %v", q.sql, err)
+			continue
+		}
+		naive, err := forced.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("forced %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(plan, naive) {
+			t.Errorf("%q: planned and forced results differ\nplanned: %v\nforced:  %v", q.sql, plan.Rows, naive.Rows)
+		}
+	}
+
+	multiset := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT * FROM CourseYears WHERE Year >= 2009`, nil},
+		{`SELECT * FROM CourseYears WHERE Year > ? AND Year <= ?`, []any{2007, 2009}},
+		{`SELECT * FROM CourseYears WHERE Year NOT BETWEEN 2009 AND 2010`, nil},
+		{`SELECT c.Title FROM Courses c JOIN Comments m ON c.CourseID = m.CourseID JOIN CourseYears y ON c.CourseID = y.CourseID WHERE m.SuID = 1 AND y.Year = 2009`, nil},
+		{`SELECT c.DepID, m.Rating FROM Courses c JOIN Comments m ON c.CourseID = m.CourseID JOIN CourseYears y ON c.CourseID = y.CourseID WHERE m.Rating >= 2 AND y.Year = 2008 AND c.DepID <> 'me'`, nil},
+	}
+	for _, q := range multiset {
+		plan, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("planned %q: %v", q.sql, err)
+			continue
+		}
+		naive, err := forced.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("forced %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(plan.Columns, naive.Columns) {
+			t.Errorf("%q: columns %v vs %v", q.sql, plan.Columns, naive.Columns)
+			continue
+		}
+		if !reflect.DeepEqual(sortedRows(plan), sortedRows(naive)) {
+			t.Errorf("%q: planned and forced row multisets differ\nplanned: %v\nforced:  %v", q.sql, plan.Rows, naive.Rows)
+		}
+	}
+}
+
+// TestCreateOrderedIndexSQL covers the DDL surface: ORDERED INDEX in
+// CREATE TABLE wires a range access path end to end.
+func TestCreateOrderedIndexSQL(t *testing.T) {
+	e := New(relation.NewDB())
+	if _, err := e.Exec(`CREATE TABLE Readings (ID INT NOT NULL, Temp FLOAT NOT NULL, PRIMARY KEY (ID), ORDERED INDEX (Temp))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := e.Exec(`INSERT INTO Readings VALUES (?, ?)`, int64(i), float64(i)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := e.Explain(`SELECT ID FROM Readings WHERE Temp >= 5.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "range scan Readings (Temp >= 5)") {
+		t.Fatalf("ORDERED INDEX did not produce a range plan:\n%s", out)
+	}
+	res, err := e.Query(`SELECT ID FROM Readings WHERE Temp >= 5.0 ORDER BY Temp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || res.Rows[0][0] != int64(10) {
+		t.Fatalf("range query rows: %v", res.Rows)
 	}
 }
 

@@ -251,18 +251,19 @@ func (e *Engine) QueryRows(sql string, args ...any) (*Rows, error) {
 	return e.rowsEntry(en, args)
 }
 
-// rowsEntry binds args and opens a Rows cursor. Plain projections
-// stream: the join/filter pipeline materializes its source rows, but
-// each output row is projected lazily during iteration, so wide results
-// consumed a row at a time never materialize twice. Aggregation,
-// DISTINCT, ORDER BY and LIMIT/OFFSET need the full result anyway and
-// fall back to wrapping the materialized rows.
+// rowsEntry binds args and opens a Rows cursor. Plain projections —
+// and, since the iterator executor, queries whose ORDER BY the planner
+// elided — stream end to end: Rows.Next pulls one row at a time through
+// the cursor pipeline down to the storage layer, LIMIT/OFFSET apply as
+// a streaming stage (stopping the pipeline early), and each output row
+// projects lazily at Scan. Aggregation, DISTINCT and un-elided ORDER BY
+// need the full result anyway and fall back to materialized rows.
 func (e *Engine) rowsEntry(en *cacheEntry, args []any) (*Rows, error) {
 	if en.sel == nil {
 		return nil, fmt.Errorf("sqlmini: Query requires a SELECT statement")
 	}
 	ps := en.sel
-	if ps.aggMode || ps.sel.Distinct || len(ps.order) > 0 || ps.sel.Limit != nil || ps.sel.Offset != nil {
+	if ps.aggMode || ps.sel.Distinct || (len(ps.order) > 0 && !ps.plan.orderElide) {
 		res, err := e.queryEntry(en, args)
 		if err != nil {
 			return nil, err
@@ -273,13 +274,31 @@ func (e *Engine) rowsEntry(en *cacheEntry, args []any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	src, err := e.execPlan(bindPlan(ps.plan, params))
+	plan := bindPlan(ps.plan, params)
+	cur, err := e.openPlan(plan)
 	if err != nil {
 		return nil, err
 	}
+	if ps.sel.Limit != nil || ps.sel.Offset != nil {
+		offset, err := evalIntClause(substExpr(ps.sel.Offset, params), 0)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		limit, err := evalIntClause(substExpr(ps.sel.Limit, params), -1)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		if offset < 0 {
+			offset = 0
+		}
+		cur = &limitCursor{in: cur, skip: offset, remain: limit, unlimited: limit < 0}
+	}
 	return &Rows{
 		cols:  append([]string(nil), ps.outCols...),
-		src:   src,
+		cur:   cur,
+		rs:    &rowset{cols: plan.cols},
 		items: substItems(ps.items, params),
 		idx:   -1,
 	}, nil
@@ -290,9 +309,11 @@ func (e *Engine) rowsEntry(en *cacheEntry, args []any) (*Rows, error) {
 // concurrent use.
 type Rows struct {
 	cols  []string
-	src   *rowset      // lazy-projection source (plain projections)
-	items []SelectItem // bound projection over src
-	out   []relation.Row // pre-materialized rows (agg/order/distinct/limit)
+	cur   cursor         // streaming pipeline (plain/elided-order queries)
+	rs    *rowset        // source-row layout for lazy projection
+	items []SelectItem   // bound projection over source rows
+	row   relation.Row   // current source row (streaming mode)
+	out   []relation.Row // pre-materialized rows (agg/order/distinct)
 	idx   int
 	err   error
 }
@@ -300,9 +321,9 @@ type Rows struct {
 // Columns returns the result column names.
 func (r *Rows) Columns() []string { return r.cols }
 
-// Err returns the first error any Scan encountered, if any — so a
-// drain loop that ignores Scan's return value still observes the
-// failure. Once an error is recorded, Next returns false.
+// Err returns the first error the pipeline or any Scan encountered, if
+// any — so a drain loop that ignores Scan's return value still observes
+// the failure. Once an error is recorded, Next returns false.
 func (r *Rows) Err() error { return r.err }
 
 // fail records the cursor's first error and returns it.
@@ -313,42 +334,59 @@ func (r *Rows) fail(err error) error {
 	return err
 }
 
-// Close releases the cursor's references; further Next calls return
-// false. Close is idempotent and optional — a drained Rows holds no
-// external resources.
+// Close releases the cursor, stopping the underlying pipeline — a
+// partially consumed streaming Rows does no further scan or join work.
+// Close is idempotent and optional — a drained Rows holds no external
+// resources.
 func (r *Rows) Close() {
-	r.src, r.items, r.out = nil, nil, nil
-	r.idx = 1 << 30
-}
-
-func (r *Rows) len() int {
-	if r.src != nil {
-		return len(r.src.rows)
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
 	}
-	return len(r.out)
+	r.items, r.out, r.row = nil, nil, nil
+	r.idx = 1 << 30
 }
 
 // Next advances to the next row, reporting whether one is available.
 func (r *Rows) Next() bool {
-	if r.err != nil || r.idx >= r.len() {
+	if r.err != nil {
+		return false
+	}
+	if r.cur != nil {
+		row, err := r.cur.Next()
+		if err != nil {
+			r.fail(err)
+			return false
+		}
+		if row == nil {
+			r.row = nil
+			return false
+		}
+		r.row = row
+		return true
+	}
+	if r.idx >= len(r.out) {
 		return false
 	}
 	r.idx++
-	return r.idx < r.len()
+	return r.idx < len(r.out)
 }
 
 // Scan copies the current row into dest, one pointer per column:
 // *int64, *float64, *string, *bool, or *any (which receives the raw
-// value, nil for NULL). In lazy mode the projection evaluates here, so
-// skipped rows are never projected at all.
+// value, nil for NULL). In streaming mode the projection evaluates
+// here, so skipped rows are never projected at all.
 func (r *Rows) Scan(dest ...any) error {
-	if r.idx < 0 || r.idx >= r.len() {
+	if r.cur != nil && r.row == nil {
+		return fmt.Errorf("sqlmini: Scan called without a successful Next")
+	}
+	if r.cur == nil && (r.idx < 0 || r.idx >= len(r.out)) {
 		return fmt.Errorf("sqlmini: Scan called without a successful Next")
 	}
 	if len(dest) != len(r.cols) {
 		return r.fail(fmt.Errorf("sqlmini: Scan expects %d destinations, got %d", len(r.cols), len(dest)))
 	}
-	if r.out != nil {
+	if r.cur == nil {
 		for i, d := range dest {
 			if err := assignValue(d, r.out[r.idx][i]); err != nil {
 				return r.fail(fmt.Errorf("sqlmini: Scan column %s: %w", r.cols[i], err))
@@ -356,9 +394,8 @@ func (r *Rows) Scan(dest ...any) error {
 		}
 		return nil
 	}
-	row := r.src.rows[r.idx]
 	for i, item := range r.items {
-		v, err := evalScalar(item.Expr, row, r.src)
+		v, err := evalScalar(item.Expr, r.row, r.rs)
 		if err != nil {
 			return r.fail(err)
 		}

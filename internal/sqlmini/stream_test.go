@@ -1,0 +1,276 @@
+package sqlmini
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+// TestRowsStreamParity: the streaming cursor must produce exactly the
+// rows the materialized path does, for plain projections, range-driven
+// plans, joins, and elided-ORDER BY with LIMIT/OFFSET — all of which
+// now stream end to end.
+func TestRowsStreamParity(t *testing.T) {
+	e := plannerDB(t)
+	queries := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT CourseID, Title FROM Courses WHERE DepID = ?`, []any{"cs"}},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009`, nil},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= ? ORDER BY Year`, []any{2008}},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2008 ORDER BY Year LIMIT 5 OFFSET 2`, nil},
+		{`SELECT c.Title, m.Rating FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID WHERE m.SuID = 2`, nil},
+		{`SELECT m.CommentID, en.CourseID FROM Comments m JOIN Enrollments en ON m.SuID = en.SuID WHERE m.CommentID = 1`, nil},
+	}
+	for _, q := range queries {
+		want, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Fatalf("%q: %v", q.sql, err)
+		}
+		rows, err := e.QueryRows(q.sql, q.args...)
+		if err != nil {
+			t.Fatalf("%q: %v", q.sql, err)
+		}
+		var got []relation.Row
+		for rows.Next() {
+			dest := make([]any, len(rows.Columns()))
+			ptrs := make([]any, len(dest))
+			for i := range dest {
+				ptrs[i] = &dest[i]
+			}
+			if err := rows.Scan(ptrs...); err != nil {
+				t.Fatalf("%q: %v", q.sql, err)
+			}
+			got = append(got, relation.Row(dest))
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("%q: %v", q.sql, err)
+		}
+		if len(got) != len(want.Rows) {
+			t.Fatalf("%q: streamed %d rows, materialized %d", q.sql, len(got), len(want.Rows))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want.Rows[i]) {
+				t.Fatalf("%q row %d: streamed %v, materialized %v", q.sql, i, got[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+// TestRowsEarlyCloseStopsPipeline: a partially consumed streaming Rows
+// can be closed mid-iteration; further Next calls return false and no
+// error surfaces.
+func TestRowsEarlyCloseStopsPipeline(t *testing.T) {
+	e := plannerDB(t)
+	rows, err := e.QueryRows(`SELECT m.CommentID, c.Title FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 3 {
+			rows.Close()
+		}
+	}
+	if n != 3 {
+		t.Fatalf("iterated %d rows after Close at 3", n)
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close should stay false")
+	}
+}
+
+// TestStreamingUnderDML is the -race test for the iterator executor:
+// open Rows cursors pull rows (plain scans, range scans and joins)
+// while writers churn the same tables. Readers check internal
+// consistency — every streamed row satisfies its predicate and is
+// well-formed — not fixed counts, since cursors legitimately observe a
+// moving table.
+func TestStreamingUnderDML(t *testing.T) {
+	db := relation.NewDB()
+	e := New(db)
+	mustExec := func(sql string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(sql, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE TABLE Events (ID INT NOT NULL, Kind TEXT NOT NULL, Score INT NOT NULL,
+		PRIMARY KEY (ID), INDEX (Kind), ORDERED INDEX (Score))`)
+	mustExec(`CREATE TABLE Kinds (Kind TEXT NOT NULL, Label TEXT NOT NULL, INDEX (Kind))`)
+	for _, k := range []string{"a", "b", "c"} {
+		mustExec(`INSERT INTO Kinds VALUES (?, ?)`, k, "label-"+k)
+	}
+	for i := 0; i < 300; i++ {
+		mustExec(`INSERT INTO Events VALUES (?, ?, ?)`, int64(i), []string{"a", "b", "c"}[i%3], int64(i%100))
+	}
+
+	const (
+		readers = 3
+		writers = 2
+		iters   = 120
+	)
+	var wg sync.WaitGroup
+	fail := make(chan string, readers*3+writers)
+
+	// Range readers: stream a range cursor while rows come and go.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rows, err := e.QueryRows(`SELECT ID, Score FROM Events WHERE Score >= ? ORDER BY Score`, int64(40))
+				if err != nil {
+					fail <- "range open: " + err.Error()
+					return
+				}
+				prev := int64(-1)
+				for rows.Next() {
+					var id, score int64
+					if err := rows.Scan(&id, &score); err != nil {
+						fail <- "range scan: " + err.Error()
+						rows.Close()
+						return
+					}
+					if score < 40 {
+						fail <- "range leaked an out-of-bounds row"
+						rows.Close()
+						return
+					}
+					if score < prev {
+						fail <- "elided order not ascending"
+						rows.Close()
+						return
+					}
+					prev = score
+				}
+				if err := rows.Err(); err != nil {
+					fail <- "range err: " + err.Error()
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Join readers: stream a hash join, closing early half the time.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rows, err := e.QueryRows(`SELECT ev.ID, k.Label FROM Events ev JOIN Kinds k ON ev.Kind = k.Kind WHERE ev.Score < 50`)
+				if err != nil {
+					fail <- "join open: " + err.Error()
+					return
+				}
+				n := 0
+				for rows.Next() {
+					var id any
+					var label string
+					if err := rows.Scan(&id, &label); err != nil {
+						fail <- "join scan: " + err.Error()
+						rows.Close()
+						return
+					}
+					if len(label) < 6 || label[:6] != "label-" {
+						fail <- "join produced a malformed row"
+						rows.Close()
+						return
+					}
+					n++
+					if i%2 == 0 && n == 5 {
+						rows.Close()
+					}
+				}
+				if err := rows.Err(); err != nil {
+					fail <- "join err: " + err.Error()
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Writers: churn a dedicated id range under the open cursors.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(1000 + 100*g)
+			for i := 0; i < iters; i++ {
+				id := base + int64(i%50)
+				if _, err := e.Exec(`INSERT INTO Events VALUES (?, 'b', ?)`, id, int64(45+i%20)); err != nil {
+					fail <- "insert: " + err.Error()
+					return
+				}
+				if _, err := e.Exec(`UPDATE Events SET Score = Score + 1 WHERE ID = ?`, id); err != nil {
+					fail <- "update: " + err.Error()
+					return
+				}
+				if _, err := e.Exec(`DELETE FROM Events WHERE ID = ?`, id); err != nil {
+					fail <- "delete: " + err.Error()
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+}
+
+// TestDegradedRangeFallbackKeepsElidedOrder pins the executor's last
+// line of defense: a plan that elided its ORDER BY on the strength of
+// an ordered index, executed against a same-name replacement table that
+// lost the index (the DROP/CREATE race window before invalidation),
+// must still return rows in sort order — the fallback scan re-sorts.
+func TestDegradedRangeFallbackKeepsElidedOrder(t *testing.T) {
+	db := relation.NewDB()
+	e := New(db)
+	if _, err := e.Exec(`CREATE TABLE T (ID INT NOT NULL, V INT NOT NULL, PRIMARY KEY (ID), ORDERED INDEX (V))`); err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{7, 2, 9, 4, 6, 3, 8}
+	for i, v := range vals {
+		if _, err := e.Exec(`INSERT INTO T VALUES (?, ?)`, int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	en, err := e.buildEntry(`SELECT ID, V FROM T WHERE V >= 3 ORDER BY V`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !en.sel.plan.orderElide {
+		t.Fatal("plan should elide the sort while the ordered index exists")
+	}
+	// Replace T with an index-less clone holding the same rows.
+	old := db.MustTable("T")
+	db.Drop("T")
+	fresh := relation.MustTable("T", old.Schema(), relation.WithPrimaryKey("ID"))
+	old.Scan(func(_ int, r relation.Row) bool {
+		fresh.MustInsert(r.Clone())
+		return true
+	})
+	db.MustCreate(fresh)
+	res, err := e.execSelect(en.sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].(int64) < res.Rows[i-1][1].(int64) {
+			t.Fatalf("degraded fallback broke the elided order: %v", res.Rows)
+		}
+	}
+}

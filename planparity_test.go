@@ -6,7 +6,9 @@
 package courserank
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -176,5 +178,89 @@ func TestWorkflowExplainShowsAccessPaths(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("workflow explain missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWorkflowExplainShowsRangeAndINLJ pins the iterator-executor
+// access paths on live FlexRecs workflows: the recency-scoped Figure
+// 5(a) variant compiles its "Year >= since" predicate to an
+// ordered-index range scan, and the per-student rated-courses feed
+// joins its handful of comments to the catalog through an index
+// nested-loop over the Courses primary key.
+func TestWorkflowExplainShowsRangeAndINLJ(t *testing.T) {
+	r := parityRunner(t)
+	tpl, _ := r.Site.Strategies.Get("related-courses")
+	wf, err := tpl.Build(map[string]any{"title": "Introduction to Programming", "k": 5, "since": 2008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Site.Flex.Explain(wf)
+	if !strings.Contains(out, "range scan CourseYears (Year >= 2008)") {
+		t.Errorf("since-scoped workflow explain missing the range scan:\n%s", out)
+	}
+	tpl, ok := r.Site.Strategies.Get("rated-courses")
+	if !ok {
+		t.Fatal("missing strategy rated-courses")
+	}
+	wf, err = tpl.Build(map[string]any{"student": r.Man.SampleStudent, "k": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = r.Site.Flex.Explain(wf)
+	if !strings.Contains(out, "index nested loop on (Comments.CourseID = Courses.CourseID), probe=pk(CourseID)") {
+		t.Errorf("rated-courses explain missing the index nested-loop join:\n%s", out)
+	}
+}
+
+// TestRangeAndINLJWorkflowParity runs the new plan shapes through the
+// workflow engine against forced execution. rated-courses preserves row
+// order exactly (the index nested-loop emits left-major order like the
+// nested loop it replaces); the range-scoped variant emits the range in
+// key order, so its rows compare as a multiset (Top is disabled via a
+// huge k so boundary ties cannot skew the comparison).
+func TestRangeAndINLJWorkflowParity(t *testing.T) {
+	r := parityRunner(t)
+
+	tpl, _ := r.Site.Strategies.Get("rated-courses")
+	p, n := runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
+		wf, err := tpl.Build(map[string]any{"student": r.Man.SampleStudent, "k": 50})
+		if err != nil {
+			return nil, err
+		}
+		return flex.Run(wf)
+	})
+	pr, nr := p.(*flexrecs.Relation), n.(*flexrecs.Relation)
+	if len(pr.Rows) == 0 {
+		t.Fatal("rated-courses returned no rows for the sample student")
+	}
+	if !reflect.DeepEqual(pr.Rows, nr.Rows) {
+		t.Errorf("rated-courses: planned and forced rows differ\nplanned: %v\nforced:  %v", pr.Rows, nr.Rows)
+	}
+
+	tpl, _ = r.Site.Strategies.Get("related-courses")
+	p, n = runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
+		wf, err := tpl.Build(map[string]any{"title": "Introduction to Programming", "k": 1 << 20, "since": 2008})
+		if err != nil {
+			return nil, err
+		}
+		return flex.Run(wf)
+	})
+	pr, nr = p.(*flexrecs.Relation), n.(*flexrecs.Relation)
+	if len(pr.Rows) == 0 {
+		t.Fatal("since-scoped related-courses returned no rows")
+	}
+	if len(pr.Rows) != len(nr.Rows) {
+		t.Fatalf("since-scoped related-courses: %d planned rows vs %d forced", len(pr.Rows), len(nr.Rows))
+	}
+	sorted := func(rows [][]any) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprint(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(sorted(pr.Rows), sorted(nr.Rows)) {
+		t.Error("since-scoped related-courses: planned and forced row multisets differ")
 	}
 }
