@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"courserank/internal/benchfmt"
@@ -129,6 +130,71 @@ func benchmarks(r *experiments.Runner) []struct {
 					b.Fatal(err)
 				}
 				if _, err := r.Site.Flex.Run(wf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// MergeJoinOrdered streams the first 200 rows of a join whose both
+		// sides walk ordered Year indexes: no hash build, no
+		// materialization — the merge cursor pulls both index walks in
+		// lockstep and an early Close stops them.
+		{"MergeJoinOrdered", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT y.CourseID, o.OfferingID FROM CourseYears y JOIN Offerings o ON y.Year = o.Year`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out, err := st.Explain(); err != nil || !strings.Contains(out, "merge join") {
+				b.Fatalf("scenario does not ride a merge join (%v):\n%s", err, out)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := st.QueryRows()
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for rows.Next() && n < 200 {
+					n++
+				}
+				rows.Close()
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// TopRatedDescElided is the "best first" feed: Rating >= ? plus
+		// ORDER BY Rating DESC answered by one descending walk of the
+		// Comments.Rating ordered index, sort elided.
+		{"TopRatedDescElided", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT SuID, CourseID, Rating FROM Comments WHERE Rating >= ? ORDER BY Rating DESC`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out, err := st.Explain(); err != nil || !strings.Contains(out, "order by Rating DESC elided") {
+				b.Fatalf("scenario does not elide its DESC sort (%v):\n%s", err, out)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(4.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// YearBandJoin answers "courses offered within ±1 year of this
+		// course's offerings" with per-left-row range probes of the
+		// CourseYears.Year ordered index — a band join.
+		{"YearBandJoin", func(b *testing.B) {
+			st, err := r.Site.SQL.Prepare(`SELECT a.CourseID, b.CourseID, b.Year FROM CourseYears a JOIN CourseYears b ON b.Year BETWEEN a.Year - 1 AND a.Year + 1 WHERE a.CourseID = ?`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out, err := st.Explain(); err != nil || !strings.Contains(out, "probe=range(Year)") {
+				b.Fatalf("scenario does not ride a band-join range probe (%v):\n%s", err, out)
+			}
+			id := r.Man.Planted["intro-programming"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(id); err != nil {
 					b.Fatal(err)
 				}
 			}

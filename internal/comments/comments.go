@@ -45,7 +45,11 @@ func Setup(db *relation.DB) (*Store, error) {
 				relation.Col("Rating", relation.TypeFloat),
 				relation.Col("Date", relation.TypeString),
 			), relation.WithPrimaryKey("CommentID"), relation.WithAutoIncrement("CommentID"),
-			relation.WithIndex("CourseID"), relation.WithIndex("SuID")),
+			relation.WithIndex("CourseID"), relation.WithIndex("SuID"),
+			// "Best rated first" feeds compile to ORDER BY Rating DESC over
+			// a Rating >= ? range; the ordered index lets the SQL planner
+			// answer both with one descending index walk, sort elided.
+			relation.WithOrderedIndex("Rating")),
 		relation.MustTable("Ratings",
 			relation.NewSchema(
 				relation.NotNullCol("SuID", relation.TypeInt),

@@ -431,6 +431,43 @@ func (s *Site) registerDefaultStrategies() error {
 			},
 		},
 		{
+			Name:        "top-rated",
+			Description: "The best-rated comments sitewide with their courses, best first — rides the descending ordered-index walk (ORDER BY Rating DESC elided)",
+			Params:      []string{"min", "k"},
+			Build: func(p map[string]any) (*flexrecs.Step, error) {
+				// Compiles to one SELECT whose Rating >= ? range and ORDER
+				// BY Rating DESC the planner answers together: a descending
+				// walk of the Comments.Rating ordered index, no sort.
+				return flexrecs.Rel("Comments").
+					Select("Comments.Rating >= ?", floatParam(p, "min", 4.0)).
+					JoinOn(flexrecs.Rel("Courses"), "Comments.CourseID = Courses.CourseID").
+					Project("Courses.CourseID", "Title", "Rating").
+					OrderBy("Rating", true).
+					Top(intParam(p, "k", 10)), nil
+			},
+		},
+		{
+			Name:        "contemporary-courses",
+			Description: "Courses offered within ±band years of a given course's offerings — a band join riding per-row ordered-index range probes",
+			Params:      []string{"course", "band", "k"},
+			Build: func(p map[string]any) (*flexrecs.Step, error) {
+				course, ok := p["course"].(int64)
+				if !ok {
+					return nil, fmt.Errorf("contemporary-courses needs a course id")
+				}
+				band := intParam(p, "band", 1)
+				// The band width bakes into the ON text (ON clauses carry no
+				// placeholders); each width is its own compiled shape.
+				on := fmt.Sprintf("b.Year BETWEEN a.Year - %d AND a.Year + %d", band, band)
+				return flexrecs.Rel("CourseYears a").
+					Select("a.CourseID = ?", course).
+					JoinOn(flexrecs.Rel("CourseYears b"), on).
+					Select("b.CourseID <> ?", course).
+					Project("b.CourseID", "b.Year").
+					Top(intParam(p, "k", 50)), nil
+			},
+		},
+		{
 			Name:        "cf-courses",
 			Description: "Courses ranked by ratings of students similar to you (Figure 5b)",
 			Params:      []string{"student", "year", "k", "neighbors"},
@@ -560,6 +597,18 @@ func intParam(p map[string]any, key string, def int) int {
 		return v
 	case int64:
 		return int(v)
+	}
+	return def
+}
+
+func floatParam(p map[string]any, key string, def float64) float64 {
+	switch v := p[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
 	}
 	return def
 }

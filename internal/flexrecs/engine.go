@@ -78,7 +78,13 @@ func (e *Engine) Run(w *Step) (*Relation, error) {
 }
 
 // sqlable reports whether the subtree compiles to a single SQL
-// statement.
+// statement. An OrderBy over a sqlable subtree compiles too — as the
+// statement's ORDER BY clause, where the planner can elide it against
+// an ordered index — but only an OUTERMOST one: SQL has a single
+// ORDER BY, and an order underneath a join or another order cannot be
+// expressed in it (compiling would silently drop or hoist the inner
+// sort), so those trees keep the step-wise path, which sorts the
+// operand before the enclosing operator consumes it.
 func sqlable(s *Step) bool {
 	switch s.kind {
 	case relStep:
@@ -86,17 +92,35 @@ func sqlable(s *Step) bool {
 	case selectStep, projectStep:
 		return sqlable(s.child)
 	case joinStep:
-		return sqlable(s.child) && sqlable(s.other)
+		return sqlable(s.child) && sqlable(s.other) &&
+			!containsOrder(s.child) && !containsOrder(s.other)
+	case orderStep:
+		return sqlable(s.child) && !containsOrder(s.child)
+	}
+	return false
+}
+
+// containsOrder reports whether a sqlable subtree holds an orderStep.
+func containsOrder(s *Step) bool {
+	switch s.kind {
+	case orderStep:
+		return true
+	case selectStep, projectStep:
+		return containsOrder(s.child)
+	case joinStep:
+		return containsOrder(s.child) || containsOrder(s.other)
 	}
 	return false
 }
 
 // sqlParts accumulates the pieces of a compiled statement.
 type sqlParts struct {
-	from  string   // "T" or "T JOIN U ON ... JOIN V ON ..."
-	conds []string // WHERE conjuncts, outermost first
-	args  []any
-	proj  []string // outermost projection wins; empty = *
+	from      string   // "T" or "T JOIN U ON ... JOIN V ON ..."
+	conds     []string // WHERE conjuncts, outermost first
+	args      []any
+	proj      []string // outermost projection wins; empty = *
+	orderCol  string   // ORDER BY column; empty = none
+	orderDesc bool
 }
 
 // gather walks a sqlable subtree, collecting FROM/WHERE/projection.
@@ -129,6 +153,9 @@ func gather(s *Step, p *sqlParts) error {
 		p.conds = append(p.conds, right.conds...)
 		p.args = append(p.args, right.args...)
 		return nil
+	case orderStep:
+		p.orderCol, p.orderDesc = s.orderCol, s.desc
+		return gather(s.child, p)
 	}
 	return fmt.Errorf("flexrecs: step %s is not SQL-compilable", s.describe())
 }
@@ -153,6 +180,12 @@ func CompileSQL(s *Step) (string, []any, error) {
 			p.conds[i], p.conds[j] = p.conds[j], p.conds[i]
 		}
 		sql += " WHERE " + strings.Join(p.conds, " AND ")
+	}
+	if p.orderCol != "" {
+		sql += " ORDER BY " + p.orderCol
+		if p.orderDesc {
+			sql += " DESC"
+		}
 	}
 	// Placeholder args attach in the same outermost-first order the
 	// conditions were gathered, so reverse them alongside.
@@ -191,6 +224,14 @@ func shapeKey(s *Step, b *strings.Builder) {
 		b.WriteByte(0)
 		shapeKey(s.child, b)
 		shapeKey(s.other, b)
+	case orderStep:
+		b.WriteString("O|")
+		b.WriteString(s.orderCol)
+		if s.desc {
+			b.WriteString("|D")
+		}
+		b.WriteByte(0)
+		shapeKey(s.child, b)
 	}
 }
 
@@ -202,7 +243,7 @@ func gatherShapeArgs(s *Step, args []any) []any {
 	case selectStep:
 		args = append(args, s.args...)
 		return gatherShapeArgs(s.child, args)
-	case projectStep:
+	case projectStep, orderStep:
 		return gatherShapeArgs(s.child, args)
 	case joinStep:
 		args = gatherShapeArgs(s.child, args)

@@ -1,6 +1,7 @@
 package flexrecs
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -288,6 +289,52 @@ func TestOrderByStep(t *testing.T) {
 	ti := res.MustCol("Title")
 	if res.Rows[0][ti] != "Advanced Programming" {
 		t.Errorf("order by title: %v", res.Rows[0][ti])
+	}
+}
+
+// TestOrderByCompilesOnlyOutermost pins where an OrderBy step is
+// allowed into the compiled SQL: the outermost position, where the
+// planner can see — and possibly elide — it. An order underneath a
+// join has step semantics SQL's single ORDER BY cannot express (sort
+// the operand, then join), so those trees must stay off the compiled
+// path rather than silently dropping the sort.
+func TestOrderByCompilesOnlyOutermost(t *testing.T) {
+	outer := Rel("Courses").Select("DepID = 'CS'").OrderBy("Title", true)
+	if !sqlable(outer) {
+		t.Fatal("outermost OrderBy over a sqlable subtree should compile")
+	}
+	sql, _, err := CompileSQL(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "ORDER BY Title DESC") {
+		t.Fatalf("compiled SQL lost the order: %s", sql)
+	}
+	for _, wf := range []*Step{
+		Rel("Comments").JoinOn(Rel("Courses").OrderBy("Title", false), "Comments.CourseID = Courses.CourseID"),
+		Rel("Comments").OrderBy("Rating", true).JoinOn(Rel("Courses"), "Comments.CourseID = Courses.CourseID"),
+		Rel("Courses").OrderBy("Title", false).OrderBy("Units", true),
+	} {
+		if sqlable(wf) {
+			t.Errorf("non-outermost OrderBy must not be SQL-compilable: %s", wf.describe())
+		}
+	}
+	// A refused tree still executes step-wise with both sorts applied:
+	// the inner ORDER BY Title compiles into the subtree's SQL, the
+	// outer Units sort runs externally and, being stable, keeps the
+	// title order within equal units.
+	e := NewEngine(paperDB(t))
+	res, err := e.Run(Rel("Courses").OrderBy("Title", false).OrderBy("Units", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := res.MustCol("CourseID")
+	var got []int64
+	for _, row := range res.Rows {
+		got = append(got, row[ci].(int64))
+	}
+	if want := []int64{1, 5, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("nested orders = %v, want %v", got, want)
 	}
 }
 

@@ -259,6 +259,41 @@ func (t *Table) Range(col string, lo, hi *RangeBound) []Row {
 	}
 }
 
+// DescCursor iterates the rows an ordered index places inside [lo, hi]
+// in DESCENDING key order, with ties in ascending slot order — exactly
+// the sequence a stable descending sort of a slot-order scan produces,
+// which is what lets the SQL planner elide ORDER BY key DESC and still
+// match the sorted path row for row. It shares RangeCursor's DML
+// discipline: the matching (key, slot) entries snapshot when the cursor
+// opens, rows fetch in batches under the read lock, and rows deleted or
+// re-keyed since the snapshot are skipped rather than emitted out of
+// order, so the emitted key sequence is always non-increasing.
+type DescCursor struct{ RangeCursor }
+
+// NewDescCursor opens a descending range iteration over the column's
+// ordered index, reporting false when the column has none.
+func (t *Table) NewDescCursor(col string, lo, hi *RangeBound) (*DescCursor, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.ordered[strings.ToLower(col)]
+	if !ok {
+		return nil, false
+	}
+	i, j := ix.span(lo, hi)
+	// Reverse by key group: groups of equal keys walk back to front,
+	// each group's entries kept in ascending slot order.
+	entries := make([]orderedEntry, 0, j-i)
+	for j > i {
+		gs := j - 1
+		for gs > i && Equal(ix.entries[gs-1].val, ix.entries[j-1].val) {
+			gs--
+		}
+		entries = append(entries, ix.entries[gs:j]...)
+		j = gs
+	}
+	return &DescCursor{RangeCursor{t: t, col: ix.col, entries: entries}}, true
+}
+
 // ScanCursor iterates every live row in slot order, fetching references
 // in batches under the read lock — the streaming counterpart of Scan
 // for pull-based executors. Rows inserted behind the cursor's position

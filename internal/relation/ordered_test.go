@@ -133,6 +133,102 @@ func TestOrderedIndexSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// drainDesc empties a DescCursor into rows.
+func drainDesc(c *DescCursor) []Row {
+	var out []Row
+	buf := make([]Row, 4)
+	for {
+		n := c.NextBatch(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func TestDescCursorOrderAndTies(t *testing.T) {
+	tbl := MustTable("d", NewSchema(
+		NotNullCol("ID", TypeInt),
+		Col("Score", TypeInt),
+	), WithPrimaryKey("ID"), WithOrderedIndex("Score"))
+	// Duplicate keys across interleaved slots, plus a NULL.
+	for i, s := range []Value{int64(5), int64(2), int64(5), nil, int64(9), int64(2), int64(5)} {
+		tbl.MustInsert(Row{int64(i), s})
+	}
+	cur, ok := tbl.NewDescCursor("Score", nil, nil)
+	if !ok {
+		t.Fatal("no desc cursor over the ordered column")
+	}
+	rows := drainDesc(cur)
+	// Keys descend; within a key, slots ascend — the stable descending
+	// sort's tie order. NULL is never emitted.
+	var got [][2]int64
+	for _, r := range rows {
+		got = append(got, [2]int64{r[1].(int64), r[0].(int64)})
+	}
+	want := [][2]int64{{9, 4}, {5, 0}, {5, 2}, {5, 6}, {2, 1}, {2, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("desc order = %v, want %v", got, want)
+	}
+}
+
+func TestDescCursorBounds(t *testing.T) {
+	tbl := orderedTable(t)
+	// Scores sorted: 0,2,3,4,5,6,7,8,9 (one NULL excluded).
+	cur, ok := tbl.NewDescCursor("Score",
+		&RangeBound{Value: int64(3), Inclusive: true},
+		&RangeBound{Value: int64(7)})
+	if !ok {
+		t.Fatal("no desc cursor")
+	}
+	got := scores(drainDesc(cur))
+	if want := []int64{6, 5, 4, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounded desc = %v, want %v", got, want)
+	}
+	if _, ok := tbl.NewDescCursor("nope", nil, nil); ok {
+		t.Fatal("desc cursor over an unindexed column should report false")
+	}
+}
+
+// TestDescCursorDMLSafety pins the concurrent-DML contract shared with
+// RangeCursor: rows deleted or re-keyed after the cursor opened are
+// skipped, so the emitted key sequence stays non-increasing and every
+// emitted row still carries its snapshotted key.
+func TestDescCursorDMLSafety(t *testing.T) {
+	tbl := orderedTable(t)
+	cur, ok := tbl.NewDescCursor("Score", nil, nil)
+	if !ok {
+		t.Fatal("no desc cursor")
+	}
+	buf := make([]Row, 2)
+	n := cur.NextBatch(buf) // consume the top batch first
+	if n != 2 || buf[0][1].(int64) != 9 {
+		t.Fatalf("first batch = %v", buf[:n])
+	}
+	prev := buf[n-1][1].(int64)
+	// Mutate beneath the open cursor: delete one mid row, move another.
+	tbl.DeleteWhere(func(r Row) bool { return r[1] != nil && r[1].(int64) == 5 })
+	if err := tbl.UpdateByKey([]Value{int64(1)}, func(r Row) Row { r[1] = int64(42); return r }); err != nil {
+		t.Fatal(err) // slot for score 3 now carries 42
+	}
+	for {
+		n := cur.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, r := range buf[:n] {
+			s := r[1].(int64)
+			if s > prev {
+				t.Fatalf("desc cursor emitted ascending key %d after %d", s, prev)
+			}
+			if s == 5 || s == 3 {
+				t.Fatalf("desc cursor emitted a deleted/re-keyed row: %v", r)
+			}
+			prev = s
+		}
+	}
+}
+
 func TestScanCursorBatches(t *testing.T) {
 	tbl := orderedTable(t)
 	cur := tbl.NewScanCursor()

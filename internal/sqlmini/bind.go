@@ -237,7 +237,9 @@ func bindPlan(p *selectPlan, params []relation.Value) *selectPlan {
 		for i, jn := range p.joins {
 			scan := bindScan(jn.scan, params)
 			residual, rc := substList(jn.residual, params)
-			if scan == jn.scan && !rc {
+			bandLo := substExpr(jn.bandLo, params)
+			bandHi := substExpr(jn.bandHi, params)
+			if scan == jn.scan && !rc && bandLo == jn.bandLo && bandHi == jn.bandHi {
 				continue
 			}
 			if &joins[0] == &p.joins[0] {
@@ -245,6 +247,7 @@ func bindPlan(p *selectPlan, params []relation.Value) *selectPlan {
 			}
 			nj := *jn
 			nj.scan, nj.residual = scan, residual
+			nj.bandLo, nj.bandHi = bandLo, bandHi
 			joins[i] = &nj
 			changed = true
 		}

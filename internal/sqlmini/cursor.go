@@ -263,13 +263,19 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 		if empty {
 			return &sliceCursor{}, nil
 		}
-		if rc, ok := t.NewRangeCursor(s.rangeCol, lo, hi); ok {
+		if s.rangeDesc {
+			if dc, ok := t.NewDescCursor(s.rangeCol, lo, hi); ok {
+				return &batchScanCursor{src: dc, rs: rs, filter: s.filter}, nil
+			}
+		} else if rc, ok := t.NewRangeCursor(s.rangeCol, lo, hi); ok {
 			return &batchScanCursor{src: rc, rs: rs, filter: s.filter}, nil
 		}
 		// The ordered index vanished beneath a replaced table: degrade
 		// to a checked full scan so results stay correct. The plan is
 		// about to be invalidated, but THIS execution must still honor
-		// an elided ORDER BY, so keyOrder sorts the fallback.
+		// an elided ORDER BY or feed a merge join in key order, so
+		// keyOrder sorts the fallback — in the walk's direction, with
+		// the stable sort reproducing its slot-ascending tie order.
 		ci, err := rs.resolve("", s.rangeCol)
 		if err != nil {
 			return nil, err
@@ -277,7 +283,7 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 		check := func(row relation.Row) bool {
 			v := row[ci]
 			if v == nil {
-				return false
+				return false // mirrors the index, which skips NULL keys
 			}
 			if lo != nil {
 				c := relation.Compare(v, lo.Value)
@@ -300,7 +306,11 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 				return nil, err
 			}
 			sort.SliceStable(rows, func(a, b int) bool {
-				return relation.Compare(rows[a][ci], rows[b][ci]) < 0
+				c := relation.Compare(rows[a][ci], rows[b][ci])
+				if s.rangeDesc {
+					return c > 0
+				}
+				return c < 0
 			})
 			cur = &sliceCursor{rows: rows}
 		}
@@ -642,6 +652,291 @@ func (c *inljCursor) Close() {
 	c.queue = nil
 }
 
+// mergeJoinCursor joins two inputs that both stream in ascending
+// join-key order: the left pipeline, whose driver walks an ordered
+// index on the key, and the right scan, opened with keyOrder so even
+// the degraded index-vanished path comes back sorted. Both sides
+// stream exactly once; the only buffering is the current right-side
+// key group, replayed for consecutive equal left keys. Output is
+// left-major with right matches in slot order within a key — identical
+// to the hash join — so the driver's key order survives to the output
+// (the basis of ORDER BY elision through the join).
+type mergeJoinCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	rightWidth int
+
+	started, closed bool
+	right           cursor
+	rightRow        relation.Row // lookahead past the current group
+	rightDone       bool
+	cur             relation.Row   // current left row
+	group           []relation.Row // right rows matching groupKey
+	gi              int
+	groupKey        relation.Value
+	haveGroup       bool
+}
+
+// matches enforces the equi pairs the merge walk itself does not cover,
+// then the residual conjuncts.
+func (c *mergeJoinCursor) matches(row relation.Row) (bool, error) {
+	for ki := range c.jn.leftKeys {
+		if ki == c.jn.mergeKeyIdx {
+			continue
+		}
+		lv := row[c.jn.leftKeys[ki]]
+		rv := row[len(row)-c.rightWidth+c.jn.rightKeys[ki]]
+		if lv == nil || rv == nil || relation.Compare(lv, rv) != 0 {
+			return false, nil
+		}
+	}
+	return passResidual(c.jn, row, c.combined)
+}
+
+// advanceTo positions the right-group buffer at key k: right rows below
+// k are skipped for good (left keys only ascend), rows equal to k
+// buffer, and the first row above k stays as lookahead.
+func (c *mergeJoinCursor) advanceTo(k relation.Value) error {
+	rpos := c.jn.rightKeys[c.jn.mergeKeyIdx]
+	c.group, c.gi, c.groupKey, c.haveGroup = c.group[:0], 0, k, true
+	for !c.rightDone {
+		if c.rightRow == nil {
+			r, err := c.right.Next()
+			if err != nil {
+				return err
+			}
+			if r == nil {
+				c.rightDone = true
+				return nil
+			}
+			c.rightRow = r
+		}
+		rk := c.rightRow[rpos]
+		if rk == nil { // the degraded fallback filters these; be safe
+			c.rightRow = nil
+			continue
+		}
+		cmp := relation.Compare(rk, k)
+		if cmp > 0 {
+			return nil
+		}
+		if cmp == 0 {
+			c.group = append(c.group, c.rightRow)
+		}
+		c.rightRow = nil
+	}
+	return nil
+}
+
+func (c *mergeJoinCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	if !c.started {
+		rc, err := c.e.openScan(c.jn.scan, true)
+		if err != nil {
+			return nil, err
+		}
+		c.right, c.started = rc, true
+	}
+	lpos := c.jn.leftKeys[c.jn.mergeKeyIdx]
+	for {
+		for c.cur != nil && c.gi < len(c.group) {
+			r := c.group[c.gi]
+			c.gi++
+			row := combineRows(c.cur, r, c.rightWidth)
+			ok, err := c.matches(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return row, nil
+			}
+		}
+		l, err := c.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			return nil, nil
+		}
+		k := l[lpos]
+		if k == nil {
+			continue // NULL keys never join (merge is INNER-only)
+		}
+		if !c.haveGroup || relation.Compare(k, c.groupKey) != 0 {
+			if err := c.advanceTo(k); err != nil {
+				return nil, err
+			}
+		}
+		c.cur, c.gi = l, 0
+	}
+}
+
+func (c *mergeJoinCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	if c.right != nil {
+		c.right.Close()
+	}
+	c.group, c.cur, c.rightRow = nil, nil, nil
+}
+
+// bandJoinCursor is the range-probe nested loop behind band joins: for
+// every left row the band predicate's bounds evaluate against that row
+// alone and probe the right table's ordered index, fetching only the
+// rows inside [lo, hi] — O(log n + matches) per left row where the
+// nested loop paid a full inner pass. Right matches emit in key order
+// (slots ascending within a key). If the ordered index vanished beneath
+// a replaced table, the cursor degrades once to a materialized right
+// side checked per left row, sorted to keep the probe path's key order.
+type bandJoinCursor struct {
+	e          *Engine
+	left       cursor
+	jn         *joinNode
+	combined   *rowset
+	leftRS     *rowset // layout of the left input rows
+	rightRS    *rowset
+	rightWidth int
+
+	closed   bool
+	t        *relation.Table
+	fellBack bool
+	fallback []relation.Row // right side, materialized once, key-sorted
+	buf      []relation.Row // probe scratch, reused across left rows
+
+	cur     relation.Row
+	queue   []relation.Row
+	qi      int
+	matched bool
+}
+
+// probe returns the right rows matching the band bounds of one left
+// row, with the right side's pushed filters applied.
+func (c *bandJoinCursor) probe(l relation.Row) ([]relation.Row, error) {
+	lo, err := evalScalar(c.jn.bandLo, l, c.leftRS)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := evalScalar(c.jn.bandHi, l, c.leftRS)
+	if err != nil {
+		return nil, err
+	}
+	if lo == nil || hi == nil {
+		return nil, nil // "x BETWEEN NULL AND …" matches nothing
+	}
+	if c.t == nil {
+		t, ok := c.e.db.Table(c.jn.scan.ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: unknown table %q", c.jn.scan.ref.Name)
+		}
+		c.t = t
+	}
+	if !c.fellBack {
+		rc, ok := c.t.NewRangeCursor(c.jn.bandCol,
+			&relation.RangeBound{Value: lo, Inclusive: true},
+			&relation.RangeBound{Value: hi, Inclusive: true})
+		if ok {
+			var out []relation.Row
+			if c.buf == nil {
+				c.buf = make([]relation.Row, scanBatch)
+			}
+			for {
+				n := rc.NextBatch(c.buf)
+				if n == 0 {
+					return out, nil
+				}
+				for _, r := range c.buf[:n] {
+					keep, err := passFilters(c.jn.scan.filter, r, c.rightRS)
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						out = append(out, r)
+					}
+				}
+			}
+		}
+		// The ordered index vanished: materialize the right side once and
+		// select per left row from the sorted snapshot.
+		rows, err := drainCursor(&batchScanCursor{src: c.t.NewScanCursor(), rs: c.rightRS, filter: c.jn.scan.filter})
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			if r[c.jn.bandIdx] != nil {
+				kept = append(kept, r)
+			}
+		}
+		sort.SliceStable(kept, func(a, b int) bool {
+			return relation.Compare(kept[a][c.jn.bandIdx], kept[b][c.jn.bandIdx]) < 0
+		})
+		c.fallback, c.fellBack = kept, true
+	}
+	var out []relation.Row
+	for _, r := range c.fallback {
+		v := r[c.jn.bandIdx]
+		if relation.Compare(v, lo) < 0 {
+			continue
+		}
+		if relation.Compare(v, hi) > 0 {
+			break // fallback rows are key-sorted
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (c *bandJoinCursor) Next() (relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	for {
+		if c.cur != nil {
+			for c.qi < len(c.queue) {
+				r := c.queue[c.qi]
+				c.qi++
+				row := combineRows(c.cur, r, c.rightWidth)
+				ok, err := passResidual(c.jn, row, c.combined)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					c.matched = true
+					return row, nil
+				}
+			}
+			if !c.matched && c.jn.jtype == "LEFT" {
+				row := combineRows(c.cur, nil, c.rightWidth)
+				c.cur = nil
+				return row, nil
+			}
+			c.cur = nil
+		}
+		l, err := c.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if l == nil {
+			return nil, nil
+		}
+		q, err := c.probe(l)
+		if err != nil {
+			return nil, err
+		}
+		c.cur, c.queue, c.qi, c.matched = l, q, 0, false
+	}
+}
+
+func (c *bandJoinCursor) Close() {
+	c.closed = true
+	c.left.Close()
+	c.queue, c.fallback, c.cur = nil, nil, nil
+}
+
 // nestedLoopCursor handles joins without equi keys: the right side
 // materializes once, the left streams through it.
 type nestedLoopCursor struct {
@@ -805,9 +1100,11 @@ func (c *limitCursor) Close() { c.in.Close() }
 
 // openPlan opens the full planned pipeline: driver access, joins in
 // executed order, the written-order permutation when reordered, then
-// residual WHERE conjuncts.
+// residual WHERE conjuncts. The driver keeps key order when the plan
+// elided its ORDER BY on it — or when a merge join consumes it.
 func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
-	cur, err := e.openScan(p.scan, p.orderElide)
+	keyOrder := p.orderElide || (len(p.joins) > 0 && p.joins[0].merge)
+	cur, err := e.openScan(p.scan, keyOrder)
 	if err != nil {
 		return nil, err
 	}
@@ -817,12 +1114,20 @@ func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
 	}
 	for _, jn := range p.joins {
 		rightWidth := len(jn.scan.cols)
+		leftWidth := len(acc)
 		acc = append(acc, jn.scan.cols...)
 		combined := &rowset{cols: append([]colRef(nil), acc...)}
 		switch {
 		case jn.inlj:
 			cur = &inljCursor{e: e, left: cur, jn: jn, combined: combined,
 				rightRS: &rowset{cols: jn.scan.cols}, rightWidth: rightWidth}
+		case jn.merge:
+			cur = &mergeJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+		case jn.band:
+			// Only band joins evaluate bounds against the left row alone,
+			// so only they pay for the left-layout rowset.
+			cur = &bandJoinCursor{e: e, left: cur, jn: jn, combined: combined,
+				leftRS: &rowset{cols: combined.cols[:leftWidth]}, rightRS: &rowset{cols: jn.scan.cols}, rightWidth: rightWidth}
 		case len(jn.leftKeys) > 0 && jn.buildLeft:
 			cur = &buildLeftJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
 		case len(jn.leftKeys) > 0:

@@ -58,24 +58,43 @@
 //     index (relation.WithOrderedIndex / ORDERED INDEX in CREATE TABLE)
 //     → an index walk between the bounds, yielding rows in key order;
 //     literal bounds are costed by counting index entries, late-bound
-//     params by a fixed fraction
+//     params by a fixed fraction. The walk runs in either direction:
+//     descending (keys desc, slots asc within a key — the stable sort's
+//     tie order) when ORDER BY key DESC can be elided, and unbounded
+//     ("ordered scan" in Explain) when a full scan is traded purely for
+//     its key order (merge joins, sort elision over a NOT NULL column)
 //   - scan: everything else, with the table's pushed-down predicates
 //     evaluated inline during the scan
 //
 // Single-table predicates push below joins wherever SQL semantics allow
 // (never past the null-producing side of a LEFT join). Joins pick their
-// algorithm from the estimates: equality conjuncts become build/probe
-// hash-join keys with the smaller side as build; when the probe input
-// is far smaller than an indexed right scan, the hash build is replaced
-// by an index nested-loop join — left rows arrive in batches whose keys
-// drive LookupMany (or GetMany through a single-column primary key), so
-// only right rows that can match are ever fetched; non-equi joins fall
-// back to a nested loop. Chains of two or more INNER joins additionally
-// reorder by estimated cost (greedy smallest-first over the connected
-// tables), with output columns permuted back to written order so
-// projection and callers are oblivious. Column references are resolved
-// to positions once at prepare time (boundRef), so per-row evaluation
-// skips name resolution entirely.
+// algorithm from the estimates and the available orderings:
+//
+//   - index nested loop: the probe input is far smaller than an indexed
+//     right scan → left rows arrive in batches whose keys drive
+//     LookupMany (or GetMany through a single-column primary key), so
+//     only right rows that can match are ever fetched
+//   - merge join: the chain's first INNER equi join when BOTH sides can
+//     stream in join-key order for free (each side either already
+//     range-scans the key's ordered index or trades its full scan for
+//     an ordered walk) → no hash build, no materialization, and the
+//     driver's key order survives the join, so ORDER BY elision on the
+//     merge key still applies downstream
+//   - hash join: remaining equi joins, with the smaller side as build
+//     (INNER only)
+//   - band join: a join without equi keys whose ON clause holds
+//     "right.col BETWEEN lo AND hi" with the column ordered-indexed and
+//     both bounds computable from the left row → per-left-row range
+//     probes of the ordered index (Explain: probe=range(col)) instead
+//     of a full nested-loop pass
+//   - nested loop: everything else
+//
+// Chains of two or more INNER joins additionally reorder by estimated
+// cost (greedy smallest-first over the connected tables), with output
+// columns permuted back to written order so projection and callers are
+// oblivious. Column references are resolved to positions once at
+// prepare time (boundRef), so per-row evaluation skips name resolution
+// entirely.
 //
 // # Execution: the iterator pipeline
 //
@@ -92,11 +111,14 @@
 // Every join cursor emits left-major row order — identical to the
 // materialized executor it replaced — which makes two things true: the
 // planning engine returns byte-identical results to ForceScan (parity
-// tests), and a driver range scan's key order survives to the output.
-// The planner exploits the latter to ELIDE an ORDER BY whose single
-// ascending key is the driver's range column (Explain shows "order by …
-// elided"); elided-order queries stream through Rows like unordered
-// ones.
+// tests, plus the differential query-fuzz harness in fuzz_test.go,
+// which generates hundreds of random SELECTs per test run and asserts
+// planner ≡ ForceScan for every plan shape the planner picks), and a
+// driver index walk's key order survives to the output. The planner
+// exploits the latter to ELIDE an ORDER BY whose single key — ascending
+// OR descending — is the driver's ordered column (Explain shows "order
+// by … elided"); elided-order queries stream through Rows like
+// unordered ones.
 //
 // Explain returns the chosen plan as text without executing; the
 // FlexRecs engine surfaces it beneath each compiled statement, and the

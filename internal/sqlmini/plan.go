@@ -38,11 +38,15 @@ type scanNode struct {
 	pkMulti   bool
 
 	// accessRange: rangeCol names the ordered-indexed column; a nil
-	// bound expression leaves that end open. Bound values evaluate when
-	// the cursor opens (they may be late-bound params).
+	// bound expression leaves that end open (both nil means an unbounded
+	// ordered walk, adopted for merge joins and ORDER BY elision). Bound
+	// values evaluate when the cursor opens (they may be late-bound
+	// params). rangeDesc walks the index backwards — keys descending,
+	// slots ascending within a key — eliding ORDER BY rangeCol DESC.
 	rangeCol         string
 	rangeLo, rangeHi Expr
 	loInc, hiInc     bool
+	rangeDesc        bool
 
 	// filter holds pushed conjuncts evaluated against base rows during
 	// the scan or after the probe; bound at plan time when resolvable.
@@ -80,7 +84,26 @@ type joinNode struct {
 	inljPK     bool   // probe the single-column primary key via GetMany
 	inljKeyIdx int    // which leftKeys/rightKeys pair feeds the probe
 
-	estLeft float64 // estimated left-input rows when planned
+	// merge streams both inputs in join-key order — the left pipeline's
+	// driver and the right scan each walk an ordered index on the key —
+	// buffering only the current right-side key group. Chosen for the
+	// chain's first INNER join when both orderings come for free; the
+	// output keeps the driver's ascending key order, so ORDER BY elision
+	// on the merge key survives the join.
+	merge       bool
+	mergeKeyIdx int // which leftKeys/rightKeys pair the merge walks
+
+	// band replaces a key-less nested loop with per-left-row range
+	// probes: the ON clause holds "right.col BETWEEN lo AND hi" where
+	// both bounds compute from the left row alone and the right column
+	// carries an ordered index. The probed conjunct leaves residual —
+	// the index range enforces it.
+	band           bool
+	bandCol        string  // right column probed through its ordered index
+	bandIdx        int     // bandCol's position within the right row
+	bandLo, bandHi Expr    // bound against the left rowset at plan time
+	bandText       string  // the original conjunct, for Explain
+	estLeft        float64 // estimated left-input rows when planned
 }
 
 // selectPlan is the physical plan for one SELECT: access paths, join
@@ -115,7 +138,18 @@ func (s *scanNode) describe() string {
 	case accessIndex:
 		fmt.Fprintf(&b, "index probe %s (%s = %s)", name, s.probeCol, keyList(s.probeKeys))
 	case accessRange:
-		fmt.Fprintf(&b, "range scan %s (%s)", name, s.rangeText())
+		verb := "range scan"
+		detail := s.rangeText()
+		if s.rangeLo == nil && s.rangeHi == nil {
+			// An unbounded walk of the ordered index, adopted for its key
+			// order (merge joins, ORDER BY elision) rather than its bounds.
+			verb = "ordered scan"
+			detail = s.rangeCol
+		}
+		if s.rangeDesc {
+			verb += " desc"
+		}
+		fmt.Fprintf(&b, "%s %s (%s)", verb, name, detail)
 	default:
 		fmt.Fprintf(&b, "scan %s", name)
 	}
@@ -180,6 +214,10 @@ func (p *selectPlan) String() string {
 				kind = "pk"
 			}
 			algo = fmt.Sprintf("index nested loop on %s, probe=%s(%s)", strings.Join(j.keyText, " AND "), kind, j.inljCol)
+		} else if j.merge {
+			algo = fmt.Sprintf("merge join on %s", strings.Join(j.keyText, " AND "))
+		} else if j.band {
+			algo = fmt.Sprintf("index nested loop on %s, probe=range(%s)", j.bandText, j.bandCol)
 		} else if len(j.leftKeys) > 0 {
 			side := "right"
 			if j.buildLeft {

@@ -450,8 +450,15 @@ func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
 	}
 	seen := len(tables[0].rs.cols)
 	for ji, jn := range p.joins {
+		leftSub := &rowset{cols: combined.cols[:seen]}
 		seen += len(tables[ji+1].rs.cols)
 		sub := &rowset{cols: combined.cols[:seen]}
+		if jn.band {
+			// Band bounds evaluate against the left row alone, before the
+			// probe, so they bind against the left-only layout.
+			jn.bandLo = bindOrKeep(jn.bandLo, leftSub)
+			jn.bandHi = bindOrKeep(jn.bandHi, leftSub)
+		}
 		for i, r := range jn.residual {
 			jn.residual[i] = bindOrKeep(r, sub)
 		}
@@ -620,8 +627,14 @@ func (e *Engine) planReordered(st *SelectStmt, tables []*planTable, deps []table
 	}
 	execCols := append([]colRef(nil), ordTables[0].rs.cols...)
 	for ji, jn := range p.joins {
+		leftWidth := len(execCols)
 		execCols = append(execCols, ordTables[ji+1].rs.cols...)
 		sub := &rowset{cols: execCols}
+		if jn.band {
+			leftSub := &rowset{cols: execCols[:leftWidth]}
+			jn.bandLo = bindOrKeep(jn.bandLo, leftSub)
+			jn.bandHi = bindOrKeep(jn.bandHi, leftSub)
+		}
 		for i, r := range jn.residual {
 			jn.residual[i] = bindOrKeep(r, sub)
 		}
@@ -753,10 +766,13 @@ const (
 
 // decideJoins picks each join's physical algorithm from the estimates,
 // left-deep outward: index nested-loop when the left input is far
-// smaller than an indexed right scan, otherwise a hash join with the
-// smaller side as build (INNER only), otherwise the nested loop the
-// missing equi keys force. ordTables lists the tables in executed
-// order, aligned with p.scan and p.joins.
+// smaller than an indexed right scan, a merge join when both sides of
+// the chain's first INNER join can stream in join-key order for free,
+// otherwise a hash join with the smaller side as build (INNER only).
+// Joins without equi keys probe the right ordered index per left row
+// when the ON clause holds a band predicate, and nested-loop otherwise.
+// ordTables lists the tables in executed order, aligned with p.scan and
+// p.joins.
 func decideJoins(p *selectPlan, ordTables []*planTable) {
 	estLeft := ordTables[0].scan.est
 	for i, jn := range p.joins {
@@ -769,16 +785,127 @@ func decideJoins(p *selectPlan, ordTables []*planTable) {
 					jn.inlj, jn.inljCol, jn.inljPK, jn.inljKeyIdx = true, col, pk, ki
 				}
 			}
-			if !jn.inlj && jn.jtype == "INNER" && estLeft < jn.scan.est {
+			if !jn.inlj && i == 0 && jn.jtype == "INNER" {
+				tryMergeJoin(jn, ordTables[0], right)
+			}
+			if !jn.inlj && !jn.merge && jn.jtype == "INNER" && estLeft < jn.scan.est {
 				jn.buildLeft = true
 			}
 			// Crude output estimate: an equi join keeps about the larger
 			// side; a nested loop multiplies.
 			estLeft = maxf(estLeft, jn.scan.est)
 		} else {
+			tryBandProbe(jn, ordTables[:i+1], right)
 			estLeft = estLeft * maxf(jn.scan.est, 1)
 		}
 	}
+}
+
+// tryMergeJoin upgrades the chain's first INNER equi join to a merge
+// join when both inputs can stream in join-key order without extra
+// work: the driver either already range-scans the key's ordered index
+// or can trade its full scan for an ordered walk, and likewise the
+// right side. Neither side hashes or materializes — both stream once,
+// buffering only the current key group — and the output keeps the
+// driver's ascending key order, so ORDER BY elision on the merge key
+// survives the join.
+func tryMergeJoin(jn *joinNode, driver, right *planTable) {
+	for ki := range jn.leftKeys {
+		lcol := driver.rs.cols[jn.leftKeys[ki]].name
+		rcol := right.rs.cols[jn.rightKeys[ki]].name
+		if !orderedStreamable(driver, lcol) || !orderedStreamable(right, rcol) {
+			continue
+		}
+		adoptOrderedWalk(driver, lcol)
+		adoptOrderedWalk(right, rcol)
+		jn.merge, jn.mergeKeyIdx = true, ki
+		return
+	}
+}
+
+// orderedStreamable reports whether the table's chosen access can emit
+// rows ordered by col for free: it already range-scans col's ordered
+// index ascending, or it is a full scan over a table with an ordered
+// index on col to walk instead. The walk drops NULL keys (they are not
+// indexed), which is sound here: an INNER equi join never matches them.
+func orderedStreamable(t *planTable, col string) bool {
+	switch t.scan.access {
+	case accessRange:
+		return strings.EqualFold(t.scan.rangeCol, col) && !t.scan.rangeDesc
+	case accessScan:
+		return t.tbl.HasOrderedIndex(col)
+	}
+	return false
+}
+
+// adoptOrderedWalk switches a full scan to an unbounded ordered walk of
+// col's index; an access already range-scanning col keeps its bounds.
+func adoptOrderedWalk(t *planTable, col string) {
+	if t.scan.access == accessScan {
+		t.scan.access = accessRange
+		t.scan.rangeCol = col
+	}
+}
+
+// tryBandProbe turns a join without equi keys — otherwise a full nested
+// loop — into per-left-row range probes when one residual conjunct is a
+// band predicate: "right.col BETWEEN lo AND hi" with the column
+// ordered-indexed on the right table and both bounds computable from
+// the left row alone (left columns, constants, params). The probed
+// conjunct leaves the residual list; the index range enforces it.
+func tryBandProbe(jn *joinNode, leftTables []*planTable, right *planTable) {
+	if right.scan.access != accessScan {
+		return
+	}
+	var leftCols []colRef
+	for _, t := range leftTables {
+		leftCols = append(leftCols, t.rs.cols...)
+	}
+	combined := &rowset{cols: append(append([]colRef(nil), leftCols...), right.rs.cols...)}
+	for ri, c := range jn.residual {
+		x, ok := c.(*Between)
+		if !ok || x.Not {
+			continue
+		}
+		ref, isRef := x.X.(*Ref)
+		if !isRef {
+			continue
+		}
+		gi, err := combined.resolve(ref.Qual, ref.Name)
+		if err != nil || gi < len(leftCols) {
+			continue // not (unambiguously) a right-side column
+		}
+		col := right.rs.cols[gi-len(leftCols)].name
+		if !right.tbl.HasOrderedIndex(col) {
+			continue
+		}
+		if !leftComputable(x.Lo, combined, len(leftCols)) || !leftComputable(x.Hi, combined, len(leftCols)) {
+			continue
+		}
+		jn.band = true
+		jn.bandCol = col
+		jn.bandIdx = gi - len(leftCols)
+		jn.bandLo, jn.bandHi = x.Lo, x.Hi
+		jn.bandText = c.String()
+		jn.residual = append(jn.residual[:ri], jn.residual[ri+1:]...)
+		return
+	}
+}
+
+// leftComputable reports whether every column e references resolves
+// unambiguously in the combined join layout AND lands on the left side,
+// so the bound can evaluate against each left row before the probe.
+func leftComputable(e Expr, combined *rowset, leftWidth int) bool {
+	if hasAggregate(e) {
+		return false
+	}
+	for _, r := range refsOf(e, nil) {
+		gi, err := combined.resolve(r.Qual, r.Name)
+		if err != nil || gi >= leftWidth {
+			return false
+		}
+	}
+	return true
 }
 
 // inljProbe finds a right-side join key column answerable through an
@@ -797,21 +924,28 @@ func inljProbe(right *planTable, rightKeys []int) (int, string, bool, bool) {
 	return 0, "", false, false
 }
 
-// setOrderElision marks the plan when the pipeline already emits the
-// query's ORDER BY order: the executed driver is a range scan over an
-// ordered index, the single ascending sort key resolves to that very
-// column, and no aggregation reshapes rows. Every join algorithm
-// preserves left-major row order, so the driver's key order survives to
-// the output and the sort can be skipped (ties break by slot order on
-// both the sorted and elided paths, keeping forced-scan parity exact).
+// setOrderElision marks the plan when the pipeline can emit the query's
+// ORDER BY order directly: the single sort key resolves to a driver
+// column whose ordered index the driver already walks (a range scan) or
+// could walk (a full scan traded for an unbounded ordered walk), and no
+// aggregation reshapes rows. Descending keys elide too — the driver
+// walks the index backwards (keys desc, slots asc within a key,
+// matching the stable sort's tie order) — except above a merge join,
+// which needs its driver ascending. Every join algorithm preserves
+// left-major row order, so the driver's key order survives to the
+// output, the elided result still satisfies its ORDER BY, and the sort
+// can be skipped. Tie order matches the sorted path's exactly (slot
+// order — the basis of the exact forced-scan parity the goldens pin)
+// whenever each join also emits its right matches in slot order; a
+// band join emits them in probe-key order instead, so differential
+// tests over band shapes pin a total order or compare multisets (see
+// fuzz_test.go's order discipline).
 func setOrderElision(p *selectPlan, st *SelectStmt, tables []*planTable, driverIdx int) {
 	driver := tables[driverIdx]
-	if driver.scan.access != accessRange {
+	if len(st.OrderBy) != 1 {
 		return
 	}
-	if len(st.OrderBy) != 1 || st.OrderBy[0].Desc {
-		return
-	}
+	desc := st.OrderBy[0].Desc
 	if len(st.GroupBy) > 0 || hasAggregate(st.Having) {
 		return
 	}
@@ -836,9 +970,37 @@ func setOrderElision(p *selectPlan, st *SelectStmt, tables []*planTable, driverI
 		}
 		off += len(t.rs.cols)
 	}
-	ci, err := driver.rs.resolve("", driver.scan.rangeCol)
-	if err != nil || gi != off+ci {
+	if gi < off || gi >= off+len(driver.rs.cols) {
+		return // the sort key is not a driver column
+	}
+	col := driver.rs.cols[gi-off].name
+	switch driver.scan.access {
+	case accessRange:
+		if !strings.EqualFold(driver.scan.rangeCol, col) {
+			return
+		}
+	case accessScan:
+		// A full scan can walk the column's ordered index instead — same
+		// rows in key order for the cost of the scan — but only when the
+		// schema marks the column NOT NULL: the index skips NULL keys,
+		// and dropping those rows would change the result.
+		if !driver.tbl.HasOrderedIndex(col) {
+			return
+		}
+		ci, ok := driver.tbl.Schema().Index(col)
+		if !ok || !driver.tbl.Schema().Column(ci).NotNull {
+			return
+		}
+	default:
 		return
+	}
+	if desc {
+		// A descending driver would feed a merge join backwards.
+		for _, jn := range p.joins {
+			if jn.merge {
+				return
+			}
+		}
 	}
 	// ORDER BY resolves output aliases before source columns: an
 	// explicit item whose name shadows the sort key must itself be that
@@ -858,7 +1020,15 @@ func setOrderElision(p *selectPlan, st *SelectStmt, tables []*planTable, driverI
 			}
 		}
 	}
+	if driver.scan.access == accessScan {
+		driver.scan.access = accessRange
+		driver.scan.rangeCol = col
+	}
+	driver.scan.rangeDesc = desc
 	p.orderElide, p.orderText = true, st.OrderBy[0].Expr.String()
+	if desc {
+		p.orderText += " DESC"
+	}
 }
 
 // equiKey recognizes "l = r" with one side in the left layout and the

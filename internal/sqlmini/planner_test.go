@@ -26,7 +26,7 @@ func plannerDB(t *testing.T) *Engine {
 		relation.NotNullCol("CourseID", relation.TypeInt),
 		relation.NotNullCol("Year", relation.TypeInt),
 	), relation.WithPrimaryKey("CourseID", "Year"), relation.WithIndex("Year"), relation.WithIndex("CourseID"),
-		relation.WithOrderedIndex("Year"))
+		relation.WithOrderedIndex("Year"), relation.WithOrderedIndex("CourseID"))
 	db.MustCreate(years)
 	comments := relation.MustTable("Comments", relation.NewSchema(
 		relation.NotNullCol("CommentID", relation.TypeInt),
@@ -56,7 +56,7 @@ func plannerDB(t *testing.T) *Engine {
 		relation.NotNullCol("SuID", relation.TypeInt),
 		relation.NotNullCol("CourseID", relation.TypeInt),
 		relation.NotNullCol("Units", relation.TypeInt),
-	), relation.WithIndex("SuID"))
+	), relation.WithIndex("SuID"), relation.WithOrderedIndex("CourseID"))
 	db.MustCreate(enroll)
 	for i := 0; i < 200; i++ {
 		enroll.MustInsert(relation.Row{int64(i % 25), int64(1 + i%12), int64(3 + i%3)})
@@ -301,15 +301,23 @@ func TestExplainGoldenRangeINLJReorder(t *testing.T) {
 }
 
 // TestNoElisionWhenOrderDiffers pins the cases that must keep sorting:
-// descending keys, a different column, aggregation, and an output alias
-// shadowing the range column with a different source.
+// a different column than the driver's range key, aggregation, an
+// output alias shadowing the range column with a different source, a
+// descending key above a merge join (whose driver must stay ascending),
+// and an unbounded walk over a NULLABLE ordered column (the index skips
+// NULL keys, so the walk would drop rows the sort must keep).
 func TestNoElisionWhenOrderDiffers(t *testing.T) {
 	e := plannerDB(t)
+	if _, err := e.Exec(`CREATE TABLE NullScores (ID INT NOT NULL, V INT, PRIMARY KEY (ID), ORDERED INDEX (V))`); err != nil {
+		t.Fatal(err)
+	}
 	for _, sql := range []string{
-		`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year DESC`,
 		`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY CourseID`,
 		`SELECT Year, COUNT(*) AS n FROM CourseYears WHERE Year >= 2008 GROUP BY Year ORDER BY Year`,
 		`SELECT CourseID AS Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year`,
+		`SELECT y.CourseID, en.SuID FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID ORDER BY y.CourseID DESC`,
+		`SELECT ID, V FROM NullScores ORDER BY V`,
+		`SELECT ID, V FROM NullScores ORDER BY V DESC`,
 	} {
 		out, err := e.Explain(sql)
 		if err != nil {
@@ -317,6 +325,177 @@ func TestNoElisionWhenOrderDiffers(t *testing.T) {
 		}
 		if strings.Contains(out, "elided") {
 			t.Errorf("%q must not elide its sort:\n%s", sql, out)
+		}
+	}
+}
+
+// TestExplainGoldenSortAware pins the sort-aware access paths and join
+// algorithms: merge joins over two ordered indexes on the join key
+// (with ORDER BY elision surviving the join), descending range walks
+// eliding ORDER BY key DESC, unbounded ordered walks adopted purely for
+// their key order, and band joins probing an ordered index with
+// per-left-row bounds.
+func TestExplainGoldenSortAware(t *testing.T) {
+	e := plannerDB(t)
+	cases := []struct {
+		name string
+		sql  string
+		args []any
+		want string
+	}{
+		{
+			name: "two ordered indexes on the join key: merge join, no hash build",
+			sql:  `SELECT y.CourseID, en.SuID FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID`,
+			want: "merge join on (y.CourseID = en.CourseID) (INNER)\n" +
+				"  ordered scan Enrollments AS en (CourseID) ~200 of 200 rows\n" +
+				"  ordered scan CourseYears AS y (CourseID) ~12 of 12 rows\n",
+		},
+		{
+			name: "merge join preserves the driver's key order: ORDER BY elides through the join",
+			sql:  `SELECT y.CourseID, en.SuID FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID ORDER BY y.CourseID`,
+			want: "merge join on (y.CourseID = en.CourseID) (INNER)\n" +
+				"  ordered scan Enrollments AS en (CourseID) ~200 of 200 rows\n" +
+				"  ordered scan CourseYears AS y (CourseID) ~12 of 12 rows\n" +
+				"order by y.CourseID elided (range scan emits sort order)\n",
+		},
+		{
+			name: "ORDER BY key DESC rides a descending range walk",
+			sql:  `SELECT CourseID, Year FROM CourseYears WHERE Year >= 2009 ORDER BY Year DESC`,
+			want: "range scan desc CourseYears (Year >= 2009) ~6 of 12 rows\n" +
+				"order by Year DESC elided (range scan emits sort order)\n",
+		},
+		{
+			name: "no range predicate: a full scan trades for an unbounded descending walk",
+			sql:  `SELECT CourseID, Year FROM CourseYears ORDER BY Year DESC`,
+			want: "ordered scan desc CourseYears (Year) ~12 of 12 rows\n" +
+				"order by Year DESC elided (range scan emits sort order)\n",
+		},
+		{
+			name: "band join: per-left-row range probes of the ordered index",
+			sql: `SELECT a.CourseID, b.CourseID FROM CourseYears a ` +
+				`JOIN CourseYears b ON b.Year BETWEEN a.Year - 1 AND a.Year + 1 WHERE a.CourseID = 3`,
+			want: "index nested loop on b.Year BETWEEN (a.Year - 1) AND (a.Year + 1), probe=range(Year) (INNER)\n" +
+				"  scan CourseYears AS b ~12 of 12 rows\n" +
+				"  index probe CourseYears AS a (CourseID = 3) ~1 of 12 rows\n",
+		},
+	}
+	for _, tc := range cases {
+		got, err := e.Explain(tc.sql, tc.args...)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s:\n got:\n%s want:\n%s", tc.name, got, tc.want)
+		}
+	}
+
+	// A prepared descending range plan is chosen with the bound still
+	// unknown; the elision decision does not depend on the key's value.
+	st, err := e.Prepare(`SELECT CourseID, Year FROM CourseYears WHERE Year <= ? ORDER BY Year DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "range scan desc CourseYears (Year <= ?) ~4 of 12 rows\n" +
+		"order by Year DESC elided (range scan emits sort order)\n"
+	if out != want {
+		t.Errorf("prepared desc explain:\n got:\n%s want:\n%s", out, want)
+	}
+}
+
+// TestSortAwareParity runs the merge-join, descending-elision and
+// band-join plan shapes against forced full-scan execution. Queries
+// whose ORDER BY pins a deterministic order (elided or not — both
+// paths break ties in slot order) compare exactly; the rest compare as
+// multisets.
+func TestSortAwareParity(t *testing.T) {
+	e := plannerDB(t)
+	forced := e.ForceScan()
+
+	exact := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= 2008 ORDER BY Year DESC`, nil},
+		{`SELECT CourseID, Year FROM CourseYears WHERE Year >= ? ORDER BY Year DESC LIMIT 4 OFFSET 1`, []any{2008}},
+		{`SELECT CourseID, Year FROM CourseYears ORDER BY Year DESC LIMIT 5`, nil},
+		{`SELECT y.CourseID, en.SuID FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID ORDER BY y.CourseID`, nil},
+		{`SELECT y.CourseID, y.Year, en.SuID, en.Units FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID ORDER BY y.CourseID, y.Year, en.SuID, en.Units`, nil},
+		{`SELECT y.CourseID, en.SuID FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID ORDER BY y.CourseID DESC`, nil},
+		{`SELECT a.CourseID, a.Year, b.CourseID, b.Year FROM CourseYears a JOIN CourseYears b ON b.Year BETWEEN a.Year - 1 AND a.Year + 1 WHERE a.CourseID = 3 ORDER BY b.CourseID, b.Year`, nil},
+		{`SELECT m.CommentID, y.CourseID, y.Year FROM Comments m LEFT JOIN CourseYears y ON y.Year BETWEEN m.SuID + 2004 AND m.SuID + 2005 ORDER BY m.CommentID, y.CourseID, y.Year`, nil},
+		{`SELECT m.CommentID, y.CourseID FROM Comments m JOIN CourseYears y ON y.Year BETWEEN m.SuID + ? AND m.SuID + ? ORDER BY m.CommentID, y.CourseID, y.Year`, []any{2004, 2006}},
+	}
+	for _, q := range exact {
+		plan, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("planned %q: %v", q.sql, err)
+			continue
+		}
+		naive, err := forced.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("forced %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(plan, naive) {
+			t.Errorf("%q: planned and forced results differ\nplanned: %v\nforced:  %v", q.sql, plan.Rows, naive.Rows)
+		}
+	}
+
+	multiset := []struct {
+		sql  string
+		args []any
+	}{
+		{`SELECT y.CourseID, en.SuID, en.Units FROM CourseYears y JOIN Enrollments en ON y.CourseID = en.CourseID WHERE en.Units >= 4`, nil},
+		{`SELECT a.CourseID, b.CourseID FROM CourseYears a JOIN CourseYears b ON b.Year BETWEEN a.Year AND a.Year + 1`, nil},
+		{`SELECT m.CommentID, y.CourseID FROM Comments m JOIN CourseYears y ON y.Year BETWEEN m.SuID + 2004 AND m.SuID + 2006 AND m.Rating IS NOT NULL`, nil},
+	}
+	for _, q := range multiset {
+		plan, err := e.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("planned %q: %v", q.sql, err)
+			continue
+		}
+		naive, err := forced.Query(q.sql, q.args...)
+		if err != nil {
+			t.Errorf("forced %q: %v", q.sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(sortedRows(plan), sortedRows(naive)) {
+			t.Errorf("%q: planned and forced row multisets differ\nplanned: %v\nforced:  %v", q.sql, plan.Rows, naive.Rows)
+		}
+	}
+
+	// NULL semantics around the nullable ordered column: the bounded
+	// descending walk excludes NULL keys exactly like the filter does,
+	// and the refused unbounded elision keeps NULL rows in the sort.
+	if _, err := e.Exec(`CREATE TABLE NullRatings (ID INT NOT NULL, R FLOAT, PRIMARY KEY (ID), ORDERED INDEX (R))`); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []any{3.5, nil, 1.0, nil, 4.5, 2.0} {
+		if _, err := e.Exec(`INSERT INTO NullRatings VALUES (?, ?)`, int64(i), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sql := range []string{
+		`SELECT ID, R FROM NullRatings WHERE R >= 1.5 ORDER BY R DESC`,
+		`SELECT ID, R FROM NullRatings ORDER BY R DESC`,
+		`SELECT ID, R FROM NullRatings ORDER BY R`,
+	} {
+		plan, err := e.Query(sql)
+		if err != nil {
+			t.Fatalf("planned %q: %v", sql, err)
+		}
+		naive, err := forced.Query(sql)
+		if err != nil {
+			t.Fatalf("forced %q: %v", sql, err)
+		}
+		if !reflect.DeepEqual(plan, naive) {
+			t.Errorf("%q: planned and forced results differ\nplanned: %v\nforced:  %v", sql, plan.Rows, naive.Rows)
 		}
 	}
 }

@@ -212,6 +212,90 @@ func TestWorkflowExplainShowsRangeAndINLJ(t *testing.T) {
 	}
 }
 
+// TestSortAwareWorkflows pins the two strategies riding the sort-aware
+// executor end to end. top-rated compiles to one SELECT whose
+// "Rating >= ?" range and "ORDER BY Rating DESC" the planner answers
+// together — a descending walk of the Comments.Rating ordered index
+// with the sort elided — and returns identical rows under forced
+// execution (the pk join is 1:1, so even tie order matches).
+// contemporary-courses compiles its ±band ON clause into per-left-row
+// range probes of the CourseYears.Year ordered index (a band join);
+// its rows compare as a multiset since the probe emits key order.
+func TestSortAwareWorkflows(t *testing.T) {
+	r := parityRunner(t)
+
+	tpl, ok := r.Site.Strategies.Get("top-rated")
+	if !ok {
+		t.Fatal("missing strategy top-rated")
+	}
+	build := func(k int) *flexrecs.Step {
+		wf, err := tpl.Build(map[string]any{"min": 4.0, "k": k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wf
+	}
+	out := r.Site.Flex.Explain(build(15))
+	for _, want := range []string{"ORDER BY Rating DESC", "range scan desc Comments", "order by Rating DESC elided"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top-rated explain missing %q:\n%s", want, out)
+		}
+	}
+	p, n := runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
+		return flex.Run(build(25))
+	})
+	pr, nr := p.(*flexrecs.Relation), n.(*flexrecs.Relation)
+	if len(pr.Rows) == 0 {
+		t.Fatal("top-rated returned no rows")
+	}
+	if !reflect.DeepEqual(pr.Rows, nr.Rows) {
+		t.Errorf("top-rated: planned and forced rows differ\nplanned: %v\nforced:  %v", pr.Rows, nr.Rows)
+	}
+	for i := 1; i < len(pr.Rows); i++ {
+		a, okA := pr.Rows[i-1][2].(float64)
+		b, okB := pr.Rows[i][2].(float64)
+		if okA && okB && b > a {
+			t.Fatalf("top-rated rows not descending by rating: %v", pr.Rows)
+		}
+	}
+
+	tpl, ok = r.Site.Strategies.Get("contemporary-courses")
+	if !ok {
+		t.Fatal("missing strategy contemporary-courses")
+	}
+	course := r.Man.Planted["intro-programming"]
+	wf, err := tpl.Build(map[string]any{"course": course, "band": 1, "k": 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = r.Site.Flex.Explain(wf)
+	if !strings.Contains(out, "probe=range(Year)") {
+		t.Errorf("contemporary-courses explain missing the band-join range probe:\n%s", out)
+	}
+	p, n = runBothModes(t, r, func(flex *flexrecs.Engine) (any, error) {
+		wf, err := tpl.Build(map[string]any{"course": course, "band": 1, "k": 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		return flex.Run(wf)
+	})
+	pr, nr = p.(*flexrecs.Relation), n.(*flexrecs.Relation)
+	if len(pr.Rows) == 0 {
+		t.Fatal("contemporary-courses returned no rows")
+	}
+	sorted := func(rows [][]any) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprint(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(sorted(pr.Rows), sorted(nr.Rows)) {
+		t.Error("contemporary-courses: planned and forced row multisets differ")
+	}
+}
+
 // TestRangeAndINLJWorkflowParity runs the new plan shapes through the
 // workflow engine against forced execution. rated-courses preserves row
 // order exactly (the index nested-loop emits left-major order like the
