@@ -10,8 +10,23 @@ import (
 	"testing"
 
 	"courserank/internal/benchfmt"
+	"courserank/internal/comments"
+	"courserank/internal/core"
 	"courserank/internal/experiments"
+	"courserank/internal/matview"
+	"courserank/internal/relation"
 )
+
+// feedDep resolves the department whose feed the matview scenarios
+// request: the one holding the planted intro-programming course, which
+// datagen always rates.
+func feedDep(r *experiments.Runner) string {
+	c, ok := r.Site.Catalog.Course(r.Man.Planted["intro-programming"])
+	if !ok {
+		return "CS"
+	}
+	return c.DepID
+}
 
 // benchmarks defines the tracked workloads over a generated deployment.
 // They mirror the hot paths of the repository's bench_test.go suite:
@@ -199,6 +214,108 @@ func benchmarks(r *experiments.Runner) []struct {
 				}
 			}
 		}},
+		// ColdViewBuild forces the top-rated feed's materialized view to
+		// rebuild every iteration — the price of one full aggregation
+		// pass, i.e. what EVERY feed request would pay without the
+		// materialization layer.
+		{"ColdViewBuild", func(b *testing.B) {
+			v, ok := r.Site.Views.View(core.FeedViewName)
+			if !ok {
+				b.Fatal("feed view not registered")
+			}
+			dep := feedDep(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Invalidate()
+				if _, _, err := r.Site.TopRatedFeed(dep, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// WarmViewServe is the same request against a warm view: an
+		// atomic snapshot load. The guards prove it actually rides the
+		// view — the view's hit counter must move and a materialized
+		// workflow's Explain must show the matview serve.
+		{"WarmViewServe", func(b *testing.B) {
+			v, ok := r.Site.Views.View(core.FeedViewName)
+			if !ok {
+				b.Fatal("feed view not registered")
+			}
+			dep := feedDep(r)
+			if _, _, err := r.Site.TopRatedFeed(dep, 10); err != nil {
+				b.Fatal(err) // warm the snapshot
+			}
+			tpl, _ := r.Site.Strategies.Get("department-popular")
+			wf, err := tpl.Build(map[string]any{"dep": dep, "k": 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Site.Flex.Run(wf); err != nil {
+				b.Fatal(err)
+			}
+			if out := r.Site.Flex.Explain(wf); !strings.Contains(out, "matview hit (age=") {
+				b.Fatalf("scenario does not ride the materialized view:\n%s", out)
+			}
+			hits0 := v.Stats().Hits
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.Site.TopRatedFeed(dep, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if hits := v.Stats().Hits; hits < hits0+uint64(b.N) {
+				b.Fatalf("feed requests did not hit the view: hits %d → %d over %d ops", hits0, hits, b.N)
+			}
+		}},
+		// StaleAsyncServe measures the async stale-bounded read path:
+		// every iteration lands a rating (staling the view) and then
+		// reads the feed, which must serve the previous snapshot
+		// immediately — never block on the rebuild running behind it.
+		{"StaleAsyncServe", func(b *testing.B) {
+			v, ok := r.Site.Views.View(core.FeedViewName)
+			if !ok {
+				b.Fatal("feed view not registered")
+			}
+			dep := feedDep(r)
+			course := r.Man.Planted["intro-programming"]
+			if _, _, err := r.Site.TopRatedFeed(dep, 10); err != nil {
+				b.Fatal(err)
+			}
+			// One comment added up front; the storm flips ITS rating in
+			// place (an O(1) primary-key update), so every iteration is
+			// DML on the view's Comments dependency without growing the
+			// table — rebuild cost stays flat across b.N escalations.
+			id, err := r.Site.Comments.Add(comments.Comment{
+				SuID: r.Man.SampleStudent, CourseID: course,
+				Year: 2008, Term: "Aut", Text: "bench", Rating: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tbl := r.Site.DB.MustTable("Comments")
+			ri := tbl.Schema().MustIndex("Rating")
+			stale0 := v.Stats().StaleHits
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tbl.UpdateByKey([]relation.Value{id},
+					func(row relation.Row) relation.Row {
+						row[ri] = float64(1 + i%5)
+						return row
+					}); err != nil {
+					b.Fatal(err)
+				}
+				if _, serve, err := r.Site.TopRatedFeed(dep, 10); err != nil {
+					b.Fatal(err)
+				} else if serve.Kind == matview.ServeBuilt {
+					b.Fatal("stale read blocked on a rebuild inside the staleness bound")
+				}
+			}
+			b.StopTimer()
+			if stale := v.Stats().StaleHits; stale == stale0 {
+				b.Fatalf("scenario never served stale: staleHits stayed %d", stale0)
+			}
+		}},
 		// WideJoinStreamFirst50 measures true streaming below the Rows
 		// API: a comments×catalog join consumed 50 rows at a time — the
 		// iterator pipeline stops scanning and probing once the reader
@@ -258,10 +375,50 @@ func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
 	}
 	fh, fm := r.Site.Flex.CompileStats()
 	report.FlexCompile = &benchfmt.FlexCompile{Hits: fh, Misses: fm}
+	mv := r.Site.Views.Stats()
+	report.Matview = &benchfmt.Matview{
+		Views:         mv.Views,
+		Hits:          mv.Hits,
+		StaleHits:     mv.StaleHits,
+		Misses:        mv.Misses,
+		Refreshes:     mv.Refreshes,
+		Invalidations: mv.Invalidations,
+	}
 	fmt.Fprintf(os.Stderr, "plan cache: %d hits, %d misses, %d invalidations (hit rate %.4f)\n",
 		cs.Hits, cs.Misses, cs.Invalidations, cs.HitRate())
 	fmt.Fprintf(os.Stderr, "flex compile cache: %d hits, %d misses\n", fh, fm)
+	fmt.Fprintf(os.Stderr, "matviews: %d views, %d hits, %d stale hits, %d misses, %d refreshes, %d invalidations\n",
+		mv.Views, mv.Hits, mv.StaleHits, mv.Misses, mv.Refreshes, mv.Invalidations)
+	if err := checkViewSpeedup(report); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// checkViewSpeedup is the materialization acceptance gate: serving the
+// feed from the warm view must beat forcing a recompute by at least 5×.
+// The margin in practice is orders of magnitude (an atomic load versus
+// a full aggregation pass), so a failure means the serve path stopped
+// riding the view.
+func checkViewSpeedup(report benchfmt.Report) error {
+	var cold, warm float64
+	for _, b := range report.Benchmarks {
+		switch b.Name {
+		case "ColdViewBuild":
+			cold = b.NsPerOp
+		case "WarmViewServe":
+			warm = b.NsPerOp
+		}
+	}
+	if cold == 0 || warm == 0 {
+		return fmt.Errorf("bench: missing ColdViewBuild/WarmViewServe results")
+	}
+	if cold < 5*warm {
+		return fmt.Errorf("bench: warm view serve is only %.1f× faster than forced recompute (%0.f vs %0.f ns/op), want ≥5×",
+			cold/warm, cold, warm)
+	}
+	fmt.Fprintf(os.Stderr, "warm view serve %.0f× faster than forced recompute\n", cold/warm)
+	return nil
 }

@@ -36,6 +36,19 @@ type FlexCompile struct {
 	Misses uint64 `json:"misses"`
 }
 
+// Matview records the materialized-view registry over a benchmark run:
+// hits served a precomputed snapshot, stale hits served inside an async
+// view's staleness bound while a refresh ran behind the read, and
+// misses paid for a (single-flighted) build.
+type Matview struct {
+	Views         int    `json:"views"`
+	Hits          uint64 `json:"hits"`
+	StaleHits     uint64 `json:"stale_hits"`
+	Misses        uint64 `json:"misses"`
+	Refreshes     uint64 `json:"refreshes"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
 // Report is the file-level JSON shape of one BENCH_*.json record.
 type Report struct {
 	Scale       string       `json:"scale"`
@@ -43,6 +56,7 @@ type Report struct {
 	Benchmarks  []Result     `json:"benchmarks"`
 	PlanCache   *PlanCache   `json:"plan_cache,omitempty"`
 	FlexCompile *FlexCompile `json:"flex_compile,omitempty"`
+	Matview     *Matview     `json:"matview,omitempty"`
 }
 
 // Load reads and decodes one trajectory file.

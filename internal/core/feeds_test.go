@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"courserank/internal/comments"
+	"courserank/internal/matview"
+	"courserank/internal/recommend"
+)
+
+// TestTopRatedFeedLifecycle drives the async feed view end to end:
+// cold build, warm hit, stale-bounded serve after a rating lands, and
+// the background refresh converging on the new ranking.
+func TestTopRatedFeedLifecycle(t *testing.T) {
+	s := seedSite(t)
+	defer s.Close()
+
+	entries, serve, err := s.TopRatedFeed("HISTORY", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve.Kind != matview.ServeBuilt {
+		t.Fatalf("cold feed served %v, want a build", serve.Kind)
+	}
+	if len(entries) != 1 || entries[0].Avg != 5 {
+		t.Fatalf("HISTORY feed = %+v, want the one rated course at 5", entries)
+	}
+
+	if _, serve, err = s.TopRatedFeed("HISTORY", 5); err != nil || serve.Kind != matview.ServeFresh {
+		t.Fatalf("warm feed served %v (err=%v), want a fresh hit", serve.Kind, err)
+	}
+
+	// A new rating stales the view; the read inside FeedMaxStale gets
+	// the previous ranking instantly.
+	if _, err := s.Comments.Add(comments.Comment{SuID: 1, CourseID: entries[0].CourseID, Year: 2008, Term: "Winter", Text: "again", Rating: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, serve, err = s.TopRatedFeed("HISTORY", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve.Kind != matview.ServeStale || entries[0].Avg != 5 {
+		t.Fatalf("bounded read served %v avg=%v, want the stale 5 served instantly", serve.Kind, entries[0].Avg)
+	}
+
+	// The refresher pool converges on the new average (5+1)/2 = 3.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		entries, serve, err = s.TopRatedFeed("HISTORY", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serve.Kind == matview.ServeFresh && entries[0].Avg == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refresh never converged: %+v (%v)", entries, serve.Kind)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	v, ok := s.Views.View(FeedViewName)
+	if !ok {
+		t.Fatal("feed view not registered")
+	}
+	st := v.Stats()
+	if st.Mode != "async" || st.MaxStale != FeedMaxStale || st.StaleHits == 0 {
+		t.Fatalf("feed view stats = %+v", st)
+	}
+}
+
+// TestRatingsViewSharedRegistry: the baseline recommenders' ratings
+// view must land in the Site's registry (not a private one) so it
+// shows up in /api/views and shares the refresher pool.
+func TestRatingsViewSharedRegistry(t *testing.T) {
+	s := seedSite(t)
+	defer s.Close()
+	if out := s.Baseline.Popularity(1, 5); len(out) == 0 {
+		t.Fatal("Popularity returned nothing")
+	}
+	if _, ok := s.Views.View(recommend.RatingsViewName); !ok {
+		t.Fatalf("ratings view missing from the shared registry; have %v",
+			viewNames(s))
+	}
+}
+
+func viewNames(s *Site) []string {
+	var names []string
+	for _, v := range s.Views.Views() {
+		names = append(names, v.Name())
+	}
+	return names
+}
+
+// TestDepartmentPopularRidesMatview: the strategy's extend prefix must
+// serve from the materialized view on repeat runs, and Explain must say
+// so.
+func TestDepartmentPopularRidesMatview(t *testing.T) {
+	s := seedSite(t)
+	defer s.Close()
+	tpl, ok := s.Strategies.Get("department-popular")
+	if !ok {
+		t.Fatal("no department-popular strategy")
+	}
+	run := func(dep string) int {
+		res, err := s.Strategies.Run(s.Flex, "department-popular", map[string]any{"dep": dep, "k": 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Len()
+	}
+	if n := run("HISTORY"); n == 0 {
+		t.Fatal("first run empty")
+	}
+	h0, _, m0 := s.Flex.MatStats()
+	if m0 == 0 {
+		t.Fatal("first run should have built the ratings-extend view")
+	}
+	// A DIFFERENT department hits the same shared view.
+	run("CS")
+	if h1, _, m1 := s.Flex.MatStats(); h1 != h0+1 || m1 != m0 {
+		t.Fatalf("second department: hits %d→%d misses %d→%d, want one more hit off the shared view", h0, h1, m0, m1)
+	}
+	wf, err := tpl.Build(map[string]any{"dep": "CS", "k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s.Flex.Explain(wf); !strings.Contains(out, "matview hit (age=") {
+		t.Fatalf("explain does not annotate the matview serve:\n%s", out)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"courserank/internal/comments"
 	"courserank/internal/community"
 	"courserank/internal/flexrecs"
+	"courserank/internal/matview"
 	"courserank/internal/planner"
 	"courserank/internal/qa"
 	"courserank/internal/recommend"
@@ -51,6 +52,7 @@ type Site struct {
 	Baseline   *recommend.Engine
 	Advisor    *advisor.Advisor
 	Analytics  *analytics.Service
+	Views      *matview.Registry
 
 	index           *search.Index
 	instructorIndex *search.Index
@@ -66,6 +68,7 @@ func NewSite() (*Site, error) {
 	db := relation.NewDB()
 	dir := community.NewDirectory()
 	sql := sqlmini.New(db)
+	views := matview.NewRegistry(db, matviewWorkers)
 	s := &Site{
 		DB:           db,
 		SQL:          sql,
@@ -74,7 +77,15 @@ func NewSite() (*Site, error) {
 		Flex:         flexrecs.NewEngineOver(sql),
 		Strategies:   flexrecs.NewRegistry(),
 		Baseline:     recommend.NewOver(db, sql),
+		Views:        views,
 	}
+	// One materialization layer across the stack: FlexRecs Materialize
+	// steps, the baseline recommenders' ratings view and the site's feed
+	// views all register here and share the background refresher pool
+	// (started below, after every fallible setup step, so failed
+	// constructions leak no goroutines).
+	s.Flex.UseMatviews(views)
+	s.Baseline.UseViews(views)
 	var err error
 	if s.Catalog, err = catalog.Setup(db); err != nil {
 		return nil, err
@@ -105,8 +116,16 @@ func NewSite() (*Site, error) {
 	if err := s.registerDefaultStrategies(); err != nil {
 		return nil, err
 	}
+	if err := s.registerFeedViews(); err != nil {
+		return nil, err
+	}
+	views.Start()
 	return s, nil
 }
+
+// Close releases the site's background resources: the materialized-view
+// refresher pool stops and in-flight builds drain. Tests defer it.
+func (s *Site) Close() { s.Views.Close() }
 
 // CourseEntityDef is the search-entity definition for courses (paper
 // §3.1): a course entity spans its title, bulletin description, all
@@ -513,17 +532,23 @@ func (s *Site) registerDefaultStrategies() error {
 		},
 		{
 			Name:        "department-popular",
-			Description: "Best-rated courses within one department",
+			Description: "Best-rated courses within one department — the extend over every rating materializes once and is shared by all departments",
 			Params:      []string{"dep", "k"},
 			Build: func(p map[string]any) (*flexrecs.Step, error) {
 				dep, ok := p["dep"].(string)
 				if !ok {
 					return nil, fmt.Errorf("department-popular needs a department")
 				}
+				// The reference side — nesting EVERY student's ratings — is
+				// the expensive shared prefix of this workflow: it has no
+				// personalization parameters, so one materialized result
+				// serves every department and every caller until a rating
+				// lands (sync mode: refresh-on-read, single-flighted).
 				return flexrecs.Recommend(
 					flexrecs.Rel("Courses").Select("DepID = ?", dep),
 					flexrecs.Rel("Comments").Project("SuID", "CourseID", "Rating").
-						Extend("SuID", "CourseID", "Rating", "Ratings"),
+						Extend("SuID", "CourseID", "Rating", "Ratings").
+						Materialize(flexrecs.MatOptions{Name: "ratings-extend"}),
 					flexrecs.AvgOf("CourseID", "Ratings"),
 				).Top(intParam(p, "k", 10)), nil
 			},

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"courserank/internal/matview"
 	"courserank/internal/relation"
 	"courserank/internal/sqlmini"
 )
@@ -31,6 +32,12 @@ type Engine struct {
 	compiledN     atomic.Int64
 	compileHits   atomic.Uint64
 	compileMisses atomic.Uint64
+
+	// views backs Materialize steps (materialize.go); nil = transparent.
+	views     *matview.Registry
+	matHits   atomic.Uint64
+	matStale  atomic.Uint64
+	matMisses atomic.Uint64
 }
 
 // compiledSQL is one memoized sqlable subtree: its rendered statement
@@ -406,6 +413,9 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 			child.Rows = child.Rows[:s.k]
 		}
 		return child, nil
+
+	case matStep:
+		return e.runMat(s)
 
 	case orderStep:
 		child, err := e.runStep(s.child)
@@ -813,6 +823,11 @@ func (e *Engine) explain(s *Step, depth int, b *strings.Builder) {
 				fmt.Fprintf(b, "%s  | %s\n", indent, line)
 			}
 		}
+		return
+	}
+	if s.kind == matStep {
+		fmt.Fprintf(b, "%s%s\n", indent, e.explainMat(s))
+		e.explain(s.child, depth+1, b)
 		return
 	}
 	fmt.Fprintf(b, "%s%s\n", indent, s.describe())

@@ -3,6 +3,7 @@ package flexrecs
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // stepKind discriminates workflow operators.
@@ -18,6 +19,7 @@ const (
 	blendStep
 	topStep
 	orderStep
+	matStep
 )
 
 // Step is one node of a workflow DAG. Workflows are built fluently:
@@ -53,6 +55,8 @@ type Step struct {
 
 	orderCol string // orderStep
 	desc     bool
+
+	mat MatOptions // matStep
 
 	child, other *Step // other = join right side / recommend reference
 }
@@ -123,6 +127,31 @@ func (s *Step) OrderBy(col string, desc bool) *Step {
 	return &Step{kind: orderStep, orderCol: col, desc: desc, child: s}
 }
 
+// MatOptions configures a Materialize step.
+type MatOptions struct {
+	// Name keys the view in the matview registry. The engine appends a
+	// fingerprint of the subtree's parameter values, so one named
+	// Materialize in a personalized template yields one view per
+	// distinct parameter binding. Required.
+	Name string
+	// Async serves a bounded-stale snapshot while a background refresh
+	// runs; sync (the default) refreshes on read.
+	Async bool
+	// MaxStale bounds an async view's serving staleness.
+	MaxStale time.Duration
+}
+
+// Materialize caches this subtree's result in the engine's materialized
+// -view registry: the first request builds it, later requests serve the
+// snapshot until a dependency table mutates (sync) or the staleness
+// bound expires (async). Wrap the expensive shared PREFIX of a workflow
+// — typically an extend step over a whole table — and keep the cheap
+// personalized operators outside the wrapper. On an engine without a
+// registry the step is transparent.
+func (s *Step) Materialize(o MatOptions) *Step {
+	return &Step{kind: matStep, mat: o, child: s}
+}
+
 // describe renders this single operator for Explain.
 func (s *Step) describe() string {
 	switch s.kind {
@@ -148,6 +177,12 @@ func (s *Step) describe() string {
 			dir = "desc"
 		}
 		return fmt.Sprintf("order[%s %s]", s.orderCol, dir)
+	case matStep:
+		mode := "sync"
+		if s.mat.Async {
+			mode = fmt.Sprintf("async, maxStale=%v", s.mat.MaxStale)
+		}
+		return fmt.Sprintf("matview[%s: %s]", s.mat.Name, mode)
 	}
 	return "?"
 }
@@ -205,6 +240,10 @@ func (s *Step) Validate() error {
 	case orderStep:
 		if s.orderCol == "" {
 			return fmt.Errorf("flexrecs: OrderBy requires a column")
+		}
+	case matStep:
+		if s.mat.Name == "" {
+			return fmt.Errorf("flexrecs: Materialize requires a view name")
 		}
 	default:
 		return fmt.Errorf("flexrecs: unknown step kind %d", s.kind)

@@ -1,0 +1,65 @@
+// Package matview is the asynchronous materialization layer: a registry
+// of materialized views over the relation store, each a precomputed
+// value (a rating map, a feed relation, an extend-step result) that
+// interactive requests read instead of recomputing — the precomputation
+// pattern social-systems infrastructure leans on to keep recommendation
+// and feed queries at interactive latencies.
+//
+// # Versioned invalidation
+//
+// A view declares the base tables it depends on. Every build captures a
+// fingerprint per dependency — the table pointer (identity across
+// DROP/CREATE), its SCHEMA EPOCH and its MUTATION VERSION
+// (relation.Table.ViewFingerprint) — before the build reads anything,
+// so a write racing the build merely makes the snapshot stale a round
+// early, never wrong. A read is a hit when every dependency still
+// matches exactly. The fingerprint split matters:
+//
+//   - version moved (row DML): the view's DATA is stale. Async views
+//     may still serve it inside their staleness bound.
+//   - epoch moved or the table was replaced (DDL): the view may hold
+//     stale-SCHEMA rows. These are never served — the snapshot is
+//     dropped and the read rebuilds.
+//
+// This is the same (SchemaEpoch, Version) machinery sqlmini's plan
+// cache fingerprints with, keyed one level stricter: plans bake in
+// access paths and survive row DML; views bake in data and do not.
+//
+// # Single-flight refresh
+//
+// All rebuilds of one view are single-flighted: the first reader (or
+// background worker) to find the view stale runs the build; every
+// concurrent reader joins that in-flight build and shares its result.
+// A cold view hit by N simultaneous requests builds once, not N times
+// — the stampede the hand-rolled caches this package replaced would
+// serialize into N sequential rebuilds.
+//
+// # Serving modes
+//
+// Sync views refresh on read: a stale read blocks on the (shared)
+// rebuild and always returns data reflecting every mutation committed
+// before the build started.
+//
+// Async views bound staleness instead of eliminating it: once a read
+// observes the snapshot stale the staleness clock starts, and reads
+// inside the view's MaxStale bound serve the previous snapshot
+// immediately while enqueueing a background refresh behind them
+// (deduplicated — one queued refresh per view). A read past the bound —
+// meaning refreshes have failed to land for MaxStale despite demand —
+// blocks like Sync. The clock starts at first OBSERVATION rather than
+// at the write because a write nobody reads after serves nobody stale
+// data, and it makes a long-fresh snapshot that just went stale serve
+// instantly instead of spuriously blocking on its calendar age.
+// Snapshots are immutable and published through an atomic pointer, so
+// a reader never observes a torn view: it gets the whole previous
+// snapshot or the whole next one.
+//
+// # Lifecycle
+//
+// A Registry owns the background refresher pool: Start launches the
+// workers, Close stops them and drains in-flight builds. An unstarted
+// (or closed) registry still serves every view correctly — async views
+// simply degrade to blocking refreshes once past their bound. The core
+// Site starts its registry at construction and exposes Close; tests
+// defer it so goroutines drain.
+package matview

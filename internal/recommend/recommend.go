@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"courserank/internal/flexrecs"
+	"courserank/internal/matview"
 	"courserank/internal/relation"
 	"courserank/internal/sqlmini"
 	"courserank/internal/textindex"
@@ -43,21 +44,25 @@ func byScore(s []Scored) {
 	})
 }
 
+// RatingsViewName is the registry key of the per-student rating-vector
+// view every collaborative recommender reads.
+const RatingsViewName = "recommend/ratings-by-student"
+
 // Engine computes recommendations directly against the store. Point
 // lookups run as prepared statements — planned once, bound per call —
 // so they ride the planner's index access paths without per-request
-// parse/plan cost; the full-table rating aggregation streams through a
-// prepared Rows cursor, materializes once, and revalidates against the
-// Comments table's mutation counter.
+// parse/plan cost; the full-table rating aggregation is a matview
+// materialized view keyed on the Comments table's fingerprint, so
+// concurrent cold reads single-flight into one build and warm reads are
+// an atomic snapshot load.
 type Engine struct {
 	db  *relation.DB
 	sql *sqlmini.Engine
 
 	mu          sync.Mutex
-	ratings     map[int64]flexrecs.Vector // materialized rating view
-	ratingsVer  uint64                    // Comments version it was built at
-	titleStmt   *sqlmini.Stmt             // pk lookup behind ContentSimilar
-	ratingsStmt *sqlmini.Stmt             // ratings projection behind the view
+	views       *matview.Registry // lazily private unless UseViews supplied one
+	ratingsView *matview.View     // resolved once per registry
+	titleStmt   *sqlmini.Stmt     // pk lookup behind ContentSimilar
 }
 
 // New returns a baseline engine over the database with its own SQL
@@ -66,9 +71,30 @@ func New(db *relation.DB) *Engine { return NewOver(db, sqlmini.New(db)) }
 
 // NewOver returns a baseline engine executing through an existing SQL
 // engine, sharing its plan cache with the other subsystems over the
-// same database.
+// same database. Without UseViews the engine lazily creates a private
+// view registry on first use.
 func NewOver(db *relation.DB, sql *sqlmini.Engine) *Engine {
 	return &Engine{db: db, sql: sql}
+}
+
+// UseViews routes the engine's materialized views through reg — the
+// Site facade wiring, so the ratings view shows up beside the feed
+// views in /api/views and shares the background refresher pool.
+func (e *Engine) UseViews(reg *matview.Registry) {
+	e.mu.Lock()
+	e.views = reg
+	e.ratingsView = nil // re-resolve against the new registry
+	e.mu.Unlock()
+}
+
+// registry returns the wired registry, creating a private sync-only one
+// on first use for engines running outside the Site facade. Caller
+// holds e.mu.
+func (e *Engine) registry() *matview.Registry {
+	if e.views == nil {
+		e.views = matview.NewRegistry(e.db, 1)
+	}
+	return e.views
 }
 
 // prepare lazily prepares one of the engine's statements. Preparation
@@ -88,35 +114,60 @@ func (e *Engine) prepare(slot **sqlmini.Stmt, text string) (*sqlmini.Stmt, error
 }
 
 // ratingsBySuID returns every student's rating vector from the Comments
-// table (SuID, CourseID, Rating), skipping unrated comments. The view is
-// shared and rebuilt only when Comments has changed since the last
-// build; callers must treat the returned vectors as read-only.
+// table (SuID, CourseID, Rating), skipping unrated comments, served
+// from the materialized view: warm reads are an atomic snapshot load,
+// cold and invalidated reads single-flight into one rebuild no matter
+// how many requests arrive at once. Callers must treat the returned
+// vectors as read-only.
 func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
-	t, ok := e.db.Table("Comments")
-	if !ok {
-		return map[int64]flexrecs.Vector{}
-	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if v := t.Version(); e.ratings != nil && v == e.ratingsVer {
-		return e.ratings
+	v := e.ratingsView
+	if v == nil {
+		var err error
+		v, err = e.registry().GetOrRegister(matview.Options{
+			Name: RatingsViewName,
+			Deps: []string{"Comments"},
+			Mode: matview.Sync,
+			Build: func() (any, error) { return e.buildRatings() },
+		})
+		if err != nil {
+			e.mu.Unlock()
+			return map[int64]flexrecs.Vector{}
+		}
+		e.ratingsView = v
 	}
-	ver := t.Version()
-	st, err := e.prepare(&e.ratingsStmt, `SELECT SuID, CourseID, Rating FROM Comments`)
+	e.mu.Unlock()
+	val, _, err := v.Get()
 	if err != nil {
 		return map[int64]flexrecs.Vector{}
+	}
+	return val.(map[int64]flexrecs.Vector)
+}
+
+// buildRatings computes one ratings snapshot through a prepared Rows
+// cursor. A missing Comments table yields an empty map (the view's
+// fingerprint records the absence, so creating the table invalidates).
+func (e *Engine) buildRatings() (map[int64]flexrecs.Vector, error) {
+	out := map[int64]flexrecs.Vector{}
+	if _, ok := e.db.Table("Comments"); !ok {
+		return out, nil
+	}
+	// Prepare per build: the shared plan cache makes this one text-keyed
+	// lookup, and a build is a full-table aggregation anyway.
+	st, err := e.sql.Prepare(`SELECT SuID, CourseID, Rating FROM Comments`)
+	if err != nil {
+		return nil, err
 	}
 	rows, err := st.QueryRows()
 	if err != nil {
-		return map[int64]flexrecs.Vector{}
+		return nil, err
 	}
 	defer rows.Close()
-	out := map[int64]flexrecs.Vector{}
 	for rows.Next() {
 		var sid int64
 		var cid, rating any
 		if err := rows.Scan(&sid, &cid, &rating); err != nil {
-			return map[int64]flexrecs.Vector{}
+			return nil, err
 		}
 		var val float64
 		switch x := rating.(type) {
@@ -134,8 +185,7 @@ func (e *Engine) ratingsBySuID() map[int64]flexrecs.Vector {
 		}
 		v[cid] = val
 	}
-	e.ratings, e.ratingsVer = out, ver
-	return out
+	return out, rows.Err()
 }
 
 // Popularity ranks courses by mean rating, requiring at least minRaters

@@ -142,6 +142,18 @@ func (t *Table) PlanFingerprint() (epoch uint64, rows int) {
 	return t.epoch, t.live
 }
 
+// ViewFingerprint returns the schema epoch and mutation version under a
+// single lock acquisition — the materialized-view freshness probe.
+// Where plans fingerprint on (epoch, row-count drift) because they bake
+// in access paths but never data, views bake in DATA: any row DML makes
+// a view's contents potentially stale, so views key on the full
+// mutation counter.
+func (t *Table) ViewFingerprint() (epoch, version uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch, t.version
+}
+
 // NewTable constructs an empty table with the given name and schema.
 func NewTable(name string, schema *Schema, opts ...TableOption) (*Table, error) {
 	t := &Table{

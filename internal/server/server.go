@@ -16,6 +16,7 @@ import (
 	"courserank/internal/comments"
 	"courserank/internal/community"
 	"courserank/internal/core"
+	"courserank/internal/matview"
 	"courserank/internal/render"
 )
 
@@ -40,6 +41,8 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
 	s.mux.HandleFunc("GET /api/explain/{strategy}", s.auth(s.handleExplain))
 	s.mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
+	s.mux.HandleFunc("GET /api/views", s.auth(s.handleViews))
+	s.mux.HandleFunc("GET /api/feed/{dep}", s.auth(s.handleFeed))
 	s.mux.HandleFunc("GET /api/points", s.auth(s.handlePoints))
 	s.mux.HandleFunc("GET /api/leaderboard", s.auth(s.handleLeaderboard))
 	s.mux.HandleFunc("GET /api/components", s.auth(s.handleComponents))
@@ -302,11 +305,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u communi
 // hit/miss/invalidation tallies (every subsystem's SQL flows through
 // it, so the hit rate is the fraction of requests that skipped
 // parse/plan entirely), the FlexRecs compile cache (a hit means a
-// workflow request skipped SQL re-rendering too), plus the deployment
-// scale.
+// workflow request skipped SQL re-rendering too), the materialized-view
+// registry (hits serve a precomputed snapshot, stale hits serve inside
+// an async bound while a refresh runs behind the read, misses pay for a
+// build), plus the deployment scale.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community.User) {
 	cs := s.site.SQL.CacheStats()
 	fh, fm := s.site.Flex.CompileStats()
+	mh, mst, mm := s.site.Flex.MatStats()
+	mv := s.site.Views.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"planCache": map[string]any{
 			"hits":          cs.Hits,
@@ -319,7 +326,80 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community
 			"hits":   fh,
 			"misses": fm,
 		},
+		"flexMaterialize": map[string]any{
+			"hits":      mh,
+			"staleHits": mst,
+			"misses":    mm,
+		},
+		"matviews": map[string]any{
+			"views":         mv.Views,
+			"hits":          mv.Hits,
+			"staleHits":     mv.StaleHits,
+			"misses":        mv.Misses,
+			"refreshes":     mv.Refreshes,
+			"invalidations": mv.Invalidations,
+			"errors":        mv.Errors,
+		},
 		"scale": s.site.Scale(),
+	})
+}
+
+// handleViews lists every registered materialized view with its serving
+// mode, staleness bound, dependencies, snapshot age and counters — the
+// operational window into the materialization layer.
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request, _ community.User) {
+	views := s.site.Views.Views()
+	out := make([]map[string]any, 0, len(views))
+	for _, v := range views {
+		st := v.Stats()
+		entry := map[string]any{
+			"name":          st.Name,
+			"mode":          st.Mode,
+			"maxStaleMs":    st.MaxStale.Milliseconds(),
+			"deps":          st.Deps,
+			"hits":          st.Hits,
+			"staleHits":     st.StaleHits,
+			"misses":        st.Misses,
+			"refreshes":     st.Refreshes,
+			"invalidations": st.Invalidations,
+			"errors":        st.Errors,
+			"hasSnapshot":   st.HasSnapshot,
+		}
+		if st.HasSnapshot {
+			entry["ageMs"] = st.Age.Milliseconds()
+			entry["lastBuildMs"] = st.LastBuild.Milliseconds()
+		}
+		out = append(out, entry)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"views": out})
+}
+
+// handleFeed serves one department's top-rated feed from the async
+// materialized view — the stale-bounded read path: inside the bound the
+// previous ranking returns instantly while a refresh runs behind it.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request, _ community.User) {
+	dep := r.PathValue("dep")
+	k := 10
+	if n, err := strconv.Atoi(r.URL.Query().Get("k")); err == nil && n > 0 {
+		k = n
+	}
+	entries, serve, err := s.site.TopRatedFeed(dep, k)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	served := "fresh"
+	switch serve.Kind {
+	case matview.ServeStale:
+		served = "stale"
+	case matview.ServeBuilt:
+		served = "built"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dep":     dep,
+		"entries": entries,
+		"served":  served,
+		"ageMs":   serve.Age.Milliseconds(),
 	})
 }
 

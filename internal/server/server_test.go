@@ -25,6 +25,7 @@ func testServer(t *testing.T) (*httptest.Server, *core.Site, *datagen.Manifest) 
 	}
 	ts := httptest.NewServer(New(site))
 	t.Cleanup(ts.Close)
+	t.Cleanup(site.Close)
 	return ts, site, man
 }
 
@@ -278,6 +279,84 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if _, ok := out["scale"]; !ok {
 		t.Errorf("stats missing scale: %v", out)
+	}
+	mv, ok := out["matviews"].(map[string]any)
+	if !ok {
+		t.Fatalf("no matviews in %v", out)
+	}
+	if _, ok := out["flexMaterialize"].(map[string]any); !ok {
+		t.Fatalf("no flexMaterialize in %v", out)
+	}
+	for _, key := range []string{"views", "hits", "staleHits", "misses", "refreshes", "invalidations", "errors"} {
+		if _, ok := mv[key]; !ok {
+			t.Errorf("matviews missing %q: %v", key, mv)
+		}
+	}
+}
+
+// TestViewsAndFeedEndpoints: /api/views lists the registered
+// materialized views with their counters, and /api/feed serves a
+// department feed off the async view, moving the view's hit counters.
+func TestViewsAndFeedEndpoints(t *testing.T) {
+	ts, site, _ := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/api/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated views status = %d", resp.StatusCode)
+	}
+
+	token := login(t, ts, "stu00001")
+	// Traffic through the view-backed paths: the baseline recommenders'
+	// ratings view and the top-rated feed.
+	if out := site.Baseline.Popularity(2, 5); len(out) == 0 {
+		t.Fatal("no popularity results")
+	}
+	for i := 0; i < 2; i++ {
+		r, err := http.Get(ts.URL + "/api/feed/CS?k=5&token=" + token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed := decode[map[string]any](t, r)
+		entries, ok := feed["entries"].([]any)
+		if !ok || len(entries) == 0 {
+			t.Fatalf("feed = %v, want entries", feed)
+		}
+		if feed["served"] != "built" && feed["served"] != "fresh" && feed["served"] != "stale" {
+			t.Fatalf("feed served = %v", feed["served"])
+		}
+	}
+
+	respV, err := http.Get(ts.URL + "/api/views?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, respV)
+	views, ok := out["views"].([]any)
+	if !ok || len(views) < 2 {
+		t.Fatalf("views = %v, want at least the ratings view and the feed view", out)
+	}
+	byName := map[string]map[string]any{}
+	for _, v := range views {
+		m := v.(map[string]any)
+		byName[m["name"].(string)] = m
+	}
+	feed, ok := byName["core/top-rated-by-dept"]
+	if !ok {
+		t.Fatalf("feed view missing from %v", byName)
+	}
+	if feed["mode"] != "async" || feed["hasSnapshot"] != true {
+		t.Errorf("feed view entry = %v", feed)
+	}
+	// One build plus one warm hit from the two feed requests.
+	if feed["hits"].(float64) < 1 || feed["refreshes"].(float64) < 1 {
+		t.Errorf("feed view counters did not move: %v", feed)
+	}
+	if _, ok := byName["recommend/ratings-by-student"]; !ok {
+		t.Errorf("ratings view missing from %v", byName)
 	}
 }
 

@@ -126,4 +126,29 @@
 // derived engine handle using the naive strategy — full scans, nested
 // loops, no pushdown, no caching — which parity tests run beside the
 // planning engine; handles are immutable, so the two never race.
+//
+// # View fingerprints vs plan-cache fingerprints
+//
+// Two caches above the storage layer key on the same per-table
+// machinery — relation.Table's pointer identity, SchemaEpoch and
+// mutation Version — but at different strictness, because they bake in
+// different things:
+//
+//   - the PLAN cache here fingerprints (identity, SchemaEpoch, costed
+//     row count). Plans bake in ACCESS PATHS, never data, so row DML
+//     leaves them correct: a cached plan survives arbitrary
+//     insert/update/delete churn and replans only on DDL (the epoch
+//     moved, or the table was replaced) or when live-row statistics
+//     drift past the replan threshold (Table.PlanFingerprint).
+//   - internal/matview's view registry fingerprints (identity,
+//     SchemaEpoch, Version) — the FULL mutation counter
+//     (Table.ViewFingerprint). Materialized views bake in DATA, so any
+//     row DML stales them; epoch moves invalidate outright (a view
+//     must never serve stale-SCHEMA rows, even inside an async view's
+//     staleness bound), while version moves merely stale the data,
+//     which async views may keep serving inside their bound.
+//
+// The split keeps the hot path honest: one UPDATE leaves every cached
+// plan untouched but marks the rating views stale; one AddOrderedIndex
+// replans affected statements AND hard-invalidates dependent views.
 package sqlmini
