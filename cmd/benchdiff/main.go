@@ -12,6 +12,11 @@
 // When the new file records plan-cache counters, a hit rate at or
 // below 0.9 also fails — repeated parameterized workloads must plan
 // once, not per request.
+//
+// Besides ns/op, the gate also watches allocs/op: unlike wall time it
+// is deterministic, so a tighter default threshold applies, with a
+// small absolute floor so a 2→3 alloc change on a lean benchmark does
+// not read as a 50%% regression.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/op regression, percent")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 15, "maximum allowed allocs/op regression, percent")
+	allocFloor := flag.Int64("alloc-floor", 8, "ignore allocs/op growth at or below this many allocations")
 	minHitRate := flag.Float64("min-hit-rate", 0.9, "minimum plan-cache hit rate when the new file records one")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -47,12 +54,12 @@ func main() {
 	}
 	failed := false
 	seen := make(map[string]bool)
-	fmt.Printf("%-26s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-26s %14s %14s %9s %10s %10s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, b := range cur.Benchmarks {
 		seen[b.Name] = true
 		o, ok := oldBy[b.Name]
 		if !ok {
-			fmt.Printf("%-26s %14s %14.0f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			fmt.Printf("%-26s %14s %14.0f %9s %10s %10d %8s\n", b.Name, "-", b.NsPerOp, "new", "-", b.AllocsPerOp, "")
 			continue
 		}
 		delta := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
@@ -61,7 +68,18 @@ func main() {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-26s %14.0f %14.0f %+8.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, delta, mark)
+		// Alloc counts are exact, so any growth is a code change, not
+		// noise — but tiny benchmarks earn an absolute floor.
+		var allocDelta float64
+		grew := b.AllocsPerOp - o.AllocsPerOp
+		if o.AllocsPerOp > 0 {
+			allocDelta = float64(grew) / float64(o.AllocsPerOp) * 100
+		}
+		if grew > *allocFloor && (o.AllocsPerOp == 0 || allocDelta > *maxAllocRegress) {
+			mark = "  ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-26s %14.0f %14.0f %+8.1f%% %10d %10d %+7.1f%%%s\n", b.Name, o.NsPerOp, b.NsPerOp, delta, o.AllocsPerOp, b.AllocsPerOp, allocDelta, mark)
 	}
 	for _, o := range old.Benchmarks {
 		if !seen[o.Name] {
@@ -78,8 +96,8 @@ func main() {
 			pc.HitRate, pc.Hits, pc.Misses, pc.Invalidations, mark)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% (or hit rate below %.2f) between %s and %s\n",
-			*maxRegress, *minHitRate, flag.Arg(0), flag.Arg(1))
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% ns/op or %.0f%% allocs/op (or hit rate below %.2f) between %s and %s\n",
+			*maxRegress, *maxAllocRegress, *minHitRate, flag.Arg(0), flag.Arg(1))
 		os.Exit(1)
 	}
 }

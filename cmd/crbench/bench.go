@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 	"testing"
@@ -347,12 +348,24 @@ func benchmarks(r *experiments.Runner) []struct {
 // runBenchmarks executes the tracked workloads with testing.Benchmark
 // and writes one JSON report, so BENCH_*.json trajectories can be
 // recorded per PR without parsing `go test -bench` text output.
-func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
+// A non-empty filter regexp narrows the run to matching scenarios —
+// the usual companion to -cpuprofile when chasing one regression.
+func runBenchmarks(r *experiments.Runner, scale, filter string, w io.Writer) error {
+	var filterRE *regexp.Regexp
+	if filter != "" {
+		var err error
+		if filterRE, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("benchfilter: %w", err)
+		}
+	}
 	report := benchfmt.Report{Scale: scale, GoVersion: runtime.Version()}
 	// Counters start clean so the recorded hit rate covers exactly the
 	// benchmark window, not deployment generation.
 	r.Site.SQL.ResetCacheStats()
 	for _, bm := range benchmarks(r) {
+		if filterRE != nil && !filterRE.MatchString(bm.name) {
+			continue
+		}
 		res := testing.Benchmark(bm.fn)
 		report.Benchmarks = append(report.Benchmarks, benchfmt.Result{
 			Name:        bm.name,
@@ -389,8 +402,11 @@ func runBenchmarks(r *experiments.Runner, scale string, w io.Writer) error {
 	fmt.Fprintf(os.Stderr, "flex compile cache: %d hits, %d misses\n", fh, fm)
 	fmt.Fprintf(os.Stderr, "matviews: %d views, %d hits, %d stale hits, %d misses, %d refreshes, %d invalidations\n",
 		mv.Views, mv.Hits, mv.StaleHits, mv.Misses, mv.Refreshes, mv.Invalidations)
-	if err := checkViewSpeedup(report); err != nil {
-		return err
+	// A filtered run may omit the view scenarios the speedup gate reads.
+	if filterRE == nil {
+		if err := checkViewSpeedup(report); err != nil {
+			return err
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

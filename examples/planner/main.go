@@ -110,6 +110,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The plan's trailing "vectorized batch=N" line is the executor's
+	// slab size: rows move through the cursor pipeline N at a time, so
+	// the streaming loop below pays one pipeline dispatch per slab, not
+	// per row.
 	fmt.Printf("\nPrepared transcript query — plan chosen before any student binds:\n  %s", plan)
 	for _, su := range []int64{sally, man.SampleStudent} {
 		rows, err := stmt.QueryRows(su) // bind → execute: no parse, no plan

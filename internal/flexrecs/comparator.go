@@ -74,15 +74,19 @@ func (c *jaccardCmp) bind(target, ref *Relation) (func([]any) (float64, error), 
 		}
 		refSets = append(refSets, Tokens(s))
 	}
+	// recommend drives the closure sequentially, so one token buffer
+	// can serve every target row — tokens are consumed by the Jaccard
+	// intersections below and never escape a call.
+	var tokBuf []string
 	return func(trow []any) (float64, error) {
 		s, err := attrString(trow, ti)
 		if err != nil {
 			return 0, err
 		}
-		toks := textindex.Tokenize(s)
+		tokBuf = textindex.TokenizeInto(s, tokBuf)
 		best := 0.0
 		for _, rt := range refSets {
-			if j := JaccardAgainst(toks, rt); j > best {
+			if j := JaccardAgainst(tokBuf, rt); j > best {
 				best = j
 			}
 		}

@@ -405,6 +405,22 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		return blend(left, right, s.blendKey, s.scoreAs, s.wL, s.wR)
 
 	case topStep:
+		if s.child.kind == recommendStep {
+			// Fuse ▷ with the following top-k: score everything but sort
+			// and materialize only the k survivors. Recommend feeding Top
+			// is the shape every shipped strategy ends with, and the fused
+			// path skips the whole-catalog stable sort plus one output row
+			// per discarded candidate.
+			target, err := e.runStep(s.child.child)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := e.runStep(s.child.other)
+			if err != nil {
+				return nil, err
+			}
+			return recommendTop(target, ref, s.child.cmp, s.child.scoreAs, s.k)
+		}
 		child, err := e.runStep(s.child)
 		if err != nil {
 			return nil, err
@@ -618,6 +634,20 @@ func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, err
 	if !ok {
 		return nil, fmt.Errorf("flexrecs: extend: no column %q", valCol)
 	}
+	// Pre-size each group's vector with one integer-keyed counting pass.
+	// The build loop below assigns into interface-keyed Vector maps —
+	// extend's dominant cost — and starting every map at its final size
+	// removes the growth rehashes entirely. Overcounts (rows the build
+	// loop later skips for NULL keys or values) only waste capacity.
+	counts := make(map[int64]int32, len(child.Rows)/8+8)
+	for _, row := range child.Rows {
+		if g, ok := row[gi].(int64); ok {
+			counts[g]++
+		} else {
+			counts = nil // non-int group keys: build unsized below
+			break
+		}
+	}
 	// Grouping keys are almost always int64 ids (students, courses); a
 	// dedicated map skips interface hashing in this hot loop and falls
 	// back to a generic map on the first key of any other type.
@@ -631,7 +661,7 @@ func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, err
 			if ig, ok := g.(int64); ok {
 				vec, seen := intGroups[ig]
 				if !seen {
-					vec = Vector{}
+					vec = make(Vector, int(counts[ig])) // counts nil-safe: missing key sizes 0
 					intGroups[ig] = vec
 					order = append(order, g)
 				}
@@ -679,8 +709,11 @@ func extend(child *Relation, groupBy, keyCol, valCol, as string) (*Relation, err
 		vecFor(g)[k] = val
 	}
 	out := &Relation{Cols: []string{groupBy, as}, Rows: make([][]any, 0, len(order))}
-	for _, g := range order {
-		out.Rows = append(out.Rows, []any{g, vecFor(g)})
+	slab := make([]any, 2*len(order)) // one backing array for every (group, vector) pair
+	for i, g := range order {
+		nr := slab[2*i : 2*i+2 : 2*i+2]
+		nr[0], nr[1] = g, vecFor(g)
+		out.Rows = append(out.Rows, nr)
 	}
 	return out, nil
 }
@@ -698,18 +731,115 @@ func recommend(target, ref *Relation, cmp Comparator, scoreAs string) (*Relation
 	}
 	out := &Relation{Cols: append(append([]string{}, target.Cols...), scoreAs)}
 	out.Rows = make([][]any, len(target.Rows))
+	// Carve the output rows from one slab instead of one make per row:
+	// recommend runs over whole catalogs, and the per-row slices are the
+	// operator's dominant garbage.
+	stride := len(target.Cols) + 1
+	slab := make([]any, len(target.Rows)*stride)
 	for i, row := range target.Rows {
 		s, err := score(row)
 		if err != nil {
 			return nil, err
 		}
-		nr := make([]any, 0, len(row)+1)
+		var nr []any
+		if len(row)+1 == stride {
+			nr = slab[:0:stride]
+			slab = slab[stride:]
+		} else {
+			nr = make([]any, 0, len(row)+1)
+		}
 		nr = append(nr, row...)
 		nr = append(nr, s)
 		out.Rows[i] = nr
 	}
 	si := len(out.Cols) - 1
 	sortByScoreDesc(out.Rows, si)
+	return out, nil
+}
+
+// recommendTop is recommend fused with a following top-k. Every target
+// row is still scored (so scoring errors surface identically), but only
+// the k best — ties broken by original position, exactly the prefix a
+// stable best-first sort would keep — are materialized as output rows.
+// The selection runs a binary-search insertion into a k-bounded list:
+// for the catalog-sized inputs and ten-to-fifty k the strategies use,
+// that replaces an O(n log n) interface-typed sort with O(n log k)
+// float compares and shrinks the output slab from n rows to k.
+func recommendTop(target, ref *Relation, cmp Comparator, scoreAs string, k int) (*Relation, error) {
+	if k <= 0 || k*4 >= len(target.Rows) {
+		// Nothing (or too little) to discard: the fused path saves only
+		// when most candidates drop, so keep the plain sort's behavior.
+		out, err := recommend(target, ref, cmp, scoreAs)
+		if err != nil {
+			return nil, err
+		}
+		if len(out.Rows) > k {
+			out.Rows = out.Rows[:k]
+		}
+		return out, nil
+	}
+	if _, exists := target.Col(scoreAs); exists {
+		return nil, fmt.Errorf("flexrecs: recommend: target already has column %q", scoreAs)
+	}
+	score, err := cmp.bind(target, ref)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		idx int
+		s   float64
+	}
+	// kept stays sorted best-first on (score desc, index asc); better
+	// mirrors sortByScoreDesc's comparator, with the index as the
+	// stability tiebreak.
+	better := func(a, b scored) bool {
+		if a.s != b.s {
+			return a.s > b.s
+		}
+		return a.idx < b.idx
+	}
+	kept := make([]scored, 0, k)
+	for i, row := range target.Rows {
+		s, err := score(row)
+		if err != nil {
+			return nil, err
+		}
+		cand := scored{idx: i, s: s}
+		if len(kept) == k && !better(cand, kept[k-1]) {
+			continue
+		}
+		lo, hi := 0, len(kept)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if better(cand, kept[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if len(kept) < k {
+			kept = append(kept, scored{})
+		}
+		copy(kept[lo+1:], kept[lo:])
+		kept[lo] = cand
+	}
+	out := &Relation{Cols: append(append([]string{}, target.Cols...), scoreAs)}
+	out.Rows = make([][]any, len(kept))
+	stride := len(target.Cols) + 1
+	slab := make([]any, len(kept)*stride)
+	for i, sc := range kept {
+		row := target.Rows[sc.idx]
+		var nr []any
+		if len(row)+1 == stride {
+			nr = slab[:0:stride]
+			slab = slab[stride:]
+		} else {
+			nr = make([]any, 0, len(row)+1)
+		}
+		nr = append(nr, row...)
+		nr = append(nr, sc.s)
+		out.Rows[i] = nr
+	}
 	return out, nil
 }
 

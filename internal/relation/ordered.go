@@ -60,6 +60,44 @@ func (ix *orderedIndex) remove(slot int, row Row) {
 	}
 }
 
+// update rekeys slot from old's value to repl's. An unchanged key keeps
+// its position, so the whole maintenance is skipped; a changed key
+// relocates with one memmove over the span between the old and new
+// positions, instead of the remove/add pair's two tail moves.
+func (ix *orderedIndex) update(slot int, old, repl Row) {
+	ov, nv := old[ix.col], repl[ix.col]
+	if ov == nil {
+		ix.add(slot, repl)
+		return
+	}
+	if nv == nil {
+		ix.remove(slot, old)
+		return
+	}
+	if Equal(ov, nv) {
+		return
+	}
+	i := ix.search(ov, slot)
+	if i >= len(ix.entries) || ix.entries[i].slot != slot || !Equal(ix.entries[i].val, ov) {
+		ix.add(slot, repl) // old entry absent; keep the index consistent
+		return
+	}
+	// j is the insertion point in the array as it stands, old entry
+	// still in place at i; the three cases below collapse remove(i) +
+	// insert into a single bounded shift.
+	j := ix.search(nv, slot)
+	switch {
+	case j > i+1: // moving right: (i, j) shifts left, entry lands at j-1
+		copy(ix.entries[i:], ix.entries[i+1:j])
+		ix.entries[j-1] = orderedEntry{val: nv, slot: slot}
+	case j < i: // moving left: [j, i) shifts right, entry lands at j
+		copy(ix.entries[j+1:i+1], ix.entries[j:i])
+		ix.entries[j] = orderedEntry{val: nv, slot: slot}
+	default: // j == i or i+1: the new key sorts in the same place
+		ix.entries[i] = orderedEntry{val: nv, slot: slot}
+	}
+}
+
 // RangeBound is one end of a range probe. A nil *RangeBound means the
 // end is unbounded; NULL bound values match nothing (x >= NULL is never
 // true), which callers handle before building the bound.

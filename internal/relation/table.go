@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -90,6 +91,17 @@ func (ix *secondaryIndex) remove(slot int, row Row) {
 	} else {
 		ix.slots[k] = list
 	}
+}
+
+// update rekeys slot from old's value to repl's. Updates usually touch
+// columns other than this index's, so the unchanged-value case skips
+// the remove/add pair (two key encodings plus a slot-list scan).
+func (ix *secondaryIndex) update(slot int, old, repl Row) {
+	if Equal(old[ix.col], repl[ix.col]) {
+		return
+	}
+	ix.remove(slot, old)
+	ix.add(slot, repl)
 }
 
 // Table is a mutable, thread-safe relation: a schema plus rows, with
@@ -331,22 +343,57 @@ func (t *Table) MustInsert(row Row) int {
 func (t *Table) Get(key ...Value) (Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.pkIndex == nil || len(key) != len(t.pk) {
-		return nil, false
-	}
-	norm := make([]Value, len(key))
-	for i, v := range key {
-		nv, err := Normalize(v)
-		if err != nil {
-			return nil, false
-		}
-		norm[i] = nv
-	}
-	slot, ok := t.pkIndex[encodeKey(norm)]
+	slot, ok := t.pkSlotLocked(key)
 	if !ok {
 		return nil, false
 	}
 	return t.rows[slot].Clone(), true
+}
+
+// pkSlotLocked resolves primary-key values to a row slot; the caller
+// holds at least the read lock. The single integer key — the dominant
+// probe shape (auto-increment ids) — skips the normalization slice and
+// encodeKey's builder: the key renders into a stack buffer and the
+// string([]byte) map index compiles to a no-allocation lookup.
+func (t *Table) pkSlotLocked(key []Value) (int, bool) {
+	if t.pkIndex == nil || len(key) != len(t.pk) {
+		return 0, false
+	}
+	if len(key) == 1 {
+		var x int64
+		switch v := key[0].(type) {
+		case int64:
+			x = v
+		case int:
+			x = int64(v)
+		case float64:
+			if v != float64(int64(v)) {
+				goto general // non-integral floats key with an "f" tag
+			}
+			x = int64(v)
+		default:
+			goto general
+		}
+		{
+			var kb [24]byte
+			b := append(kb[:0], 'i')
+			b = strconv.AppendInt(b, x, 10)
+			b = append(b, '|')
+			slot, ok := t.pkIndex[string(b)]
+			return slot, ok
+		}
+	}
+general:
+	norm := make([]Value, len(key))
+	for i, v := range key {
+		nv, err := Normalize(v)
+		if err != nil {
+			return 0, false
+		}
+		norm[i] = nv
+	}
+	slot, ok := t.pkIndex[encodeKey(norm)]
+	return slot, ok
 }
 
 // Scan calls fn for every live row in slot order; fn returning false stops
@@ -519,6 +566,121 @@ func (t *Table) GetMany(keys ...[]Value) []Row {
 	return out
 }
 
+// GetRef is Get without the defensive copy: the returned row is the
+// stored row itself. The store never mutates a stored row in place —
+// updates validate a replacement and swap the slot pointer — so the
+// reference stays a consistent snapshot; the caller must not mutate or
+// grow it. Query executors batch through this to skip one allocation
+// per probed row.
+func (t *Table) GetRef(key ...Value) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	slot, ok := t.pkSlotLocked(key)
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot], true
+}
+
+// LookupManyRef is LookupMany returning references to the stored rows
+// instead of copies — same slot order, same dedup, one lock
+// acquisition. Rows must not be mutated or retained past the point
+// where a copy would have been taken; see GetRef for why references
+// stay consistent.
+func (t *Table) LookupManyRef(col string, keys []Value) []Row {
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k == nil {
+			continue
+		}
+		nk, err := Normalize(k)
+		if err != nil {
+			continue
+		}
+		want[encodeKey([]Value{nk})] = true
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ix, ok := t.indexes[strings.ToLower(col)]; ok {
+		var slots []int
+		for k := range want {
+			slots = append(slots, ix.slots[k]...)
+		}
+		sort.Ints(slots)
+		out := make([]Row, 0, len(slots))
+		prev := -1
+		for _, s := range slots {
+			if s == prev {
+				continue // same row reached via equal-encoding keys
+			}
+			prev = s
+			out = append(out, t.rows[s])
+		}
+		return out
+	}
+	ci, ok := t.schema.Index(col)
+	if !ok {
+		return nil
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if r == nil || r[ci] == nil {
+			continue
+		}
+		if want[encodeKey([]Value{r[ci]})] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GetManyRef is GetMany returning references to the stored rows instead
+// of copies — same slot order and dedup. Rows must not be mutated; see
+// GetRef.
+func (t *Table) GetManyRef(keys ...[]Value) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pkIndex == nil {
+		return nil
+	}
+	slots := make([]int, 0, len(keys))
+	for _, key := range keys {
+		if len(key) != len(t.pk) {
+			continue
+		}
+		norm := make([]Value, len(key))
+		bad := false
+		for i, v := range key {
+			nv, err := Normalize(v)
+			if err != nil {
+				bad = true
+				break
+			}
+			norm[i] = nv
+		}
+		if bad {
+			continue
+		}
+		if slot, ok := t.pkIndex[encodeKey(norm)]; ok {
+			slots = append(slots, slot)
+		}
+	}
+	sort.Ints(slots)
+	out := make([]Row, 0, len(slots))
+	prev := -1
+	for _, s := range slots {
+		if s == prev {
+			continue
+		}
+		prev = s
+		out = append(out, t.rows[s])
+	}
+	return out
+}
+
 // HasIndex reports whether a secondary index exists on the column.
 func (t *Table) HasIndex(col string) bool {
 	t.mu.RLock()
@@ -563,12 +725,10 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 		t.pkIndex[newKey] = slot
 	}
 	for _, ix := range t.indexes {
-		ix.remove(slot, old)
-		ix.add(slot, repl)
+		ix.update(slot, old, repl)
 	}
 	for _, ix := range t.ordered {
-		ix.remove(slot, old)
-		ix.add(slot, repl)
+		ix.update(slot, old, repl)
 	}
 	t.rows[slot] = repl
 	t.version++
@@ -601,12 +761,10 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 			}
 		}
 		for _, ix := range t.indexes {
-			ix.remove(slot, r)
-			ix.add(slot, repl)
+			ix.update(slot, r, repl)
 		}
 		for _, ix := range t.ordered {
-			ix.remove(slot, r)
-			ix.add(slot, repl)
+			ix.update(slot, r, repl)
 		}
 		t.rows[slot] = repl
 		t.version++

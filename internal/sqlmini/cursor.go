@@ -7,12 +7,33 @@ import (
 	"courserank/internal/relation"
 )
 
-// This file is the volcano-style iterator executor: every plan node
-// opens as a cursor, and rows are pulled one at a time from the top of
-// the pipeline — through Rows.Next all the way down to the storage
-// layer's batched table cursors. Nothing below a hash-join build side
-// materializes, so wide joins consumed a row at a time (or cut short by
-// LIMIT or an early Close) never pay for the rows nobody reads.
+// This file is the batch-at-a-time (vectorized) executor: every plan
+// node opens as a cursor, and rows move through the pipeline in slabs
+// of Engine.batch() rows — NextBatch is the native protocol, and
+// Rows.Next in stmt.go is a thin drain over the current slab. Nothing
+// below a hash-join build side materializes, so wide joins consumed a
+// batch at a time (or cut short by LIMIT or an early Close) never pay
+// for the rows nobody reads.
+//
+// Batch contract: the slice NextBatch returns — and, for transient
+// cursors, the rows it holds — is owned by the cursor and valid only
+// until the next NextBatch/Close call on that cursor. An empty batch
+// means end of stream. A cursor is consumed through either Next or
+// NextBatch, never interleaved: Next is the one-row adapter kept so
+// every operator interoperates with row-at-a-time consumers, and each
+// cursor's own NextBatch is built from its Next (or vice versa) with
+// direct, non-interface calls, so per-row dynamic dispatch is paid once
+// per batch rather than once per row.
+//
+// Allocation discipline: combined (join) and permuted rows carve out of
+// a rowArena — one slab allocation per arenaSlabRows rows instead of
+// one per row. Pipelines feeding drainCursor (the materialized path)
+// run their arenas in carve-only retained mode, so drained rows stay
+// valid forever; the streaming Rows path marks the pipeline transient
+// (markTransient), letting each cursor reset its arena at its safe
+// reuse point and serve steady-state with zero per-row allocations.
+// Storage scans hand out references to stored rows (the relation layer
+// never mutates a stored row in place), which are valid indefinitely.
 //
 // Ordering contract: every join cursor emits left-major row order, with
 // right matches per left row in right slot order — exactly the order
@@ -20,19 +41,155 @@ import (
 // for row, and a driver range scan's key order survives to the output
 // (the basis of ORDER BY elision).
 
-// scanBatch is how many row references a storage cursor fetches per
-// lock acquisition; inljBatch is how many left rows feed one batched
-// index probe.
+// defaultBatch is the pipeline's slab size when the engine does not
+// override it (Engine.WithBatchSize): the ceiling on how many rows a
+// storage cursor fetches per lock acquisition and how many rows a join
+// emits per dispatch.
+const defaultBatch = 256
+
+// Buffers start small and grow geometrically toward the batch size:
+// point lookups and tiny scans (the common case in probe-heavy
+// workloads) must not pay kilobytes of slab allocation per cursor open
+// just because wide scans want 256-row slabs.
 const (
-	scanBatch = 256
-	inljBatch = 256
+	arenaSlabMin  = 8    // rows in an arena's first slab
+	arenaSlabRows = 2048 // rows per slab once an arena has proven hot
+	scanBatchMin  = 32   // rows in a scan's first storage fetch
 )
 
-// cursor is the executor's pull interface. Next returns (nil, nil) at
-// end of stream; after an error or Close the cursor stays exhausted.
+// cursor is the executor's pull interface. NextBatch returns the next
+// slab of rows under the batch contract above; Next returns (nil, nil)
+// at end of stream. After an error or Close the cursor stays exhausted.
 type cursor interface {
 	Next() (relation.Row, error)
+	NextBatch() ([]relation.Row, error)
 	Close()
+}
+
+// transientMarker is implemented by cursors that can recycle their
+// arena slabs under the batch contract. openPlan marks the pipeline
+// transient only when the consumer is the streaming Rows path, which
+// never retains rows past the current batch.
+type transientMarker interface{ markTransient() }
+
+func markTransientCursor(c cursor) {
+	if tm, ok := c.(transientMarker); ok {
+		tm.markTransient()
+	}
+}
+
+// rowArena carves fixed-width rows out of large value slabs, replacing
+// one allocation per combined/projected row with one per arenaSlabRows
+// rows. Carved rows use full-capacity slicing, so appending to one can
+// never bleed into a neighbor. Retained mode (reset never called) keeps
+// every carved row valid for the arena's lifetime; a transient owner
+// calls reset at its safe reuse point — after which previously carved
+// rows alias new ones, exactly the invalidation the batch contract
+// already declares.
+type rowArena struct {
+	slab []relation.Value
+	off  int
+	rows int // rows per freshly allocated slab, grows geometrically
+}
+
+// alloc carves one n-wide row. The caller must write every cell: after
+// a reset the slab holds stale values.
+func (a *rowArena) alloc(n int) relation.Row {
+	if a.off+n > len(a.slab) {
+		switch {
+		case a.rows == 0:
+			a.rows = arenaSlabMin
+		case a.rows < arenaSlabRows:
+			a.rows *= 4
+			if a.rows > arenaSlabRows {
+				a.rows = arenaSlabRows
+			}
+		}
+		sz := a.rows * n
+		if sz < n {
+			sz = n
+		}
+		a.slab = make([]relation.Value, sz)
+		a.off = 0
+	}
+	row := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return row
+}
+
+// reset rewinds the current slab for reuse. Only transient owners call
+// it, at points where no previously carved row can still be live.
+func (a *rowArena) reset() { a.off = 0 }
+
+// combine carves and fills a joined row: left cells, then right cells —
+// or the LEFT-join null extension when r is nil.
+func (a *rowArena) combine(l, r relation.Row, rightWidth int) relation.Row {
+	row := a.alloc(len(l) + rightWidth)
+	copy(row, l)
+	if r == nil {
+		for i := len(l); i < len(row); i++ {
+			row[i] = nil
+		}
+	} else {
+		copy(row[len(l):], r)
+	}
+	return row
+}
+
+// emitRamp sizes a join cursor's output batches: the first slab stays
+// small so an early-LIMIT consumer never pays for hundreds of joined
+// rows it will not read, and every filled batch grows the next one
+// toward the engine batch size.
+type emitRamp struct{ n int }
+
+func (r *emitRamp) next(max int) int {
+	if r.n == 0 {
+		r.n = scanBatchMin
+	}
+	if r.n > max {
+		r.n = max
+	}
+	return r.n
+}
+
+func (r *emitRamp) observe(emitted, max int) {
+	// Doubling (not quadrupling) keeps the worst-case overshoot for an
+	// early-closing consumer under ~2x the rows it read, while a
+	// full drain still reaches max within a handful of batches.
+	if emitted >= r.n && r.n < max {
+		r.n *= 2
+	}
+}
+
+// leftDrain pulls a cursor's rows batch-wise but serves them one at a
+// time through a direct (non-interface) method call — the join cursors'
+// left inputs go through it, so the per-row cost of walking the left
+// pipeline is one slice index, not a dynamic dispatch.
+type leftDrain struct {
+	c     cursor
+	batch []relation.Row
+	i     int
+	done  bool
+}
+
+func (d *leftDrain) next() (relation.Row, error) {
+	for d.i >= len(d.batch) {
+		if d.done {
+			return nil, nil
+		}
+		b, err := d.c.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			d.done = true
+			return nil, nil
+		}
+		d.batch, d.i = b, 0
+	}
+	r := d.batch[d.i]
+	d.i++
+	return r, nil
 }
 
 // passFilters evaluates bound conjuncts against one row.
@@ -49,43 +206,29 @@ func passFilters(filters []Expr, row relation.Row, rs *rowset) (bool, error) {
 	return true, nil
 }
 
-// combineRows concatenates a left and right row; a nil right emits the
-// LEFT-join null extension.
-func combineRows(l, r relation.Row, rightWidth int) relation.Row {
-	row := make(relation.Row, 0, len(l)+rightWidth)
-	row = append(row, l...)
-	if r == nil {
-		for i := 0; i < rightWidth; i++ {
-			row = append(row, nil)
-		}
-	} else {
-		row = append(row, r...)
-	}
-	return row
-}
-
-// sliceCursor iterates a materialized row list (probe results), with
-// the scan's residual pushed filters applied inline.
+// sliceCursor iterates a materialized row list (probe results, sorted
+// fallbacks); its NextBatch hands the remainder out as one slab.
 type sliceCursor struct {
-	rows   []relation.Row
-	pos    int
-	filter []Expr
-	rs     *rowset
+	rows []relation.Row
+	pos  int
 }
 
 func (c *sliceCursor) Next() (relation.Row, error) {
-	for c.pos < len(c.rows) {
-		row := c.rows[c.pos]
-		c.pos++
-		ok, err := passFilters(c.filter, row, c.rs)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			return row, nil
-		}
+	if c.pos >= len(c.rows) {
+		return nil, nil
 	}
-	return nil, nil
+	row := c.rows[c.pos]
+	c.pos++
+	return row, nil
+}
+
+func (c *sliceCursor) NextBatch() ([]relation.Row, error) {
+	if c.pos >= len(c.rows) {
+		return nil, nil
+	}
+	out := c.rows[c.pos:]
+	c.pos = len(c.rows)
+	return out, nil
 }
 
 func (c *sliceCursor) Close() { c.rows, c.pos = nil, 0 }
@@ -97,47 +240,152 @@ type batchSource interface {
 	NextBatch(dst []relation.Row) int
 }
 
+// rangeCheck re-applies range bounds on the degraded fallback scan — a
+// concrete type bound once at cursor open where a closure used to be
+// allocated, with the bound ends resolved before the first row.
+type rangeCheck struct {
+	col    int
+	lo, hi *relation.RangeBound
+}
+
+func (rc *rangeCheck) pass(row relation.Row) bool {
+	v := row[rc.col]
+	if v == nil {
+		return false // mirrors the index, which skips NULL keys
+	}
+	if rc.lo != nil {
+		c := relation.Compare(v, rc.lo.Value)
+		if c < 0 || (c == 0 && !rc.lo.Inclusive) {
+			return false
+		}
+	}
+	if rc.hi != nil {
+		c := relation.Compare(v, rc.hi.Value)
+		if c > 0 || (c == 0 && !rc.hi.Inclusive) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowColSorter sorts rows by one column through a concrete
+// sort.Interface, replacing the per-call comparator closures the
+// degraded fallbacks used to hand sort.SliceStable. sort.Stable keeps
+// the slot-ascending tie order the index walk would have produced.
+type rowColSorter struct {
+	rows []relation.Row
+	col  int
+	desc bool
+}
+
+func (s *rowColSorter) Len() int      { return len(s.rows) }
+func (s *rowColSorter) Swap(i, j int) { s.rows[i], s.rows[j] = s.rows[j], s.rows[i] }
+func (s *rowColSorter) Less(i, j int) bool {
+	c := relation.Compare(s.rows[i][s.col], s.rows[j][s.col])
+	if s.desc {
+		return c > 0
+	}
+	return c < 0
+}
+
 // batchScanCursor streams rows from a storage batch source (full scan
-// in slot order, or range scan in key order), applying pushed filters
-// — and, on the degraded range path, a bounds re-check — per row.
+// in slot order, or range scan in key order): refill pulls one
+// reference slab under the storage lock, applies the degraded-path
+// bounds re-check and the pushed filters across the whole slab
+// (compacting survivors in place), and both Next and NextBatch then
+// drain the filtered buffer. Emitted rows are references to stored rows
+// and stay valid indefinitely; the batch slice itself is reused on
+// refill, per the batch contract.
 type batchScanCursor struct {
-	src    batchSource
-	rs     *rowset
-	filter []Expr
-	check  func(relation.Row) bool // optional extra predicate
-	buf    []relation.Row
-	pos, n int
-	done   bool
+	src      batchSource
+	rs       *rowset
+	filter   []Expr
+	check    *rangeCheck // optional degraded-path bounds re-check
+	batchN   int
+	buf      []relation.Row
+	pos, n   int
+	lastFull bool // last storage fetch filled buf: grow it next refill
+	done     bool
+}
+
+func (c *batchScanCursor) refill() error {
+	max := c.batchN
+	if max <= 0 {
+		max = defaultBatch
+	}
+	if c.buf == nil {
+		n := max
+		if n > scanBatchMin {
+			n = scanBatchMin
+		}
+		c.buf = make([]relation.Row, n)
+	} else if c.lastFull && len(c.buf) < max {
+		// The last fetch came back full: the table is big enough to
+		// deserve bigger slabs, up to the engine's batch size.
+		n := len(c.buf) * 4
+		if n > max {
+			n = max
+		}
+		c.buf = make([]relation.Row, n)
+	}
+	for {
+		n := c.src.NextBatch(c.buf[:cap(c.buf)])
+		c.lastFull = n == len(c.buf)
+		if n == 0 {
+			c.done = true
+			c.pos, c.n = 0, 0
+			return nil
+		}
+		rows := c.buf[:n]
+		if c.check != nil {
+			kept := c.buf[:0]
+			for _, row := range rows {
+				if c.check.pass(row) {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+		if len(c.filter) > 0 {
+			kept, err := filterRows(c.filter, rows, c.buf[:0], c.rs)
+			if err != nil {
+				return err
+			}
+			rows = kept
+		}
+		if len(rows) > 0 {
+			c.pos, c.n = 0, len(rows)
+			return nil
+		}
+	}
 }
 
 func (c *batchScanCursor) Next() (relation.Row, error) {
-	for {
-		for c.pos < c.n {
-			row := c.buf[c.pos]
-			c.pos++
-			if c.check != nil && !c.check(row) {
-				continue
-			}
-			ok, err := passFilters(c.filter, row, c.rs)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				return row, nil
-			}
-		}
+	for c.pos >= c.n {
 		if c.done {
 			return nil, nil
 		}
-		if c.buf == nil {
-			c.buf = make([]relation.Row, scanBatch)
-		}
-		c.n, c.pos = c.src.NextBatch(c.buf), 0
-		if c.n == 0 {
-			c.done = true
-			return nil, nil
+		if err := c.refill(); err != nil {
+			return nil, err
 		}
 	}
+	row := c.buf[c.pos]
+	c.pos++
+	return row, nil
+}
+
+func (c *batchScanCursor) NextBatch() ([]relation.Row, error) {
+	for c.pos >= c.n {
+		if c.done {
+			return nil, nil
+		}
+		if err := c.refill(); err != nil {
+			return nil, err
+		}
+	}
+	out := c.buf[c.pos:c.n]
+	c.pos = c.n
+	return out, nil
 }
 
 func (c *batchScanCursor) Close() { c.done, c.n, c.pos = true, 0, 0 }
@@ -171,6 +419,8 @@ func evalRangeBounds(s *scanNode, rs *rowset) (lo, hi *relation.RangeBound, empt
 
 // probeRows materializes a pk-lookup or index-probe access: the result
 // is bounded by the probe keys, so nothing is gained by streaming it.
+// Fetched rows are references (GetRef/GetManyRef/LookupManyRef) — the
+// projection stages copy cells out before anything escapes the engine.
 // Pushed residual filters apply before returning.
 func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, error) {
 	var rows []relation.Row
@@ -188,7 +438,7 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 					keys = append(keys, []relation.Value{v})
 				}
 			}
-			rows = t.GetMany(keys...)
+			rows = t.GetManyRef(keys...)
 			break
 		}
 		keys := make([]relation.Value, len(s.probeKeys))
@@ -202,7 +452,7 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 			}
 			keys[i] = v
 		}
-		if row, found := t.Get(keys...); found {
+		if row, found := t.GetRef(keys...); found {
 			rows = append(rows, row)
 		}
 	case accessIndex:
@@ -216,18 +466,12 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 				keys = append(keys, v)
 			}
 		}
-		rows = t.LookupMany(s.probeCol, keys)
+		rows = t.LookupManyRef(s.probeCol, keys)
 	}
 	if len(s.filter) > 0 {
-		kept := rows[:0]
-		for _, row := range rows {
-			ok, err := passFilters(s.filter, row, rs)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, row)
-			}
+		kept, err := filterRows(s.filter, rows, rows[:0], rs)
+		if err != nil {
+			return nil, err
 		}
 		rows = kept
 	}
@@ -265,10 +509,10 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 		}
 		if s.rangeDesc {
 			if dc, ok := t.NewDescCursor(s.rangeCol, lo, hi); ok {
-				return &batchScanCursor{src: dc, rs: rs, filter: s.filter}, nil
+				return &batchScanCursor{src: dc, rs: rs, filter: s.filter, batchN: e.batch()}, nil
 			}
 		} else if rc, ok := t.NewRangeCursor(s.rangeCol, lo, hi); ok {
-			return &batchScanCursor{src: rc, rs: rs, filter: s.filter}, nil
+			return &batchScanCursor{src: rc, rs: rs, filter: s.filter, batchN: e.batch()}, nil
 		}
 		// The ordered index vanished beneath a replaced table: degrade
 		// to a checked full scan so results stay correct. The plan is
@@ -280,43 +524,19 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 		if err != nil {
 			return nil, err
 		}
-		check := func(row relation.Row) bool {
-			v := row[ci]
-			if v == nil {
-				return false // mirrors the index, which skips NULL keys
-			}
-			if lo != nil {
-				c := relation.Compare(v, lo.Value)
-				if c < 0 || (c == 0 && !lo.Inclusive) {
-					return false
-				}
-			}
-			if hi != nil {
-				c := relation.Compare(v, hi.Value)
-				if c > 0 || (c == 0 && !hi.Inclusive) {
-					return false
-				}
-			}
-			return true
-		}
-		cur := cursor(&batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, check: check})
+		check := &rangeCheck{col: ci, lo: lo, hi: hi}
+		cur := cursor(&batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, check: check, batchN: e.batch()})
 		if keyOrder {
-			rows, err := drainCursor(cur)
+			rows, err := drainCursor(cur, int(s.est))
 			if err != nil {
 				return nil, err
 			}
-			sort.SliceStable(rows, func(a, b int) bool {
-				c := relation.Compare(rows[a][ci], rows[b][ci])
-				if s.rangeDesc {
-					return c > 0
-				}
-				return c < 0
-			})
+			sort.Stable(&rowColSorter{rows: rows, col: ci, desc: s.rangeDesc})
 			cur = &sliceCursor{rows: rows}
 		}
 		return cur, nil
 	default:
-		return &batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter}, nil
+		return &batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, batchN: e.batch()}, nil
 	}
 }
 
@@ -331,7 +551,9 @@ func passResidual(jn *joinNode, row relation.Row, combined *rowset) (bool, error
 // hashJoinCursor is the build=right hash join: the right side drains
 // into hash buckets when the first row is pulled, then the left side
 // streams through, probing per row. Memory is bounded by the build
-// side; the (usually larger) probe side never materializes.
+// side; the (usually larger) probe side never materializes. The bucket
+// rows are storage references; only the combined output rows carve from
+// the cursor's arena, reset per output batch when transient.
 type hashJoinCursor struct {
 	e          *Engine
 	left       cursor
@@ -339,14 +561,24 @@ type hashJoinCursor struct {
 	combined   *rowset
 	rightWidth int
 
-	started bool
-	closed  bool
-	buckets map[string][]relation.Row
-	keyBuf  []relation.Value
-	cur     relation.Row
-	bucket  []relation.Row
-	bi      int
-	matched bool
+	started   bool
+	closed    bool
+	transient bool
+	ldrain    leftDrain
+	arena     rowArena
+	nb        []relation.Row
+	ramp      emitRamp
+	buckets   map[string][]relation.Row
+	keyBuf    []byte
+	cur       relation.Row
+	bucket    []relation.Row
+	bi        int
+	matched   bool
+}
+
+func (c *hashJoinCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.left)
 }
 
 func (c *hashJoinCursor) start() error {
@@ -356,20 +588,23 @@ func (c *hashJoinCursor) start() error {
 	}
 	defer rc.Close()
 	c.buckets = make(map[string][]relation.Row)
-	buf := make([]relation.Value, len(c.jn.rightKeys))
+	var buf []byte
 	for {
-		r, err := rc.Next()
+		batch, err := rc.NextBatch()
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if len(batch) == 0 {
 			break
 		}
-		if k, ok := rowKey(r, c.jn.rightKeys, buf); ok {
-			c.buckets[k] = append(c.buckets[k], r)
+		for _, r := range batch {
+			k, ok := rowKey(r, c.jn.rightKeys, buf)
+			buf = k
+			if ok {
+				c.buckets[string(k)] = append(c.buckets[string(k)], r)
+			}
 		}
 	}
-	c.keyBuf = make([]relation.Value, len(c.jn.leftKeys))
 	c.started = true
 	return nil
 }
@@ -387,7 +622,7 @@ func (c *hashJoinCursor) Next() (relation.Row, error) {
 		for c.bi < len(c.bucket) {
 			r := c.bucket[c.bi]
 			c.bi++
-			row := combineRows(c.cur, r, c.rightWidth)
+			row := c.arena.combine(c.cur, r, c.rightWidth)
 			ok, err := passResidual(c.jn, row, c.combined)
 			if err != nil {
 				return nil, err
@@ -398,11 +633,11 @@ func (c *hashJoinCursor) Next() (relation.Row, error) {
 			}
 		}
 		if c.cur != nil && !c.matched && c.jn.jtype == "LEFT" {
-			row := combineRows(c.cur, nil, c.rightWidth)
+			row := c.arena.combine(c.cur, nil, c.rightWidth)
 			c.cur = nil
 			return row, nil
 		}
-		l, err := c.left.Next()
+		l, err := c.ldrain.next()
 		if err != nil {
 			return nil, err
 		}
@@ -410,10 +645,33 @@ func (c *hashJoinCursor) Next() (relation.Row, error) {
 			return nil, nil
 		}
 		c.cur, c.matched, c.bi, c.bucket = l, false, 0, nil
-		if k, ok := rowKey(l, c.jn.leftKeys, c.keyBuf); ok {
-			c.bucket = c.buckets[k]
+		k, ok := rowKey(l, c.jn.leftKeys, c.keyBuf)
+		c.keyBuf = k
+		if ok {
+			c.bucket = c.buckets[string(k)]
 		}
 	}
+}
+
+func (c *hashJoinCursor) NextBatch() ([]relation.Row, error) {
+	if c.transient {
+		c.arena.reset()
+	}
+	n := c.ramp.next(c.e.batch())
+	out := c.nb[:0]
+	for len(out) < n {
+		row, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	c.ramp.observe(len(out), c.e.batch())
+	c.nb = out
+	return out, nil
 }
 
 func (c *hashJoinCursor) Close() {
@@ -435,27 +693,38 @@ type buildLeftJoinCursor struct {
 
 	started bool
 	closed  bool
+	arena   rowArena
+	nb      []relation.Row
+	ramp    emitRamp
 	matches [][]relation.Row // combined rows per left row
 	li, mi  int
 }
 
+// markTransient is absorbed without forwarding: the cursor buffers
+// every left row and all combined matches across batch boundaries, so
+// its subtree must stay retained and its own arena is carve-only by
+// construction.
+func (c *buildLeftJoinCursor) markTransient() {}
+
 func (c *buildLeftJoinCursor) start() error {
 	var leftRows []relation.Row
 	for {
-		l, err := c.left.Next()
+		batch, err := c.left.NextBatch()
 		if err != nil {
 			return err
 		}
-		if l == nil {
+		if len(batch) == 0 {
 			break
 		}
-		leftRows = append(leftRows, l)
+		leftRows = append(leftRows, batch...)
 	}
 	buckets := make(map[string][]int, len(leftRows))
-	buf := make([]relation.Value, len(c.jn.leftKeys))
+	var buf []byte
 	for i, l := range leftRows {
-		if k, ok := rowKey(l, c.jn.leftKeys, buf); ok {
-			buckets[k] = append(buckets[k], i)
+		k, ok := rowKey(l, c.jn.leftKeys, buf)
+		buf = k
+		if ok {
+			buckets[string(k)] = append(buckets[string(k)], i)
 		}
 	}
 	c.matches = make([][]relation.Row, len(leftRows))
@@ -464,27 +733,30 @@ func (c *buildLeftJoinCursor) start() error {
 		return err
 	}
 	defer rc.Close()
-	rbuf := make([]relation.Value, len(c.jn.rightKeys))
+	var rbuf []byte
 	for {
-		r, err := rc.Next()
+		batch, err := rc.NextBatch()
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if len(batch) == 0 {
 			break
 		}
-		k, ok := rowKey(r, c.jn.rightKeys, rbuf)
-		if !ok {
-			continue
-		}
-		for _, li := range buckets[k] {
-			row := combineRows(leftRows[li], r, c.rightWidth)
-			ok, err := passResidual(c.jn, row, c.combined)
-			if err != nil {
-				return err
+		for _, r := range batch {
+			k, ok := rowKey(r, c.jn.rightKeys, rbuf)
+			rbuf = k
+			if !ok {
+				continue
 			}
-			if ok {
-				c.matches[li] = append(c.matches[li], row)
+			for _, li := range buckets[string(k)] {
+				row := c.arena.combine(leftRows[li], r, c.rightWidth)
+				ok, err := passResidual(c.jn, row, c.combined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					c.matches[li] = append(c.matches[li], row)
+				}
 			}
 		}
 	}
@@ -512,18 +784,38 @@ func (c *buildLeftJoinCursor) Next() (relation.Row, error) {
 	return nil, nil
 }
 
+func (c *buildLeftJoinCursor) NextBatch() ([]relation.Row, error) {
+	n := c.ramp.next(c.e.batch())
+	out := c.nb[:0]
+	for len(out) < n {
+		row, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	c.ramp.observe(len(out), c.e.batch())
+	c.nb = out
+	return out, nil
+}
+
 func (c *buildLeftJoinCursor) Close() {
 	c.closed = true
 	c.left.Close()
 	c.matches = nil
 }
 
-// inljCursor is the index nested-loop join: left rows arrive in
-// batches, their join keys drive one batched index probe (LookupMany,
-// or GetMany through a single-column primary key), and only the right
-// rows that can possibly match are ever fetched. Output is left-major
-// with right matches in slot order — identical to the hash join — and
-// memory is bounded by one batch.
+// inljCursor is the index nested-loop join: left rows arrive one input
+// batch per dispatch, their join keys drive one batched index probe
+// (LookupManyRef, or GetManyRef through a single-column primary key),
+// and only the right rows that can possibly match are ever fetched.
+// Output is left-major with right matches in slot order — identical to
+// the hash join — and memory is bounded by one batch. The combined-row
+// queue carves from the arena; fillBatch is the transient reset point,
+// reached only when the queue has fully drained.
 type inljCursor struct {
 	e          *Engine
 	left       cursor
@@ -532,27 +824,35 @@ type inljCursor struct {
 	rightRS    *rowset
 	rightWidth int
 
-	queue    []relation.Row
-	qi       int
-	leftDone bool
-	closed   bool
+	transient bool
+	arena     rowArena
+	queue     []relation.Row
+	qi        int
+	leftDone  bool
+	closed    bool
+	seen      map[string]bool
+	keys      []relation.Value
+}
+
+func (c *inljCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.left)
 }
 
 func (c *inljCursor) fillBatch() error {
 	c.queue, c.qi = c.queue[:0], 0
-	var batch []relation.Row
-	for len(batch) < inljBatch {
-		l, err := c.left.Next()
-		if err != nil {
-			return err
-		}
-		if l == nil {
-			c.leftDone = true
-			break
-		}
-		batch = append(batch, l)
+	if c.transient {
+		// Safe reset point: the queue — the only holder of this arena's
+		// rows — was emptied above, and the caller's previous batch is
+		// invalidated by contract.
+		c.arena.reset()
+	}
+	batch, err := c.left.NextBatch()
+	if err != nil {
+		return err
 	}
 	if len(batch) == 0 {
+		c.leftDone = true
 		return nil
 	}
 	t, ok := c.e.db.Table(c.jn.scan.ref.Name)
@@ -561,21 +861,25 @@ func (c *inljCursor) fillBatch() error {
 	}
 	// Distinct probe keys across the batch; NULL keys never join.
 	probePos := c.jn.leftKeys[c.jn.inljKeyIdx]
-	var keys []relation.Value
-	seen := make(map[string]bool, len(batch))
-	kbuf := make([]relation.Value, 1)
+	if c.seen == nil {
+		c.seen = make(map[string]bool, len(batch))
+	} else {
+		clear(c.seen)
+	}
+	keys := c.keys[:0]
+	var kbuf []byte
 	for _, l := range batch {
 		v := l[probePos]
 		if v == nil {
 			continue
 		}
-		kbuf[0] = v
-		k := joinKey(kbuf)
-		if !seen[k] {
-			seen[k] = true
+		kbuf = appendJoinKeyVal(kbuf[:0], v)
+		if !c.seen[string(kbuf)] {
+			c.seen[string(kbuf)] = true
 			keys = append(keys, v)
 		}
 	}
+	c.keys = keys
 	var fetched []relation.Row
 	if len(keys) > 0 {
 		if c.jn.inljPK {
@@ -583,15 +887,15 @@ func (c *inljCursor) fillBatch() error {
 			for i, v := range keys {
 				pkKeys[i] = []relation.Value{v}
 			}
-			fetched = t.GetMany(pkKeys...)
+			fetched = t.GetManyRef(pkKeys...)
 		} else {
-			fetched = t.LookupMany(c.jn.inljCol, keys)
+			fetched = t.LookupManyRef(c.jn.inljCol, keys)
 		}
 	}
 	// The right side's pushed filters still apply to fetched rows, then
 	// rows bucket by the full join key for the probe pass.
 	buckets := make(map[string][]relation.Row, len(fetched))
-	rbuf := make([]relation.Value, len(c.jn.rightKeys))
+	var rbuf []byte
 	for _, r := range fetched {
 		ok, err := passFilters(c.jn.scan.filter, r, c.rightRS)
 		if err != nil {
@@ -600,16 +904,19 @@ func (c *inljCursor) fillBatch() error {
 		if !ok {
 			continue
 		}
-		if k, okk := rowKey(r, c.jn.rightKeys, rbuf); okk {
-			buckets[k] = append(buckets[k], r)
+		k, okk := rowKey(r, c.jn.rightKeys, rbuf)
+		rbuf = k
+		if okk {
+			buckets[string(k)] = append(buckets[string(k)], r)
 		}
 	}
-	lbuf := make([]relation.Value, len(c.jn.leftKeys))
+	var lbuf []byte
 	for _, l := range batch {
 		matched := false
 		if k, okk := rowKey(l, c.jn.leftKeys, lbuf); okk {
-			for _, r := range buckets[k] {
-				row := combineRows(l, r, c.rightWidth)
+			lbuf = k
+			for _, r := range buckets[string(k)] {
+				row := c.arena.combine(l, r, c.rightWidth)
 				ok, err := passResidual(c.jn, row, c.combined)
 				if err != nil {
 					return err
@@ -621,7 +928,7 @@ func (c *inljCursor) fillBatch() error {
 			}
 		}
 		if !matched && c.jn.jtype == "LEFT" {
-			c.queue = append(c.queue, combineRows(l, nil, c.rightWidth))
+			c.queue = append(c.queue, c.arena.combine(l, nil, c.rightWidth))
 		}
 	}
 	return nil
@@ -644,6 +951,23 @@ func (c *inljCursor) Next() (relation.Row, error) {
 			return nil, err
 		}
 	}
+}
+
+func (c *inljCursor) NextBatch() ([]relation.Row, error) {
+	if c.closed {
+		return nil, nil
+	}
+	for c.qi >= len(c.queue) {
+		if c.leftDone {
+			return nil, nil
+		}
+		if err := c.fillBatch(); err != nil {
+			return nil, err
+		}
+	}
+	out := c.queue[c.qi:]
+	c.qi = len(c.queue)
+	return out, nil
 }
 
 func (c *inljCursor) Close() {
@@ -669,7 +993,13 @@ type mergeJoinCursor struct {
 	rightWidth int
 
 	started, closed bool
+	transient       bool
+	ldrain          leftDrain
+	arena           rowArena
+	nb              []relation.Row
+	ramp            emitRamp
 	right           cursor
+	rdrain          leftDrain
 	rightRow        relation.Row // lookahead past the current group
 	rightDone       bool
 	cur             relation.Row   // current left row
@@ -677,6 +1007,11 @@ type mergeJoinCursor struct {
 	gi              int
 	groupKey        relation.Value
 	haveGroup       bool
+}
+
+func (c *mergeJoinCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.left)
 }
 
 // matches enforces the equi pairs the merge walk itself does not cover,
@@ -697,13 +1032,14 @@ func (c *mergeJoinCursor) matches(row relation.Row) (bool, error) {
 
 // advanceTo positions the right-group buffer at key k: right rows below
 // k are skipped for good (left keys only ascend), rows equal to k
-// buffer, and the first row above k stays as lookahead.
+// buffer, and the first row above k stays as lookahead. Group rows are
+// storage references, so they stay valid across batches.
 func (c *mergeJoinCursor) advanceTo(k relation.Value) error {
 	rpos := c.jn.rightKeys[c.jn.mergeKeyIdx]
 	c.group, c.gi, c.groupKey, c.haveGroup = c.group[:0], 0, k, true
 	for !c.rightDone {
 		if c.rightRow == nil {
-			r, err := c.right.Next()
+			r, err := c.rdrain.next()
 			if err != nil {
 				return err
 			}
@@ -740,13 +1076,14 @@ func (c *mergeJoinCursor) Next() (relation.Row, error) {
 			return nil, err
 		}
 		c.right, c.started = rc, true
+		c.rdrain = leftDrain{c: rc}
 	}
 	lpos := c.jn.leftKeys[c.jn.mergeKeyIdx]
 	for {
 		for c.cur != nil && c.gi < len(c.group) {
 			r := c.group[c.gi]
 			c.gi++
-			row := combineRows(c.cur, r, c.rightWidth)
+			row := c.arena.combine(c.cur, r, c.rightWidth)
 			ok, err := c.matches(row)
 			if err != nil {
 				return nil, err
@@ -755,7 +1092,7 @@ func (c *mergeJoinCursor) Next() (relation.Row, error) {
 				return row, nil
 			}
 		}
-		l, err := c.left.Next()
+		l, err := c.ldrain.next()
 		if err != nil {
 			return nil, err
 		}
@@ -773,6 +1110,27 @@ func (c *mergeJoinCursor) Next() (relation.Row, error) {
 		}
 		c.cur, c.gi = l, 0
 	}
+}
+
+func (c *mergeJoinCursor) NextBatch() ([]relation.Row, error) {
+	if c.transient {
+		c.arena.reset()
+	}
+	n := c.ramp.next(c.e.batch())
+	out := c.nb[:0]
+	for len(out) < n {
+		row, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	c.ramp.observe(len(out), c.e.batch())
+	c.nb = out
+	return out, nil
 }
 
 func (c *mergeJoinCursor) Close() {
@@ -801,36 +1159,48 @@ type bandJoinCursor struct {
 	rightRS    *rowset
 	rightWidth int
 
-	closed   bool
-	t        *relation.Table
-	fellBack bool
-	fallback []relation.Row // right side, materialized once, key-sorted
-	buf      []relation.Row // probe scratch, reused across left rows
+	closed    bool
+	transient bool
+	ldrain    leftDrain
+	arena     rowArena
+	nb        []relation.Row
+	ramp      emitRamp
+	t         *relation.Table
+	fellBack  bool
+	fallback  []relation.Row // right side, materialized once, key-sorted
+	buf       []relation.Row // probe scratch, reused across left rows
 
 	cur     relation.Row
-	queue   []relation.Row
+	queue   []relation.Row // right matches for cur, reused across probes
 	qi      int
 	matched bool
 }
 
-// probe returns the right rows matching the band bounds of one left
-// row, with the right side's pushed filters applied.
-func (c *bandJoinCursor) probe(l relation.Row) ([]relation.Row, error) {
+func (c *bandJoinCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.left)
+}
+
+// probe fills c.queue with the right rows matching the band bounds of
+// one left row, with the right side's pushed filters applied. The queue
+// holds storage references and is reused across probes.
+func (c *bandJoinCursor) probe(l relation.Row) error {
+	c.queue = c.queue[:0]
 	lo, err := evalScalar(c.jn.bandLo, l, c.leftRS)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hi, err := evalScalar(c.jn.bandHi, l, c.leftRS)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if lo == nil || hi == nil {
-		return nil, nil // "x BETWEEN NULL AND …" matches nothing
+		return nil // "x BETWEEN NULL AND …" matches nothing
 	}
 	if c.t == nil {
 		t, ok := c.e.db.Table(c.jn.scan.ref.Name)
 		if !ok {
-			return nil, fmt.Errorf("sqlmini: unknown table %q", c.jn.scan.ref.Name)
+			return fmt.Errorf("sqlmini: unknown table %q", c.jn.scan.ref.Name)
 		}
 		c.t = t
 	}
@@ -839,31 +1209,30 @@ func (c *bandJoinCursor) probe(l relation.Row) ([]relation.Row, error) {
 			&relation.RangeBound{Value: lo, Inclusive: true},
 			&relation.RangeBound{Value: hi, Inclusive: true})
 		if ok {
-			var out []relation.Row
 			if c.buf == nil {
-				c.buf = make([]relation.Row, scanBatch)
+				c.buf = make([]relation.Row, scanBatchMin)
 			}
 			for {
 				n := rc.NextBatch(c.buf)
 				if n == 0 {
-					return out, nil
+					return nil
 				}
-				for _, r := range c.buf[:n] {
-					keep, err := passFilters(c.jn.scan.filter, r, c.rightRS)
-					if err != nil {
-						return nil, err
-					}
-					if keep {
-						out = append(out, r)
-					}
+				kept, err := filterRows(c.jn.scan.filter, c.buf[:n], c.queue, c.rightRS)
+				if err != nil {
+					return err
+				}
+				c.queue = kept
+				if n == len(c.buf) && len(c.buf) < c.e.batch() {
+					// A full fetch: this band is wide, fetch bigger slabs.
+					c.buf = make([]relation.Row, min(4*len(c.buf), c.e.batch()))
 				}
 			}
 		}
 		// The ordered index vanished: materialize the right side once and
 		// select per left row from the sorted snapshot.
-		rows, err := drainCursor(&batchScanCursor{src: c.t.NewScanCursor(), rs: c.rightRS, filter: c.jn.scan.filter})
+		rows, err := drainCursor(&batchScanCursor{src: c.t.NewScanCursor(), rs: c.rightRS, filter: c.jn.scan.filter, batchN: c.e.batch()}, int(c.jn.scan.est))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		kept := rows[:0]
 		for _, r := range rows {
@@ -871,12 +1240,9 @@ func (c *bandJoinCursor) probe(l relation.Row) ([]relation.Row, error) {
 				kept = append(kept, r)
 			}
 		}
-		sort.SliceStable(kept, func(a, b int) bool {
-			return relation.Compare(kept[a][c.jn.bandIdx], kept[b][c.jn.bandIdx]) < 0
-		})
+		sort.Stable(&rowColSorter{rows: kept, col: c.jn.bandIdx})
 		c.fallback, c.fellBack = kept, true
 	}
-	var out []relation.Row
 	for _, r := range c.fallback {
 		v := r[c.jn.bandIdx]
 		if relation.Compare(v, lo) < 0 {
@@ -885,9 +1251,9 @@ func (c *bandJoinCursor) probe(l relation.Row) ([]relation.Row, error) {
 		if relation.Compare(v, hi) > 0 {
 			break // fallback rows are key-sorted
 		}
-		out = append(out, r)
+		c.queue = append(c.queue, r)
 	}
-	return out, nil
+	return nil
 }
 
 func (c *bandJoinCursor) Next() (relation.Row, error) {
@@ -899,7 +1265,7 @@ func (c *bandJoinCursor) Next() (relation.Row, error) {
 			for c.qi < len(c.queue) {
 				r := c.queue[c.qi]
 				c.qi++
-				row := combineRows(c.cur, r, c.rightWidth)
+				row := c.arena.combine(c.cur, r, c.rightWidth)
 				ok, err := passResidual(c.jn, row, c.combined)
 				if err != nil {
 					return nil, err
@@ -910,25 +1276,45 @@ func (c *bandJoinCursor) Next() (relation.Row, error) {
 				}
 			}
 			if !c.matched && c.jn.jtype == "LEFT" {
-				row := combineRows(c.cur, nil, c.rightWidth)
+				row := c.arena.combine(c.cur, nil, c.rightWidth)
 				c.cur = nil
 				return row, nil
 			}
 			c.cur = nil
 		}
-		l, err := c.left.Next()
+		l, err := c.ldrain.next()
 		if err != nil {
 			return nil, err
 		}
 		if l == nil {
 			return nil, nil
 		}
-		q, err := c.probe(l)
+		if err := c.probe(l); err != nil {
+			return nil, err
+		}
+		c.cur, c.qi, c.matched = l, 0, false
+	}
+}
+
+func (c *bandJoinCursor) NextBatch() ([]relation.Row, error) {
+	if c.transient {
+		c.arena.reset()
+	}
+	n := c.ramp.next(c.e.batch())
+	out := c.nb[:0]
+	for len(out) < n {
+		row, err := c.Next()
 		if err != nil {
 			return nil, err
 		}
-		c.cur, c.queue, c.qi, c.matched = l, q, 0, false
+		if row == nil {
+			break
+		}
+		out = append(out, row)
 	}
+	c.ramp.observe(len(out), c.e.batch())
+	c.nb = out
+	return out, nil
 }
 
 func (c *bandJoinCursor) Close() {
@@ -948,10 +1334,20 @@ type nestedLoopCursor struct {
 
 	started   bool
 	closed    bool
+	transient bool
+	ldrain    leftDrain
+	arena     rowArena
+	nb        []relation.Row
+	ramp      emitRamp
 	rightRows []relation.Row
 	cur       relation.Row
 	ri        int
 	matched   bool
+}
+
+func (c *nestedLoopCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.left)
 }
 
 func (c *nestedLoopCursor) start() error {
@@ -959,17 +1355,11 @@ func (c *nestedLoopCursor) start() error {
 	if err != nil {
 		return err
 	}
-	defer rc.Close()
-	for {
-		r, err := rc.Next()
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		c.rightRows = append(c.rightRows, r)
+	rows, err := drainCursor(rc, int(c.jn.scan.est))
+	if err != nil {
+		return err
 	}
+	c.rightRows = rows
 	c.started = true
 	return nil
 }
@@ -988,7 +1378,7 @@ func (c *nestedLoopCursor) Next() (relation.Row, error) {
 			for c.ri < len(c.rightRows) {
 				r := c.rightRows[c.ri]
 				c.ri++
-				row := combineRows(c.cur, r, c.rightWidth)
+				row := c.arena.combine(c.cur, r, c.rightWidth)
 				ok, err := passResidual(c.jn, row, c.combined)
 				if err != nil {
 					return nil, err
@@ -999,13 +1389,13 @@ func (c *nestedLoopCursor) Next() (relation.Row, error) {
 				}
 			}
 			if !c.matched && c.jn.jtype == "LEFT" {
-				row := combineRows(c.cur, nil, c.rightWidth)
+				row := c.arena.combine(c.cur, nil, c.rightWidth)
 				c.cur = nil
 				return row, nil
 			}
 			c.cur = nil
 		}
-		l, err := c.left.Next()
+		l, err := c.ldrain.next()
 		if err != nil {
 			return nil, err
 		}
@@ -1016,6 +1406,27 @@ func (c *nestedLoopCursor) Next() (relation.Row, error) {
 	}
 }
 
+func (c *nestedLoopCursor) NextBatch() ([]relation.Row, error) {
+	if c.transient {
+		c.arena.reset()
+	}
+	n := c.ramp.next(c.e.batch())
+	out := c.nb[:0]
+	for len(out) < n {
+		row, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	c.ramp.observe(len(out), c.e.batch())
+	c.nb = out
+	return out, nil
+}
+
 func (c *nestedLoopCursor) Close() {
 	c.closed = true
 	c.left.Close()
@@ -1023,47 +1434,100 @@ func (c *nestedLoopCursor) Close() {
 }
 
 // permCursor permutes each row from executed column order back to
-// written order after a cost-based join reorder.
+// written order after a cost-based join reorder, one input batch per
+// dispatch, carving the permuted rows from its arena.
 type permCursor struct {
-	in   cursor
-	perm []int
+	in        cursor
+	perm      []int
+	transient bool
+	arena     rowArena
+	out       []relation.Row
+	hand      []relation.Row
+	hi        int
+}
+
+func (c *permCursor) markTransient() {
+	c.transient = true
+	markTransientCursor(c.in)
+}
+
+func (c *permCursor) NextBatch() ([]relation.Row, error) {
+	if c.transient {
+		c.arena.reset()
+	}
+	batch, err := c.in.NextBatch()
+	if err != nil || len(batch) == 0 {
+		return nil, err
+	}
+	out := c.out[:0]
+	for _, row := range batch {
+		o := c.arena.alloc(len(c.perm))
+		for w, e := range c.perm {
+			o[w] = row[e]
+		}
+		out = append(out, o)
+	}
+	c.out = out
+	return out, nil
 }
 
 func (c *permCursor) Next() (relation.Row, error) {
-	row, err := c.in.Next()
-	if row == nil || err != nil {
-		return nil, err
+	for c.hi >= len(c.hand) {
+		b, err := c.NextBatch()
+		if err != nil || len(b) == 0 {
+			return nil, err
+		}
+		c.hand, c.hi = b, 0
 	}
-	out := make(relation.Row, len(c.perm))
-	for w, e := range c.perm {
-		out[w] = row[e]
-	}
-	return out, nil
+	row := c.hand[c.hi]
+	c.hi++
+	return row, nil
 }
 
 func (c *permCursor) Close() { c.in.Close() }
 
-// filterCursor applies the post-join WHERE conjuncts.
+// filterCursor applies the post-join WHERE conjuncts one input batch at
+// a time, emitting the survivors of each batch (row pointers into the
+// child's batch — valid exactly as long as the contract requires).
 type filterCursor struct {
 	in    cursor
 	rs    *rowset
 	conds []Expr
+	out   []relation.Row
+	hand  []relation.Row
+	hi    int
 }
 
-func (c *filterCursor) Next() (relation.Row, error) {
+func (c *filterCursor) markTransient() { markTransientCursor(c.in) }
+
+func (c *filterCursor) NextBatch() ([]relation.Row, error) {
 	for {
-		row, err := c.in.Next()
-		if row == nil || err != nil {
+		batch, err := c.in.NextBatch()
+		if err != nil || len(batch) == 0 {
 			return nil, err
 		}
-		ok, err := passFilters(c.conds, row, c.rs)
+		kept, err := filterRows(c.conds, batch, c.out[:0], c.rs)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return row, nil
+		c.out = kept
+		if len(kept) > 0 {
+			return kept, nil
 		}
 	}
+}
+
+func (c *filterCursor) Next() (relation.Row, error) {
+	for c.hi >= len(c.hand) {
+		b, err := c.NextBatch()
+		if err != nil || len(b) == 0 {
+			return nil, err
+		}
+		c.hand, c.hi = b, 0
+	}
+	row := c.hand[c.hi]
+	c.hi++
+	return row, nil
 }
 
 func (c *filterCursor) Close() { c.in.Close() }
@@ -1071,12 +1535,39 @@ func (c *filterCursor) Close() { c.in.Close() }
 // limitCursor implements streaming OFFSET/LIMIT for pipelines whose
 // output order is already final (no sort pending): skip rows, then stop
 // the whole pipeline — and all the work below it — once the limit is
-// reached.
+// reached, slicing whole batches on the way through.
 type limitCursor struct {
 	in        cursor
 	skip      int64
 	remain    int64
 	unlimited bool
+}
+
+func (c *limitCursor) markTransient() { markTransientCursor(c.in) }
+
+func (c *limitCursor) NextBatch() ([]relation.Row, error) {
+	for {
+		if !c.unlimited && c.remain <= 0 {
+			return nil, nil
+		}
+		batch, err := c.in.NextBatch()
+		if err != nil || len(batch) == 0 {
+			return nil, err
+		}
+		if c.skip > 0 {
+			if int64(len(batch)) <= c.skip {
+				c.skip -= int64(len(batch))
+				continue
+			}
+			batch = batch[c.skip:]
+			c.skip = 0
+		}
+		if !c.unlimited && int64(len(batch)) > c.remain {
+			batch = batch[:c.remain]
+		}
+		c.remain -= int64(len(batch))
+		return batch, nil
+	}
 }
 
 func (c *limitCursor) Next() (relation.Row, error) {
@@ -1101,8 +1592,11 @@ func (c *limitCursor) Close() { c.in.Close() }
 // openPlan opens the full planned pipeline: driver access, joins in
 // executed order, the written-order permutation when reordered, then
 // residual WHERE conjuncts. The driver keeps key order when the plan
-// elided its ORDER BY on it — or when a merge join consumes it.
-func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
+// elided its ORDER BY on it — or when a merge join consumes it. retain
+// declares the consumer's retention: true when rows outlive their batch
+// (drainCursor into aggregation/sort), false for the streaming Rows
+// path, which lets transient cursors recycle their arena slabs.
+func (e *Engine) openPlan(p *selectPlan, retain bool) (cursor, error) {
 	keyOrder := p.orderElide || (len(p.joins) > 0 && p.joins[0].merge)
 	cur, err := e.openScan(p.scan, keyOrder)
 	if err != nil {
@@ -1122,18 +1616,22 @@ func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
 			cur = &inljCursor{e: e, left: cur, jn: jn, combined: combined,
 				rightRS: &rowset{cols: jn.scan.cols}, rightWidth: rightWidth}
 		case jn.merge:
-			cur = &mergeJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+			cur = &mergeJoinCursor{e: e, left: cur, jn: jn, combined: combined,
+				ldrain: leftDrain{c: cur}, rightWidth: rightWidth}
 		case jn.band:
 			// Only band joins evaluate bounds against the left row alone,
 			// so only they pay for the left-layout rowset.
 			cur = &bandJoinCursor{e: e, left: cur, jn: jn, combined: combined,
+				ldrain: leftDrain{c: cur},
 				leftRS: &rowset{cols: combined.cols[:leftWidth]}, rightRS: &rowset{cols: jn.scan.cols}, rightWidth: rightWidth}
 		case len(jn.leftKeys) > 0 && jn.buildLeft:
 			cur = &buildLeftJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
 		case len(jn.leftKeys) > 0:
-			cur = &hashJoinCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+			cur = &hashJoinCursor{e: e, left: cur, jn: jn, combined: combined,
+				ldrain: leftDrain{c: cur}, rightWidth: rightWidth}
 		default:
-			cur = &nestedLoopCursor{e: e, left: cur, jn: jn, combined: combined, rightWidth: rightWidth}
+			cur = &nestedLoopCursor{e: e, left: cur, jn: jn, combined: combined,
+				ldrain: leftDrain{c: cur}, rightWidth: rightWidth}
 		}
 	}
 	if p.perm != nil {
@@ -1142,23 +1640,33 @@ func (e *Engine) openPlan(p *selectPlan) (cursor, error) {
 	if len(p.where) > 0 {
 		cur = &filterCursor{in: cur, rs: &rowset{cols: p.cols}, conds: p.where}
 	}
+	if !retain {
+		markTransientCursor(cur)
+	}
 	return cur, nil
 }
 
 // drainCursor pulls a pipeline dry into a materialized row list — the
 // bridge to the aggregation/sort/DISTINCT stages, which need the full
-// result anyway.
-func drainCursor(cur cursor) ([]relation.Row, error) {
+// result anyway. The pipeline must have been opened with retain=true:
+// drained rows are kept past every batch boundary. hint presizes the
+// list (a planner cardinality estimate); zero means grow by appending.
+func drainCursor(cur cursor, hint int) ([]relation.Row, error) {
 	defer cur.Close()
 	var out []relation.Row
+	if hint > 0 {
+		// Estimates run a few percent low (selectivity rounding); the
+		// slack avoids one final near-full-size regrow copy.
+		out = make([]relation.Row, 0, hint+hint/8+8)
+	}
 	for {
-		row, err := cur.Next()
+		batch, err := cur.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if len(batch) == 0 {
 			return out, nil
 		}
-		out = append(out, row)
+		out = append(out, batch...)
 	}
 }

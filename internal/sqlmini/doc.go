@@ -96,17 +96,37 @@
 // prepare time (boundRef), so per-row evaluation skips name resolution
 // entirely.
 //
-// # Execution: the iterator pipeline
+// # Execution: the vectorized batch pipeline
 //
-// Execution is volcano-style (cursor.go): every plan node opens as a
-// cursor and rows are pulled one at a time from the top — Rows.Next
-// reaches all the way down to the storage layer's batched table
-// cursors, which fetch row references a few hundred at a time under the
-// read lock. Nothing below a hash-join build side materializes, so a
-// wide join consumed through Rows a row at a time — or cut short by a
-// streaming LIMIT or an early Close — never pays for rows nobody
-// reads. Aggregation, DISTINCT and un-elided ORDER BY drain the
-// pipeline first, since they need the full result anyway.
+// Execution is batch-at-a-time (cursor.go): every plan node opens as a
+// cursor whose native protocol is NextBatch, moving rows through the
+// pipeline in slabs of Engine.batch() rows (256 by default; Explain
+// prints the plan's size as "vectorized batch=N"). Per-row dynamic
+// dispatch is paid once per slab rather than once per row: each
+// cursor's one-row Next is a thin adapter kept for interoperability,
+// and Rows.Next serves from the current slab with a slice index.
+//
+// The batch contract: the slice NextBatch returns — and, for transient
+// cursors, the rows it holds — is owned by the cursor and valid only
+// until the next NextBatch/Close call; an empty batch means end of
+// stream. Combined (join) and projected rows carve out of per-cursor
+// arenas — one slab allocation per couple thousand rows instead of one
+// per row — which run in carve-only retained mode when the consumer
+// materializes, and recycle their slabs (zero steady-state allocation)
+// when the consumer is the streaming Rows path, which never retains
+// rows past the current batch. Join cursors additionally ramp their
+// output batches up from a small first slab, so a consumer that stops
+// after a handful of rows never pays for a full slab of joined rows it
+// will not read.
+//
+// Nothing below a hash-join build side materializes, so a wide join
+// consumed through Rows — or cut short by a streaming LIMIT or an
+// early Close — never pays for rows nobody reads. Aggregation,
+// DISTINCT and un-elided ORDER BY drain the pipeline first, since they
+// need the full result anyway. WithBatchSize returns a handle whose
+// pipelines use a different slab size — primarily a testing knob: the
+// differential fuzz harness replays its corpus at batch sizes 1, 7 and
+// 256 to prove slab boundaries never change results.
 //
 // Every join cursor emits left-major row order — identical to the
 // materialized executor it replaced — which makes two things true: the

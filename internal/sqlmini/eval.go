@@ -46,6 +46,90 @@ func (rs *rowset) resolve(qual, name string) (int, error) {
 	return found, nil
 }
 
+// filterRows applies bound conjuncts across a whole batch, appending
+// the survivors (as row references) to out and returning it. The rowset
+// binding work happens once per batch here instead of once per row; out
+// may alias in's backing array (in-place compaction) because the append
+// position never passes the read position.
+func filterRows(filters []Expr, in []relation.Row, out []relation.Row, rs *rowset) ([]relation.Row, error) {
+	if len(filters) == 0 {
+		return append(out, in...), nil
+	}
+	// Decode the dominant conjunct shape — a bound column compared to a
+	// non-NULL constant — once per batch, so its per-row work is a
+	// single Compare instead of a recursive interface evaluation.
+	// fast[i] keeps op "" for shapes the decode rejects; conjuncts
+	// evaluate in written order either way, so error and short-circuit
+	// behavior match the general path exactly.
+	type fastPred struct {
+		idx int
+		op  string
+		val relation.Value
+	}
+	var fastArr [8]fastPred
+	var fast []fastPred
+	if len(filters) <= len(fastArr) {
+		fast = fastArr[:0]
+		for _, f := range filters {
+			var p fastPred
+			if b, ok := f.(*Binary); ok {
+				switch b.Op {
+				case "=", "<>", "<", "<=", ">", ">=":
+					if br, ok := b.L.(*boundRef); ok {
+						if lit, ok := b.R.(*Lit); ok && lit.V != nil {
+							p = fastPred{idx: br.idx, op: b.Op, val: lit.V}
+						}
+					}
+				}
+			}
+			fast = append(fast, p)
+		}
+	}
+	for _, row := range in {
+		keep := true
+		for fi, f := range filters {
+			if fi < len(fast) && fast[fi].op != "" {
+				p := &fast[fi]
+				pass := false
+				if v := row[p.idx]; v != nil {
+					c := relation.Compare(v, p.val)
+					switch p.op {
+					case "=":
+						pass = c == 0
+					case "<>":
+						pass = c != 0
+					case "<":
+						pass = c < 0
+					case "<=":
+						pass = c <= 0
+					case ">":
+						pass = c > 0
+					default:
+						pass = c >= 0
+					}
+				}
+				if !pass {
+					keep = false
+					break
+				}
+				continue
+			}
+			v, err := evalScalar(f, row, rs)
+			if err != nil {
+				return nil, err
+			}
+			if !relation.Truthy(v) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
 // aggregates is the set of aggregate function names.
 var aggregates = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
 

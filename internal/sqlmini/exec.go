@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"courserank/internal/relation"
@@ -16,6 +17,7 @@ type Engine struct {
 	db        *relation.DB
 	cache     *PlanCache
 	forceScan bool
+	batchSize int // 0 means defaultBatch
 }
 
 // New returns an engine bound to db with a fresh plan cache.
@@ -27,7 +29,36 @@ func New(db *relation.DB) *Engine { return &Engine{db: db, cache: newPlanCache()
 // the plan cache. Parity tests run a forced handle next to the planning
 // engine; because handles are immutable, concurrent queries through
 // both never race.
-func (e *Engine) ForceScan() *Engine { return &Engine{db: e.db, forceScan: true} }
+func (e *Engine) ForceScan() *Engine {
+	return &Engine{db: e.db, forceScan: true, batchSize: e.batchSize}
+}
+
+// WithBatchSize returns a handle over the same database whose executor
+// pipelines move rows in slabs of n (n <= 0 restores the default). The
+// handle gets its own plan cache: plans record their batch size for
+// Explain, so sharing cached plans across differently-sized handles
+// would mislabel them. Primarily a testing knob — the differential fuzz
+// harness runs the same queries at batch sizes 1, 7, and 256 to prove
+// slab boundaries never change results.
+func (e *Engine) WithBatchSize(n int) *Engine {
+	if n < 0 {
+		n = 0
+	}
+	h := &Engine{db: e.db, forceScan: e.forceScan, batchSize: n}
+	if e.cache != nil {
+		h.cache = newPlanCache()
+	}
+	return h
+}
+
+// batch is the executor's slab size: how many rows move per NextBatch
+// dispatch through every cursor in this engine's pipelines.
+func (e *Engine) batch() int {
+	if e.batchSize > 0 {
+		return e.batchSize
+	}
+	return defaultBatch
+}
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *relation.DB { return e.db }
@@ -102,28 +133,64 @@ func splitConjuncts(e Expr) []Expr {
 	return []Expr{e}
 }
 
-// joinKey encodes join-key values for hash probing.
-func joinKey(vals []relation.Value) string {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
-		if f, ok := v.(float64); ok && f == float64(int64(f)) {
-			v = int64(f)
-		}
-		parts[i] = fmt.Sprintf("%T:%s", v, relation.Format(v))
+// appendJoinKeyVal appends one type-tagged join-key value to b.
+// Integral floats normalize to their int64 form so 2.0 joins 2.
+func appendJoinKeyVal(b []byte, v relation.Value) []byte {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		v = int64(f)
 	}
-	return strings.Join(parts, "\x00")
+	switch x := v.(type) {
+	case int64:
+		b = append(b, 'i')
+		return strconv.AppendInt(b, x, 10)
+	case float64:
+		b = append(b, 'f')
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case string:
+		b = append(b, 's')
+		return append(b, x...)
+	case bool:
+		if x {
+			return append(b, 'b', '1')
+		}
+		return append(b, 'b', '0')
+	default:
+		b = append(b, 'o')
+		return append(b, fmt.Sprintf("%T:%s", v, relation.Format(v))...)
+	}
 }
 
-// rowKey extracts and encodes the join-key values at the given columns,
-// reporting false when any is NULL (NULL keys never join).
-func rowKey(row relation.Row, cols []int, buf []relation.Value) (string, bool) {
+// joinKey encodes join-key values for hash probing — the string form,
+// for owners that retain the key (GROUP BY buckets, DISTINCT sets).
+func joinKey(vals []relation.Value) string {
+	var b []byte
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = appendJoinKeyVal(b, v)
+	}
+	return string(b)
+}
+
+// rowKey encodes the join-key values at the given columns into buf's
+// storage, reporting false when any is NULL (NULL keys never join).
+// The returned slice aliases buf (grown as needed): callers thread it
+// back in across rows, and probe loops index their hash maps with the
+// map[string(k)] pattern, which the compiler compiles to an
+// allocation-free lookup.
+func rowKey(row relation.Row, cols []int, buf []byte) ([]byte, bool) {
+	b := buf[:0]
 	for i, c := range cols {
 		if row[c] == nil {
-			return "", false
+			return b, false
 		}
-		buf[i] = row[c]
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = appendJoinKeyVal(b, row[c])
 	}
-	return joinKey(buf), true
+	return b, true
 }
 
 // outputName picks the result column name for a select item.
@@ -168,6 +235,57 @@ func expandStars(items []SelectItem, rs *rowset) ([]SelectItem, error) {
 // its rows drain into the projection/aggregation stages below.
 func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Result, error) {
 	plan := bindPlan(ps.plan, params)
+
+	// Streaming direct projection: a non-aggregate query whose output
+	// items are all plain bound columns and whose order needs no sort
+	// (none requested, or the pipeline emits it) never materializes the
+	// source rows at all — each batch's cells copy straight into the
+	// output arena and the pipeline runs transient, so join and
+	// permutation slabs recycle instead of accumulating. This is the
+	// workhorse path for SELECT col,... FROM t [WHERE ...] feeds.
+	if !ps.aggMode && !ps.sel.Distinct && (len(ps.order) == 0 || plan.orderElide) &&
+		!(len(plan.joins) == 0 && len(plan.where) == 0 &&
+			(plan.scan.access == accessPK || plan.scan.access == accessIndex)) {
+		bound := substItems(ps.items, params)
+		direct := make([]int, len(bound))
+		allDirect := true
+		for i, item := range bound {
+			if b, ok := item.Expr.(*boundRef); ok {
+				direct[i] = b.idx
+			} else {
+				allDirect = false
+				break
+			}
+		}
+		if allDirect {
+			cur, err := e.openPlan(plan, false)
+			if err != nil {
+				return nil, err
+			}
+			var arena rowArena
+			outRows := make([]relation.Row, 0, plan.estOut())
+			for {
+				batch, err := cur.NextBatch()
+				if err != nil {
+					cur.Close()
+					return nil, err
+				}
+				if len(batch) == 0 {
+					break
+				}
+				for _, row := range batch {
+					out := arena.alloc(len(direct))
+					for i, ci := range direct {
+						out[i] = row[ci]
+					}
+					outRows = append(outRows, out)
+				}
+			}
+			cur.Close()
+			return e.finishSelect(ps, params, outRows)
+		}
+	}
+
 	var drained []relation.Row
 	if len(plan.joins) == 0 && len(plan.where) == 0 &&
 		(plan.scan.access == accessPK || plan.scan.access == accessIndex) {
@@ -184,16 +302,23 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 			return nil, err
 		}
 	} else {
-		cur, err := e.openPlan(plan)
+		// retain=true: the drained rows feed aggregation/sort/projection
+		// below and must outlive every batch boundary.
+		cur, err := e.openPlan(plan, true)
 		if err != nil {
 			return nil, err
 		}
-		if drained, err = drainCursor(cur); err != nil {
+		if drained, err = drainCursor(cur, plan.estOut()); err != nil {
 			return nil, err
 		}
 	}
 	rs := &rowset{cols: plan.cols, rows: drained}
 	bound := substItems(ps.items, params)
+
+	// Output rows carve from a retained arena — one slab allocation per
+	// arenaSlabRows rows instead of one per row. Never reset: Result.Rows
+	// escapes to the caller.
+	var arena rowArena
 
 	var outRows []relation.Row
 	var sourceRows []relation.Row // parallel source row per output row (non-agg)
@@ -235,7 +360,7 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 					continue
 				}
 			}
-			out := make(relation.Row, len(bound))
+			out := arena.alloc(len(bound))
 			for i, item := range bound {
 				v, err := evalAggregate(item.Expr, group, rs)
 				if err != nil {
@@ -262,7 +387,7 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 		if allDirect {
 			outRows = make([]relation.Row, len(rs.rows))
 			for ri, row := range rs.rows {
-				out := make(relation.Row, len(direct))
+				out := arena.alloc(len(direct))
 				for i, ci := range direct {
 					out[i] = row[ci]
 				}
@@ -271,7 +396,7 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 			sourceRows = rs.rows
 		} else {
 			for _, row := range rs.rows {
-				out := make(relation.Row, len(bound))
+				out := arena.alloc(len(bound))
 				for i, item := range bound {
 					v, err := evalScalar(item.Expr, row, rs)
 					if err != nil {
@@ -342,6 +467,12 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 		outRows = sorted
 	}
 
+	return e.finishSelect(ps, params, outRows)
+}
+
+// finishSelect applies the result-shaping trailer — DISTINCT, then
+// LIMIT/OFFSET — and packages the Result.
+func (e *Engine) finishSelect(ps *preparedSelect, params []relation.Value, outRows []relation.Row) (*Result, error) {
 	if ps.sel.Distinct {
 		seen := map[string]bool{}
 		kept := outRows[:0:0]

@@ -273,8 +273,9 @@ func renderRows(rows []relation.Row) []string {
 // checkFuzzCase runs one generated query through the planning engine
 // (one-shot and prepared) and the forced engine, requiring identical
 // results. It returns the planner's Explain output for coverage
-// accounting.
-func checkFuzzCase(t testing.TB, e, forced *Engine, sql string, args []any, exact bool) string {
+// accounting, plus the planned result as the reference for batch-size
+// parity checks.
+func checkFuzzCase(t testing.TB, e, forced *Engine, sql string, args []any, exact bool) (string, *Result) {
 	t.Helper()
 	plan, err := e.Query(sql, args...)
 	if err != nil {
@@ -309,7 +310,83 @@ func checkFuzzCase(t testing.TB, e, forced *Engine, sql string, args []any, exac
 	if err != nil {
 		t.Fatalf("explain %q: %v", sql, err)
 	}
-	return out
+	return out, plan
+}
+
+// sameFuzzRows compares a result against the reference under the
+// query's order discipline.
+func sameFuzzRows(got, ref []relation.Row, exact bool) bool {
+	if len(got) == 0 && len(ref) == 0 {
+		return true // nil vs allocated-empty both mean "no rows"
+	}
+	if exact {
+		return reflect.DeepEqual(got, ref)
+	}
+	return reflect.DeepEqual(renderRows(got), renderRows(ref))
+}
+
+// checkBatchParity re-runs one generated query at several executor
+// batch sizes, through both the materialized Query path and the
+// streaming QueryRows path, requiring each to reproduce the reference
+// result. Slab boundaries are where vectorized executors break — a row
+// straddling a batch edge, an arena reset landing mid-group, a LIMIT
+// hitting between dispatches — so every shape the generator knows runs
+// at batch 1 (every edge everywhere), 7 (edges misaligned with data),
+// and 256 (the shipping default).
+func checkBatchParity(t testing.TB, sized []*Engine, ref *Result, sql string, args []any, exact bool) {
+	t.Helper()
+	for _, be := range sized {
+		bn := be.batch()
+		got, err := be.Query(sql, args...)
+		if err != nil {
+			t.Fatalf("batch=%d %q %v: %v", bn, sql, args, err)
+		}
+		if !reflect.DeepEqual(got.Columns, ref.Columns) {
+			t.Fatalf("batch=%d %q: columns %v vs %v", bn, sql, got.Columns, ref.Columns)
+		}
+		if !sameFuzzRows(got.Rows, ref.Rows, exact) {
+			t.Fatalf("batch=%d %q %v: materialized rows diverge\ngot: %v\nref: %v", bn, sql, args, got.Rows, ref.Rows)
+		}
+
+		rows, err := be.QueryRows(sql, args...)
+		if err != nil {
+			t.Fatalf("batch=%d stream %q %v: %v", bn, sql, args, err)
+		}
+		vals := make([]relation.Value, len(ref.Columns))
+		ptrs := make([]any, len(ref.Columns))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		var streamed []relation.Row
+		for rows.Next() {
+			if err := rows.Scan(ptrs...); err != nil {
+				t.Fatalf("batch=%d stream scan %q: %v", bn, sql, err)
+			}
+			streamed = append(streamed, append(relation.Row(nil), vals...))
+		}
+		rows.Close()
+		if err := rows.Err(); err != nil {
+			t.Fatalf("batch=%d stream %q %v: %v", bn, sql, args, err)
+		}
+		if !sameFuzzRows(streamed, ref.Rows, exact) {
+			t.Fatalf("batch=%d %q %v: streamed rows diverge\ngot: %v\nref: %v", bn, sql, args, streamed, ref.Rows)
+		}
+
+		// Early close: reading a prefix and abandoning the rest must
+		// neither error nor disturb later queries, at every slab size.
+		if len(ref.Rows) > 3 {
+			rows, err := be.QueryRows(sql, args...)
+			if err != nil {
+				t.Fatalf("batch=%d early-close %q: %v", bn, sql, err)
+			}
+			for i := 0; i < 2 && rows.Next(); i++ {
+			}
+			rows.Close()
+			if err := rows.Err(); err != nil {
+				t.Fatalf("batch=%d early-close %q: %v", bn, sql, err)
+			}
+		}
+	}
 }
 
 // TestQueryFuzzParity is the deterministic harness run: 600 generated
@@ -321,16 +398,24 @@ func checkFuzzCase(t testing.TB, e, forced *Engine, sql string, args []any, exac
 func TestQueryFuzzParity(t *testing.T) {
 	e := fuzzSchema(t)
 	forced := e.ForceScan()
+	sized := []*Engine{e.WithBatchSize(1), e.WithBatchSize(7), e.WithBatchSize(256)}
 	r := rand.New(rand.NewSource(42))
 
 	coverage := map[string]int{}
 	churnID := int64(1000)
 	for i := 0; i < 600; i++ {
 		sql, args, exact := genFuzzQuery(r, i)
-		out := checkFuzzCase(t, e, forced, sql, args, exact)
-		for _, op := range []string{"merge join", "probe=range(", "scan desc", "elided", "index nested loop", "hash join", "join order:", "range scan"} {
+		out, ref := checkFuzzCase(t, e, forced, sql, args, exact)
+		checkBatchParity(t, sized, ref, sql, args, exact)
+		for _, op := range []string{"merge join", "probe=range(", "scan desc", "elided", "index nested loop", "hash join", "join order:", "range scan", "vectorized batch="} {
 			if strings.Contains(out, op) {
 				coverage[op]++
+			}
+		}
+		if i%97 == 0 {
+			// The sized handles must label their plans honestly.
+			if out, err := sized[1].Explain(sql, args...); err != nil || !strings.Contains(out, "vectorized batch=7") {
+				t.Fatalf("batch=7 explain of %q lacks its batch annotation (%v):\n%s", sql, err, out)
 			}
 		}
 		if i%37 == 36 {
@@ -347,7 +432,7 @@ func TestQueryFuzzParity(t *testing.T) {
 			churnID++
 		}
 	}
-	for _, op := range []string{"merge join", "probe=range(", "scan desc", "elided", "index nested loop", "hash join", "join order:"} {
+	for _, op := range []string{"merge join", "probe=range(", "scan desc", "elided", "index nested loop", "hash join", "join order:", "vectorized batch="} {
 		if coverage[op] == 0 {
 			t.Errorf("fuzz corpus never produced a plan with %q — generator coverage regressed", op)
 		}
@@ -364,6 +449,7 @@ func TestQueryFuzzParity(t *testing.T) {
 func FuzzPlannerParity(f *testing.F) {
 	e := fuzzSchema(f)
 	forced := e.ForceScan()
+	sized := []*Engine{e.WithBatchSize(1), e.WithBatchSize(7), e.WithBatchSize(256)}
 	for seed := int64(0); seed < 24; seed++ {
 		f.Add(seed)
 	}
@@ -371,7 +457,8 @@ func FuzzPlannerParity(f *testing.F) {
 		r := rand.New(rand.NewSource(seed))
 		for shape := 0; shape < 6; shape++ {
 			sql, args, exact := genFuzzQuery(r, shape)
-			checkFuzzCase(t, e, forced, sql, args, exact)
+			_, ref := checkFuzzCase(t, e, forced, sql, args, exact)
+			checkBatchParity(t, sized, ref, sql, args, exact)
 		}
 	})
 }

@@ -124,6 +124,22 @@ type selectPlan struct {
 	joinOrder  []string // binding names in executed order, set when reordered
 	orderElide bool     // pipeline already emits ORDER BY's order; skip the sort
 	orderText  string   // the elided ORDER BY key, for Explain
+	batch      int      // executor slab size (rows per NextBatch), for Explain
+}
+
+// estOut is the planner's guess at the pipeline's output cardinality,
+// used to presize the materialization buffer. It follows the DRIVER
+// scan's estimate alone: joins that enlarge the output merely cost a
+// few pointer-slice regrows, while summing or maxing over join inputs
+// would overallocate kilobytes on every selective probe plan (an INLJ
+// reads a handful of driver rows against a huge probe table). Capped
+// so a bad estimate wastes at most one modest slab.
+func (p *selectPlan) estOut() int {
+	const cap = 8192
+	if p.scan.est > cap {
+		return cap
+	}
+	return int(p.scan.est)
 }
 
 func (s *scanNode) describe() string {
@@ -239,6 +255,9 @@ func (p *selectPlan) String() string {
 	}
 	if p.orderElide {
 		fmt.Fprintf(&b, "order by %s elided (range scan emits sort order)\n", p.orderText)
+	}
+	if p.batch > 0 {
+		fmt.Fprintf(&b, "vectorized batch=%d\n", p.batch)
 	}
 	return b.String()
 }

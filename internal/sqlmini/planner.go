@@ -273,10 +273,21 @@ func bindingsOf(e Expr, tables []*planTable) (uint64, bool) {
 	return mask, true
 }
 
-// plan builds the physical plan for st. With forceScan set it emits the
-// naive plan — full scans, nested loops, no pushdown — which is the
-// pre-planner execution strategy, kept for parity testing.
+// plan builds the physical plan for st and stamps it with the engine's
+// executor batch size (shown by Explain as "vectorized batch=N").
 func (e *Engine) plan(st *SelectStmt) (*selectPlan, error) {
+	p, err := e.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	p.batch = e.batch()
+	return p, nil
+}
+
+// planSelect builds the physical plan for st. With forceScan set it
+// emits the naive plan — full scans, nested loops, no pushdown — which
+// is the pre-planner execution strategy, kept for parity testing.
+func (e *Engine) planSelect(st *SelectStmt) (*selectPlan, error) {
 	tables := make([]*planTable, 0, 1+len(st.Joins))
 	var deps []tableDep
 	add := func(ref TableRef) error {

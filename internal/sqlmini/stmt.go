@@ -275,7 +275,9 @@ func (e *Engine) rowsEntry(en *cacheEntry, args []any) (*Rows, error) {
 		return nil, err
 	}
 	plan := bindPlan(ps.plan, params)
-	cur, err := e.openPlan(plan)
+	// retain=false: Rows only ever reads the current batch, so transient
+	// cursors may recycle their arena slabs batch over batch.
+	cur, err := e.openPlan(plan, false)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +314,8 @@ type Rows struct {
 	cur   cursor         // streaming pipeline (plain/elided-order queries)
 	rs    *rowset        // source-row layout for lazy projection
 	items []SelectItem   // bound projection over source rows
+	batch []relation.Row // current batch from the pipeline
+	bi    int            // position within batch
 	row   relation.Row   // current source row (streaming mode)
 	out   []relation.Row // pre-materialized rows (agg/order/distinct)
 	idx   int
@@ -343,26 +347,34 @@ func (r *Rows) Close() {
 		r.cur.Close()
 		r.cur = nil
 	}
-	r.items, r.out, r.row = nil, nil, nil
+	r.items, r.out, r.row, r.batch = nil, nil, nil, nil
+	r.bi = 0
 	r.idx = 1 << 30
 }
 
-// Next advances to the next row, reporting whether one is available.
+// Next advances to the next row, reporting whether one is available. In
+// streaming mode it is a thin drain over the pipeline's current batch:
+// one NextBatch dispatch delivers up to Engine.batch() rows, and the
+// per-row step is a slice index.
 func (r *Rows) Next() bool {
 	if r.err != nil {
 		return false
 	}
 	if r.cur != nil {
-		row, err := r.cur.Next()
-		if err != nil {
-			r.fail(err)
-			return false
+		for r.bi >= len(r.batch) {
+			batch, err := r.cur.NextBatch()
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			if len(batch) == 0 {
+				r.row, r.batch = nil, nil
+				return false
+			}
+			r.batch, r.bi = batch, 0
 		}
-		if row == nil {
-			r.row = nil
-			return false
-		}
-		r.row = row
+		r.row = r.batch[r.bi]
+		r.bi++
 		return true
 	}
 	if r.idx >= len(r.out) {

@@ -34,12 +34,22 @@ func IsStopword(w string) bool { return stopwords[w] }
 // formation (see Bigrams) treats clause boundaries as adjacency — the
 // same simplification classic tag-cloud systems make.
 func Tokenize(text string) []string {
+	return TokenizeInto(text, nil)
+}
+
+// TokenizeInto is Tokenize appending into buf's backing array (from
+// buf[:0]), for callers that tokenize in a loop and drop each result
+// before the next call — scoring loops tokenize thousands of titles
+// per recommendation, and reusing one buffer removes the slice-growth
+// garbage entirely. The returned slice aliases buf; pass it back in as
+// the next call's buf. Tokens themselves remain independent strings.
+func TokenizeInto(text string, buf []string) []string {
 	// Lowercase once, then slice tokens out of the lowered string so
 	// each token shares its backing memory instead of being built rune
 	// by rune — this is the hot path of indexing, clouds and Jaccard
 	// comparisons alike.
 	lower := strings.ToLower(text)
-	var out []string
+	out := buf[:0]
 	start := -1
 	apos := false
 	flush := func(end int) {
