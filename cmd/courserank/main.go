@@ -4,10 +4,18 @@
 // Usage:
 //
 //	courserank [-scale tiny|small|paper] [-addr :8080] [-demo]
+//	           [-durable DIR] [-fsync sync|async]
 //
 // With -demo it skips the server and walks one student session through
 // the headline features (search → cloud → refine → recommend → plan)
 // on stdout.
+//
+// With -durable DIR the tables live in DIR (pages.db + wal.log): every
+// write is journaled through the write-ahead log before it is applied,
+// and a restart against the same DIR recovers the exact pre-crash state
+// instead of regenerating. -fsync picks the commit policy: "sync"
+// (default) fsyncs every commit, "async" trades the last flush interval
+// for group-commit-free latency.
 package main
 
 import (
@@ -19,14 +27,18 @@ import (
 
 	"courserank/internal/core"
 	"courserank/internal/datagen"
+	"courserank/internal/relation"
 	"courserank/internal/render"
 	"courserank/internal/server"
+	"courserank/internal/wal"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "deployment scale: tiny, small, paper")
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Bool("demo", false, "print a demo session instead of serving")
+	durable := flag.String("durable", "", "directory for durable storage (empty = in-memory)")
+	fsync := flag.String("fsync", "sync", "durable commit policy: sync, async")
 	flag.Parse()
 
 	var cfg datagen.Config
@@ -41,15 +53,58 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 
-	log.Printf("generating %s-scale CourseRank (seed %d)...", *scale, cfg.Seed)
 	t0 := time.Now()
-	site, err := core.NewSite()
+	var site *core.Site
+	var err error
+	if *durable != "" {
+		var policy wal.SyncPolicy
+		switch *fsync {
+		case "sync":
+			policy = wal.SyncAlways
+		case "async":
+			policy = wal.SyncNone
+		default:
+			log.Fatalf("unknown fsync policy %q", *fsync)
+		}
+		log.Printf("opening durable store in %s (fsync=%s)...", *durable, *fsync)
+		site, err = core.NewDurableSite(*durable, relation.DurableOptions{Sync: policy})
+	} else {
+		site, err = core.NewSite()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	man, err := datagen.Populate(site, cfg)
-	if err != nil {
-		log.Fatal(err)
+	defer site.Close()
+
+	var man *datagen.Manifest
+	if site.Scale().Courses > 0 {
+		// A durable reopen recovered the previous run's tables; serve
+		// them as-is rather than regenerating on top. Search and aux
+		// indexes live in memory, so rebuild them over the recovered
+		// rows.
+		log.Printf("recovered existing deployment from %s", *durable)
+		if err := site.BuildSearchIndex(); err != nil {
+			log.Fatal(err)
+		}
+		if err := site.BuildAuxIndexes(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Printf("generating %s-scale CourseRank (seed %d)...", *scale, cfg.Seed)
+		populate := func() error {
+			man, err = datagen.Populate(site, cfg)
+			return err
+		}
+		if site.Durable != nil {
+			// Bulk-load outside the journal, then checkpoint once: the
+			// initial corpus lands in the page file, not the WAL.
+			err = site.Durable.Bulk(populate)
+		} else {
+			err = populate()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	s := site.Scale()
 	log.Printf("ready in %v: %d courses, %d comments, %d ratings, %d users",
@@ -89,6 +144,8 @@ func runDemo(site *core.Site, man *datagen.Manifest) {
 		fmt.Printf("  %d. %v\n", i+1, rec.Rows[i][ti])
 	}
 
-	fmt.Println()
-	fmt.Println(render.Plan(site, man.SampleStudent))
+	if man != nil {
+		fmt.Println()
+		fmt.Println(render.Plan(site, man.SampleStudent))
+	}
 }

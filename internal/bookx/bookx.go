@@ -57,7 +57,7 @@ func Setup(db *relation.DB, cat *catalog.Store) (*Service, error) {
 			relation.NotNullCol("Price", relation.TypeFloat),
 			relation.NotNullCol("Active", relation.TypeBool),
 		), relation.WithPrimaryKey("ListingID"), relation.WithAutoIncrement("ListingID"), relation.WithIndex("BookID"))
-	if err := db.Create(listings); err != nil {
+	if _, err := db.Ensure(listings); err != nil {
 		return nil, err
 	}
 	return &Service{db: db, cat: cat}, nil

@@ -199,7 +199,7 @@ func Setup(db *relation.DB) (*Store, error) {
 			), relation.WithPrimaryKey("BookID"), relation.WithAutoIncrement("BookID"), relation.WithIndex("CourseID")),
 	}
 	for _, t := range tables {
-		if err := db.Create(t); err != nil {
+		if _, err := db.Ensure(t); err != nil {
 			return nil, err
 		}
 	}

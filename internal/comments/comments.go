@@ -64,7 +64,7 @@ func Setup(db *relation.DB) (*Store, error) {
 			), relation.WithPrimaryKey("CommentID", "SuID"), relation.WithIndex("CommentID")),
 	}
 	for _, t := range tables {
-		if err := db.Create(t); err != nil {
+		if _, err := db.Ensure(t); err != nil {
 			return nil, err
 		}
 	}

@@ -49,7 +49,7 @@ func (s *Store) SetupFaculty() error {
 			), relation.WithPrimaryKey("NoteID"), relation.WithAutoIncrement("NoteID"), relation.WithIndex("CourseID")),
 	}
 	for _, t := range tables {
-		if err := s.db.Create(t); err != nil {
+		if _, err := s.db.Ensure(t); err != nil {
 			return err
 		}
 	}

@@ -67,9 +67,18 @@ func TestCourseNotes(t *testing.T) {
 	}
 }
 
-func TestSetupFacultyTwiceFails(t *testing.T) {
+// Setup is idempotent: a second SetupFaculty adopts the existing
+// tables (the durable-reopen path, where recovery has already created
+// them) instead of failing, and loses no data.
+func TestSetupFacultyTwiceAdopts(t *testing.T) {
 	s := facultyStore(t)
-	if err := s.SetupFaculty(); err == nil {
-		t.Error("duplicate SetupFaculty should fail")
+	if _, err := s.AddNote(5, 77, "keep me"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetupFaculty(); err != nil {
+		t.Errorf("repeated SetupFaculty should adopt existing tables: %v", err)
+	}
+	if notes := s.Notes(5); len(notes) != 1 {
+		t.Errorf("adopted tables lost data: %+v", notes)
 	}
 }

@@ -160,7 +160,7 @@ func Setup(db *relation.DB, dir *Directory) (*Service, error) {
 			relation.Col("Note", relation.TypeString),
 		), relation.WithPrimaryKey("EventID"), relation.WithAutoIncrement("EventID"), relation.WithIndex("UserID"))
 	for _, t := range []*relation.Table{users, points} {
-		if err := db.Create(t); err != nil {
+		if _, err := db.Ensure(t); err != nil {
 			return nil, err
 		}
 	}

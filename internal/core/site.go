@@ -54,6 +54,10 @@ type Site struct {
 	Analytics  *analytics.Service
 	Views      *matview.Registry
 
+	// Durable is the write-ahead-logged storage backend when the site
+	// was opened with NewDurableSite; nil for an ephemeral site.
+	Durable *relation.DurableStore
+
 	index           *search.Index
 	instructorIndex *search.Index
 	bookIndex       *search.Index
@@ -65,7 +69,31 @@ type Site struct {
 // FlexRecs compiler and the baseline recommenders, so any statement
 // text any subsystem repeats plans exactly once.
 func NewSite() (*Site, error) {
-	db := relation.NewDB()
+	return newSite(relation.NewDB())
+}
+
+// NewDurableSite opens (or recovers) a CourseRank instance whose
+// database lives at dir behind the pager + WAL storage engine: every
+// mutation any subsystem makes is journaled before it is acknowledged,
+// and reopening after a crash replays the committed tail onto the last
+// checkpoint. The subsystem Setups adopt recovered tables via
+// DB.Ensure, so opening an existing directory yields the same wired
+// site over the surviving data. Close the site to drain the WAL.
+func NewDurableSite(dir string, opts relation.DurableOptions) (*Site, error) {
+	db, store, err := relation.OpenDurable(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSite(db)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.Durable = store
+	return s, nil
+}
+
+func newSite(db *relation.DB) (*Site, error) {
 	dir := community.NewDirectory()
 	sql := sqlmini.New(db)
 	views := matview.NewRegistry(db, matviewWorkers)
@@ -124,8 +152,16 @@ func NewSite() (*Site, error) {
 }
 
 // Close releases the site's background resources: the materialized-view
-// refresher pool stops and in-flight builds drain. Tests defer it.
-func (s *Site) Close() { s.Views.Close() }
+// refresher pool stops and in-flight builds drain, then the durable
+// store (if any) is drained — outstanding WAL records synced, dirty
+// pages flushed — so a reopened site recovers everything acknowledged.
+// Tests defer it.
+func (s *Site) Close() {
+	s.Views.Close()
+	if s.Durable != nil {
+		s.Durable.Close()
+	}
+}
 
 // CourseEntityDef is the search-entity definition for courses (paper
 // §3.1): a course entity spans its title, bulletin description, all

@@ -8,7 +8,9 @@ import (
 	"courserank/internal/comments"
 	"courserank/internal/community"
 	"courserank/internal/planner"
+	"courserank/internal/relation"
 	"courserank/internal/requirements"
+	"courserank/internal/wal"
 )
 
 // seedSite builds a minimal hand-populated site (no datagen, which
@@ -297,5 +299,73 @@ func TestCourseEntityDefWeights(t *testing.T) {
 	}
 	if title <= comments {
 		t.Errorf("title weight %v should exceed comments %v", title, comments)
+	}
+}
+
+// TestDurableSiteRoundTrip: a durable site survives Close and reopen —
+// catalog, community and comment rows all come back, the auto-increment
+// sequences resume past recovered ids, and the rebuilt search index
+// answers queries over recovered text.
+func TestDurableSiteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableSite(dir, relation.DurableOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable == nil {
+		t.Fatal("durable site has nil Durable store")
+	}
+	if err := s.Catalog.AddDepartment(catalog.Department{ID: "CS", Name: "Computer Science", School: "Engineering"}); err != nil {
+		t.Fatal(err)
+	}
+	intro, err := s.Catalog.AddCourse(catalog.Course{DepID: "CS", Number: "106A", Title: "Introduction to Programming", Description: "java basics", Units: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Directory.Add(community.DirectoryEntry{Username: "sally", Name: "Sally", Role: community.RoleStudent, DepID: "CS", Undergrad: true}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Community.Register("sally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Comments.Add(comments.Comment{SuID: u.ID, CourseID: intro, Year: 2008, Term: "Aut", Text: "great intro course", Rating: 5}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := NewDurableSite(dir, relation.DurableOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	c, ok := re.Catalog.Course(intro)
+	if !ok || c.Title != "Introduction to Programming" {
+		t.Fatalf("recovered course = %+v, %v", c, ok)
+	}
+	if _, err := re.Community.Login("sally", 1); err != nil {
+		t.Fatalf("recovered user cannot log in: %v", err)
+	}
+	got := re.Comments.ByCourse(intro)
+	if len(got) != 1 || got[0].Text != "great intro course" {
+		t.Fatalf("recovered comments = %+v", got)
+	}
+	// New inserts continue past recovered auto-increment ids.
+	next, err := re.Catalog.AddCourse(catalog.Course{DepID: "CS", Number: "106B", Title: "Programming Abstractions", Description: "c++", Units: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next <= intro {
+		t.Errorf("auto-increment regressed: %d after %d", next, intro)
+	}
+	if err := re.BuildSearchIndex(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := re.SearchCourses("programming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() != 2 {
+		t.Errorf("search over recovered+new rows found %d courses, want 2", res.Total())
 	}
 }

@@ -1,0 +1,472 @@
+// Package pager implements the durable page layer under the relational
+// store: a fixed-size page file fronted by a buffer pool. Pages are the
+// unit of disk I/O; the pool caches recently used pages with LRU
+// eviction, tracks dirty pages, and lets callers pin pages while their
+// bytes are in use. Every data page carries a CRC32 checksum verified
+// on read, so a torn or bit-rotted page is detected at the first
+// access instead of silently corrupting the database above it.
+//
+// File layout:
+//
+//	page 0:     header — magic, page size, page count, plus an opaque
+//	            client metadata blob (the relation layer stores its
+//	            checkpoint LSN and snapshot extent there)
+//	page 1..N:  data pages — 4-byte CRC32 (Castagnoli) over the payload,
+//	            then pageSize-4 payload bytes
+//
+// The pager knows nothing about rows or tables; the relation package's
+// durable backend streams its checkpoint snapshots through sequential
+// pages, and future B-tree work allocates node pages the same way.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used when Options.PageSize is zero.
+const DefaultPageSize = 4096
+
+// DefaultPoolPages is the buffer-pool capacity (in pages) used when
+// Options.PoolPages is zero.
+const DefaultPoolPages = 256
+
+const (
+	magic         = "CRPG1\x00"
+	headerFixed   = len(magic) + 4 + 8 + 4 // magic, pageSize, pageCount, metaLen
+	checksumBytes = 4
+	minPageSize   = 128
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a page whose stored CRC32 does not match its
+// payload — a torn write or on-disk corruption.
+var ErrChecksum = errors.New("pager: page checksum mismatch")
+
+// Options configures a Pager.
+type Options struct {
+	PageSize  int // bytes per on-disk page; 0 means DefaultPageSize
+	PoolPages int // buffer-pool capacity in pages; 0 means DefaultPoolPages
+}
+
+// Stats counts buffer-pool and I/O activity since Open.
+type Stats struct {
+	Hits      uint64 `json:"hits"`      // Acquire served from the pool
+	Misses    uint64 `json:"misses"`    // Acquire read from disk
+	Evictions uint64 `json:"evictions"` // frames evicted to make room
+	Flushes   uint64 `json:"flushes"`   // dirty pages written back
+	Pages     int    `json:"pages"`     // data pages in the file
+	Pinned    int    `json:"pinned"`    // currently pinned frames
+	Cached    int    `json:"cached"`    // frames resident in the pool
+}
+
+// frame is one resident page.
+type frame struct {
+	id    int
+	data  []byte // payload (pageSize - checksumBytes)
+	dirty bool
+	pins  int
+	prev  *frame // LRU list; head = most recent
+	next  *frame
+}
+
+// Pager is a page file with a buffer pool. All methods are safe for
+// concurrent use.
+type Pager struct {
+	mu        sync.Mutex
+	f         *os.File
+	pageSize  int
+	poolCap   int
+	pageCount int // data pages (excluding the header page)
+	meta      []byte
+	metaDirty bool
+	frames    map[int]*frame
+	lruHead   *frame
+	lruTail   *frame
+	stats     Stats
+	closed    bool
+}
+
+// Open opens (or creates) the page file at path.
+func Open(path string, opts Options) (*Pager, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps < minPageSize {
+		return nil, fmt.Errorf("pager: page size %d below minimum %d", ps, minPageSize)
+	}
+	pool := opts.PoolPages
+	if pool == 0 {
+		pool = DefaultPoolPages
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{f: f, pageSize: ps, poolCap: pool, frames: make(map[int]*frame)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh file: write the header page.
+		if err := p.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if err := p.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// writeHeader serializes the header page; caller holds mu (or has
+// exclusive access during Open).
+func (p *Pager) writeHeader() error {
+	buf := make([]byte, p.pageSize)
+	copy(buf, magic)
+	off := len(magic)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.pageSize))
+	off += 4
+	binary.LittleEndian.PutUint64(buf[off:], uint64(p.pageCount))
+	off += 8
+	if headerFixed+len(p.meta) > p.pageSize {
+		return fmt.Errorf("pager: metadata blob %d bytes exceeds header page capacity %d", len(p.meta), p.pageSize-headerFixed)
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(p.meta)))
+	off += 4
+	copy(buf[off:], p.meta)
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	p.metaDirty = false
+	return nil
+}
+
+func (p *Pager) readHeader() error {
+	buf := make([]byte, p.pageSize)
+	if _, err := io.ReadFull(io.NewSectionReader(p.f, 0, int64(p.pageSize)), buf); err != nil {
+		return fmt.Errorf("pager: short header: %w", err)
+	}
+	if string(buf[:len(magic)]) != magic {
+		return fmt.Errorf("pager: bad magic (not a page file)")
+	}
+	off := len(magic)
+	ps := int(binary.LittleEndian.Uint32(buf[off:]))
+	if ps != p.pageSize {
+		return fmt.Errorf("pager: file has page size %d, opened with %d", ps, p.pageSize)
+	}
+	off += 4
+	p.pageCount = int(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	metaLen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if metaLen < 0 || off+metaLen > p.pageSize {
+		return fmt.Errorf("pager: corrupt header metadata length %d", metaLen)
+	}
+	p.meta = append([]byte(nil), buf[off:off+metaLen]...)
+	return nil
+}
+
+// PageSize returns the on-disk page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// PayloadSize returns the usable bytes per page (page size minus the
+// checksum).
+func (p *Pager) PayloadSize() int { return p.pageSize - checksumBytes }
+
+// PageCount returns the number of data pages in the file.
+func (p *Pager) PageCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pageCount
+}
+
+// Meta returns a copy of the client metadata blob stored in the header.
+func (p *Pager) Meta() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.meta...)
+}
+
+// SetMeta replaces the client metadata blob. The blob is persisted on
+// the next FlushAll (or Close); it must fit the header page.
+func (p *Pager) SetMeta(meta []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if headerFixed+len(meta) > p.pageSize {
+		return fmt.Errorf("pager: metadata blob %d bytes exceeds header page capacity %d", len(meta), p.pageSize-headerFixed)
+	}
+	p.meta = append([]byte(nil), meta...)
+	p.metaDirty = true
+	return nil
+}
+
+// Page is a pinned page handle. Data aliases the pool frame: reads and
+// writes go through it directly. Call MarkDirty after modifying and
+// Release when done; an unreleased page can never be evicted.
+type Page struct {
+	p  *Pager
+	fr *frame
+}
+
+// ID returns the page number (1-based; the header page is not
+// addressable).
+func (pg *Page) ID() int { return pg.fr.id }
+
+// Data returns the page payload. The slice is valid until Release.
+func (pg *Page) Data() []byte { return pg.fr.data }
+
+// MarkDirty records that the payload changed; the page will be written
+// back on eviction or FlushAll.
+func (pg *Page) MarkDirty() {
+	pg.p.mu.Lock()
+	pg.fr.dirty = true
+	pg.p.mu.Unlock()
+}
+
+// Release unpins the page, making it evictable again.
+func (pg *Page) Release() {
+	pg.p.mu.Lock()
+	if pg.fr.pins > 0 {
+		pg.fr.pins--
+	}
+	pg.p.mu.Unlock()
+}
+
+// lruTouch moves fr to the head (most recently used). Caller holds mu.
+func (p *Pager) lruTouch(fr *frame) {
+	if p.lruHead == fr {
+		return
+	}
+	p.lruUnlink(fr)
+	fr.next = p.lruHead
+	fr.prev = nil
+	if p.lruHead != nil {
+		p.lruHead.prev = fr
+	}
+	p.lruHead = fr
+	if p.lruTail == nil {
+		p.lruTail = fr
+	}
+}
+
+func (p *Pager) lruUnlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	}
+	if p.lruHead == fr {
+		p.lruHead = fr.next
+	}
+	if p.lruTail == fr {
+		p.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+// evictIfFull makes room for one more frame; caller holds mu. Pinned
+// frames are skipped; if every frame is pinned the pool grows past its
+// capacity rather than failing.
+func (p *Pager) evictIfFull() error {
+	if len(p.frames) < p.poolCap {
+		return nil
+	}
+	for fr := p.lruTail; fr != nil; fr = fr.prev {
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+		p.lruUnlink(fr)
+		delete(p.frames, fr.id)
+		p.stats.Evictions++
+		return nil
+	}
+	return nil // all pinned: grow
+}
+
+// writeFrame writes one frame's payload with its checksum; caller
+// holds mu.
+func (p *Pager) writeFrame(fr *frame) error {
+	buf := make([]byte, p.pageSize)
+	binary.LittleEndian.PutUint32(buf, crc32.Checksum(fr.data, castagnoli))
+	copy(buf[checksumBytes:], fr.data)
+	if _, err := p.f.WriteAt(buf, int64(fr.id)*int64(p.pageSize)); err != nil {
+		return err
+	}
+	fr.dirty = false
+	p.stats.Flushes++
+	return nil
+}
+
+// readFrame reads page id from disk, verifying its checksum; caller
+// holds mu.
+func (p *Pager) readFrame(id int) (*frame, error) {
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	want := binary.LittleEndian.Uint32(buf)
+	payload := buf[checksumBytes:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: page %d (stored %08x, computed %08x)", ErrChecksum, id, want, got)
+	}
+	return &frame{id: id, data: payload}, nil
+}
+
+// Acquire pins page id (1-based), reading it from disk on a pool miss.
+func (p *Pager) Acquire(id int) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pager: closed")
+	}
+	if id < 1 || id > p.pageCount {
+		return nil, fmt.Errorf("pager: page %d out of range [1,%d]", id, p.pageCount)
+	}
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		p.stats.Hits++
+		p.lruTouch(fr)
+		return &Page{p: p, fr: fr}, nil
+	}
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr, err := p.readFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.pins = 1
+	p.frames[id] = fr
+	p.lruTouch(fr)
+	p.stats.Misses++
+	return &Page{p: p, fr: fr}, nil
+}
+
+// Allocate extends the file by one page and returns it pinned, zeroed
+// and dirty.
+func (p *Pager) Allocate() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pager: closed")
+	}
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	p.pageCount++
+	fr := &frame{id: p.pageCount, data: make([]byte, p.pageSize-checksumBytes), dirty: true, pins: 1}
+	p.frames[fr.id] = fr
+	p.lruTouch(fr)
+	return &Page{p: p, fr: fr}, nil
+}
+
+// Truncate drops every data page past n, shrinking the file. Resident
+// frames beyond n are discarded (their dirty state included) — callers
+// truncate only page ranges they no longer reference.
+func (p *Pager) Truncate(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 || n > p.pageCount {
+		return fmt.Errorf("pager: truncate to %d pages out of range [0,%d]", n, p.pageCount)
+	}
+	for id, fr := range p.frames {
+		if id > n {
+			p.lruUnlink(fr)
+			delete(p.frames, id)
+		}
+	}
+	if err := p.f.Truncate(int64(n+1) * int64(p.pageSize)); err != nil {
+		return err
+	}
+	p.pageCount = n
+	p.metaDirty = true // header page count changed
+	return nil
+}
+
+// FlushAll writes every dirty page and the header (when changed) back
+// to the file. It does not fsync; pair with Sync for durability.
+func (p *Pager) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return p.writeHeader()
+}
+
+// Sync fsyncs the page file.
+func (p *Pager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f.Sync()
+}
+
+// Stats returns a snapshot of pool and I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Pages = p.pageCount
+	s.Cached = len(p.frames)
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}
+
+// Close flushes dirty state, fsyncs and closes the file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	var firstErr error
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := p.writeHeader(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	return firstErr
+}

@@ -43,7 +43,7 @@ func Setup(db *relation.DB, cat *catalog.Store) (*Store, error) {
 			relation.Col("Grade", relation.TypeString),
 			relation.NotNullCol("Planned", relation.TypeBool),
 		), relation.WithIndex("SuID"), relation.WithIndex("CourseID"))
-	if err := db.Create(enroll); err != nil {
+	if _, err := db.Ensure(enroll); err != nil {
 		return nil, err
 	}
 	return &Store{db: db, cat: cat}, nil

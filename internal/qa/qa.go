@@ -94,7 +94,7 @@ func Setup(db *relation.DB, points PointAwarder, expert Expertise) (*Service, er
 			), relation.WithPrimaryKey("AID", "SuID")),
 	}
 	for _, t := range tables {
-		if err := db.Create(t); err != nil {
+		if _, err := db.Ensure(t); err != nil {
 			return nil, err
 		}
 	}

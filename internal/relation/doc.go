@@ -1,0 +1,94 @@
+// Package relation implements the relational storage engine that
+// underpins CourseRank. It provides typed schemas, row storage with
+// primary and secondary hash indexes, ordered (sorted) indexes,
+// predicate-based scans, and two interchangeable backends: a pure
+// in-memory store (NewDB) and a durable store (OpenDurable) that
+// journals every mutation through a write-ahead log and checkpoints
+// into a page file. The SQL engine in package sqlmini executes against
+// this store, which is the "conventional DBMS" the paper's FlexRecs
+// workflows compile into.
+//
+// # The Storage interface: pluggable table backends
+//
+// Table and DB never talk to disk directly. Each table instead holds an
+// optional Storage (storage.go), attached atomically, that observes
+// mutations:
+//
+//	BeginMutate / EndMutate     bracket a mutation (checkpoint gate)
+//	LogMutations(table, muts)   journal applied row effects, return LSN
+//	LogCreate / LogDrop / LogAlter  journal DDL
+//	WaitDurable(lsn)            block until the LSN is commit-durable
+//
+// A nil Storage is the in-memory backend: the mutation path is exactly
+// the pre-durability code — one atomic pointer load and no effect
+// collection, so memory-backed deployments pay nothing for the
+// subsystem's existence. With a Storage attached, every
+// Insert/UpdateByKey/UpdateWhere/DeleteWhere and every DDL call
+// collects the row effects it applied (Mutation: kind, slot,
+// post-image), journals them while still holding the table lock — so
+// WAL order always equals apply order — and then waits for durability
+// outside all locks. If the journal write fails, the already-applied
+// effects are rolled back slot-for-slot (undoLocked) and the error is
+// returned: a mutation is either applied-and-journaled or not applied.
+//
+// # Effect-based redo logging
+//
+// WAL records carry the EFFECTS of a statement, not the statement:
+// exact row slots plus post-images. Predicates and set functions are Go
+// closures and cannot be serialized; replay therefore re-applies slots
+// verbatim (applyInsertSlot/applyUpdateSlot/applyDeleteSlot) with no
+// re-evaluation, and recovery is deterministic regardless of what code
+// produced the mutation. Auto-increment sequences recover from the
+// largest replayed key; free lists and indexes are rebuilt after
+// replay.
+//
+// # WAL record format
+//
+// The log (package wal) is a single append-only file:
+//
+//	header: magic "CRWAL1\0\0" + uint64 start LSN
+//	record: uint32 length | uint32 CRC32-Castagnoli | uint64 LSN |
+//	        uint8 type | payload
+//
+// The CRC covers (LSN, type, payload). Payloads here are JSON:
+// recDML (1) is {table, [op "i"/"u"/"d", slot, row-cells]...};
+// recCreate (2) is the table's snapshot header; recDrop (3) and
+// recAlter (4) name the table (and ordered-index column). On open, the
+// scan stops at the first short or CRC-failing record and physically
+// truncates the file there: a torn final record from a crash is
+// discarded, every earlier record is preserved.
+//
+// # LSN and checkpoint lifecycle
+//
+// Every appended record gets the next LSN; Commit(lsn) makes it
+// durable per the sync policy. A checkpoint (DurableStore.Checkpoint)
+// takes the gate exclusively (quiescing mutators), snapshots every
+// table into the page file, and truncates the WAL up to the snapshot
+// LSN. Snapshots are written ping-pong: the new snapshot lands in
+// pages disjoint from the active region, is flushed and synced, and
+// only then does the header metadata {LSN, start, pages, length} swap
+// to it — the swap is the commit point, so a crash mid-checkpoint
+// leaves the previous snapshot intact. Recovery loads the snapshot,
+// then replays only WAL records with LSN > snapshot LSN (covering a
+// crash between the metadata swap and the log truncation).
+// Checkpoints also run automatically every CheckpointEvery journaled
+// records (synchronously, inside the WaitDurable of the record that
+// crossed the threshold), and DurableStore.Bulk loads data with the
+// journal detached and checkpoints once at the end — the bulk corpus
+// lands in the page file, not the log.
+//
+// # Sync vs async commit
+//
+// wal.SyncAlways fsyncs on every commit, with group commit: concurrent
+// committers ride one another's fsyncs (a leader syncs once for every
+// waiter whose LSN it covers), so the log issues far fewer fsyncs than
+// commits under load. wal.SyncNone acknowledges as soon as the record
+// is written to the OS, with a background flusher (FlushEvery) and
+// fsyncs at checkpoints and Close: a process crash loses nothing (the
+// OS has the writes); power loss can lose the last flush interval.
+//
+// The durable fixture serves CourseRank end to end: core.NewDurableSite
+// opens a site over OpenDurable, cmd/courserank exposes it as
+// -durable DIR -fsync sync|async, and /api/stats reports the WAL,
+// pager and checkpoint counters under "durability".
+package relation

@@ -152,8 +152,27 @@ func WithOrderedIndex(col string) TableOption {
 // existing rows. It is the one in-place DDL operation tables support,
 // so it bumps the schema epoch: cached query plans fingerprinted on the
 // old epoch replan and can adopt the new access path. Adding an index
-// that already exists is a no-op.
+// that already exists is a no-op. With attached Storage the alter is
+// journaled so a recovered table rebuilds the same access paths.
 func (t *Table) AddOrderedIndex(col string) error {
+	sb := t.store.Load()
+	if sb == nil {
+		return t.addOrderedIndexLocked(col)
+	}
+	sb.s.BeginMutate()
+	err := t.addOrderedIndexLocked(col)
+	var lsn uint64
+	if err == nil {
+		lsn, err = sb.s.LogAlter(t.Name(), col)
+	}
+	sb.s.EndMutate()
+	if err != nil {
+		return err
+	}
+	return sb.s.WaitDurable(lsn)
+}
+
+func (t *Table) addOrderedIndexLocked(col string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	key := strings.ToLower(col)

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,18 +41,7 @@ func (db *DB) Save(w io.Writer) error {
 	enc := json.NewEncoder(bw)
 	for _, name := range db.Names() {
 		t, _ := db.Table(name)
-		sch := t.Schema()
-		head := snapshotHeader{
-			Table:   name,
-			PK:      t.PrimaryKey(),
-			AutoInc: t.AutoIncrement(),
-			Indexes: t.SecondaryIndexes(),
-			Ordered: t.OrderedIndexes(),
-			Rows:    t.Len(),
-		}
-		for _, c := range sch.Columns() {
-			head.Columns = append(head.Columns, columnJSON{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
-		}
+		head := headerFor(t)
 		if err := enc.Encode(head); err != nil {
 			return err
 		}
@@ -67,63 +57,118 @@ func (db *DB) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a Save stream into a fresh database.
+// tableFromHeader materializes an empty table matching a stream
+// header's declared shape. Shared by snapshot Load and the durable
+// backend's recovery paths (checkpoint load, CREATE-record replay).
+func tableFromHeader(head snapshotHeader) (*Table, error) {
+	cols := make([]Column, len(head.Columns))
+	for i, c := range head.Columns {
+		typ, ok := typeByName[c.Type]
+		if !ok {
+			return nil, fmt.Errorf("table %s: unknown type %q", head.Table, c.Type)
+		}
+		cols[i] = Column{Name: c.Name, Type: typ, NotNull: c.NotNull}
+	}
+	var opts []TableOption
+	if len(head.PK) > 0 {
+		opts = append(opts, WithPrimaryKey(head.PK...))
+	}
+	if head.AutoInc != "" {
+		opts = append(opts, WithAutoIncrement(head.AutoInc))
+	}
+	for _, ix := range head.Indexes {
+		opts = append(opts, WithIndex(ix))
+	}
+	for _, ix := range head.Ordered {
+		opts = append(opts, WithOrderedIndex(ix))
+	}
+	t, err := NewTable(head.Table, NewSchema(cols...), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: %w", head.Table, err)
+	}
+	return t, nil
+}
+
+// headerFor builds the stream header describing t. Shared by Save and
+// the durable backend (checkpoint snapshots, CREATE records).
+func headerFor(t *Table) snapshotHeader {
+	head := snapshotHeader{
+		Table:   t.Name(),
+		PK:      t.PrimaryKey(),
+		AutoInc: t.AutoIncrement(),
+		Indexes: t.SecondaryIndexes(),
+		Ordered: t.OrderedIndexes(),
+		Rows:    t.Len(),
+	}
+	for _, c := range t.Schema().Columns() {
+		head.Columns = append(head.Columns, columnJSON{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
+	}
+	return head
+}
+
+// Load reads a Save stream into a fresh database. Decode failures are
+// reported with the offending table and the 1-based line number in the
+// stream, so a corrupt or truncated snapshot points at where it broke.
 func Load(r io.Reader) (*DB, error) {
 	db := NewDB()
-	dec := json.NewDecoder(bufio.NewReader(r))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	line := 0
+	next := func() ([]byte, bool, error) {
+		if !sc.Scan() {
+			return nil, false, sc.Err()
+		}
+		line++
+		return sc.Bytes(), true, nil
+	}
 	for {
-		var head snapshotHeader
-		if err := dec.Decode(&head); err == io.EOF {
-			return db, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("relation: bad snapshot header: %w", err)
-		}
-		cols := make([]Column, len(head.Columns))
-		for i, c := range head.Columns {
-			typ, ok := typeByName[c.Type]
-			if !ok {
-				return nil, fmt.Errorf("relation: snapshot table %s: unknown type %q", head.Table, c.Type)
-			}
-			cols[i] = Column{Name: c.Name, Type: typ, NotNull: c.NotNull}
-		}
-		var opts []TableOption
-		if len(head.PK) > 0 {
-			opts = append(opts, WithPrimaryKey(head.PK...))
-		}
-		if head.AutoInc != "" {
-			opts = append(opts, WithAutoIncrement(head.AutoInc))
-		}
-		for _, ix := range head.Indexes {
-			opts = append(opts, WithIndex(ix))
-		}
-		for _, ix := range head.Ordered {
-			opts = append(opts, WithOrderedIndex(ix))
-		}
-		t, err := NewTable(head.Table, NewSchema(cols...), opts...)
+		buf, ok, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("relation: snapshot table %s: %w", head.Table, err)
+			return nil, fmt.Errorf("relation: snapshot line %d: %w", line+1, err)
+		}
+		if !ok {
+			return db, nil
+		}
+		if len(bytes.TrimSpace(buf)) == 0 {
+			continue
+		}
+		var head snapshotHeader
+		if err := json.Unmarshal(buf, &head); err != nil {
+			return nil, fmt.Errorf("relation: snapshot line %d: bad table header: %w", line, err)
+		}
+		t, err := tableFromHeader(head)
+		if err != nil {
+			return nil, fmt.Errorf("relation: snapshot line %d: %w", line, err)
 		}
 		if err := db.Create(t); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("relation: snapshot line %d: %w", line, err)
 		}
+		cols := t.Schema().Columns()
 		for i := 0; i < head.Rows; i++ {
+			buf, ok, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("relation: snapshot line %d: table %s: %w", line+1, head.Table, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("relation: snapshot line %d: table %s: truncated stream: got %d of %d rows", line, head.Table, i, head.Rows)
+			}
 			var raw []json.RawMessage
-			if err := dec.Decode(&raw); err != nil {
-				return nil, fmt.Errorf("relation: snapshot table %s row %d: %w", head.Table, i, err)
+			if err := json.Unmarshal(buf, &raw); err != nil {
+				return nil, fmt.Errorf("relation: snapshot line %d: table %s row %d: %w", line, head.Table, i, err)
 			}
 			if len(raw) != len(cols) {
-				return nil, fmt.Errorf("%w: snapshot table %s row %d has %d cells", ErrArity, head.Table, i, len(raw))
+				return nil, fmt.Errorf("%w: snapshot line %d: table %s row %d has %d cells", ErrArity, line, head.Table, i, len(raw))
 			}
 			row := make(Row, len(raw))
 			for j, cell := range raw {
 				v, err := decodeCell(cell, cols[j].Type)
 				if err != nil {
-					return nil, fmt.Errorf("relation: snapshot table %s row %d col %s: %w", head.Table, i, cols[j].Name, err)
+					return nil, fmt.Errorf("relation: snapshot line %d: table %s row %d col %s: %w", line, head.Table, i, cols[j].Name, err)
 				}
 				row[j] = v
 			}
 			if _, err := t.Insert(row); err != nil {
-				return nil, fmt.Errorf("relation: snapshot table %s row %d: %w", head.Table, i, err)
+				return nil, fmt.Errorf("relation: snapshot line %d: table %s row %d: %w", line, head.Table, i, err)
 			}
 		}
 	}

@@ -99,6 +99,35 @@ func TestLoadErrors(t *testing.T) {
 	}
 }
 
+// TestLoadTruncatedStream cuts a valid snapshot at every byte length
+// short of complete: Load must fail (never silently load a partial
+// database), and the error must name the offending table and the line
+// where the stream broke.
+func TestLoadTruncatedStream(t *testing.T) {
+	full := `{"table":"Users","columns":[{"name":"ID","type":"INT"},{"name":"Name","type":"TEXT"}],"pk":["ID"],"rows":2}` + "\n" +
+		`[1,"ann"]` + "\n" +
+		`[2,"bob"]` + "\n"
+	// Start inside the final row's JSON (dropping only the trailing
+	// newline is still a complete stream).
+	for cut := len(full) - 2; cut > len(full)-12; cut-- {
+		_, err := Load(strings.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: truncated stream loaded without error", cut)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "Users") {
+			t.Fatalf("cut at %d: error does not name the table: %v", cut, err)
+		}
+		if !strings.Contains(msg, "line") {
+			t.Fatalf("cut at %d: error does not carry a line number: %v", cut, err)
+		}
+	}
+	// Cutting mid-header still reports the line.
+	if _, err := Load(strings.NewReader(full[:40])); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("mid-header cut: %v", err)
+	}
+}
+
 // Property: save→load→save is a fixed point (byte-identical second
 // snapshot) for random row contents.
 func TestSnapshotFixedPointProperty(t *testing.T) {

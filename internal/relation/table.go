@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Common errors returned by table operations.
@@ -122,6 +123,7 @@ type Table struct {
 	nextAut int64
 	version uint64
 	epoch   uint64
+	store   atomic.Pointer[storageBox] // nil = ephemeral (memory-only) backend
 }
 
 // Version returns a counter that increases on every mutation (insert,
@@ -310,7 +312,13 @@ func (t *Table) insertLocked(row Row) (int, Row, error) {
 }
 
 // Insert validates and stores a row, returning the slot it occupies.
+// On a table with attached Storage the insert is journaled before
+// Insert returns; a WAL failure rolls the row back out of memory.
 func (t *Table) Insert(row Row) (int, error) {
+	if sb := t.store.Load(); sb != nil {
+		slot, _, err := t.insertDurable(sb.s, row)
+		return slot, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	slot, _, err := t.insertLocked(row)
@@ -320,6 +328,13 @@ func (t *Table) Insert(row Row) (int, error) {
 // InsertGet inserts a row and returns a copy of the stored row, which
 // reflects auto-increment assignment and type coercion.
 func (t *Table) InsertGet(row Row) (Row, error) {
+	if sb := t.store.Load(); sb != nil {
+		_, r, err := t.insertDurable(sb.s, row)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	_, r, err := t.insertLocked(row)
@@ -327,6 +342,30 @@ func (t *Table) InsertGet(row Row) (Row, error) {
 		return nil, err
 	}
 	return r.Clone(), nil
+}
+
+// insertDurable applies an insert and journals it following the
+// Storage protocol (see storage.go). The returned row is a copy.
+func (t *Table) insertDurable(s Storage, row Row) (int, Row, error) {
+	s.BeginMutate()
+	t.mu.Lock()
+	slot, r, err := t.insertLocked(row)
+	if err != nil {
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0, nil, err
+	}
+	lsn, err := s.LogMutations(t.name, []Mutation{{Kind: MutInsert, Slot: slot, Row: r}})
+	if err != nil {
+		t.applyDeleteSlot(slot)
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0, nil, err
+	}
+	clone := r.Clone()
+	t.mu.Unlock()
+	s.EndMutate()
+	return slot, clone, s.WaitDurable(lsn)
 }
 
 // MustInsert inserts and panics on error; for generator/loader code paths
@@ -691,35 +730,68 @@ func (t *Table) HasIndex(col string) bool {
 
 // UpdateByKey updates the row with the given primary-key values via set,
 // in O(1). It returns ErrNotFound when the key is absent and fails if the
-// replacement would collide on a changed key.
+// replacement would collide on a changed key. With attached Storage the
+// update is journaled before returning; a WAL failure restores the old
+// row.
 func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
+	if sb := t.store.Load(); sb != nil {
+		return t.updateByKeyDurable(sb.s, key, set)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	_, _, _, err := t.updateByKeyLocked(key, set)
+	return err
+}
+
+func (t *Table) updateByKeyDurable(s Storage, key []Value, set func(Row) Row) error {
+	s.BeginMutate()
+	t.mu.Lock()
+	slot, old, repl, err := t.updateByKeyLocked(key, set)
+	if err != nil {
+		t.mu.Unlock()
+		s.EndMutate()
+		return err
+	}
+	lsn, err := s.LogMutations(t.name, []Mutation{{Kind: MutUpdate, Slot: slot, Row: repl}})
+	if err != nil {
+		t.applyUpdateSlot(slot, old)
+		t.mu.Unlock()
+		s.EndMutate()
+		return err
+	}
+	t.mu.Unlock()
+	s.EndMutate()
+	return s.WaitDurable(lsn)
+}
+
+// updateByKeyLocked performs the update under the write lock, returning
+// the slot plus the pre- and post-image rows for journaling/undo.
+func (t *Table) updateByKeyLocked(key []Value, set func(Row) Row) (int, Row, Row, error) {
 	if t.pkIndex == nil || len(key) != len(t.pk) {
-		return fmt.Errorf("%w: table %s has no matching primary key", ErrNotFound, t.name)
+		return 0, nil, nil, fmt.Errorf("%w: table %s has no matching primary key", ErrNotFound, t.name)
 	}
 	norm := make([]Value, len(key))
 	for i, v := range key {
 		nv, err := Normalize(v)
 		if err != nil {
-			return err
+			return 0, nil, nil, err
 		}
 		norm[i] = nv
 	}
 	oldKey := encodeKey(norm)
 	slot, ok := t.pkIndex[oldKey]
 	if !ok {
-		return fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
+		return 0, nil, nil, fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
 	}
 	old := t.rows[slot]
 	repl, err := t.validate(set(old.Clone()))
 	if err != nil {
-		return err
+		return 0, nil, nil, err
 	}
 	newKey := t.pkKey(repl)
 	if newKey != oldKey {
 		if _, dup := t.pkIndex[newKey]; dup {
-			return fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+			return 0, nil, nil, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
 		}
 		delete(t.pkIndex, oldKey)
 		t.pkIndex[newKey] = slot
@@ -732,29 +804,66 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 	}
 	t.rows[slot] = repl
 	t.version++
-	return nil
+	return slot, old, repl, nil
 }
 
 // UpdateWhere applies set to every row satisfying pred and reports how
 // many rows changed. The set function receives a copy and returns the
-// replacement row, which is validated like an insert.
+// replacement row, which is validated like an insert. A mid-batch
+// validation error leaves earlier updates applied (and, with attached
+// Storage, journaled); a WAL failure instead rolls the whole batch back.
 func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error) {
+	sb := t.store.Load()
+	if sb == nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		n, _, _, err := t.updateWhereLocked(pred, set, false)
+		return n, err
+	}
+	s := sb.s
+	s.BeginMutate()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	n, muts, undo, uerr := t.updateWhereLocked(pred, set, true)
+	if n == 0 {
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0, uerr
+	}
+	lsn, err := s.LogMutations(t.name, muts)
+	if err != nil {
+		t.undoLocked(undo)
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0, err
+	}
+	t.mu.Unlock()
+	s.EndMutate()
+	if werr := s.WaitDurable(lsn); uerr == nil {
+		uerr = werr
+	}
+	return n, uerr
+}
+
+// updateWhereLocked is UpdateWhere's body under the write lock. With
+// collect set it gathers the applied effects (post-images) and their
+// inverses (pre-images) for journaling and rollback; the memory path
+// skips both allocations.
+func (t *Table) updateWhereLocked(pred func(Row) bool, set func(Row) Row, collect bool) (int, []Mutation, []Mutation, error) {
 	n := 0
+	var muts, undo []Mutation
 	for slot, r := range t.rows {
 		if r == nil || !pred(r) {
 			continue
 		}
 		repl, err := t.validate(set(r.Clone()))
 		if err != nil {
-			return n, err
+			return n, muts, undo, err
 		}
 		if t.pkIndex != nil {
 			oldKey, newKey := t.pkKey(r), t.pkKey(repl)
 			if oldKey != newKey {
 				if _, dup := t.pkIndex[newKey]; dup {
-					return n, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+					return n, muts, undo, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
 				}
 				delete(t.pkIndex, oldKey)
 				t.pkIndex[newKey] = slot
@@ -769,15 +878,54 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 		t.rows[slot] = repl
 		t.version++
 		n++
+		if collect {
+			muts = append(muts, Mutation{Kind: MutUpdate, Slot: slot, Row: repl})
+			undo = append(undo, Mutation{Kind: MutUpdate, Slot: slot, Row: r})
+		}
 	}
-	return n, nil
+	return n, muts, undo, nil
 }
 
 // DeleteWhere removes every row satisfying pred and reports the count.
+// With attached Storage the batch is journaled as one record; if the
+// WAL rejects it the deletes are rolled back and 0 is reported (the
+// log poisons itself on write failure, so subsequent mutations surface
+// the error).
 func (t *Table) DeleteWhere(pred func(Row) bool) int {
+	sb := t.store.Load()
+	if sb == nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		n, _, _ := t.deleteWhereLocked(pred, false)
+		return n
+	}
+	s := sb.s
+	s.BeginMutate()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	n, muts, undo := t.deleteWhereLocked(pred, true)
+	if n == 0 {
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0
+	}
+	lsn, err := s.LogMutations(t.name, muts)
+	if err != nil {
+		t.undoLocked(undo)
+		t.mu.Unlock()
+		s.EndMutate()
+		return 0
+	}
+	t.mu.Unlock()
+	s.EndMutate()
+	s.WaitDurable(lsn)
+	return n
+}
+
+// deleteWhereLocked is DeleteWhere's body under the write lock; with
+// collect set it gathers effects and their inverses for journaling.
+func (t *Table) deleteWhereLocked(pred func(Row) bool, collect bool) (int, []Mutation, []Mutation) {
 	n := 0
+	var muts, undo []Mutation
 	for slot, r := range t.rows {
 		if r == nil || !pred(r) {
 			continue
@@ -796,6 +944,134 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		t.live--
 		t.version++
 		n++
+		if collect {
+			muts = append(muts, Mutation{Kind: MutDelete, Slot: slot})
+			undo = append(undo, Mutation{Kind: MutInsert, Slot: slot, Row: r})
+		}
 	}
-	return n
+	return n, muts, undo
+}
+
+// --- slot-addressed effect application ---------------------------------
+//
+// The helpers below re-apply (or reverse) row effects at exact slots,
+// maintaining every index, the free list and the live/version counters
+// without re-validation. Recovery replay drives them forward; the
+// journaled mutators drive them backward when the WAL rejects a record.
+// Caller holds the write lock.
+
+// applyInsertSlot places r at slot, growing the row slice as needed.
+func (t *Table) applyInsertSlot(slot int, r Row) error {
+	for len(t.rows) <= slot {
+		t.rows = append(t.rows, nil)
+	}
+	if t.rows[slot] != nil {
+		return fmt.Errorf("relation: table %s replay insert into occupied slot %d", t.name, slot)
+	}
+	for i, s := range t.free {
+		if s == slot {
+			t.free[i] = t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			break
+		}
+	}
+	t.rows[slot] = r
+	if t.pkIndex != nil {
+		t.pkIndex[t.pkKey(r)] = slot
+	}
+	for _, ix := range t.indexes {
+		ix.add(slot, r)
+	}
+	for _, ix := range t.ordered {
+		ix.add(slot, r)
+	}
+	t.live++
+	t.version++
+	t.bumpAutoLocked(r)
+	return nil
+}
+
+// applyUpdateSlot replaces the live row at slot with repl.
+func (t *Table) applyUpdateSlot(slot int, repl Row) error {
+	if slot < 0 || slot >= len(t.rows) || t.rows[slot] == nil {
+		return fmt.Errorf("relation: table %s replay update of dead slot %d", t.name, slot)
+	}
+	old := t.rows[slot]
+	if t.pkIndex != nil {
+		oldKey, newKey := t.pkKey(old), t.pkKey(repl)
+		if oldKey != newKey {
+			delete(t.pkIndex, oldKey)
+			t.pkIndex[newKey] = slot
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.update(slot, old, repl)
+	}
+	for _, ix := range t.ordered {
+		ix.update(slot, old, repl)
+	}
+	t.rows[slot] = repl
+	t.version++
+	t.bumpAutoLocked(repl)
+	return nil
+}
+
+// applyDeleteSlot tombstones the live row at slot.
+func (t *Table) applyDeleteSlot(slot int) error {
+	if slot < 0 || slot >= len(t.rows) || t.rows[slot] == nil {
+		return fmt.Errorf("relation: table %s replay delete of dead slot %d", t.name, slot)
+	}
+	r := t.rows[slot]
+	if t.pkIndex != nil {
+		delete(t.pkIndex, t.pkKey(r))
+	}
+	for _, ix := range t.indexes {
+		ix.remove(slot, r)
+	}
+	for _, ix := range t.ordered {
+		ix.remove(slot, r)
+	}
+	t.rows[slot] = nil
+	t.free = append(t.free, slot)
+	t.live--
+	t.version++
+	return nil
+}
+
+// undoLocked reverses a batch of inverse effects, newest first.
+func (t *Table) undoLocked(undo []Mutation) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		m := undo[i]
+		switch m.Kind {
+		case MutInsert:
+			t.applyInsertSlot(m.Slot, m.Row)
+		case MutUpdate:
+			t.applyUpdateSlot(m.Slot, m.Row)
+		case MutDelete:
+			t.applyDeleteSlot(m.Slot)
+		}
+	}
+}
+
+// bumpAutoLocked keeps the auto-increment counter ahead of any id that
+// arrives via replay, so post-recovery inserts never collide.
+func (t *Table) bumpAutoLocked(r Row) {
+	if t.autoCol < 0 {
+		return
+	}
+	if iv, ok := r[t.autoCol].(int64); ok && iv >= t.nextAut {
+		t.nextAut = iv + 1
+	}
+}
+
+// rebuildFreeLocked recomputes the free list from the tombstones —
+// recovery's final step, after snapshot load and replay both poked
+// slots directly.
+func (t *Table) rebuildFreeLocked() {
+	t.free = t.free[:0]
+	for slot, r := range t.rows {
+		if r == nil {
+			t.free = append(t.free, slot)
+		}
+	}
 }

@@ -1,8 +1,3 @@
-// Package relation implements the in-memory relational storage engine that
-// underpins CourseRank. It provides typed schemas, row storage with primary
-// and secondary hash indexes, and predicate-based scans. The SQL engine in
-// package sqlmini executes against this store, which is the "conventional
-// DBMS" the paper's FlexRecs workflows compile into.
 package relation
 
 import (

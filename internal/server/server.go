@@ -308,13 +308,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u communi
 // workflow request skipped SQL re-rendering too), the materialized-view
 // registry (hits serve a precomputed snapshot, stale hits serve inside
 // an async bound while a refresh runs behind the read, misses pay for a
-// build), plus the deployment scale.
+// build), plus the deployment scale. Durable sites also expose a
+// "durability" section (WAL, pager and checkpoint counters).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community.User) {
 	cs := s.site.SQL.CacheStats()
 	fh, fm := s.site.Flex.CompileStats()
 	mh, mst, mm := s.site.Flex.MatStats()
 	mv := s.site.Views.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"planCache": map[string]any{
 			"hits":          cs.Hits,
 			"misses":        cs.Misses,
@@ -341,7 +342,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community
 			"errors":        mv.Errors,
 		},
 		"scale": s.site.Scale(),
-	})
+	}
+	// Durable deployments additionally report storage health: WAL
+	// append/sync/group-commit tallies, pager cache behavior, and the
+	// checkpoint watermark (how much log a crash would replay).
+	if s.site.Durable != nil {
+		out["durability"] = s.site.Durable.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleViews lists every registered materialized view with its serving

@@ -11,6 +11,8 @@ import (
 
 	"courserank/internal/core"
 	"courserank/internal/datagen"
+	"courserank/internal/relation"
+	"courserank/internal/wal"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *core.Site, *datagen.Manifest) {
@@ -291,6 +293,48 @@ func TestStatsEndpoint(t *testing.T) {
 		if _, ok := mv[key]; !ok {
 			t.Errorf("matviews missing %q: %v", key, mv)
 		}
+	}
+	if _, ok := out["durability"]; ok {
+		t.Errorf("memory-backed site should not report durability: %v", out["durability"])
+	}
+}
+
+// TestDurableStatsEndpoint: a durable site's /api/stats grows a
+// durability section whose WAL counters reflect the journaled writes.
+func TestDurableStatsEndpoint(t *testing.T) {
+	site, err := core.NewDurableSite(t.TempDir(), relation.DurableOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := datagen.Populate(site, datagen.Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(site))
+	t.Cleanup(ts.Close)
+	t.Cleanup(site.Close)
+
+	token := login(t, ts, "stu00001")
+	resp, err := http.Get(ts.URL + "/api/stats?token=" + token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]any](t, resp)
+	dur, ok := out["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("no durability section in %v", out)
+	}
+	w, ok := dur["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("durability missing wal: %v", dur)
+	}
+	if appends := w["appends"].(float64); appends == 0 {
+		t.Errorf("populated durable site reports zero WAL appends: %v", w)
+	}
+	if dur["policy"] != "sync" {
+		t.Errorf("policy = %v, want sync", dur["policy"])
+	}
+	if _, ok := dur["pager"].(map[string]any); !ok {
+		t.Errorf("durability missing pager: %v", dur)
 	}
 }
 

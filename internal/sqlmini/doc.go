@@ -28,6 +28,15 @@
 // plan (bind.go) — and runs (exec.go). The legacy one-shot
 // Query/Exec(sql, args...) remain as thin wrappers over the same path.
 //
+// Durability is transparent to this whole lifecycle: when the relation
+// store was opened durable (relation.OpenDurable), every INSERT,
+// UPDATE, DELETE and CREATE TABLE this engine executes routes through
+// the relation.Table/relation.DB mutation paths, which journal the
+// applied row effects through the write-ahead log before the statement
+// returns (see the package relation docs). Plans, the plan cache and
+// SELECT execution are unaffected — reads never touch the log, and no
+// statement changes shape between a memory-backed and a durable store.
+//
 // Every prepared statement lands in the engine's PlanCache, keyed on
 // the statement text and fingerprinted by the identity, SCHEMA EPOCH
 // (relation.Table.SchemaEpoch) and planned row count of each table the

@@ -93,7 +93,7 @@ func Setup(db *relation.DB, cat *catalog.Store) (*Service, error) {
 			relation.NotNullCol("Grade", relation.TypeString),
 			relation.NotNullCol("Count", relation.TypeInt),
 		), relation.WithIndex("CourseID"))
-	if err := db.Create(official); err != nil {
+	if _, err := db.Ensure(official); err != nil {
 		return nil, err
 	}
 	return &Service{db: db, cat: cat, disclosingSchools: map[string]bool{"Engineering": true}}, nil

@@ -1,0 +1,474 @@
+// Package wal implements the write-ahead redo log under the relational
+// store. The log is an append-only file of checksummed, LSN-stamped
+// records; the relation layer journals the logical effects of every
+// mutation here before acknowledging it, and crash recovery replays the
+// committed records onto the last checkpoint.
+//
+// Record format (little-endian):
+//
+//	uint32  payload length
+//	uint32  CRC32-Castagnoli over (lsn, type, payload)
+//	uint64  LSN
+//	uint8   record type (opaque to this package)
+//	[]byte  payload
+//
+// The file starts with a small header carrying a magic string and the
+// start LSN — the LSN of the last record truncated away by a
+// checkpoint — so LSNs stay monotonic across checkpoint truncations.
+//
+// Scanning stops at the first torn or corrupt record: a crash mid-append
+// leaves a record with a short or checksum-failing tail, which Open
+// discards (physically truncating the file back to the last intact
+// record) so the log always ends on a record boundary. A record is
+// therefore atomic: either its checksum verifies and it replays, or it
+// never happened.
+//
+// Commit durability follows the sync policy. Under SyncAlways, Commit
+// fsyncs before returning — with group commit: concurrent committers
+// pile behind one leader whose single fsync covers every record
+// appended before it, so N writers pay ~1 fsync, not N. Under SyncNone,
+// Commit returns immediately and a background flusher (plus Close and
+// checkpoints) fsyncs on an interval — bounded data loss on power
+// failure, none on process crash.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when Commit forces the log to disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Commit returns (group commit
+	// shares fsyncs between concurrent committers).
+	SyncAlways SyncPolicy = iota
+	// SyncNone acknowledges commits immediately; the background
+	// flusher, checkpoints and Close fsync. Process crashes lose
+	// nothing (the OS has the writes); power loss can lose the last
+	// flush interval.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "sync"
+	case SyncNone:
+		return "async"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+const (
+	magic        = "CRWAL1\x00\x00"
+	headerSize   = len(magic) + 8 // magic + start LSN
+	recHeader    = 4 + 4 + 8 + 1  // length, crc, lsn, type
+	maxRecordLen = 1 << 28        // 256 MB sanity cap on one record
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one log entry.
+type Record struct {
+	LSN  uint64
+	Type byte
+	Data []byte
+	End  int64 // file offset just past this record — a clean truncation boundary
+}
+
+// Options configures a Log.
+type Options struct {
+	Sync       SyncPolicy
+	FlushEvery time.Duration // SyncNone background fsync interval; 0 means 100ms
+}
+
+// Stats counts log activity since Open.
+type Stats struct {
+	Appends    uint64 `json:"appends"`    // records appended
+	Commits    uint64 `json:"commits"`    // Commit calls
+	Syncs      uint64 `json:"syncs"`      // fsyncs issued
+	GroupRides uint64 `json:"groupRides"` // commits satisfied by another committer's fsync
+	Truncates  uint64 `json:"truncates"`  // checkpoint truncations
+	Bytes      int64  `json:"bytes"`      // current file size
+	LastLSN    uint64 `json:"lastLSN"`    // last appended LSN
+	DurableLSN uint64 `json:"durableLSN"` // last LSN known fsynced
+}
+
+// Log is an append-only record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu       sync.Mutex // file writes, size, lsn counters
+	f        *os.File
+	path     string
+	size     int64
+	startLSN uint64 // LSN of the last record truncated away
+	appended uint64 // last appended LSN
+	policy   SyncPolicy
+
+	syncMu  sync.Mutex // serializes fsyncs (group-commit leader election)
+	durable atomic.Uint64
+
+	appends    atomic.Uint64
+	commits    atomic.Uint64
+	syncs      atomic.Uint64
+	groupRides atomic.Uint64
+	truncates  atomic.Uint64
+
+	failed atomic.Bool // a write or fsync error poisons the log
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+	closed    bool
+}
+
+// Open opens (or creates) the log at path, scans it, discards a torn
+// tail, and returns the log positioned for appending plus every intact
+// record for replay.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, policy: opts.Sync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var recs []Record
+	if st.Size() == 0 {
+		if err := l.writeFileHeader(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size = int64(headerSize)
+	} else {
+		start, rs, end, err := scan(io.NewSectionReader(f, 0, st.Size()))
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if end < st.Size() {
+			// Torn tail: cut the file back to the last intact record.
+			if err := f.Truncate(end); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+		l.startLSN = start
+		l.size = end
+		recs = rs
+		l.appended = start
+		if n := len(rs); n > 0 {
+			l.appended = rs[n-1].LSN
+		}
+		if _, err := f.Seek(l.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	l.durable.Store(l.appended) // everything scanned is on disk
+	if opts.Sync == SyncNone {
+		every := opts.FlushEvery
+		if every <= 0 {
+			every = 100 * time.Millisecond
+		}
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(every)
+	}
+	return l, recs, nil
+}
+
+func (l *Log) writeFileHeader(startLSN uint64) error {
+	buf := make([]byte, headerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[len(magic):], startLSN)
+	_, err := l.f.WriteAt(buf, 0)
+	return err
+}
+
+// scan reads the header and every intact record, stopping (without
+// error) at the first torn or corrupt one. It returns the start LSN,
+// the records, and the offset just past the last intact record.
+func scan(r *io.SectionReader) (startLSN uint64, recs []Record, end int64, err error) {
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, 0, fmt.Errorf("wal: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return 0, nil, 0, fmt.Errorf("wal: bad magic (not a log file)")
+	}
+	startLSN = binary.LittleEndian.Uint64(head[len(magic):])
+	off := int64(headerSize)
+	total := r.Size()
+	hdr := make([]byte, recHeader)
+	for {
+		if total-off < int64(recHeader) {
+			return startLSN, recs, off, nil // clean EOF or torn header
+		}
+		if _, err := r.ReadAt(hdr, off); err != nil {
+			return startLSN, recs, off, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		if length > maxRecordLen || total-off-int64(recHeader) < int64(length) {
+			return startLSN, recs, off, nil // nonsense length or torn payload
+		}
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		lsn := binary.LittleEndian.Uint64(hdr[8:])
+		typ := hdr[16]
+		payload := make([]byte, length)
+		if _, err := r.ReadAt(payload, off+int64(recHeader)); err != nil {
+			return startLSN, recs, off, nil
+		}
+		if recordCRC(lsn, typ, payload) != crc {
+			return startLSN, recs, off, nil // torn or corrupt: discard from here
+		}
+		off += int64(recHeader) + int64(length)
+		recs = append(recs, Record{LSN: lsn, Type: typ, Data: payload, End: off})
+	}
+}
+
+// ScanFile reads every intact record of a log file without opening it
+// for appending — the recovery-test and tooling entry point.
+func ScanFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	_, recs, _, err := scan(io.NewSectionReader(f, 0, st.Size()))
+	return recs, err
+}
+
+func recordCRC(lsn uint64, typ byte, payload []byte) uint32 {
+	var hdr [9]byte
+	binary.LittleEndian.PutUint64(hdr[:], lsn)
+	hdr[8] = typ
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// ErrFailed is returned once a write or fsync error has poisoned the
+// log: the in-memory state may be ahead of the durable state, so no
+// further appends are accepted.
+var ErrFailed = errors.New("wal: log failed; reopen to recover")
+
+// Append writes one record and returns its LSN. The record is in the
+// OS buffer when Append returns; call Commit to make it durable under
+// the sync policy.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("wal: record %d bytes exceeds cap", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed.Load() {
+		return 0, ErrFailed
+	}
+	lsn := l.appended + 1
+	buf := make([]byte, recHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], recordCRC(lsn, typ, payload))
+	binary.LittleEndian.PutUint64(buf[8:], lsn)
+	buf[16] = typ
+	copy(buf[recHeader:], payload)
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		l.failed.Store(true)
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.appended = lsn
+	l.appends.Add(1)
+	return lsn, nil
+}
+
+// Commit blocks until lsn is durable under the sync policy.
+func (l *Log) Commit(lsn uint64) error {
+	l.commits.Add(1)
+	if l.policy == SyncNone {
+		return nil
+	}
+	if l.durable.Load() >= lsn {
+		l.groupRides.Add(1)
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durable.Load() >= lsn {
+		// Another committer's fsync covered us while we waited: the
+		// group-commit ride.
+		l.groupRides.Add(1)
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// syncLocked fsyncs and advances the durable LSN; caller holds syncMu.
+func (l *Log) syncLocked() error {
+	l.mu.Lock()
+	cur := l.appended
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed.Store(true)
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs.Add(1)
+	// cur was read before the fsync, so every record up to it is on disk.
+	if l.durable.Load() < cur {
+		l.durable.Store(cur)
+	}
+	return nil
+}
+
+// Sync forces an fsync now regardless of policy.
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncLocked()
+}
+
+// flushLoop is the SyncNone background fsyncer.
+func (l *Log) flushLoop(every time.Duration) {
+	defer close(l.flushDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.syncMu.Lock()
+			if l.durable.Load() < l.lastAppended() {
+				_ = l.syncLocked()
+			}
+			l.syncMu.Unlock()
+		}
+	}
+}
+
+func (l *Log) lastAppended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// LastLSN returns the LSN of the last appended record.
+func (l *Log) LastLSN() uint64 { return l.lastAppended() }
+
+// Policy returns the configured sync policy.
+func (l *Log) Policy() SyncPolicy { return l.policy }
+
+// Size returns the current file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Truncate discards every record — the checkpoint has made them
+// redundant — while preserving LSN monotonicity: the next Append gets
+// afterLSN+1. afterLSN must cover the whole log (you cannot truncate
+// past records that exist only here).
+func (l *Log) Truncate(afterLSN uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if afterLSN < l.appended {
+		return fmt.Errorf("wal: truncate after LSN %d would drop records up to %d", afterLSN, l.appended)
+	}
+	if err := l.f.Truncate(int64(headerSize)); err != nil {
+		l.failed.Store(true)
+		return err
+	}
+	if err := l.writeFileHeader(afterLSN); err != nil {
+		l.failed.Store(true)
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed.Store(true)
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs.Add(1)
+	l.size = int64(headerSize)
+	l.startLSN = afterLSN
+	l.appended = afterLSN
+	l.durable.Store(afterLSN)
+	l.truncates.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	size, last := l.size, l.appended
+	l.mu.Unlock()
+	return Stats{
+		Appends:    l.appends.Load(),
+		Commits:    l.commits.Load(),
+		Syncs:      l.syncs.Load(),
+		GroupRides: l.groupRides.Load(),
+		Truncates:  l.truncates.Load(),
+		Bytes:      size,
+		LastLSN:    last,
+		DurableLSN: l.durable.Load(),
+	}
+}
+
+// Close drains the log — final fsync of everything appended — and
+// closes the file.
+func (l *Log) Close() error {
+	if l.flushStop != nil {
+		select {
+		case <-l.flushStop:
+		default:
+			close(l.flushStop)
+		}
+		<-l.flushDone
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var firstErr error
+	if err := l.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := l.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.closed = true
+	l.durable.Store(l.appended)
+	l.mu.Unlock()
+	return firstErr
+}

@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string, opts Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, recs := openT(t, path, Options{Sync: SyncAlways})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(7, []byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, path, Options{Sync: SyncAlways})
+	defer l2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Type != 7 || string(r.Data) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// Appends continue the LSN sequence.
+	if lsn, err := l2.Append(7, []byte("more")); err != nil || lsn != 6 {
+		t.Fatalf("append after reopen: lsn %d err %v", lsn, err)
+	}
+}
+
+// TestTornTailDiscarded cuts the file mid-record and mid-header; the
+// torn record vanishes, earlier ones survive, and the file is
+// physically truncated back to a record boundary so appends resume
+// cleanly.
+func TestTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	var ends []int64
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, bytes.Repeat([]byte{byte(i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Size())
+	}
+	l.Sync()
+	l.Close()
+
+	for _, cut := range []int64{ends[2] - 3, ends[1] + 5, ends[1] + recHeader + 1} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		torn := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs := openT(t, torn, Options{Sync: SyncAlways})
+		want := 1
+		if cut >= ends[1] {
+			want = 2
+		}
+		if len(recs) != want {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(recs), want)
+		}
+		// The torn bytes are gone from disk and the next append lands on
+		// a clean boundary.
+		if st, _ := os.Stat(torn); st.Size() != ends[want-1] {
+			t.Fatalf("cut at %d: file size %d, want %d", cut, st.Size(), ends[want-1])
+		}
+		lsn, err := l2.Append(2, []byte("after"))
+		if err != nil || lsn != uint64(want+1) {
+			t.Fatalf("append after torn recovery: lsn %d err %v", lsn, err)
+		}
+		l2.Close()
+		recs2, err := ScanFile(torn)
+		if err != nil || len(recs2) != want+1 {
+			t.Fatalf("rescan: %d records err %v", len(recs2), err)
+		}
+	}
+}
+
+// TestCorruptTailDiscarded flips a byte in the LAST record's payload:
+// scan must stop before it, keeping the intact prefix.
+func TestCorruptTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, bytes.Repeat([]byte{byte(i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := l.Size()
+	l.Sync()
+	l.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, size-5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, recs := openT(t, path, Options{Sync: SyncAlways})
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records after corrupt tail, want 2", len(recs))
+	}
+}
+
+func TestTruncatePreservesLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := l.Append(1, []byte("y")); err != nil || lsn != 5 {
+		t.Fatalf("append after truncate: lsn %d err %v", lsn, err)
+	}
+	l.Close()
+	l2, recs := openT(t, path, Options{Sync: SyncAlways})
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].LSN != 5 {
+		t.Fatalf("after truncate+reopen: %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+}
+
+// TestGroupCommit runs concurrent committers under SyncAlways and
+// checks every commit became durable with fewer fsyncs than commits
+// (the group shared flushes).
+func TestGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	defer l.Close()
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := l.Append(3, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != writers*per || st.Commits != writers*per {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.DurableLSN != st.LastLSN {
+		t.Fatalf("durable %d != last %d", st.DurableLSN, st.LastLSN)
+	}
+	if st.Syncs+st.GroupRides < st.Commits {
+		t.Fatalf("every commit must fsync or ride one: %+v", st)
+	}
+}
+
+func TestAsyncFlusher(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Sync: SyncNone, FlushEvery: 5 * time.Millisecond})
+	lsn, err := l.Append(1, []byte("async"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err) // must not block
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().DurableLSN < lsn {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never made the record durable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
