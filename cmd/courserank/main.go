@@ -4,7 +4,7 @@
 // Usage:
 //
 //	courserank [-scale tiny|small|paper] [-addr :8080] [-demo]
-//	           [-durable DIR] [-fsync sync|async]
+//	           [-durable DIR] [-fsync sync|async] [-shards N]
 //
 // With -demo it skips the server and walks one student session through
 // the headline features (search → cloud → refine → recommend → plan)
@@ -16,6 +16,11 @@
 // instead of regenerating. -fsync picks the commit policy: "sync"
 // (default) fsyncs every commit, "async" trades the last flush interval
 // for group-commit-free latency.
+//
+// With -shards N the student-keyed tables split across N shards after
+// loading: per-student queries route to one shard, everything else
+// scatter-gathers in parallel. /api/stats grows a "sharding" section
+// with per-shard row counts and routing counters.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	demo := flag.Bool("demo", false, "print a demo session instead of serving")
 	durable := flag.String("durable", "", "directory for durable storage (empty = in-memory)")
 	fsync := flag.String("fsync", "sync", "durable commit policy: sync, async")
+	shards := flag.Int("shards", 0, "split student-keyed tables across N shards (0 = monolithic)")
 	flag.Parse()
 
 	var cfg datagen.Config
@@ -105,6 +111,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *shards > 0 {
+		if err := site.EnableSharding(*shards); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sharded across %d shards (workers per fan-out: GOMAXPROCS)", *shards)
 	}
 	s := site.Scale()
 	log.Printf("ready in %v: %d courses, %d comments, %d ratings, %d users",

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"courserank/internal/flexrecs"
+	"courserank/internal/matview"
+	"courserank/internal/shard"
+	"courserank/internal/sqlmini"
+)
+
+// shardedTables are the site tables partitioned on the student axis
+// when sharding is enabled. Everything else — catalog, offerings,
+// requirement programs — is reference data and replicates to every
+// shard, so joins against it stay local.
+var shardedTables = []string{"Comments", "Enrollments", "EnrollmentPoints"}
+
+// shardBackend routes FlexRecs' compiled workflow statements through
+// the scatter-gather cluster: shard-key-pinned fragments hit one
+// shard, the rest fan out and merge.
+type shardBackend struct{ c *shard.Cluster }
+
+func (b shardBackend) Prepare(sql string) (flexrecs.PreparedQuery, error) {
+	return b.c.Prepare(sql)
+}
+
+func (b shardBackend) Explain(sql string, args ...any) (string, error) {
+	return b.c.Explain(sql, args...)
+}
+
+// EnableSharding splits the site's student-keyed tables across n
+// shards and rewires query execution above them:
+//
+//   - Comments, Enrollments and EnrollmentPoints are partitioned on
+//     SuID; every other table replicates, so per-student working sets
+//     — the dominant axis of the paper's workload — live on one shard
+//     while catalog joins never cross shards.
+//   - The shards trail the base database through row observers, so
+//     the existing write paths (comment posts, planner moves, bulk
+//     load) keep working untouched and reads through the cluster see
+//     every committed base write.
+//   - FlexRecs workflows recompile onto the cluster: each compiled
+//     subtree routes to a single shard when its predicates pin the
+//     shard key, and scatter-gathers otherwise.
+//   - The top-rated feed view swaps to a per-shard parallel build:
+//     each shard computes COUNT/SUM rating partials that the
+//     coordinator merges by group key before finishing the averages.
+//
+// Call after bulk loading and RefreshDerived: base-side DDL after
+// enabling (for example re-running RefreshDerived, which drops and
+// recreates EnrollmentPoints) is not followed and requires resharding.
+func (s *Site) EnableSharding(n int) error {
+	if s.Sharded != nil {
+		return fmt.Errorf("core: sharding already enabled")
+	}
+	for _, name := range shardedTables {
+		tbl, ok := s.DB.Table(name)
+		if !ok {
+			continue // EnrollmentPoints exists only after RefreshDerived
+		}
+		if err := tbl.SetShardKey("SuID"); err != nil {
+			return fmt.Errorf("core: declaring shard key on %s: %w", name, err)
+		}
+	}
+	c, err := shard.Split(s.DB, n)
+	if err != nil {
+		return err
+	}
+	c.FollowBase(s.DB)
+	s.Sharded = c
+
+	// Recompile workflows onto the cluster. The base SQL engine stays
+	// for expression evaluation and ForceScan parity runs.
+	s.Flex = flexrecs.NewEngineWithBackend(s.SQL, shardBackend{c})
+	s.Flex.UseMatviews(s.Views)
+
+	// The feed rebuild becomes a scatter-gather aggregation; existing
+	// view handles keep serving the old (mono) build until re-fetched,
+	// which TopRatedFeed does on every call.
+	if _, err := s.Views.Replace(matview.Options{
+		Name:     FeedViewName,
+		Deps:     []string{"Comments", "Courses"},
+		Mode:     matview.Async,
+		MaxStale: FeedMaxStale,
+		Build:    func() (any, error) { return s.buildTopRatedFeedSharded() },
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ShardedQuery runs one statement through the cluster, for callers —
+// experiments, the HTTP layer — that want explicit scatter-gather
+// execution rather than the facade's subsystem methods.
+func (s *Site) ShardedQuery(text string, args ...any) (*sqlmini.Result, error) {
+	if s.Sharded == nil {
+		return nil, fmt.Errorf("core: sharding not enabled")
+	}
+	return s.Sharded.Query(text, args...)
+}

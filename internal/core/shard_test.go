@@ -1,0 +1,195 @@
+package core_test
+
+// External test package: exercising the sharded site end to end needs
+// datagen, which imports core.
+
+import (
+	"math"
+	"testing"
+
+	"courserank/internal/comments"
+	"courserank/internal/core"
+	"courserank/internal/datagen"
+)
+
+func shardedPair(t *testing.T) (mono, sharded *core.Site, man *datagen.Manifest) {
+	t.Helper()
+	build := func() (*core.Site, *datagen.Manifest) {
+		s, err := core.NewSite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		m, err := datagen.Populate(s, datagen.Tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, m
+	}
+	mono, man = build()
+	sharded, _ = build() // same seed → identical corpus
+	if err := sharded.EnableSharding(3); err != nil {
+		t.Fatal(err)
+	}
+	return mono, sharded, man
+}
+
+// avgClose absorbs the float reassociation of distributed SUM partials.
+func avgClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestShardedSitePlacement: splitting partitions the student-keyed
+// tables (disjoint, union = base) and replicates everything else.
+func TestShardedSitePlacement(t *testing.T) {
+	_, s, _ := shardedPair(t)
+	st := s.Sharded.Stats()
+	if st.Shards != 3 {
+		t.Fatalf("shards = %d", st.Shards)
+	}
+	want := map[string]bool{"Comments": true, "Enrollments": true, "EnrollmentPoints": true}
+	for _, name := range st.PartitionedTables {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("tables not partitioned: %v (have %v)", want, st.PartitionedTables)
+	}
+	total, spread := 0, 0
+	for i := 0; i < st.Shards; i++ {
+		n := s.Sharded.DB(i).MustTable("Comments").Len()
+		total += n
+		if n > 0 {
+			spread++
+		}
+	}
+	if got := s.Scale().Comments; total != got {
+		t.Fatalf("sharded Comments rows = %d, base has %d", total, got)
+	}
+	if spread < 2 {
+		t.Fatalf("comments landed on %d shards; partitioning is not spreading", spread)
+	}
+}
+
+// TestShardedStrategies: the FlexRecs workflows recompile onto the
+// cluster and keep answering — the per-student history feed rides the
+// single-shard fast path, the similarity workflows fan out.
+func TestShardedStrategies(t *testing.T) {
+	mono, s, man := shardedPair(t)
+
+	res, err := s.Strategies.Run(s.Flex, "related-courses", map[string]any{
+		"title": "Introduction to Programming", "year": int64(2008), "k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti := res.MustCol("Title"); res.Len() == 0 || res.Rows[0][ti] != "Introduction to Programming" {
+		t.Fatalf("sharded related-courses top = %+v", res.Rows)
+	}
+
+	before := s.Sharded.Stats()
+	hist, err := s.Strategies.Run(s.Flex, "rated-courses", map[string]any{
+		"student": man.SampleStudent, "k": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoHist, err := mono.Strategies.Run(mono.Flex, "rated-courses", map[string]any{
+		"student": man.SampleStudent, "k": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() == 0 || hist.Len() != monoHist.Len() {
+		t.Fatalf("rated-courses: sharded %d rows, mono %d", hist.Len(), monoHist.Len())
+	}
+	after := s.Sharded.Stats()
+	if after.FastPath <= before.FastPath {
+		t.Fatalf("per-student history did not ride the fast path: %+v → %+v", before, after)
+	}
+
+	for _, name := range []string{"cf-courses", "grade-peers"} {
+		shardRes, err := s.Strategies.Run(s.Flex, name, map[string]any{
+			"student": man.SampleStudent, "k": 5})
+		if err != nil {
+			t.Fatalf("sharded %s: %v", name, err)
+		}
+		monoRes, err := mono.Strategies.Run(mono.Flex, name, map[string]any{
+			"student": man.SampleStudent, "k": 5})
+		if err != nil {
+			t.Fatalf("mono %s: %v", name, err)
+		}
+		if shardRes.Len() != monoRes.Len() {
+			t.Errorf("%s: sharded %d rows, mono %d", name, shardRes.Len(), monoRes.Len())
+		}
+	}
+	if st := s.Sharded.Stats(); st.FanOut == 0 {
+		t.Fatalf("similarity workflows never fanned out: %+v", st)
+	}
+}
+
+// TestShardedFeedParity: the scatter-gather feed build (COUNT/SUM
+// partials merged by group key, averages finished at the coordinator)
+// must rank every department exactly like the monolithic AVG pass,
+// with float tolerance for the reassociated sums.
+func TestShardedFeedParity(t *testing.T) {
+	mono, s, _ := shardedPair(t)
+	deps, err := mono.SQL.Query(`SELECT DepID FROM Departments ORDER BY DepID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, r := range deps.Rows {
+		dep := r[0].(string)
+		want, _, err := mono.TopRatedFeed(dep, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.TopRatedFeed(dep, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s feed: sharded %d entries, mono %d", dep, len(got), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if g.CourseID != w.CourseID || g.Raters != w.Raters || !avgClose(g.Avg, w.Avg) {
+				t.Fatalf("%s feed[%d]: sharded %+v, mono %+v", dep, i, g, w)
+			}
+		}
+		checked += len(want)
+	}
+	if checked == 0 {
+		t.Fatal("no feed entries compared; generator produced no rated courses?")
+	}
+	if st := s.Sharded.Stats(); st.MergeCombine == 0 {
+		t.Fatalf("feed build did not use combine merge: %+v", st)
+	}
+}
+
+// TestShardedWriteThrough: base writes made after sharding propagate
+// into the shards synchronously, so cluster reads see them.
+func TestShardedWriteThrough(t *testing.T) {
+	_, s, man := shardedPair(t)
+	count := func() int64 {
+		res, err := s.ShardedQuery(`SELECT COUNT(*) FROM Comments WHERE SuID = ?`, man.SampleStudent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].(int64)
+	}
+	n0 := count()
+	course, err := s.ShardedQuery(`SELECT CourseID FROM Courses ORDER BY CourseID LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Comments.Add(comments.Comment{
+		SuID: man.SampleStudent, CourseID: course.Rows[0][0].(int64),
+		Year: 2008, Term: "Winter", Text: "after sharding", Rating: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n1 := count(); n1 != n0+1 {
+		t.Fatalf("write-through lost the comment: %d → %d", n0, n1)
+	}
+	if st := s.Sharded.Stats(); st.ApplyErrors != 0 {
+		t.Fatalf("propagation errors: %+v", st)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"courserank/internal/relation"
 	"courserank/internal/requirements"
 	"courserank/internal/search"
+	"courserank/internal/shard"
 	"courserank/internal/sqlmini"
 	"courserank/internal/stats"
 )
@@ -57,6 +58,10 @@ type Site struct {
 	// Durable is the write-ahead-logged storage backend when the site
 	// was opened with NewDurableSite; nil for an ephemeral site.
 	Durable *relation.DurableStore
+
+	// Sharded is the scatter-gather cluster when EnableSharding was
+	// called; nil for a monolithic site.
+	Sharded *shard.Cluster
 
 	index           *search.Index
 	instructorIndex *search.Index
@@ -685,7 +690,7 @@ func (s *Site) RefreshDerived() error {
 			relation.NotNullCol("SuID", relation.TypeInt),
 			relation.NotNullCol("CourseID", relation.TypeInt),
 			relation.NotNullCol("Points", relation.TypeFloat),
-		), relation.WithIndex("SuID"))
+		), relation.WithIndex("SuID"), relation.WithShardKey("SuID"))
 	if err := s.DB.Create(ep); err != nil {
 		return err
 	}

@@ -1,0 +1,104 @@
+package relation
+
+import "fmt"
+
+// This file holds the small hooks the scatter-gather router
+// (internal/shard) needs from the storage layer: shard-key metadata on
+// tables, and row observers that let a shard cluster follow a base
+// table's mutations for write-through propagation.
+
+// WithShardKey declares col as the table's shard key: the column whose
+// value decides which shard of a partitioned cluster owns each row.
+// The metadata is advisory — a standalone table behaves identically
+// with or without it — and deliberately does not participate in
+// schemaEquiv, so durable recovery can adopt tables created before the
+// key was declared.
+func WithShardKey(col string) TableOption {
+	return func(t *Table) error {
+		i, ok := t.schema.Index(col)
+		if !ok {
+			return fmt.Errorf("relation: shard key column %q not in schema", col)
+		}
+		t.shardCol = i
+		return nil
+	}
+}
+
+// SetShardKey declares the shard key on a live table; see WithShardKey.
+func (t *Table) SetShardKey(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.schema.Index(col)
+	if !ok {
+		return fmt.Errorf("relation: shard key column %q not in table %s", col, t.name)
+	}
+	t.shardCol = i
+	return nil
+}
+
+// ShardKey returns the declared shard key column name, if any.
+func (t *Table) ShardKey() (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.shardCol < 0 {
+		return "", false
+	}
+	return t.schema.Column(t.shardCol).Name, true
+}
+
+// RowObserver sees every committed row mutation on a table:
+//
+//	MutInsert: before == nil, after is the stored row
+//	MutUpdate: before is the pre-image, after the post-image
+//	MutDelete: before is the pre-image, after == nil
+//
+// Observers run under the table's write lock, after the mutation is
+// final (on a durable table: after it is journaled; a WAL rejection
+// rolls the rows back without notifying). They therefore must be fast,
+// must not call back into the observed table, and must copy any row
+// they retain — the slices are the stored rows themselves. Recovery
+// replay and WAL-failure rollback bypass observers: they reconstruct
+// state, they do not originate new mutations.
+type RowObserver func(kind MutKind, before, after Row)
+
+// Observe attaches a row observer. Observers cannot be detached;
+// attach them to tables whose lifetime matches the observer's.
+func (t *Table) Observe(fn RowObserver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obs = append(t.obs, fn)
+}
+
+// observedLocked reports whether any observer is attached; caller
+// holds at least the read lock.
+func (t *Table) observedLocked() bool { return len(t.obs) > 0 }
+
+// notifyLocked fans one committed mutation out to the observers;
+// caller holds the write lock.
+func (t *Table) notifyLocked(kind MutKind, before, after Row) {
+	for _, fn := range t.obs {
+		fn(kind, before, after)
+	}
+}
+
+// notifyUpdatesLocked replays collected update effects (post-images in
+// muts, pre-images in undo, index-aligned) to the observers.
+func (t *Table) notifyUpdatesLocked(muts, undo []Mutation) {
+	if len(t.obs) == 0 {
+		return
+	}
+	for i := range muts {
+		t.notifyLocked(MutUpdate, undo[i].Row, muts[i].Row)
+	}
+}
+
+// notifyDeletesLocked replays collected delete effects (pre-images in
+// undo) to the observers.
+func (t *Table) notifyDeletesLocked(undo []Mutation) {
+	if len(t.obs) == 0 {
+		return
+	}
+	for i := range undo {
+		t.notifyLocked(MutDelete, undo[i].Row, nil)
+	}
+}

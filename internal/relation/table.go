@@ -121,6 +121,8 @@ type Table struct {
 	ordered map[string]*orderedIndex
 	autoCol int
 	nextAut int64
+	shardCol int           // -1 = no declared shard key (see shard.go)
+	obs      []RowObserver // committed-mutation observers (see shard.go)
 	version uint64
 	epoch   uint64
 	store   atomic.Pointer[storageBox] // nil = ephemeral (memory-only) backend
@@ -171,12 +173,13 @@ func (t *Table) ViewFingerprint() (epoch, version uint64) {
 // NewTable constructs an empty table with the given name and schema.
 func NewTable(name string, schema *Schema, opts ...TableOption) (*Table, error) {
 	t := &Table{
-		name:    name,
-		schema:  schema,
-		indexes: make(map[string]*secondaryIndex),
-		ordered: make(map[string]*orderedIndex),
-		autoCol: -1,
-		nextAut: 1,
+		name:     name,
+		schema:   schema,
+		indexes:  make(map[string]*secondaryIndex),
+		ordered:  make(map[string]*orderedIndex),
+		autoCol:  -1,
+		nextAut:  1,
+		shardCol: -1,
 	}
 	for _, opt := range opts {
 		if err := opt(t); err != nil {
@@ -321,7 +324,10 @@ func (t *Table) Insert(row Row) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	slot, _, err := t.insertLocked(row)
+	slot, r, err := t.insertLocked(row)
+	if err == nil {
+		t.notifyLocked(MutInsert, nil, r)
+	}
 	return slot, err
 }
 
@@ -341,6 +347,7 @@ func (t *Table) InsertGet(row Row) (Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.notifyLocked(MutInsert, nil, r)
 	return r.Clone(), nil
 }
 
@@ -362,6 +369,7 @@ func (t *Table) insertDurable(s Storage, row Row) (int, Row, error) {
 		s.EndMutate()
 		return 0, nil, err
 	}
+	t.notifyLocked(MutInsert, nil, r)
 	clone := r.Clone()
 	t.mu.Unlock()
 	s.EndMutate()
@@ -739,7 +747,10 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, _, _, err := t.updateByKeyLocked(key, set)
+	_, old, repl, err := t.updateByKeyLocked(key, set)
+	if err == nil {
+		t.notifyLocked(MutUpdate, old, repl)
+	}
 	return err
 }
 
@@ -759,6 +770,7 @@ func (t *Table) updateByKeyDurable(s Storage, key []Value, set func(Row) Row) er
 		s.EndMutate()
 		return err
 	}
+	t.notifyLocked(MutUpdate, old, repl)
 	t.mu.Unlock()
 	s.EndMutate()
 	return s.WaitDurable(lsn)
@@ -817,7 +829,10 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 	if sb == nil {
 		t.mu.Lock()
 		defer t.mu.Unlock()
-		n, _, _, err := t.updateWhereLocked(pred, set, false)
+		// Effects are collected only when an observer needs the pre/post
+		// image pairs; the unobserved path keeps its zero-allocation shape.
+		n, muts, undo, err := t.updateWhereLocked(pred, set, t.observedLocked())
+		t.notifyUpdatesLocked(muts, undo)
 		return n, err
 	}
 	s := sb.s
@@ -836,6 +851,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 		s.EndMutate()
 		return 0, err
 	}
+	t.notifyUpdatesLocked(muts, undo)
 	t.mu.Unlock()
 	s.EndMutate()
 	if werr := s.WaitDurable(lsn); uerr == nil {
@@ -896,7 +912,8 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 	if sb == nil {
 		t.mu.Lock()
 		defer t.mu.Unlock()
-		n, _, _ := t.deleteWhereLocked(pred, false)
+		n, _, undo := t.deleteWhereLocked(pred, t.observedLocked())
+		t.notifyDeletesLocked(undo)
 		return n
 	}
 	s := sb.s
@@ -915,6 +932,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		s.EndMutate()
 		return 0
 	}
+	t.notifyDeletesLocked(undo)
 	t.mu.Unlock()
 	s.EndMutate()
 	s.WaitDurable(lsn)

@@ -349,6 +349,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community
 	if s.site.Durable != nil {
 		out["durability"] = s.site.Durable.Stats()
 	}
+	// Sharded deployments report routing health: per-shard row counts,
+	// fast-path vs fan-out tallies, and which merge strategies ran.
+	if s.site.Sharded != nil {
+		out["sharding"] = s.site.Sharded.Stats()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

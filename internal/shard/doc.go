@@ -1,0 +1,84 @@
+// Package shard is the scatter-gather layer above the planner: it runs
+// one sqlmini engine per shard and routes prepared statements across
+// them, so fan-out queries scale with cores while shard-key point
+// lookups stay one-engine cheap.
+//
+// # Placement
+//
+// A table with a declared shard key (relation.WithShardKey /
+// Table.SetShardKey) is PARTITIONED: each row lives on exactly one
+// shard, chosen by hashing the key value (NULL keys hash to shard 0).
+// Tables without a shard key are REPLICATED: every shard holds a full
+// copy. CourseRank partitions its fact tables (Comments, Enrollments,
+// EnrollmentPoints) by student id and replicates the catalog
+// (Courses, Offerings, Departments, ...), so the social joins the
+// paper's workloads issue — a student's ratings against the course
+// catalog — stay partition-local.
+//
+// # Routing rules
+//
+// At prepare time the router extracts equality conjuncts from WHERE
+// and JOIN ON clauses and closes them into equivalence classes. At
+// execution it decides, per statement:
+//
+//   - Single-shard fast path: every partitioned table's shard key is
+//     pinned — directly or through an equality class — to a value that
+//     hashes to one owner. The statement runs on that shard alone.
+//   - Replicated route: the statement touches no partitioned table.
+//     It runs on one shard, rotated round-robin for balance.
+//   - Fan-out: otherwise, the prepared statement runs on every shard
+//     on parallel goroutines (a per-query pool bounded by GOMAXPROCS)
+//     and the per-shard results are gathered.
+//
+// A fan-out is refused at execution (never silently wrong) when:
+//
+//   - two partitioned tables join without their shard keys in one
+//     equivalence class (a cross-shard join — rows that must meet
+//     live on different shards);
+//   - a LEFT JOIN's right side is partitioned while no partitioned
+//     table precedes it (every shard would NULL-extend its own copy
+//     of the replicated left rows, duplicating them in the union);
+//   - an ORDER BY key is not an output column (the cross-shard order
+//     contract — see the sqlmini package docs);
+//   - an aggregate cannot be combined from per-shard partials: AVG
+//     (rewrite as SUM and COUNT), HAVING, DISTINCT aggregates, or
+//     expressions over aggregates.
+//
+// Such statements still execute fine when pinned to a single shard.
+//
+// # Merge strategies
+//
+//   - merge-by-order: ORDER BY fan-outs reuse the engine's sort
+//     contract — each shard's result arrives sorted, so the gather is
+//     a k-way merge on output columns. With LIMIT l OFFSET o each
+//     shard is asked for l+o rows (Stmt.QueryWindow) and the global
+//     window applies once after the merge.
+//   - streaming concat: unordered fan-outs interleave per-shard rows
+//     in arrival order. A LIMIT short-circuit cancels still-running
+//     shard cursors as soon as the window is filled, as does closing
+//     the Rows early.
+//   - partial-aggregate combine: GROUP BY fan-outs run per shard and
+//     the coordinator merges groups by key, summing COUNT/SUM
+//     partials and folding MIN/MAX.
+//
+// # DML
+//
+// INSERTs into partitioned tables route by the inserted key value
+// (multi-row inserts must target one shard); unpinned UPDATE/DELETE
+// broadcast — each shard mutates its local rows and the counts sum.
+// Updating a shard key via SQL is refused (the row would have to
+// migrate); CREATE broadcasts and new tables are replicated. A
+// cluster can also follow a live base database (FollowBase): row
+// observers propagate every committed base mutation into the shards,
+// which is how core.Site keeps serving all non-SQL subsystems from
+// the base store while SQL reads scatter.
+//
+// # Skew caveats
+//
+// Hash placement balances students, not load: a department-popular
+// workload hammers whichever shards own the loud students (the Digg
+// friend-feed skew), and per-shard row-count stats (Stats.RowsPerShard)
+// make that visible rather than fixing it. Replicated tables multiply
+// write amplification by the shard count, so broadcasts are kept off
+// the fast path. NULL shard keys all land on shard 0 by construction.
+package shard

@@ -1,0 +1,422 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"courserank/internal/relation"
+	"courserank/internal/sqlmini"
+)
+
+// This file extends the differential query-fuzz harness (see
+// sqlmini/fuzz_test.go) across the shard boundary: the same playground
+// schema, with Items and Peers partitioned and co-located on K, is
+// split over a cluster that follows the base engine, and every
+// generated query must return from the cluster exactly what the mono
+// engine returns — row for row where the query pins a total order,
+// as a multiset otherwise. Mid-corpus DML churn on the base engine
+// exercises FollowBase propagation (including shard-key migration)
+// under the same differential check.
+//
+// Order discipline: the sharded merge breaks ties by shard arrival,
+// not base slot order, so unlike the mono harness every ORDER BY here
+// ends in the driving primary key — a total order both sides must
+// realize identically. LEFT JOINs with a partitioned right side are
+// generated on purpose and must be REFUSED (never silently wrong);
+// the harness asserts the refusal and that the mono engine still
+// answers.
+
+// shardFuzzBase builds the mono playground with shard keys declared.
+func shardFuzzBase(t testing.TB) (*relation.DB, *sqlmini.Engine) {
+	t.Helper()
+	db := relation.NewDB()
+	e := sqlmini.New(db)
+	mustExec := func(sql string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(sql, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE TABLE Items (ID INT NOT NULL, K INT NOT NULL, V INT, Cat TEXT NOT NULL,
+		PRIMARY KEY (ID), INDEX (Cat), ORDERED INDEX (K))`)
+	mustExec(`CREATE TABLE Bands (ID INT NOT NULL, AK INT NOT NULL, Lo INT NOT NULL, Hi INT NOT NULL,
+		PRIMARY KEY (ID), INDEX (AK))`)
+	mustExec(`CREATE TABLE Peers (ID INT NOT NULL, K INT NOT NULL, W FLOAT,
+		PRIMARY KEY (ID), ORDERED INDEX (K))`)
+	for _, tbl := range []string{"Items", "Peers"} {
+		if err := db.MustTable(tbl).SetShardKey("K"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	cats := []string{"ca", "cb", "cc"}
+	for i := 0; i < 90; i++ {
+		var v any
+		if r.Intn(4) != 0 {
+			v = int64(r.Intn(40))
+		}
+		mustExec(`INSERT INTO Items VALUES (?, ?, ?, ?)`, int64(i), int64(r.Intn(25)), v, cats[r.Intn(3)])
+	}
+	for i := 0; i < 150; i++ {
+		lo := r.Intn(22)
+		mustExec(`INSERT INTO Bands VALUES (?, ?, ?, ?)`, int64(i), int64(r.Intn(95)), int64(lo), int64(lo+r.Intn(6)))
+	}
+	for i := 0; i < 70; i++ {
+		var w any
+		if r.Intn(5) != 0 {
+			w = float64(r.Intn(50)) / 10
+		}
+		mustExec(`INSERT INTO Peers VALUES (?, ?, ?)`, int64(i), int64(r.Intn(25)), w)
+	}
+	return db, e
+}
+
+type shardFuzzQB struct {
+	r    *rand.Rand
+	args []any
+}
+
+func (q *shardFuzzQB) lit(v any) string {
+	if q.r.Intn(2) == 0 {
+		q.args = append(q.args, v)
+		return "?"
+	}
+	if s, ok := v.(string); ok {
+		return "'" + s + "'"
+	}
+	return fmt.Sprint(v)
+}
+
+func (q *shardFuzzQB) limitSuffix() string {
+	switch q.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf(" LIMIT %d", 1+q.r.Intn(30))
+	case 1:
+		return fmt.Sprintf(" LIMIT %d OFFSET %d", 1+q.r.Intn(30), q.r.Intn(6))
+	}
+	return ""
+}
+
+// genShardFuzzQuery produces one SELECT of the given shape. exact
+// reports a total-order ORDER BY; refuse marks a deliberately
+// fan-out-illegal shape the cluster must reject.
+func genShardFuzzQuery(r *rand.Rand, shape int) (sql string, args []any, exact, refuse bool) {
+	q := &shardFuzzQB{r: r}
+	defer func() { args = q.args }()
+
+	switch shape % 7 {
+	case 0: // single partitioned table, mixed predicates, sometimes pinned
+		var conds []string
+		for _, c := range []func() string{
+			func() string { return "K = " + q.lit(int64(r.Intn(25))) }, // shard-key pin: fast path
+			func() string { return "K >= " + q.lit(int64(r.Intn(25))) },
+			func() string {
+				lo := r.Intn(20)
+				return fmt.Sprintf("K BETWEEN %s AND %s", q.lit(int64(lo)), q.lit(int64(lo+r.Intn(8))))
+			},
+			func() string { return "Cat = " + q.lit([]string{"ca", "cb", "cc"}[r.Intn(3)]) },
+			func() string { return "V IS NOT NULL" },
+			func() string { return "K < " + q.lit(int64(r.Intn(25))) },
+		} {
+			if r.Intn(3) == 0 {
+				conds = append(conds, c())
+			}
+		}
+		sql = `SELECT ID, K, V, Cat FROM Items`
+		if len(conds) > 0 {
+			sql += " WHERE " + strings.Join(conds, " AND ")
+		}
+		switch r.Intn(5) {
+		case 0:
+			sql += " ORDER BY K, ID" + q.limitSuffix()
+			exact = true
+		case 1:
+			sql += " ORDER BY K DESC, ID" + q.limitSuffix()
+			exact = true
+		case 2:
+			sql += " ORDER BY V DESC, ID" + q.limitSuffix()
+			exact = true
+		}
+		return
+
+	case 1: // ranges × asc/desc × limit over the ordered shard key
+		tbl := "Items"
+		if r.Intn(2) == 0 {
+			tbl = "Peers"
+		}
+		sql = fmt.Sprintf(`SELECT * FROM %s`, tbl)
+		switch r.Intn(4) {
+		case 0:
+			sql += " WHERE K >= " + q.lit(int64(r.Intn(25)))
+		case 1:
+			sql += " WHERE K <= " + q.lit(int64(r.Intn(25)))
+		case 2:
+			lo := r.Intn(20)
+			sql += fmt.Sprintf(" WHERE K BETWEEN %s AND %s", q.lit(int64(lo)), q.lit(int64(lo+r.Intn(10))))
+		}
+		if r.Intn(2) == 0 {
+			sql += " ORDER BY K, ID"
+		} else {
+			sql += " ORDER BY K DESC, ID"
+		}
+		sql += q.limitSuffix()
+		return sql, q.args, true, false
+
+	case 2: // co-located merge join on the shared shard key
+		sql = `SELECT i.ID, i.K, p.ID, p.W FROM Items i JOIN Peers p ON i.K = p.K`
+		switch r.Intn(4) {
+		case 0:
+			sql += " WHERE i.K = " + q.lit(int64(r.Intn(25))) // pins both sides via the class
+		case 1:
+			sql += " WHERE p.W IS NOT NULL"
+		case 2:
+			sql += " WHERE i.Cat = " + q.lit([]string{"ca", "cb", "cc"}[r.Intn(3)])
+		}
+		if r.Intn(3) != 0 {
+			sql += " ORDER BY i.K, i.ID, p.ID" + q.limitSuffix()
+			exact = true
+		}
+		return
+
+	case 3: // band join against the replicated side; LEFT must refuse
+		join := "JOIN"
+		if r.Intn(3) == 0 {
+			join, refuse = "LEFT JOIN", true
+		}
+		on := "a.K BETWEEN b.Lo AND b.Hi"
+		if r.Intn(3) == 0 {
+			on = "a.K BETWEEN b.Lo - 1 AND b.Hi + 1"
+		}
+		sql = fmt.Sprintf(`SELECT b.ID, b.Lo, b.Hi, a.ID, a.K FROM Bands b %s Items a ON %s`, join, on)
+		switch r.Intn(3) {
+		case 0:
+			sql += " WHERE b.ID = " + q.lit(int64(r.Intn(160)))
+		case 1:
+			sql += " WHERE b.AK < " + q.lit(int64(r.Intn(95)))
+		}
+		if r.Intn(3) != 0 {
+			sql += " ORDER BY b.ID, a.ID" + q.limitSuffix()
+			exact = true
+		}
+		return
+
+	case 4: // equi join partitioned × replicated off the shard key
+		sql = `SELECT i.ID, i.Cat, b.ID, b.AK FROM Items i JOIN Bands b ON i.ID = b.AK`
+		conds := []string{}
+		if r.Intn(2) == 0 {
+			conds = append(conds, "i.Cat = "+q.lit([]string{"ca", "cb", "cc"}[r.Intn(3)]))
+		}
+		if r.Intn(3) == 0 {
+			conds = append(conds, "i.K < "+q.lit(int64(r.Intn(25))))
+		}
+		if len(conds) > 0 {
+			sql += " WHERE " + strings.Join(conds, " AND ")
+		}
+		if r.Intn(3) != 0 {
+			sql += " ORDER BY i.ID, b.ID" + q.limitSuffix()
+			exact = true
+		}
+		return
+
+	case 5: // three-table chain: co-located pair plus replicated
+		sql = `SELECT i.ID, b.ID, p.ID FROM Items i JOIN Bands b ON i.ID = b.AK JOIN Peers p ON i.K = p.K`
+		conds := []string{}
+		if r.Intn(2) == 0 {
+			conds = append(conds, "i.Cat = "+q.lit([]string{"ca", "cb", "cc"}[r.Intn(3)]))
+		}
+		if r.Intn(2) == 0 {
+			conds = append(conds, "p.K >= "+q.lit(int64(r.Intn(25))))
+		}
+		if len(conds) > 0 {
+			sql += " WHERE " + strings.Join(conds, " AND ")
+		}
+		if r.Intn(4) != 0 {
+			sql += " ORDER BY i.ID, b.ID, p.ID" + q.limitSuffix()
+			exact = true
+		}
+		return
+
+	default: // partial-aggregate combine, plus the replicated-only route
+		switch r.Intn(4) {
+		case 3:
+			sql = `SELECT ID, Lo, Hi FROM Bands WHERE Lo >= ` + q.lit(int64(r.Intn(22))) + ` ORDER BY ID`
+			return sql, q.args, true, false
+		case 0:
+			sql = `SELECT Cat, COUNT(*), SUM(V), MIN(V), MAX(V) FROM Items`
+			if r.Intn(2) == 0 {
+				sql += " WHERE K >= " + q.lit(int64(r.Intn(25)))
+			}
+			sql += " GROUP BY Cat ORDER BY Cat"
+		case 1:
+			sql = `SELECT K, COUNT(*) FROM Peers GROUP BY K ORDER BY K`
+		default:
+			sql = `SELECT COUNT(*), SUM(W), MIN(W), MAX(W) FROM Peers`
+			if r.Intn(2) == 0 {
+				sql += " WHERE K < " + q.lit(int64(r.Intn(25)))
+			}
+		}
+		return sql, q.args, true, false
+	}
+}
+
+// valClose compares one output value, tolerating the float ulps a
+// per-shard SUM legitimately reassociates; everything else is exact.
+func valClose(a, b relation.Value) bool {
+	if af, ok := a.(float64); ok {
+		if bf, ok := b.(float64); ok {
+			d := math.Abs(af - bf)
+			return d <= 1e-9*math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+		}
+	}
+	return relation.Equal(a, b)
+}
+
+func rowsClose(a, b []relation.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !valClose(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkShardFuzzCase runs one generated query on the cluster and the
+// mono engine and compares under the declared order discipline.
+func checkShardFuzzCase(t testing.TB, c *Cluster, e *sqlmini.Engine, sql string, args []any, exact, refuse bool) {
+	t.Helper()
+	want, err := e.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("mono %q %v: %v", sql, args, err)
+	}
+	got, gerr := c.Query(sql, args...)
+	if refuse {
+		// The route may still pin single-shard (b.ID = const does not pin,
+		// but nothing stops a future generator change) — what is forbidden
+		// is a silently-wrong fan-out.
+		if gerr == nil {
+			t.Fatalf("%q: cluster answered a fan-out-illegal shape", sql)
+		}
+		if !strings.Contains(gerr.Error(), "fan-out unsupported") {
+			t.Fatalf("%q: wrong refusal: %v", sql, gerr)
+		}
+		return
+	}
+	if gerr != nil {
+		t.Fatalf("cluster %q %v: %v", sql, args, gerr)
+	}
+	if !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("%q: columns %v vs %v", sql, got.Columns, want.Columns)
+	}
+	if exact {
+		if !rowsClose(got.Rows, want.Rows) {
+			t.Fatalf("%q %v: sharded and mono rows diverge\nsharded: %v\nmono:    %v", sql, args, got.Rows, want.Rows)
+		}
+	} else if !reflect.DeepEqual(asMultiset(got.Rows), asMultiset(want.Rows)) {
+		t.Fatalf("%q %v: sharded and mono multisets diverge\nsharded: %v\nmono:    %v", sql, args, got.Rows, want.Rows)
+	}
+
+	// Streaming path parity.
+	rows, err := c.QueryRows(sql, args...)
+	if err != nil {
+		t.Fatalf("cluster stream %q: %v", sql, err)
+	}
+	var streamed []relation.Row
+	for rows.Next() {
+		streamed = append(streamed, rows.Row().Clone())
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatalf("cluster stream %q: %v", sql, err)
+	}
+	if exact {
+		if !rowsClose(streamed, want.Rows) {
+			t.Fatalf("%q %v: streamed rows diverge\nsharded: %v\nmono:    %v", sql, args, streamed, want.Rows)
+		}
+	} else if !reflect.DeepEqual(asMultiset(streamed), asMultiset(want.Rows)) {
+		t.Fatalf("%q %v: streamed multisets diverge", sql, args)
+	}
+}
+
+// TestShardFuzzParity is the deterministic corpus: 420 generated
+// queries against a 3-shard cluster following the base, with DML churn
+// — inserts, deletes and shard-key migrations — applied to the base
+// mid-corpus so FollowBase propagation is differentially checked too.
+func TestShardFuzzParity(t *testing.T) {
+	db, e := shardFuzzBase(t)
+	c, err := Split(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FollowBase(db)
+	r := rand.New(rand.NewSource(42))
+
+	churnID := int64(1000)
+	for i := 0; i < 420; i++ {
+		sql, args, exact, refuse := genShardFuzzQuery(r, i)
+		checkShardFuzzCase(t, c, e, sql, args, exact, refuse)
+		if i%37 == 36 {
+			if _, err := e.Exec(`INSERT INTO Items VALUES (?, ?, ?, ?)`, churnID, int64(r.Intn(25)), int64(r.Intn(40)), "cb"); err != nil {
+				t.Fatal(err)
+			}
+			if churnID%3 == 0 {
+				if _, err := e.Exec(`DELETE FROM Items WHERE ID = ?`, churnID-2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if churnID%2 == 0 {
+				// Shard-key migration: the row must move owners in the shards.
+				if _, err := e.Exec(`UPDATE Items SET K = ? WHERE ID = ?`, int64(r.Intn(25)), churnID); err != nil {
+					t.Fatal(err)
+				}
+			}
+			churnID++
+		}
+	}
+	st := c.Stats()
+	if st.ApplyErrors != 0 {
+		t.Fatalf("base-follow propagation errors: %+v", st)
+	}
+	// The corpus must actually reach every routing and merge path — a
+	// fuzzer that never fans out proves nothing about the gather.
+	if st.FastPath == 0 || st.Replicated == 0 || st.FanOut == 0 {
+		t.Fatalf("routing coverage regressed: %+v", st)
+	}
+	if st.MergeOrdered == 0 || st.MergeConcat == 0 || st.MergeCombine == 0 {
+		t.Fatalf("merge coverage regressed: %+v", st)
+	}
+	t.Logf("shard fuzz routing over 420 queries: fast=%d repl=%d fanout=%d (ordered=%d concat=%d combine=%d)",
+		st.FastPath, st.Replicated, st.FanOut, st.MergeOrdered, st.MergeConcat, st.MergeCombine)
+}
+
+// FuzzShardParity is the go-native entry point: each input seeds the
+// generator, committed seeds replay as differential cases and
+// `go test -fuzz=FuzzShardParity ./internal/shard` explores further.
+func FuzzShardParity(f *testing.F) {
+	db, e := shardFuzzBase(f)
+	c, err := Split(db, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for seed := int64(0); seed < 24; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for shape := 0; shape < 7; shape++ {
+			sql, args, exact, refuse := genShardFuzzQuery(r, shape)
+			checkShardFuzzCase(t, c, e, sql, args, exact, refuse)
+		}
+	})
+}

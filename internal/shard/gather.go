@@ -1,0 +1,605 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"courserank/internal/relation"
+	"courserank/internal/sqlmini"
+)
+
+// gatherBatch is how many rows a shard worker accumulates before
+// publishing to the coordinator — one lock acquisition per batch.
+const gatherBatch = 64
+
+// fanoutQuery executes the statement on every shard in parallel and
+// gathers the materialized result.
+func (s *Stmt) fanoutQuery(args []any) (*sqlmini.Result, error) {
+	if s.fanoutErr != nil {
+		return nil, s.fanoutErr
+	}
+	s.c.fanOut.Add(1)
+	limit, offset, err := s.per[0].WindowValues(args...)
+	if err != nil {
+		return nil, err
+	}
+	// Non-aggregate shards each produce limit+offset rows — enough for
+	// any global window. Aggregates need every group's full partials.
+	perWindow := int64(-1)
+	if limit >= 0 && !s.info.Agg {
+		perWindow = limit + offset
+	}
+	results, err := s.parQuery(func(i int) (*sqlmini.Result, error) {
+		return s.per[i].QueryWindow(perWindow, 0, args...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []relation.Row
+	switch {
+	case s.info.Agg:
+		s.c.mergeCombine.Add(1)
+		rows = combineRows(results, s.info.Combine)
+		sortRows(rows, s.info.MergeKeys)
+	case s.info.Distinct:
+		s.c.mergeConcat.Add(1)
+		rows = dedupeRows(results)
+		sortRows(rows, s.info.MergeKeys)
+	case s.info.HasOrder:
+		s.c.mergeOrdered.Add(1)
+		rows = mergeByOrder(results, s.info.MergeKeys)
+	default:
+		s.c.mergeConcat.Add(1)
+		rows = concatRows(results)
+	}
+	return &sqlmini.Result{Columns: results[0].Columns, Rows: applyWindow(rows, limit, offset)}, nil
+}
+
+// fanoutRows executes the statement on every shard and streams the
+// gathered rows: a k-way merge for ordered plans, arrival-order concat
+// otherwise. Aggregates and DISTINCT need the whole result to combine
+// or dedupe, so they materialize.
+func (s *Stmt) fanoutRows(args []any) (*Rows, error) {
+	if s.fanoutErr != nil {
+		return nil, s.fanoutErr
+	}
+	if s.info.Agg || s.info.Distinct {
+		res, err := s.fanoutQuery(args)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{cols: res.Columns, out: res.Rows, materialized: true}, nil
+	}
+	s.c.fanOut.Add(1)
+	limit, offset, err := s.per[0].WindowValues(args...)
+	if err != nil {
+		return nil, err
+	}
+	perWindow := int64(-1)
+	if limit >= 0 {
+		perWindow = limit + offset
+	}
+	ordered := s.info.HasOrder
+	if ordered {
+		s.c.mergeOrdered.Add(1)
+	} else {
+		s.c.mergeConcat.Add(1)
+	}
+	g := s.startGather(args, perWindow, ordered, s.info.MergeKeys)
+	return &Rows{cols: s.per[0].Columns(), g: g, skip: offset, remain: limit}, nil
+}
+
+// parQuery runs one task per shard on a pool of min(shards, workers)
+// goroutines and waits for all of them.
+func (s *Stmt) parQuery(run func(i int) (*sqlmini.Result, error)) ([]*sqlmini.Result, error) {
+	n := s.c.n
+	results := make([]*sqlmini.Result, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(s.c.workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// --- merge strategies (materialized) -----------------------------------
+
+func concatRows(results []*sqlmini.Result) []relation.Row {
+	total := 0
+	for _, r := range results {
+		total += len(r.Rows)
+	}
+	out := make([]relation.Row, 0, total)
+	for _, r := range results {
+		out = append(out, r.Rows...)
+	}
+	return out
+}
+
+// mergeByOrder k-way merges per-shard results that each arrive sorted
+// by keys — the engine's sort contract makes the heads comparable.
+func mergeByOrder(results []*sqlmini.Result, keys []sqlmini.MergeKey) []relation.Row {
+	total := 0
+	heads := make([]int, len(results))
+	for _, r := range results {
+		total += len(r.Rows)
+	}
+	out := make([]relation.Row, 0, total)
+	for {
+		best := -1
+		for i, r := range results {
+			if heads[i] >= len(r.Rows) {
+				continue
+			}
+			if best < 0 || lessRows(r.Rows[heads[i]], results[best].Rows[heads[best]], keys) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, results[best].Rows[heads[best]])
+		heads[best]++
+	}
+}
+
+func dedupeRows(results []*sqlmini.Result) []relation.Row {
+	seen := map[string]bool{}
+	var out []relation.Row
+	var key []byte
+	for _, r := range results {
+		for _, row := range r.Rows {
+			key = key[:0]
+			for _, v := range row {
+				key = appendValueKey(key, v)
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// combineRows merges per-shard partial aggregates: rows with equal
+// group keys fold into one, per the statement's combine ops.
+func combineRows(results []*sqlmini.Result, ops []sqlmini.CombineOp) []relation.Row {
+	idx := map[string]int{}
+	var out []relation.Row
+	var key []byte
+	for _, r := range results {
+		for _, row := range r.Rows {
+			key = key[:0]
+			for i, op := range ops {
+				if op == sqlmini.CombineKey {
+					key = appendValueKey(key, row[i])
+				}
+			}
+			j, ok := idx[string(key)]
+			if !ok {
+				idx[string(key)] = len(out)
+				out = append(out, row.Clone())
+				continue
+			}
+			dst := out[j]
+			for i, op := range ops {
+				switch op {
+				case sqlmini.CombineSum:
+					dst[i] = addValues(dst[i], row[i])
+				case sqlmini.CombineMin:
+					if dst[i] == nil || (row[i] != nil && relation.Compare(row[i], dst[i]) < 0) {
+						dst[i] = row[i]
+					}
+				case sqlmini.CombineMax:
+					if dst[i] == nil || (row[i] != nil && relation.Compare(row[i], dst[i]) > 0) {
+						dst[i] = row[i]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// addValues sums COUNT/SUM partials; NULL partials (SUM over an empty
+// shard) are identity.
+func addValues(a, b relation.Value) relation.Value {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if ai, ok := a.(int64); ok {
+		if bi, ok := b.(int64); ok {
+			return ai + bi
+		}
+	}
+	return valueFloat(a) + valueFloat(b)
+}
+
+func valueFloat(v relation.Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}
+
+func lessRows(a, b relation.Row, keys []sqlmini.MergeKey) bool {
+	for _, k := range keys {
+		cmp := relation.Compare(a[k.Out], b[k.Out])
+		if k.Desc {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+func sortRows(rows []relation.Row, keys []sqlmini.MergeKey) {
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return lessRows(rows[i], rows[j], keys) })
+}
+
+func applyWindow(rows []relation.Row, limit, offset int64) []relation.Row {
+	if offset > 0 {
+		if offset >= int64(len(rows)) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < int64(len(rows)) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// appendValueKey encodes one value for grouping/dedup, normalizing
+// integral floats to their integer encoding exactly like the engine's
+// join keys, so 7 and 7.0 land in one group.
+func appendValueKey(b []byte, v relation.Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, 'n', 0)
+	case int64:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, x, 10)
+		return append(b, 0)
+	case float64:
+		if x == math.Trunc(x) && !math.IsInf(x, 0) {
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, int64(x), 10)
+			return append(b, 0)
+		}
+		b = append(b, 'f')
+		b = strconv.AppendUint(b, math.Float64bits(x), 16)
+		return append(b, 0)
+	case string:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(x)), 10)
+		b = append(b, ':')
+		b = append(b, x...)
+		return append(b, 0)
+	case bool:
+		if x {
+			return append(b, 'b', 1, 0)
+		}
+		return append(b, 'b', 0, 0)
+	}
+	return append(b, '?', 0)
+}
+
+// --- streaming gather ---------------------------------------------------
+
+// gather coordinates shard workers feeding one consumer. Workers run
+// to completion (they never block on the consumer), appending rows to
+// per-shard buffers; the consumer pops in arrival order (concat) or
+// k-way merge order. Cancelling — an early Close, a filled LIMIT —
+// stops workers at their next batch boundary, closing the per-shard
+// cursors so no goroutine or pipeline leaks.
+type gather struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	bufs    [][]relation.Row
+	pos     []int
+	done    []bool
+	active  int
+	err     error
+	cancel  bool
+	ordered bool
+	keys    []sqlmini.MergeKey
+	next    int // concat fairness rotor
+}
+
+// startGather opens the per-shard cursors on a bounded pool and
+// returns the coordinator state.
+func (s *Stmt) startGather(args []any, perWindow int64, ordered bool, keys []sqlmini.MergeKey) *gather {
+	n := s.c.n
+	g := &gather{
+		bufs:    make([][]relation.Row, n),
+		pos:     make([]int, n),
+		done:    make([]bool, n),
+		active:  n,
+		ordered: ordered,
+		keys:    keys,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	var next atomic.Int64
+	for w := 0; w < min(s.c.workers, n); w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s.gatherShard(g, i, args, perWindow)
+			}
+		}()
+	}
+	return g
+}
+
+// gatherShard streams one shard's cursor into its buffer.
+func (s *Stmt) gatherShard(g *gather, i int, args []any, perWindow int64) {
+	defer g.markDone(i)
+	if g.cancelled() {
+		return
+	}
+	rows, err := s.per[i].QueryRowsWindow(perWindow, 0, args...)
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	defer rows.Close()
+	ncols := len(rows.Columns())
+	ptrs := make([]any, ncols)
+	batch := make([]relation.Row, 0, gatherBatch)
+	for rows.Next() {
+		vals := make(relation.Row, ncols)
+		for j := range vals {
+			ptrs[j] = &vals[j]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			g.fail(err)
+			return
+		}
+		batch = append(batch, vals)
+		if len(batch) == gatherBatch {
+			if !g.push(i, batch) {
+				return // cancelled
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := rows.Err(); err != nil {
+		g.fail(err)
+		return
+	}
+	g.push(i, batch)
+}
+
+// push publishes rows to shard i's buffer, reporting false when the
+// gather has been cancelled.
+func (g *gather) push(i int, rows []relation.Row) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cancel {
+		return false
+	}
+	if len(rows) > 0 {
+		g.bufs[i] = append(g.bufs[i], rows...)
+		g.cond.Broadcast()
+	}
+	return true
+}
+
+func (g *gather) markDone(i int) {
+	g.mu.Lock()
+	g.done[i] = true
+	g.active--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *gather) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.cancel = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *gather) cancelled() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cancel
+}
+
+func (g *gather) cancelAll() {
+	g.mu.Lock()
+	g.cancel = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// nextRow blocks for the next gathered row; (nil, nil) means
+// exhausted. Concat mode pops from any non-empty buffer, rotating for
+// fairness; merge mode waits until every unfinished shard has a head,
+// then pops the least.
+func (g *gather) nextRow() (relation.Row, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.err != nil {
+			return nil, g.err
+		}
+		if g.ordered {
+			ready, best := true, -1
+			for i := range g.bufs {
+				if g.pos[i] < len(g.bufs[i]) {
+					if best < 0 || lessRows(g.bufs[i][g.pos[i]], g.bufs[best][g.pos[best]], g.keys) {
+						best = i
+					}
+				} else if !g.done[i] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				if best < 0 {
+					return nil, nil
+				}
+				r := g.bufs[best][g.pos[best]]
+				g.pos[best]++
+				return r, nil
+			}
+		} else {
+			n := len(g.bufs)
+			for k := 0; k < n; k++ {
+				i := (g.next + k) % n
+				if g.pos[i] < len(g.bufs[i]) {
+					r := g.bufs[i][g.pos[i]]
+					g.pos[i]++
+					g.next = (i + 1) % n
+					return r, nil
+				}
+			}
+			if g.active == 0 {
+				return nil, nil
+			}
+		}
+		g.cond.Wait()
+	}
+}
+
+// Rows is the cluster's streaming result cursor. Unlike sqlmini.Rows
+// it exposes the raw row (Row) rather than typed Scan destinations.
+// A Rows is not safe for concurrent use; Close it when abandoning it
+// early so shard cursors stop.
+type Rows struct {
+	cols         []string
+	inner        *sqlmini.Rows  // single-shard passthrough
+	ptrs         []any          // scan buffer for passthrough mode
+	out          []relation.Row // materialized fan-out (agg/distinct)
+	oi           int
+	materialized bool
+	g            *gather // streaming fan-out
+	skip         int64   // global OFFSET still to drop
+	remain       int64   // global LIMIT still to emit; -1 unlimited
+	row          relation.Row
+	err          error
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Err returns the first error the gather or any shard cursor hit.
+func (r *Rows) Err() error { return r.err }
+
+// Row returns the current row; valid after a true Next, until the
+// next call. The caller must not mutate it.
+func (r *Rows) Row() relation.Row { return r.row }
+
+// Next advances the cursor. Filling the global LIMIT cancels
+// still-running shard cursors.
+func (r *Rows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	switch {
+	case r.inner != nil:
+		if !r.inner.Next() {
+			r.err = r.inner.Err()
+			return false
+		}
+		vals := make(relation.Row, len(r.cols))
+		if r.ptrs == nil {
+			r.ptrs = make([]any, len(r.cols))
+		}
+		for j := range vals {
+			r.ptrs[j] = &vals[j]
+		}
+		if err := r.inner.Scan(r.ptrs...); err != nil {
+			r.err = err
+			return false
+		}
+		r.row = vals
+		return true
+	case r.g != nil:
+		for {
+			if r.remain == 0 {
+				r.g.cancelAll()
+				return false
+			}
+			row, err := r.g.nextRow()
+			if err != nil {
+				r.err = err
+				r.g.cancelAll()
+				return false
+			}
+			if row == nil {
+				return false
+			}
+			if r.skip > 0 {
+				r.skip--
+				continue
+			}
+			if r.remain > 0 {
+				r.remain--
+			}
+			r.row = row
+			return true
+		}
+	default:
+		if r.oi >= len(r.out) {
+			return false
+		}
+		r.row = r.out[r.oi]
+		r.oi++
+		return true
+	}
+}
+
+// Close stops the underlying shard cursors; idempotent.
+func (r *Rows) Close() {
+	if r.inner != nil {
+		r.inner.Close()
+		r.inner = nil
+	}
+	if r.g != nil {
+		r.g.cancelAll()
+		r.g = nil
+	}
+	r.out, r.row = nil, nil
+}

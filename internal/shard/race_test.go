@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentScatterGatherChurn drives concurrent fan-out readers —
+// materialized, streamed to completion, and streamed-then-abandoned —
+// against per-shard DML and DDL churn, under -race in CI. Early Close
+// must cancel still-running shard cursors, and when everything quiets
+// down no gather goroutine may remain: the goroutine count has to
+// settle back to its baseline.
+func TestConcurrentScatterGatherChurn(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	var rid atomic.Int64
+	rid.Store(10_000)
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf(format, args...)
+	}
+
+	// Fan-out readers: every merge strategy, plus the fast path.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				switch i % 4 {
+				case 0: // materialized ordered fan-out
+					if _, err := c.Query(`SELECT RID, SuID, Score FROM Ratings ORDER BY Score DESC, RID LIMIT 20`); err != nil {
+						fail("ordered fan-out: %v", err)
+						return
+					}
+				case 1: // streamed concat, consumed fully
+					rows, err := c.QueryRows(`SELECT RID, SuID FROM Ratings`)
+					if err != nil {
+						fail("concat fan-out: %v", err)
+						return
+					}
+					for rows.Next() {
+					}
+					rows.Close()
+					if err := rows.Err(); err != nil {
+						fail("concat stream: %v", err)
+						return
+					}
+				case 2: // streamed, abandoned after a prefix: cancellation path
+					rows, err := c.QueryRows(`SELECT RID, SuID, CID, Score FROM Ratings ORDER BY RID`)
+					if err != nil {
+						fail("abandoned fan-out: %v", err)
+						return
+					}
+					for j := 0; j < 2+g && rows.Next(); j++ {
+					}
+					rows.Close()
+					if err := rows.Err(); err != nil {
+						fail("abandoned stream: %v", err)
+						return
+					}
+				default: // pinned fast path and combine
+					if _, err := c.Query(`SELECT COUNT(*), SUM(Score) FROM Ratings WHERE SuID = ?`, int64(i%20)); err != nil {
+						fail("fast path: %v", err)
+						return
+					}
+					if _, err := c.Query(`SELECT CID, COUNT(*) FROM Ratings GROUP BY CID ORDER BY CID`); err != nil {
+						fail("combine fan-out: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// DML churn: routed inserts, pinned updates, broadcast deletes.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				id := rid.Add(1)
+				if _, err := c.Exec(`INSERT INTO Ratings VALUES (?, ?, ?, ?)`, id, id%20, id%8, int64(1+i%5)); err != nil {
+					fail("churn insert: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := c.Exec(`UPDATE Ratings SET Score = ? WHERE SuID = ?`, int64(1+i%5), id%20); err != nil {
+						fail("churn update: %v", err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, err := c.Exec(`DELETE FROM Ratings WHERE RID = ?`, id); err != nil {
+						fail("churn delete: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// DDL churn: create, write, drop scratch tables while reads run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("Scratch%d", i)
+			if _, err := c.Exec(`CREATE TABLE ` + name + ` (N INT NOT NULL)`); err != nil {
+				fail("ddl create: %v", err)
+				return
+			}
+			if _, err := c.Exec(`INSERT INTO `+name+` VALUES (?)`, int64(i)); err != nil {
+				fail("ddl insert: %v", err)
+				return
+			}
+			if !c.Drop(name) {
+				fail("ddl drop lost %s", name)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Gather workers run to completion after cancellation; give them a
+	// bounded window to drain, then require the baseline back.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if st := c.Stats(); st.FanOut == 0 || st.DMLRouted == 0 || st.DMLBroadcast == 0 {
+		t.Fatalf("churn did not cover routing paths: %+v", st)
+	}
+}

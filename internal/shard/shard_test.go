@@ -1,0 +1,399 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"courserank/internal/relation"
+	"courserank/internal/sqlmini"
+)
+
+// testBase builds a small CourseRank-shaped base: a replicated catalog
+// table (Students) and two fact tables partitioned and co-located on
+// SuID (Ratings, Points), populated deterministically.
+func testBase(t testing.TB) (*relation.DB, *sqlmini.Engine) {
+	t.Helper()
+	db := relation.NewDB()
+	e := sqlmini.New(db)
+	mustExec := func(sql string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(sql, args...); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec(`CREATE TABLE Students (SuID INT NOT NULL, Name TEXT NOT NULL, PRIMARY KEY (SuID))`)
+	mustExec(`CREATE TABLE Ratings (RID INT NOT NULL, SuID INT NOT NULL, CID INT NOT NULL, Score INT,
+		PRIMARY KEY (RID), INDEX (SuID))`)
+	mustExec(`CREATE TABLE Points (PID INT NOT NULL, SuID INT NOT NULL, Pts INT NOT NULL,
+		PRIMARY KEY (PID), INDEX (SuID))`)
+	for _, tbl := range []string{"Ratings", "Points"} {
+		if err := db.MustTable(tbl).SetShardKey("SuID"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	for su := 0; su < 20; su++ {
+		mustExec(`INSERT INTO Students VALUES (?, ?)`, int64(su), fmt.Sprintf("s%02d", su))
+	}
+	for i := 0; i < 120; i++ {
+		var score any
+		if r.Intn(5) != 0 {
+			score = int64(1 + r.Intn(5))
+		}
+		mustExec(`INSERT INTO Ratings VALUES (?, ?, ?, ?)`, int64(i), int64(r.Intn(20)), int64(r.Intn(8)), score)
+	}
+	for i := 0; i < 40; i++ {
+		mustExec(`INSERT INTO Points VALUES (?, ?, ?)`, int64(i), int64(r.Intn(20)), int64(r.Intn(100)))
+	}
+	return db, e
+}
+
+func testCluster(t testing.TB, n int) (*Cluster, *sqlmini.Engine) {
+	t.Helper()
+	db, e := testBase(t)
+	c, err := Split(db, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func asMultiset(rows []relation.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAgainstMono runs one SELECT on both cluster and mono engine and
+// compares, exactly when exact, else as multisets. Streaming parity
+// rides along.
+func checkAgainstMono(t *testing.T, c *Cluster, e *sqlmini.Engine, exact bool, sql string, args ...any) {
+	t.Helper()
+	got, err := c.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("cluster %q: %v", sql, err)
+	}
+	want, err := e.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("mono %q: %v", sql, err)
+	}
+	if !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("%q: columns %v vs %v", sql, got.Columns, want.Columns)
+	}
+	if exact {
+		if !reflect.DeepEqual(asMultiset(got.Rows), asMultiset(want.Rows)) || !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("%q: rows diverge\ncluster: %v\nmono:    %v", sql, got.Rows, want.Rows)
+		}
+	} else if !reflect.DeepEqual(asMultiset(got.Rows), asMultiset(want.Rows)) {
+		t.Fatalf("%q: row multisets diverge\ncluster: %v\nmono:    %v", sql, got.Rows, want.Rows)
+	}
+	rows, err := c.QueryRows(sql, args...)
+	if err != nil {
+		t.Fatalf("cluster stream %q: %v", sql, err)
+	}
+	var streamed []relation.Row
+	for rows.Next() {
+		streamed = append(streamed, rows.Row().Clone())
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatalf("cluster stream %q: %v", sql, err)
+	}
+	if exact {
+		if len(streamed)+len(want.Rows) > 0 && !reflect.DeepEqual(streamed, want.Rows) {
+			t.Fatalf("%q: streamed rows diverge\ncluster: %v\nmono:    %v", sql, streamed, want.Rows)
+		}
+	} else if !reflect.DeepEqual(asMultiset(streamed), asMultiset(want.Rows)) {
+		t.Fatalf("%q: streamed multisets diverge\ncluster: %v\nmono:    %v", sql, streamed, want.Rows)
+	}
+}
+
+func TestSplitPlacement(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	// Replicated tables carry a full copy everywhere.
+	for i := 0; i < c.Shards(); i++ {
+		if n := c.DB(i).MustTable("Students").Len(); n != 20 {
+			t.Fatalf("shard %d Students = %d rows, want 20", i, n)
+		}
+	}
+	// Partitioned tables are a disjoint union, each row on its owner.
+	total := 0
+	for i := 0; i < c.Shards(); i++ {
+		tb := c.DB(i).MustTable("Ratings")
+		total += tb.Len()
+		shard := i
+		tb.Scan(func(_ int, row relation.Row) bool {
+			if own := c.ownerOf(row[1]); own != shard {
+				t.Fatalf("Ratings row %v on shard %d, owner %d", row, shard, own)
+			}
+			return true
+		})
+	}
+	if total != 120 {
+		t.Fatalf("Ratings rows across shards = %d, want 120", total)
+	}
+	st := c.Stats()
+	if st.Shards != 4 || len(st.RowsPerShard) != 4 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	if !reflect.DeepEqual(st.PartitionedTables, []string{"Points", "Ratings"}) {
+		t.Fatalf("partitioned tables: %v", st.PartitionedTables)
+	}
+}
+
+func TestSingleShardRouting(t *testing.T) {
+	c, e := testCluster(t, 4)
+	// Pinned by placeholder: the canonical fast path.
+	for su := int64(0); su < 20; su++ {
+		checkAgainstMono(t, c, e, true, `SELECT RID, CID, Score FROM Ratings WHERE SuID = ? ORDER BY RID`, su)
+	}
+	// Pinned by literal, and transitively through a join equality class.
+	checkAgainstMono(t, c, e, true, `SELECT RID FROM Ratings WHERE SuID = 7 ORDER BY RID`)
+	checkAgainstMono(t, c, e, true,
+		`SELECT r.RID, p.Pts FROM Ratings r JOIN Points p ON r.SuID = p.SuID WHERE p.SuID = ? ORDER BY r.RID, p.PID`, int64(3))
+	st := c.Stats()
+	if st.FanOut != 0 {
+		t.Fatalf("pinned queries fanned out: %+v", st)
+	}
+	// 22 statements × (Query + QueryRows).
+	if st.FastPath != 44 {
+		t.Fatalf("fast path count = %d, want 44", st.FastPath)
+	}
+	// Replicated-only statements round-robin across shards.
+	for i := 0; i < 8; i++ {
+		checkAgainstMono(t, c, e, true, `SELECT Name FROM Students WHERE SuID = ? ORDER BY Name`, int64(i))
+	}
+	if st := c.Stats(); st.Replicated != 16 || st.FanOut != 0 {
+		t.Fatalf("replicated routing: %+v", st)
+	}
+	out, err := c.Explain(`SELECT RID FROM Ratings WHERE SuID = ?`, int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "single shard") || !strings.Contains(out, "shard key pinned") {
+		t.Fatalf("explain lacks routing line:\n%s", out)
+	}
+}
+
+func TestFanoutMerges(t *testing.T) {
+	c, e := testCluster(t, 4)
+	// Unordered scatter: streaming concat.
+	checkAgainstMono(t, c, e, false, `SELECT RID, SuID FROM Ratings WHERE Score >= ?`, int64(3))
+	// Ordered scatter: per-shard sorted streams k-way merged, the
+	// global window applied after (ORDER BY ends in the PK, so the
+	// order is total and the comparison exact).
+	checkAgainstMono(t, c, e, true, `SELECT RID, SuID, Score FROM Ratings ORDER BY Score DESC, RID LIMIT 10 OFFSET 3`)
+	checkAgainstMono(t, c, e, true, `SELECT RID, CID FROM Ratings WHERE CID < 6 ORDER BY CID, RID`)
+	// Partial-aggregate combine: COUNT/SUM sum, MIN/MAX fold.
+	checkAgainstMono(t, c, e, true,
+		`SELECT CID, COUNT(*), SUM(Score), MIN(Score), MAX(Score) FROM Ratings GROUP BY CID ORDER BY CID`)
+	checkAgainstMono(t, c, e, true, `SELECT COUNT(*), SUM(Pts) FROM Points`)
+	// Co-located join fans out shard-locally.
+	checkAgainstMono(t, c, e, false,
+		`SELECT r.RID, p.PID FROM Ratings r JOIN Points p ON r.SuID = p.SuID`)
+	// Partitioned × replicated join is always legal.
+	checkAgainstMono(t, c, e, true,
+		`SELECT s.Name, r.RID FROM Ratings r JOIN Students s ON r.SuID = s.SuID ORDER BY r.RID`)
+	st := c.Stats()
+	if st.MergeConcat == 0 || st.MergeOrdered == 0 || st.MergeCombine == 0 {
+		t.Fatalf("merge tallies incomplete: %+v", st)
+	}
+	out, err := c.Explain(`SELECT RID, SuID, Score FROM Ratings ORDER BY Score DESC, RID LIMIT 10 OFFSET 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fan-out over 4 shards, merge=by-order") {
+		t.Fatalf("explain lacks merge strategy:\n%s", out)
+	}
+}
+
+func TestFanoutRefusals(t *testing.T) {
+	c, e := testCluster(t, 4)
+	refused := func(sql, why string) {
+		t.Helper()
+		_, err := c.Query(sql)
+		if err == nil || !strings.Contains(err.Error(), why) {
+			t.Fatalf("%q: error %v, want %q", sql, err, why)
+		}
+	}
+	refused(`SELECT CID, AVG(Score) FROM Ratings GROUP BY CID`, "AVG cannot combine")
+	refused(`SELECT CID, COUNT(*) FROM Ratings GROUP BY CID HAVING COUNT(*) > 3`, "HAVING")
+	refused(`SELECT RID FROM Ratings ORDER BY Score`, "not an output column")
+	refused(`SELECT r.RID, p.PID FROM Ratings r JOIN Points p ON r.CID = p.Pts`, "not co-located")
+	refused(`SELECT s.SuID, r.RID FROM Students s LEFT JOIN Ratings r ON s.SuID = r.SuID`, "LEFT JOIN")
+
+	// Every refused shape still answers when pinned to one shard.
+	checkAgainstMono(t, c, e, true, `SELECT AVG(Score) FROM Ratings WHERE SuID = ?`, int64(4))
+	checkAgainstMono(t, c, e, true,
+		`SELECT s.SuID, r.RID FROM Students s LEFT JOIN Ratings r ON s.SuID = r.SuID WHERE s.SuID = ? ORDER BY s.SuID, r.RID`, int64(9))
+}
+
+func TestShardedDML(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	// Routed INSERT: the row lands on its owner shard only.
+	if n, err := c.Exec(`INSERT INTO Ratings VALUES (?, ?, ?, ?)`, int64(500), int64(7), int64(3), int64(5)); err != nil || n != 1 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	owner := c.ownerOf(int64(7))
+	for i := 0; i < c.Shards(); i++ {
+		res, err := c.Engine(i).Query(`SELECT RID FROM Ratings WHERE RID = 500`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i == owner; (len(res.Rows) == 1) != want {
+			t.Fatalf("shard %d has row: %v, owner %d", i, res.Rows, owner)
+		}
+	}
+	// Pinned UPDATE/DELETE route to the owner; unpinned broadcast.
+	if n, err := c.Exec(`UPDATE Ratings SET Score = 1 WHERE SuID = ?`, int64(7)); err != nil || n == 0 {
+		t.Fatalf("pinned update: n=%d err=%v", n, err)
+	}
+	before := c.Stats()
+	if n, err := c.Exec(`DELETE FROM Ratings WHERE Score = 1`); err != nil || n == 0 {
+		t.Fatalf("broadcast delete: n=%d err=%v", n, err)
+	}
+	after := c.Stats()
+	if after.DMLBroadcast != before.DMLBroadcast+1 {
+		t.Fatalf("broadcast not tallied: %+v vs %+v", before, after)
+	}
+	res, err := c.Query(`SELECT COUNT(*) FROM Ratings WHERE Score = 1`)
+	if err != nil || res.Rows[0][0] != int64(0) {
+		t.Fatalf("rows survive broadcast delete: %v %v", res, err)
+	}
+
+	// Refusals.
+	if _, err := c.Exec(`UPDATE Ratings SET SuID = 3 WHERE RID = 1`); err == nil || !strings.Contains(err.Error(), "shard key") {
+		t.Fatalf("shard-key update: %v", err)
+	}
+	if _, err := c.Exec(`INSERT INTO Ratings (RID, CID, Score) VALUES (9000, 1, 1)`); err == nil || !strings.Contains(err.Error(), "shard key") {
+		t.Fatalf("keyless insert: %v", err)
+	}
+
+	// Replicated DML and DDL broadcast to every shard.
+	if _, err := c.Exec(`INSERT INTO Students VALUES (?, ?)`, int64(20), "s20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE TABLE Tags (Tag TEXT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO Tags VALUES ('x')`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Shards(); i++ {
+		if n := c.DB(i).MustTable("Students").Len(); n != 21 {
+			t.Fatalf("shard %d Students = %d, want 21", i, n)
+		}
+		if n := c.DB(i).MustTable("Tags").Len(); n != 1 {
+			t.Fatalf("shard %d Tags = %d, want 1", i, n)
+		}
+	}
+	if !c.Drop("Tags") {
+		t.Fatal("drop reported no table")
+	}
+}
+
+func TestFollowBase(t *testing.T) {
+	db, e := testBase(t)
+	c, err := Split(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FollowBase(db)
+	mustExec := func(sql string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(sql, args...); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec(`INSERT INTO Ratings VALUES (?, ?, ?, ?)`, int64(800), int64(12), int64(2), int64(4))
+	mustExec(`UPDATE Ratings SET Score = 5 WHERE CID = 3`)
+	// Key migration: the base update moves rows between shard owners.
+	mustExec(`UPDATE Ratings SET SuID = 19 WHERE SuID = 2`)
+	mustExec(`DELETE FROM Ratings WHERE Score IS NULL`)
+	mustExec(`INSERT INTO Students VALUES (?, ?)`, int64(21), "s21")
+	mustExec(`DELETE FROM Points WHERE Pts < 10`)
+
+	for _, q := range []string{
+		`SELECT RID, SuID, CID, Score FROM Ratings ORDER BY RID`,
+		`SELECT SuID, Name FROM Students ORDER BY SuID`,
+		`SELECT PID, SuID, Pts FROM Points ORDER BY PID`,
+	} {
+		got, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("cluster %q: %v", q, err)
+		}
+		want, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("mono %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("%q: shards diverged from base\ncluster: %v\nbase:    %v", q, got.Rows, want.Rows)
+		}
+	}
+	// Migrated rows must sit on their new owners.
+	for i := 0; i < c.Shards(); i++ {
+		shard := i
+		c.DB(i).MustTable("Ratings").Scan(func(_ int, row relation.Row) bool {
+			if own := c.ownerOf(row[1]); own != shard {
+				t.Fatalf("row %v on shard %d, owner %d", row, shard, own)
+			}
+			return true
+		})
+	}
+	if st := c.Stats(); st.ApplyErrors != 0 {
+		t.Fatalf("propagation errors: %+v", st)
+	}
+}
+
+func TestStreamingLimitShortCircuit(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	st, err := c.Prepare(`SELECT RID, Score FROM Ratings ORDER BY RID LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.QueryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for rows.Next() {
+		got = append(got, rows.Row()[0].(int64))
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{0, 1, 2, 3, 4}) {
+		t.Fatalf("limited merge: %v", got)
+	}
+	// Early close mid-stream must not error or wedge later queries.
+	rows, err = c.QueryRows(`SELECT RID FROM Ratings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && rows.Next(); i++ {
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`SELECT COUNT(*) FROM Ratings`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleShardClusterMatchesMono(t *testing.T) {
+	// n=1 is the degenerate cluster: every route lands on shard 0 and
+	// every answer must equal the mono engine's bit for bit.
+	c, e := testCluster(t, 1)
+	checkAgainstMono(t, c, e, true, `SELECT RID, SuID, Score FROM Ratings ORDER BY Score DESC, RID LIMIT 7`)
+	checkAgainstMono(t, c, e, true, `SELECT CID, COUNT(*), SUM(Score) FROM Ratings GROUP BY CID ORDER BY CID`)
+	checkAgainstMono(t, c, e, false, `SELECT r.RID, p.PID FROM Ratings r JOIN Points p ON r.SuID = p.SuID`)
+}

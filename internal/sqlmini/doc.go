@@ -180,4 +180,32 @@
 // The split keeps the hot path honest: one UPDATE leaves every cached
 // plan untouched but marks the rating views stale; one AddOrderedIndex
 // replans affected statements AND hard-invalidates dependent views.
+//
+// # Cross-shard order contracts
+//
+// The scatter-gather layer (internal/shard) runs one prepared Stmt of
+// this engine per shard and leans on two contracts this executor
+// already keeps:
+//
+//   - KEY ORDER IS REAL: a statement with ORDER BY yields rows in
+//     exactly that key order (whether sorted or elided into an ordered
+//     index walk), so the coordinator can merge N per-shard streams
+//     with a plain heads-compare — no re-sort — provided every ORDER
+//     BY key is an output column it can read back. The coordinator's
+//     tie order is shard arrival, not this engine's stable slot order;
+//     queries needing bitwise-reproducible cross-shard order must pin
+//     a total order (end the ORDER BY in a key unique per row).
+//   - LIMIT/OFFSET ARE WINDOW PUSHDOWNS: Stmt.QueryWindow overrides a
+//     statement's LIMIT/OFFSET per execution, letting the coordinator
+//     fetch limit+offset rows from EVERY shard (any shard might hold
+//     the whole window) and apply the global window after the merge,
+//     while streaming early-Close cancels the still-running shards.
+//
+// Aggregates distribute only when they combine: COUNT/SUM/MIN/MAX
+// partials merge by group key at the coordinator; AVG, HAVING and
+// expression-valued ORDER BY keys do not decompose and are refused at
+// fan-out (they still execute when a shard-key predicate pins the
+// statement to one shard). Distributed float SUMs reassociate
+// addition, so cross-shard float aggregates are equal only to
+// tolerance, not bitwise.
 package sqlmini

@@ -1,0 +1,494 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"courserank/internal/relation"
+)
+
+// This file is the engine's half of the scatter-gather contract with
+// internal/shard. The shard router sits ABOVE the planner: it prepares
+// one statement per shard and needs two things from each prepared
+// statement — routing metadata (which tables the statement touches,
+// which equality predicates could pin a shard key, how cross-shard
+// results may be merged or combined) and windowed execution (run the
+// same plan with the LIMIT/OFFSET clause overridden, so a fan-out can
+// fetch limit+offset rows per shard and apply the global window once
+// at the coordinator).
+//
+// Cross-shard order contract: a fan-out of an ORDER BY query is merged
+// by comparing OUTPUT columns across the per-shard result streams, so
+// every ORDER BY key must be an output column — either an unqualified
+// alias of the select list or a column reference the select list also
+// projects. Keys that only exist in the source rows (expressions, or
+// columns the projection drops) cannot be compared at the coordinator;
+// RouteInfo reports them as unmergeable and the router refuses the
+// fan-out rather than returning misordered rows.
+
+// RouteKind discriminates the statement shapes the router handles.
+type RouteKind int
+
+// Statement kinds, as the shard router sees them.
+const (
+	RouteSelect RouteKind = iota
+	RouteInsert
+	RouteUpdate
+	RouteDelete
+	RouteCreate
+)
+
+// TableUse is one base table referenced by a SELECT, identified by its
+// binding (alias, or table name when unaliased) — self-joins reference
+// one table under two bindings, and routing reasons about bindings.
+type TableUse struct {
+	Binding string
+	Name    string
+	// JoinPos is the table's position in the join chain: 0 for the FROM
+	// table, i+1 for the i-th JOIN. The LEFT-join safety rule needs to
+	// know what precedes an outer join's right side.
+	JoinPos int
+	// LeftOuter marks the right side of a LEFT JOIN: its unmatched
+	// left-side rows NULL-extend, which constrains fan-out legality.
+	LeftOuter bool
+}
+
+// BoundCol names a column of a specific binding.
+type BoundCol struct{ Binding, Col string }
+
+// EqCond is one equality conjunct useful for routing: either an edge
+// between two columns (join / co-location), or a column pinned to a
+// placeholder or literal value.
+type EqCond struct {
+	Col   BoundCol
+	Other *BoundCol      // column edge; nil for value pins
+	Param int            // >= 0: pinned to this placeholder
+	Value relation.Value // literal pin, valid when Other == nil && Param < 0
+}
+
+// MergeKey is one prepared ORDER BY key mapped onto the output row: a
+// cross-shard merge compares output column Out, descending when Desc.
+type MergeKey struct {
+	Out  int
+	Desc bool
+}
+
+// CombineOp says how one output column of a partial-aggregate fan-out
+// combines across shards.
+type CombineOp int
+
+// Combine operations for partial aggregation.
+const (
+	CombineKey CombineOp = iota // group key: equal values merge rows
+	CombineSum                  // COUNT/SUM partials add
+	CombineMin                  // MIN partials take the minimum
+	CombineMax                  // MAX partials take the maximum
+)
+
+// RouteInfo is the routing metadata of a prepared statement: everything
+// the shard layer needs to decide single-shard fast path vs fan-out,
+// and how to merge a fan-out's per-shard results. It is derived from
+// the statement text alone — never from data — so it is computed once
+// at prepare and shared across executions.
+type RouteInfo struct {
+	Kind RouteKind
+
+	// SELECT shape.
+	Tables   []TableUse
+	Eq       []EqCond
+	Agg      bool
+	Distinct bool
+	HasOrder bool
+	HasLimit bool
+
+	// MergeKeys maps each ORDER BY key to an output column; valid when
+	// MergeOK. MergeErr explains an unmergeable order (the cross-shard
+	// order contract above).
+	MergeKeys []MergeKey
+	MergeOK   bool
+	MergeErr  string
+
+	// Combine maps each output column of an aggregate query to its
+	// partial-combine operation; valid when CombineOK. CombineErr
+	// explains an uncombinable aggregate (AVG, HAVING, DISTINCT,
+	// expressions over aggregates, group keys the projection drops).
+	Combine    []CombineOp
+	CombineOK  bool
+	CombineErr string
+
+	// DML shape.
+	Table      string   // INSERT/UPDATE/DELETE/CREATE target
+	SetCols    []string // UPDATE: assigned columns
+	InsertRows int      // INSERT: number of VALUES rows
+}
+
+// RouteInfo computes the statement's routing metadata. The result is
+// layout-independent (it names bindings and output positions, not plan
+// internals), so callers may cache it for the statement's lifetime.
+func (s *Stmt) RouteInfo() (*RouteInfo, error) {
+	en, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	return routeInfoOf(en)
+}
+
+func routeInfoOf(en *cacheEntry) (*RouteInfo, error) {
+	switch st := en.ast.(type) {
+	case *SelectStmt:
+		return selectRouteInfo(en.sel)
+	case *InsertStmt:
+		return &RouteInfo{Kind: RouteInsert, Table: st.Table, InsertRows: len(st.Rows)}, nil
+	case *UpdateStmt:
+		ri := &RouteInfo{Kind: RouteUpdate, Table: st.Table}
+		for _, set := range st.Sets {
+			ri.SetCols = append(ri.SetCols, set.Col)
+		}
+		ri.Eq = dmlEqConds(st.Table, st.Where)
+		return ri, nil
+	case *DeleteStmt:
+		ri := &RouteInfo{Kind: RouteDelete, Table: st.Table}
+		ri.Eq = dmlEqConds(st.Table, st.Where)
+		return ri, nil
+	case *CreateStmt:
+		return &RouteInfo{Kind: RouteCreate, Table: st.Table}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unroutable statement %T", en.ast)
+}
+
+// selectRouteInfo extracts the SELECT shape from a prepared select.
+func selectRouteInfo(ps *preparedSelect) (*RouteInfo, error) {
+	sel := ps.sel
+	ri := &RouteInfo{
+		Kind:     RouteSelect,
+		Agg:      ps.aggMode,
+		Distinct: sel.Distinct,
+		HasOrder: len(ps.order) > 0,
+		HasLimit: sel.Limit != nil || sel.Offset != nil,
+	}
+	ri.Tables = append(ri.Tables, TableUse{Binding: sel.From.Binding(), Name: sel.From.Name, JoinPos: 0})
+	for i, j := range sel.Joins {
+		ri.Tables = append(ri.Tables, TableUse{
+			Binding:   j.Ref.Binding(),
+			Name:      j.Ref.Name,
+			JoinPos:   i + 1,
+			LeftOuter: j.Type == "LEFT",
+		})
+	}
+	res := func(ref *Ref) (BoundCol, bool) { return resolveBinding(ref, ri.Tables, ps.plan.cols) }
+	for _, c := range splitConjuncts(sel.Where) {
+		if eq, ok := eqCondOf(c, res, false); ok {
+			ri.Eq = append(ri.Eq, eq)
+		}
+	}
+	for _, j := range sel.Joins {
+		// LEFT ON conjuncts do not filter — a value pin there must not
+		// route the query — but column edges still co-locate the outer
+		// side's matching rows, so they stay useful for placement.
+		edgesOnly := j.Type == "LEFT"
+		for _, c := range splitConjuncts(j.On) {
+			if eq, ok := eqCondOf(c, res, edgesOnly); ok {
+				ri.Eq = append(ri.Eq, eq)
+			}
+		}
+	}
+	ri.MergeKeys, ri.MergeOK, ri.MergeErr = mergeKeysOf(ps)
+	if ps.aggMode {
+		ri.Combine, ri.CombineOK, ri.CombineErr = combineOpsOf(ps)
+	}
+	return ri, nil
+}
+
+// resolveBinding maps a column reference to (binding, column).
+// Qualified refs name their binding directly; unqualified refs resolve
+// through the plan's column layout, which already handles ambiguity.
+func resolveBinding(ref *Ref, tables []TableUse, cols []colRef) (BoundCol, bool) {
+	if ref.Qual != "" {
+		for _, t := range tables {
+			if strings.EqualFold(t.Binding, ref.Qual) {
+				return BoundCol{Binding: t.Binding, Col: ref.Name}, true
+			}
+		}
+		return BoundCol{}, false
+	}
+	rs := &rowset{cols: cols}
+	idx, err := rs.resolve("", ref.Name)
+	if err != nil {
+		return BoundCol{}, false
+	}
+	return BoundCol{Binding: cols[idx].qual, Col: cols[idx].name}, true
+}
+
+// eqCondOf recognizes one routing-relevant equality conjunct. With
+// edgesOnly set, value pins are discarded (LEFT JOIN ON clauses).
+func eqCondOf(c Expr, res func(*Ref) (BoundCol, bool), edgesOnly bool) (EqCond, bool) {
+	b, ok := c.(*Binary)
+	if !ok || b.Op != "=" {
+		return EqCond{}, false
+	}
+	l, lref := b.L.(*Ref)
+	r, rref := b.R.(*Ref)
+	switch {
+	case lref && rref:
+		lc, ok1 := res(l)
+		rc, ok2 := res(r)
+		if !ok1 || !ok2 {
+			return EqCond{}, false
+		}
+		return EqCond{Col: lc, Other: &rc, Param: -1}, true
+	case lref:
+		return valuePin(l, b.R, res, edgesOnly)
+	case rref:
+		return valuePin(r, b.L, res, edgesOnly)
+	}
+	return EqCond{}, false
+}
+
+func valuePin(ref *Ref, v Expr, res func(*Ref) (BoundCol, bool), edgesOnly bool) (EqCond, bool) {
+	if edgesOnly {
+		return EqCond{}, false
+	}
+	bc, ok := res(ref)
+	if !ok {
+		return EqCond{}, false
+	}
+	switch x := v.(type) {
+	case *Param:
+		return EqCond{Col: bc, Param: x.Idx}, true
+	case *Lit:
+		nv, err := relation.Normalize(x.V)
+		if err != nil {
+			return EqCond{}, false
+		}
+		return EqCond{Col: bc, Param: -1, Value: nv}, true
+	}
+	return EqCond{}, false
+}
+
+// dmlEqConds extracts value pins from a single-table DML WHERE clause.
+func dmlEqConds(table string, where Expr) []EqCond {
+	var out []EqCond
+	res := func(ref *Ref) (BoundCol, bool) {
+		if ref.Qual != "" && !strings.EqualFold(ref.Qual, table) {
+			return BoundCol{}, false
+		}
+		return BoundCol{Binding: table, Col: ref.Name}, true
+	}
+	for _, c := range splitConjuncts(where) {
+		if eq, ok := eqCondOf(c, res, false); ok && eq.Other == nil {
+			out = append(out, eq)
+		}
+	}
+	return out
+}
+
+// mergeKeysOf maps the prepared ORDER BY onto output columns, per the
+// cross-shard order contract.
+func mergeKeysOf(ps *preparedSelect) ([]MergeKey, bool, string) {
+	if len(ps.order) == 0 {
+		return nil, true, ""
+	}
+	keys := make([]MergeKey, len(ps.order))
+	for i, k := range ps.order {
+		if k.aliasIdx >= 0 {
+			keys[i] = MergeKey{Out: k.aliasIdx, Desc: k.desc}
+			continue
+		}
+		br, ok := k.expr.(*boundRef)
+		if !ok {
+			return nil, false, fmt.Sprintf("ORDER BY key %d is an expression the projection does not output", i+1)
+		}
+		out := -1
+		for j, item := range ps.items {
+			if ib, ok := item.Expr.(*boundRef); ok && ib.idx == br.idx {
+				out = j
+				break
+			}
+		}
+		if out < 0 {
+			return nil, false, fmt.Sprintf("ORDER BY key %d (%s) is not an output column", i+1, br.orig)
+		}
+		keys[i] = MergeKey{Out: out, Desc: k.desc}
+	}
+	return keys, true, ""
+}
+
+// combineOpsOf decides how each output column of an aggregate query
+// combines across per-shard partials, or why it cannot.
+func combineOpsOf(ps *preparedSelect) ([]CombineOp, bool, string) {
+	if ps.having != nil {
+		return nil, false, "HAVING cannot filter per-shard partials"
+	}
+	if ps.sel.Distinct {
+		return nil, false, "DISTINCT over aggregates cannot combine partials"
+	}
+	groupIdx := make(map[int]bool, len(ps.groupBy))
+	for _, g := range ps.groupBy {
+		br, ok := g.(*boundRef)
+		if !ok {
+			return nil, false, "GROUP BY expression is not a plain column"
+		}
+		groupIdx[br.idx] = true
+	}
+	ops := make([]CombineOp, len(ps.items))
+	for i, item := range ps.items {
+		switch x := item.Expr.(type) {
+		case *boundRef:
+			if !groupIdx[x.idx] {
+				return nil, false, fmt.Sprintf("output column %d is neither a group key nor an aggregate", i+1)
+			}
+			ops[i] = CombineKey
+		case *Call:
+			if !aggregates[x.Name] {
+				return nil, false, fmt.Sprintf("output column %d is not a combinable aggregate", i+1)
+			}
+			if x.Distinct {
+				return nil, false, fmt.Sprintf("%s(DISTINCT) cannot combine partials", x.Name)
+			}
+			switch x.Name {
+			case "COUNT", "SUM":
+				ops[i] = CombineSum
+			case "MIN":
+				ops[i] = CombineMin
+			case "MAX":
+				ops[i] = CombineMax
+			default: // AVG
+				return nil, false, "AVG cannot combine partials (rewrite as SUM and COUNT)"
+			}
+		default:
+			return nil, false, fmt.Sprintf("output column %d is not a combinable aggregate", i+1)
+		}
+	}
+	return ops, true, ""
+}
+
+// QueryWindow executes a prepared SELECT with its LIMIT/OFFSET clause
+// overridden: limit < 0 means unlimited, offset <= 0 means none. The
+// plan, projection and ORDER BY are untouched — only the window
+// changes — so a shard fan-out can fetch limit+offset rows from each
+// shard and apply the statement's own window once after the merge.
+func (s *Stmt) QueryWindow(limit, offset int64, args ...any) (*Result, error) {
+	en, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	return s.e.queryEntry(windowEntry(en, limit, offset), args)
+}
+
+// QueryRowsWindow is QueryWindow returning a streaming Rows iterator.
+func (s *Stmt) QueryRowsWindow(limit, offset int64, args ...any) (*Rows, error) {
+	en, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	return s.e.rowsEntry(windowEntry(en, limit, offset), args)
+}
+
+// windowEntry shadows a prepared entry with the window replaced by
+// literals. Entries are immutable, so the shadow copies the two
+// structs on the path to the Limit/Offset fields and shares the rest.
+func windowEntry(en *cacheEntry, limit, offset int64) *cacheEntry {
+	if en.sel == nil {
+		return en
+	}
+	sel := *en.sel.sel
+	if limit < 0 {
+		sel.Limit = nil
+	} else {
+		sel.Limit = &Lit{V: limit}
+	}
+	if offset <= 0 {
+		sel.Offset = nil
+	} else {
+		sel.Offset = &Lit{V: offset}
+	}
+	ps := *en.sel
+	ps.sel = &sel
+	sh := *en
+	sh.sel = &ps
+	return &sh
+}
+
+// WindowValues evaluates the statement's own LIMIT/OFFSET clause with
+// args bound: limit is -1 when absent, offset 0. The router uses the
+// values to size per-shard windows (each shard must produce
+// limit+offset rows for the coordinator's global window to be exact).
+func (s *Stmt) WindowValues(args ...any) (limit, offset int64, err error) {
+	en := s.entry.Load()
+	if en.sel == nil {
+		return -1, 0, fmt.Errorf("sqlmini: WindowValues requires a SELECT statement")
+	}
+	params, err := bindArgs(en.nParams, args)
+	if err != nil {
+		return -1, 0, err
+	}
+	sel := en.sel.sel
+	limit, err = evalIntClause(substExpr(sel.Limit, params), -1)
+	if err != nil {
+		return -1, 0, err
+	}
+	offset, err = evalIntClause(substExpr(sel.Offset, params), 0)
+	if err != nil {
+		return -1, 0, err
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	return limit, offset, nil
+}
+
+// InsertColumnValues evaluates the named column of every VALUES row of
+// a prepared INSERT with args bound — how the router learns each
+// row's shard key. Values come back normalized. The boolean reports
+// whether the statement sets the column at all.
+func (s *Stmt) InsertColumnValues(col string, args ...any) ([]relation.Value, bool, error) {
+	en, err := s.current()
+	if err != nil {
+		return nil, false, err
+	}
+	ins, ok := en.ast.(*InsertStmt)
+	if !ok {
+		return nil, false, fmt.Errorf("sqlmini: InsertColumnValues requires an INSERT statement")
+	}
+	pos := -1
+	if len(ins.Cols) > 0 {
+		for i, c := range ins.Cols {
+			if strings.EqualFold(c, col) {
+				pos = i
+				break
+			}
+		}
+	} else {
+		t, ok := s.e.db.Table(ins.Table)
+		if !ok {
+			return nil, false, fmt.Errorf("sqlmini: no table %q", ins.Table)
+		}
+		if i, ok := t.Schema().Index(col); ok {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return nil, false, nil
+	}
+	params, err := bindArgs(en.nParams, args)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]relation.Value, len(ins.Rows))
+	empty := &rowset{}
+	for i, row := range ins.Rows {
+		if pos >= len(row) {
+			return nil, false, fmt.Errorf("sqlmini: INSERT row %d has no value for %s", i+1, col)
+		}
+		v, err := evalScalar(substExpr(row[pos], params), nil, empty)
+		if err != nil {
+			return nil, false, err
+		}
+		nv, err := relation.Normalize(v)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = nv
+	}
+	return out, true, nil
+}
