@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"courserank/internal/matview"
+	"courserank/internal/shard"
 )
 
 // matviewWorkers sizes the site's background refresher pool. Two
@@ -97,8 +98,8 @@ func (s *Site) buildTopRatedFeed() (map[string][]FeedEntry, error) {
 // join is replicated, so the join never crosses shards), the cluster
 // merges the partials by group key, and the average — which does not
 // distribute — is finished here at the coordinator.
-func (s *Site) buildTopRatedFeedSharded() (map[string][]FeedEntry, error) {
-	res, err := s.Sharded.Query(`SELECT c.DepID, c.CourseID, c.Title, COUNT(m.Rating), SUM(m.Rating)
+func (s *Site) buildTopRatedFeedSharded(c *shard.Cluster) (map[string][]FeedEntry, error) {
+	res, err := c.Query(`SELECT c.DepID, c.CourseID, c.Title, COUNT(m.Rating), SUM(m.Rating)
 		FROM Comments m JOIN Courses c ON m.CourseID = c.CourseID
 		GROUP BY c.DepID, c.CourseID, c.Title`)
 	if err != nil {

@@ -66,6 +66,24 @@ func (s *Site) EnableSharding(n int) error {
 	if err != nil {
 		return err
 	}
+
+	// The feed rebuild becomes a scatter-gather aggregation; existing
+	// view handles keep serving the old (mono) build until re-fetched,
+	// which TopRatedFeed does on every call. The build closes over the
+	// cluster directly, and this Replace is the last fallible step:
+	// site state is only mutated once everything that can fail has
+	// succeeded, so a failed enable leaves the site mono and the call
+	// retryable.
+	if _, err := s.Views.Replace(matview.Options{
+		Name:     FeedViewName,
+		Deps:     []string{"Comments", "Courses"},
+		Mode:     matview.Async,
+		MaxStale: FeedMaxStale,
+		Build:    func() (any, error) { return s.buildTopRatedFeedSharded(c) },
+	}); err != nil {
+		return err
+	}
+
 	c.FollowBase(s.DB)
 	s.Sharded = c
 
@@ -73,19 +91,6 @@ func (s *Site) EnableSharding(n int) error {
 	// for expression evaluation and ForceScan parity runs.
 	s.Flex = flexrecs.NewEngineWithBackend(s.SQL, shardBackend{c})
 	s.Flex.UseMatviews(s.Views)
-
-	// The feed rebuild becomes a scatter-gather aggregation; existing
-	// view handles keep serving the old (mono) build until re-fetched,
-	// which TopRatedFeed does on every call.
-	if _, err := s.Views.Replace(matview.Options{
-		Name:     FeedViewName,
-		Deps:     []string{"Comments", "Courses"},
-		Mode:     matview.Async,
-		MaxStale: FeedMaxStale,
-		Build:    func() (any, error) { return s.buildTopRatedFeedSharded() },
-	}); err != nil {
-		return err
-	}
 	return nil
 }
 

@@ -24,6 +24,12 @@ type Cluster struct {
 	rr    atomic.Uint64 // round-robin cursor for replicated-only routes
 	stmts sync.Map      // sql text → *Stmt
 
+	// Split records the source database and each table's version as its
+	// scan begins, so FollowBase can detect writes that landed in the
+	// window between the copy and the observers attaching.
+	splitSrc  *relation.DB
+	splitVers map[string]uint64
+
 	fastPath     atomic.Uint64
 	replicated   atomic.Uint64
 	fanOut       atomic.Uint64
@@ -57,6 +63,13 @@ func New(dbs []*relation.DB) (*Cluster, error) {
 // declared shard key scatter row-by-row to the key's hash owner,
 // tables without one replicate to every shard. The source database is
 // not modified; call FollowBase to keep the shards trailing it.
+//
+// Quiescence: the source must not be written between the start of
+// Split and FollowBase returning — the copy is per-table and observers
+// attach only in FollowBase, so a write landing in that window would
+// be silently absent from the shards. Call both after bulk loading
+// completes, before serving writes. FollowBase detects violations by
+// comparing table versions and counts them in Stats.ApplyErrors.
 func Split(src *relation.DB, n int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: cannot split into %d shards", n)
@@ -69,8 +82,11 @@ func Split(src *relation.DB, n int) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.splitSrc = src
+	c.splitVers = make(map[string]uint64)
 	for _, name := range src.Names() {
 		t := src.MustTable(name)
+		c.splitVers[name] = t.Version()
 		shardTables := make([]*relation.Table, n)
 		for i, db := range dbs {
 			nt, err := cloneEmpty(t)
@@ -143,10 +159,23 @@ func cloneEmpty(t *relation.Table) (*relation.Table, error) {
 // after DDL on the base. Propagation failures — which would mean the
 // shards and base disagree on a row's validity — are counted in
 // Stats.ApplyErrors rather than panicking the writer.
+//
+// Call immediately after Split, with no writes in between (see the
+// quiescence note there). Writes that slipped into the window are
+// detected here — the table's version no longer matches what Split
+// saw — and counted in Stats.ApplyErrors, since the shards have
+// diverged from the base exactly as if a propagation had failed.
 func (c *Cluster) FollowBase(src *relation.DB) {
 	for _, name := range src.Names() {
 		t := src.MustTable(name)
 		name := name
+		// Version is read before the observer attaches: a write the
+		// observer will propagate must not count as divergence.
+		if src == c.splitSrc {
+			if v, ok := c.splitVers[name]; ok && t.Version() != v {
+				c.applyErrors.Add(1)
+			}
+		}
 		t.Observe(func(kind relation.MutKind, before, after relation.Row) {
 			c.applyBase(name, kind, before, after)
 		})
@@ -269,9 +298,11 @@ func (c *Cluster) shardKeyOf(table string) (string, bool) {
 }
 
 // ownerOf hashes a shard-key value to its owning shard. Integral
-// floats hash like the equal integer (mirroring the engine's key
-// normalization, so SuID = 7 and SuID = 7.0 pin the same shard);
-// NULL keys own to shard 0.
+// floats inside int64 range hash like the equal integer (mirroring the
+// engine's key normalization, so SuID = 7 and SuID = 7.0 pin the same
+// shard); outside that range the float-to-int conversion would be
+// implementation-defined, so such keys keep the float encoding and
+// placement stays platform-independent. NULL keys own to shard 0.
 func (c *Cluster) ownerOf(v relation.Value) int {
 	nv, err := relation.Normalize(v)
 	if err != nil || nv == nil {
@@ -285,7 +316,7 @@ func (c *Cluster) ownerOf(v relation.Value) int {
 		binary.LittleEndian.PutUint64(b[1:], uint64(x))
 		h.Write(b[:])
 	case float64:
-		if x == math.Trunc(x) && !math.IsInf(x, 0) {
+		if integralInt64(x) {
 			b[0] = 'i'
 			binary.LittleEndian.PutUint64(b[1:], uint64(int64(x)))
 		} else {
@@ -307,6 +338,14 @@ func (c *Cluster) ownerOf(v relation.Value) int {
 		return 0
 	}
 	return int(h.Sum64() % uint64(c.n))
+}
+
+// integralInt64 reports whether the float is a whole number an int64
+// can represent, so int64(x) is well-defined. The upper bound is
+// exclusive: float64(MaxInt64) rounds up to 2^63, one past the last
+// representable value.
+func integralInt64(x float64) bool {
+	return x == math.Trunc(x) && x >= math.MinInt64 && x < math.MaxInt64
 }
 
 // Drop removes a table from every shard, reporting whether any shard

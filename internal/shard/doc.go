@@ -59,7 +59,16 @@
 //     the Rows early.
 //   - partial-aggregate combine: GROUP BY fan-outs run per shard and
 //     the coordinator merges groups by key, summing COUNT/SUM
-//     partials and folding MIN/MAX.
+//     partials and folding MIN/MAX. Every group key must appear in the
+//     projection — the coordinator merges BY those output values, so a
+//     dropped key is refused rather than folding distinct groups.
+//
+// Streamed fan-outs (QueryRows) apply backpressure: once a per-shard
+// backlog passes a high-water mark, that shard's worker blocks until
+// the consumer drains it, so even a slow consumer bounds gather memory
+// at roughly shards × high-water rows instead of materializing whole
+// shard results. Abandoning a stream requires Close, which wakes and
+// cancels blocked workers.
 //
 // # DML
 //
@@ -71,7 +80,11 @@
 // cluster can also follow a live base database (FollowBase): row
 // observers propagate every committed base mutation into the shards,
 // which is how core.Site keeps serving all non-SQL subsystems from
-// the base store while SQL reads scatter.
+// the base store while SQL reads scatter. Split and FollowBase require
+// a quiescent base (no writes until FollowBase returns); writes that
+// slip into the window between the copy and the observers attaching
+// are detected by table-version comparison and counted in
+// Stats.ApplyErrors.
 //
 // # Skew caveats
 //

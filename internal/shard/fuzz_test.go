@@ -241,7 +241,16 @@ func genShardFuzzQuery(r *rand.Rand, shape int) (sql string, args []any, exact, 
 		return
 
 	default: // partial-aggregate combine, plus the replicated-only route
-		switch r.Intn(4) {
+		switch r.Intn(5) {
+		case 4:
+			// Group key dropped from the projection: the coordinator has
+			// nothing to merge partials by, so the fan-out must be
+			// REFUSED — never fold every shard's groups into one row.
+			sql = `SELECT COUNT(*), SUM(V) FROM Items GROUP BY Cat`
+			if r.Intn(2) == 0 {
+				sql = `SELECT COUNT(*) FROM Peers GROUP BY K`
+			}
+			return sql, q.args, false, true
 		case 3:
 			sql = `SELECT ID, Lo, Hi FROM Bands WHERE Lo >= ` + q.lit(int64(r.Intn(22))) + ` ORDER BY ID`
 			return sql, q.args, true, false

@@ -15,6 +15,16 @@ import (
 // publishing to the coordinator — one lock acquisition per batch.
 const gatherBatch = 64
 
+// gatherHighWater is the per-shard backlog (pushed, not yet consumed)
+// above which a worker blocks until the consumer drains, bounding a
+// streamed fan-out's memory at roughly shards × (highWater + batch)
+// rows however slow the consumer is. A var so tests can shrink it.
+var gatherHighWater = 1024
+
+// gatherCompact is the consumed-prefix length past which a buffer is
+// compacted in place, so a long stream releases rows as it goes.
+const gatherCompact = 1024
+
 // fanoutQuery executes the statement on every shard in parallel and
 // gathers the materialized result.
 func (s *Stmt) fanoutQuery(args []any) (*sqlmini.Result, error) {
@@ -295,7 +305,7 @@ func appendValueKey(b []byte, v relation.Value) []byte {
 		b = strconv.AppendInt(b, x, 10)
 		return append(b, 0)
 	case float64:
-		if x == math.Trunc(x) && !math.IsInf(x, 0) {
+		if integralInt64(x) {
 			b = append(b, 'i')
 			b = strconv.AppendInt(b, int64(x), 10)
 			return append(b, 0)
@@ -320,15 +330,23 @@ func appendValueKey(b []byte, v relation.Value) []byte {
 
 // --- streaming gather ---------------------------------------------------
 
-// gather coordinates shard workers feeding one consumer. Workers run
-// to completion (they never block on the consumer), appending rows to
-// per-shard buffers; the consumer pops in arrival order (concat) or
-// k-way merge order. Cancelling — an early Close, a filled LIMIT —
-// stops workers at their next batch boundary, closing the per-shard
-// cursors so no goroutine or pipeline leaks.
+// gather coordinates shard workers feeding one consumer. Workers
+// append rows to per-shard buffers; the consumer pops in arrival order
+// (concat) or k-way merge order, compacting consumed prefixes away.
+// Once every shard has been claimed by a worker, a worker whose
+// backlog exceeds gatherHighWater blocks until the consumer drains it,
+// so a slow consumer bounds memory instead of buffering whole shard
+// results. (Before all shards are claimed, pushes never block: a
+// blocked worker holds a pool slot, and waiting on a consumer that is
+// itself waiting for an unstarted shard's first row would deadlock an
+// ordered merge.) Cancelling — an early Close, a filled LIMIT — stops
+// workers at their next batch boundary and wakes any blocked on the
+// high-water mark, closing the per-shard cursors so no goroutine or
+// pipeline leaks.
 type gather struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
+	claims  atomic.Int64 // shards handed to workers; >= len(bufs) gates backpressure
 	bufs    [][]relation.Row
 	pos     []int
 	done    []bool
@@ -353,11 +371,10 @@ func (s *Stmt) startGather(args []any, perWindow int64, ordered bool, keys []sql
 		keys:    keys,
 	}
 	g.cond = sync.NewCond(&g.mu)
-	var next atomic.Int64
 	for w := 0; w < min(s.c.workers, n); w++ {
 		go func() {
 			for {
-				i := int(next.Add(1)) - 1
+				i := int(g.claims.Add(1)) - 1
 				if i >= n {
 					return
 				}
@@ -408,10 +425,16 @@ func (s *Stmt) gatherShard(g *gather, i int, args []any, perWindow int64) {
 }
 
 // push publishes rows to shard i's buffer, reporting false when the
-// gather has been cancelled.
+// gather has been cancelled. Once every shard is claimed it applies
+// backpressure: a backlog past the high-water mark waits for the
+// consumer (each claimed, unfinished shard has its own goroutine then,
+// so the consumer always has a producer to drain and progress holds).
 func (g *gather) push(i int, rows []relation.Row) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	for !g.cancel && len(g.bufs[i])-g.pos[i] > gatherHighWater && int(g.claims.Load()) >= len(g.bufs) {
+		g.cond.Wait()
+	}
 	if g.cancel {
 		return false
 	}
@@ -453,6 +476,25 @@ func (g *gather) cancelAll() {
 	g.mu.Unlock()
 }
 
+// popLocked takes shard i's head row, waking a worker blocked on the
+// high-water mark the moment the backlog drains back to it, and
+// compacting the consumed prefix so a long stream holds at most the
+// backlog, not every row ever gathered. Caller holds mu.
+func (g *gather) popLocked(i int) relation.Row {
+	r := g.bufs[i][g.pos[i]]
+	g.pos[i]++
+	if len(g.bufs[i])-g.pos[i] == gatherHighWater {
+		g.cond.Broadcast()
+	}
+	if g.pos[i] >= gatherCompact && g.pos[i]*2 >= len(g.bufs[i]) {
+		rem := copy(g.bufs[i], g.bufs[i][g.pos[i]:])
+		clear(g.bufs[i][rem:])
+		g.bufs[i] = g.bufs[i][:rem]
+		g.pos[i] = 0
+	}
+	return r
+}
+
 // nextRow blocks for the next gathered row; (nil, nil) means
 // exhausted. Concat mode pops from any non-empty buffer, rotating for
 // fairness; merge mode waits until every unfinished shard has a head,
@@ -480,19 +522,15 @@ func (g *gather) nextRow() (relation.Row, error) {
 				if best < 0 {
 					return nil, nil
 				}
-				r := g.bufs[best][g.pos[best]]
-				g.pos[best]++
-				return r, nil
+				return g.popLocked(best), nil
 			}
 		} else {
 			n := len(g.bufs)
 			for k := 0; k < n; k++ {
 				i := (g.next + k) % n
 				if g.pos[i] < len(g.bufs[i]) {
-					r := g.bufs[i][g.pos[i]]
-					g.pos[i]++
 					g.next = (i + 1) % n
-					return r, nil
+					return g.popLocked(i), nil
 				}
 			}
 			if g.active == 0 {
@@ -506,7 +544,8 @@ func (g *gather) nextRow() (relation.Row, error) {
 // Rows is the cluster's streaming result cursor. Unlike sqlmini.Rows
 // it exposes the raw row (Row) rather than typed Scan destinations.
 // A Rows is not safe for concurrent use; Close it when abandoning it
-// early so shard cursors stop.
+// early so shard cursors stop — on a fan-out, workers past the
+// high-water mark stay blocked until the stream is drained or Closed.
 type Rows struct {
 	cols         []string
 	inner        *sqlmini.Rows  // single-shard passthrough

@@ -1,12 +1,16 @@
 package shard
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"courserank/internal/relation"
 	"courserank/internal/sqlmini"
@@ -228,11 +232,17 @@ func TestFanoutRefusals(t *testing.T) {
 	refused(`SELECT RID FROM Ratings ORDER BY Score`, "not an output column")
 	refused(`SELECT r.RID, p.PID FROM Ratings r JOIN Points p ON r.CID = p.Pts`, "not co-located")
 	refused(`SELECT s.SuID, r.RID FROM Students s LEFT JOIN Ratings r ON s.SuID = r.SuID`, "LEFT JOIN")
+	// A group key the projection drops cannot key the coordinator's
+	// partial merge — without the refusal, every shard's groups would
+	// silently fold into one row.
+	refused(`SELECT COUNT(*) FROM Ratings GROUP BY SuID`, "not projected")
+	refused(`SELECT CID, COUNT(*) FROM Ratings GROUP BY CID, SuID`, "not projected")
 
 	// Every refused shape still answers when pinned to one shard.
 	checkAgainstMono(t, c, e, true, `SELECT AVG(Score) FROM Ratings WHERE SuID = ?`, int64(4))
 	checkAgainstMono(t, c, e, true,
 		`SELECT s.SuID, r.RID FROM Students s LEFT JOIN Ratings r ON s.SuID = r.SuID WHERE s.SuID = ? ORDER BY s.SuID, r.RID`, int64(9))
+	checkAgainstMono(t, c, e, true, `SELECT COUNT(*) FROM Ratings WHERE SuID = ? GROUP BY SuID`, int64(4))
 }
 
 func TestShardedDML(t *testing.T) {
@@ -349,6 +359,107 @@ func TestFollowBase(t *testing.T) {
 	}
 	if st := c.Stats(); st.ApplyErrors != 0 {
 		t.Fatalf("propagation errors: %+v", st)
+	}
+}
+
+// TestFollowBaseDetectsSplitWindowWrites: a write landing between
+// Split's copy and FollowBase attaching observers violates the
+// quiescence contract — the shards silently miss the row — and must
+// surface as divergence in ApplyErrors rather than pass unnoticed.
+func TestFollowBaseDetectsSplitWindowWrites(t *testing.T) {
+	db, e := testBase(t)
+	c, err := Split(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(`INSERT INTO Ratings VALUES (?, ?, ?, ?)`, int64(900), int64(3), int64(1), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	c.FollowBase(db)
+	if st := c.Stats(); st.ApplyErrors == 0 {
+		t.Fatalf("split-window write went undetected: %+v", st)
+	}
+}
+
+// TestIntegralFloatKeyNormalization: integral floats inside int64
+// range place and group like the equal integer; outside that range the
+// float-to-int conversion would be implementation-defined, so the
+// float encoding is kept and placement stays platform-independent.
+func TestIntegralFloatKeyNormalization(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	if c.ownerOf(float64(7)) != c.ownerOf(int64(7)) {
+		t.Fatal("7.0 and 7 place on different shards")
+	}
+	if !bytes.Equal(appendValueKey(nil, float64(7)), appendValueKey(nil, int64(7))) {
+		t.Fatal("7.0 and 7 group apart")
+	}
+	if k := appendValueKey(nil, math.Ldexp(-1, 63)); k[0] != 'i' { // MinInt64 is representable
+		t.Fatalf("-2^63 key encoding %q, want integer", k)
+	}
+	for _, huge := range []float64{math.Ldexp(1, 63), -math.Ldexp(1, 64), 1e300} {
+		if k := appendValueKey(nil, huge); k[0] != 'f' {
+			t.Fatalf("%g key encoding %q, want float", huge, k)
+		}
+		if o := c.ownerOf(huge); o < 0 || o >= c.Shards() {
+			t.Fatalf("%g owner %d out of range", huge, o)
+		}
+	}
+}
+
+// TestStreamingGatherBackpressure shrinks the high-water mark so shard
+// workers actually block on the consumer, with fewer pool slots than
+// shards so the all-claimed gate is what keeps the ordered merge
+// deadlock-free, and checks full parity plus clean cancellation.
+func TestStreamingGatherBackpressure(t *testing.T) {
+	oldHW := gatherHighWater
+	gatherHighWater = 8
+	defer func() { gatherHighWater = oldHW }()
+
+	db := relation.NewDB()
+	e := sqlmini.New(db)
+	if _, err := e.Exec(`CREATE TABLE Big (ID INT NOT NULL, K INT NOT NULL, PRIMARY KEY (ID))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MustTable("Big").SetShardKey("K"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2400; i++ {
+		if _, err := e.Exec(`INSERT INTO Big VALUES (?, ?)`, int64(i), int64(i%13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Split(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.workers = 2
+	baseline := runtime.NumGoroutine()
+
+	// Concat and ordered merges, drained one row at a time well past
+	// the high-water mark, still deliver every row.
+	checkAgainstMono(t, c, e, false, `SELECT ID, K FROM Big`)
+	checkAgainstMono(t, c, e, true, `SELECT ID, K FROM Big ORDER BY ID`)
+
+	// Abandoning a stream while workers sit blocked on full buffers
+	// must wake and cancel them — no goroutine may linger.
+	rows, err := c.QueryRows(`SELECT ID, K FROM Big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && rows.Next(); i++ {
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("gather goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

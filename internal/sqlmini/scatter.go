@@ -322,14 +322,17 @@ func combineOpsOf(ps *preparedSelect) ([]CombineOp, bool, string) {
 	if ps.sel.Distinct {
 		return nil, false, "DISTINCT over aggregates cannot combine partials"
 	}
+	groupRefs := make([]*boundRef, len(ps.groupBy))
 	groupIdx := make(map[int]bool, len(ps.groupBy))
-	for _, g := range ps.groupBy {
+	for i, g := range ps.groupBy {
 		br, ok := g.(*boundRef)
 		if !ok {
 			return nil, false, "GROUP BY expression is not a plain column"
 		}
+		groupRefs[i] = br
 		groupIdx[br.idx] = true
 	}
+	projected := make(map[int]bool, len(ps.groupBy))
 	ops := make([]CombineOp, len(ps.items))
 	for i, item := range ps.items {
 		switch x := item.Expr.(type) {
@@ -338,6 +341,7 @@ func combineOpsOf(ps *preparedSelect) ([]CombineOp, bool, string) {
 				return nil, false, fmt.Sprintf("output column %d is neither a group key nor an aggregate", i+1)
 			}
 			ops[i] = CombineKey
+			projected[x.idx] = true
 		case *Call:
 			if !aggregates[x.Name] {
 				return nil, false, fmt.Sprintf("output column %d is not a combinable aggregate", i+1)
@@ -357,6 +361,14 @@ func combineOpsOf(ps *preparedSelect) ([]CombineOp, bool, string) {
 			}
 		default:
 			return nil, false, fmt.Sprintf("output column %d is not a combinable aggregate", i+1)
+		}
+	}
+	// Every group key must be an output column: the coordinator merges
+	// partials BY those values, so a dropped key would fold distinct
+	// groups into one row.
+	for _, br := range groupRefs {
+		if !projected[br.idx] {
+			return nil, false, fmt.Sprintf("GROUP BY key %s is not projected, so per-shard partials cannot be merged by group", br.orig)
 		}
 	}
 	return ops, true, ""
