@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+// Review is the input to the EnrollCommentRate workflow: one student's
+// complete evaluation of one course — the enrollment record, the
+// written comment and the standalone rating the paper's evaluation
+// pages collect together (§2.1).
+type Review struct {
+	SuID     int64
+	CourseID int64
+	Year     int64
+	Term     catalog.Term
+	Grade    catalog.Grade // "" when ungraded
+	Text     string
+	Rating   float64
+	Date     string // optional display date for the comment
+}
+
+// EnrollCommentRate records a course evaluation atomically: the
+// enrollment, the comment and the standalone rating commit together or
+// not at all. Readers — including the feed matviews and the stats
+// pages — never observe a comment without its enrollment or a rating
+// without its comment. The whole workflow runs in one
+// snapshot-isolation transaction; a write-write conflict (for example
+// two devices submitting ratings for the same student concurrently)
+// surfaces as relation.ErrTxConflict with nothing applied, and the
+// caller can simply retry.
+func (s *Site) EnrollCommentRate(rv Review) (commentID int64, err error) {
+	if _, ok := s.Catalog.Course(rv.CourseID); !ok {
+		return 0, fmt.Errorf("core: unknown course %d", rv.CourseID)
+	}
+	if catalog.TermIndex(rv.Term) < 0 {
+		return 0, fmt.Errorf("core: unknown term %q", rv.Term)
+	}
+	if rv.Grade != "" && !rv.Grade.Valid() {
+		return 0, fmt.Errorf("core: unknown grade %q", rv.Grade)
+	}
+	if rv.Text == "" {
+		return 0, fmt.Errorf("core: empty comment text")
+	}
+	if rv.Rating < 1 || rv.Rating > 5 {
+		return 0, fmt.Errorf("core: rating %v out of range [1,5]", rv.Rating)
+	}
+
+	enroll := s.DB.MustTable("Enrollments")
+	comments := s.DB.MustTable("Comments")
+	ratings := s.DB.MustTable("Ratings")
+
+	tx := s.DB.Begin()
+	defer func() {
+		if err != nil {
+			tx.Rollback()
+		}
+	}()
+
+	// Duplicate-enrollment check inside the transaction: it sees prior
+	// committed entries and this transaction's own staged ones, and the
+	// first-committer-wins rule at Commit keeps two racing submissions
+	// from both slipping past it.
+	for _, r := range tx.Lookup(enroll, "SuID", rv.SuID) {
+		if r[1] == rv.CourseID && r[2] == rv.Year && r[3] == string(rv.Term) {
+			return 0, fmt.Errorf("core: duplicate enrollment for course %d in %s %d", rv.CourseID, rv.Term, rv.Year)
+		}
+	}
+	var grade relation.Value
+	if rv.Grade != "" {
+		grade = string(rv.Grade)
+	}
+	if _, err = tx.Insert(enroll, relation.Row{rv.SuID, rv.CourseID, rv.Year, string(rv.Term), grade, false}); err != nil {
+		return 0, err
+	}
+
+	var date relation.Value
+	if rv.Date != "" {
+		date = rv.Date
+	}
+	crow, err := tx.Insert(comments, relation.Row{
+		nil, rv.SuID, rv.CourseID, rv.Year, string(rv.Term), rv.Text, rv.Rating, date,
+	})
+	if err != nil {
+		return 0, err
+	}
+	commentID = crow[0].(int64)
+
+	// Standalone rating upsert, mirroring comments.Store.Rate but under
+	// the transaction's snapshot.
+	if _, exists := tx.Get(ratings, rv.SuID, rv.CourseID); exists {
+		if _, err = tx.UpdateWhere(ratings, func(r relation.Row) bool {
+			return r[0] == rv.SuID && r[1] == rv.CourseID
+		}, func(r relation.Row) relation.Row {
+			r[2] = rv.Rating
+			return r
+		}); err != nil {
+			return 0, err
+		}
+	} else if _, err = tx.Insert(ratings, relation.Row{rv.SuID, rv.CourseID, rv.Rating}); err != nil {
+		return 0, err
+	}
+
+	if err = tx.Commit(); err != nil {
+		return 0, err
+	}
+	return commentID, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"courserank/internal/catalog"
+	"courserank/internal/relation"
+)
+
+func TestEnrollCommentRate(t *testing.T) {
+	s := seedSite(t)
+	defer s.Close()
+	course := s.Catalog.CoursesByDept("CS")[0].ID
+
+	id, err := s.EnrollCommentRate(Review{
+		SuID: 444, CourseID: course, Year: 2008, Term: catalog.Autumn,
+		Grade: "A", Text: "great intro", Rating: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("no comment id")
+	}
+	entries := s.Planner.Entries(444)
+	if len(entries) != 1 || entries[0].CourseID != course || entries[0].Grade != "A" {
+		t.Fatalf("enrollment = %+v", entries)
+	}
+	found := false
+	for _, c := range s.Comments.ByCourse(course) {
+		if c.ID == id && c.Text == "great intro" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("comment missing")
+	}
+	if avg, n := s.Comments.AvgRating(course); n != 1 || avg != 5 {
+		t.Fatalf("rating = %v (%d)", avg, n)
+	}
+
+	// A duplicate submission leaves nothing behind.
+	before := s.Comments.Count()
+	if _, err := s.EnrollCommentRate(Review{
+		SuID: 444, CourseID: course, Year: 2008, Term: catalog.Autumn,
+		Text: "again", Rating: 4,
+	}); err == nil {
+		t.Fatal("duplicate enrollment accepted")
+	}
+	if s.Comments.Count() != before {
+		t.Fatal("failed workflow leaked a comment")
+	}
+	if avg, _ := s.Comments.AvgRating(course); avg != 5 {
+		t.Fatalf("failed workflow touched the rating: %v", avg)
+	}
+
+	// Validation failures reject before writing anything.
+	if _, err := s.EnrollCommentRate(Review{SuID: 445, CourseID: course, Year: 2008, Term: catalog.Autumn, Text: "x", Rating: 9}); err == nil {
+		t.Fatal("out-of-range rating accepted")
+	}
+	if _, err := s.EnrollCommentRate(Review{SuID: 445, CourseID: 999, Year: 2008, Term: catalog.Autumn, Text: "x", Rating: 3}); err == nil {
+		t.Fatal("unknown course accepted")
+	}
+	if len(s.Planner.Entries(445)) != 0 {
+		t.Fatal("rejected workflow wrote an enrollment")
+	}
+}
+
+// TestEnrollCommentRateAtomic is the workflow atomicity property test:
+// concurrent readers poll mid-transaction and must always see
+// all-or-nothing — an enrollment implies its comment and its rating in
+// the same snapshot.
+func TestEnrollCommentRateAtomic(t *testing.T) {
+	s := seedSite(t)
+	defer s.Close()
+	course := s.Catalog.CoursesByDept("CS")[0].ID
+	enroll := s.DB.MustTable("Enrollments")
+	commentsT := s.DB.MustTable("Comments")
+	ratings := s.DB.MustTable("Ratings")
+
+	const writers, perWriter = 4, 25
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Only the storm's students (SuID >= 1000) are under
+				// test; seedSite's fixtures predate the workflow.
+				tx := s.DB.Begin()
+				seen := map[int64]bool{}
+				tx.Scan(enroll, func(r relation.Row) bool {
+					if su := r[0].(int64); su >= 1000 {
+						seen[su] = true
+					}
+					return true
+				})
+				commented := map[int64]bool{}
+				tx.Scan(commentsT, func(r relation.Row) bool {
+					if su := r[1].(int64); su >= 1000 {
+						commented[su] = true
+					}
+					return true
+				})
+				rated := map[int64]bool{}
+				tx.Scan(ratings, func(r relation.Row) bool {
+					if su := r[0].(int64); su >= 1000 {
+						rated[su] = true
+					}
+					return true
+				})
+				tx.Rollback()
+				for su := range seen {
+					if !commented[su] || !rated[su] {
+						torn.Add(1)
+					}
+				}
+				for su := range commented {
+					if !seen[su] {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				su := int64(1000 + w*perWriter + i)
+				_, err := s.EnrollCommentRate(Review{
+					SuID: su, CourseID: course, Year: 2008, Term: catalog.Autumn,
+					Text: fmt.Sprintf("review by %d", su), Rating: float64(1 + i%5),
+				})
+				if err != nil && !errors.Is(err, relation.ErrTxConflict) {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn (partial-workflow) observations", torn.Load())
+	}
+	if failures.Load() != 0 {
+		t.Fatalf("%d unexpected workflow failures", failures.Load())
+	}
+	if n := len(s.Comments.ByCourse(course)); n != writers*perWriter {
+		t.Fatalf("committed %d comments, want %d", n, writers*perWriter)
+	}
+	if st := s.DB.TxStats(); st.Active != 0 {
+		t.Fatalf("Active = %d after the storm", st.Active)
+	}
+}

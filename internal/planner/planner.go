@@ -81,12 +81,13 @@ func (s *Store) Record(e Entry) error {
 	return err
 }
 
-// Drop removes an entry, reporting whether it existed.
+// Drop removes an entry, reporting whether it existed. A durable-write
+// failure reports false — the entry is still there.
 func (s *Store) Drop(suID, courseID, year int64, term catalog.Term) bool {
-	n := s.db.MustTable("Enrollments").DeleteWhere(func(r relation.Row) bool {
+	n, err := s.db.MustTable("Enrollments").DeleteWhere(func(r relation.Row) bool {
 		return r[0] == suID && r[1] == courseID && r[2] == year && r[3] == string(term)
 	})
-	return n > 0
+	return err == nil && n > 0
 }
 
 func entryFromRow(r relation.Row) Entry {

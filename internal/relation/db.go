@@ -11,12 +11,13 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	store  Storage // nil = ephemeral; set once via attachStorage before serving
+	store  Storage  // nil = ephemeral; set once via attachStorage before serving
+	clock  *txClock // transaction-ID allocator + committed-snapshot watermark
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{tables: make(map[string]*Table), clock: newTxClock()}
 }
 
 // attachStorage wires s behind every current table and every table
@@ -28,6 +29,7 @@ func (db *DB) attachStorage(s Storage) {
 	box := &storageBox{s: s}
 	for _, t := range db.tables {
 		t.store.Store(box)
+		t.clock = db.clock
 	}
 }
 
@@ -53,6 +55,7 @@ func (db *DB) Create(t *Table) error {
 		if _, dup := db.tables[t.name]; dup {
 			return fmt.Errorf("relation: table %q already exists", t.name)
 		}
+		t.clock = db.clock
 		db.tables[t.name] = t
 		return nil
 	}
@@ -73,6 +76,7 @@ func (db *DB) Create(t *Table) error {
 		return err
 	}
 	t.store.Store(&storageBox{s: s})
+	t.clock = db.clock
 	db.tables[t.name] = t
 	db.mu.Unlock()
 	s.EndMutate()

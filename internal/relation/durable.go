@@ -79,10 +79,13 @@ type DurableOptions struct {
 
 // WAL record types.
 const (
-	recDML    byte = 1
-	recCreate byte = 2
-	recDrop   byte = 3
-	recAlter  byte = 4
+	recDML      byte = 1
+	recCreate   byte = 2
+	recDrop     byte = 3
+	recAlter    byte = 4
+	recTxDML    byte = 5 // transaction statement effects; redo only if committed
+	recTxCommit byte = 6 // transaction commit marker
+	recTxAbort  byte = 7 // transaction abort marker (advisory)
 )
 
 // walMut is one row effect inside a DML record.
@@ -95,6 +98,20 @@ type walMut struct {
 type walDML struct {
 	Table string   `json:"t"`
 	Muts  []walMut `json:"m"`
+}
+
+// walTxDML is one transaction statement's row effects. Unlike walDML it
+// is a no-op at replay unless the transaction's commit record is also
+// in the log: recovery redoes transactions as a unit or not at all.
+type walTxDML struct {
+	Tx    uint64   `json:"x"`
+	Table string   `json:"t"`
+	Muts  []walMut `json:"m"`
+}
+
+// walTx is a commit or abort marker.
+type walTx struct {
+	Tx uint64 `json:"x"`
 }
 
 type walDrop struct {
@@ -252,9 +269,11 @@ func loadDurableSnapshot(db *DB, data []byte) error {
 		}
 		// Tombstone tail: grow the slice to the recorded slot count so
 		// replayed records addressing trailing tombstones stay in range.
+		// Version stamps grow in lockstep (len(meta) == len(rows)).
 		t.mu.Lock()
 		for len(t.rows) < head.Slots {
 			t.rows = append(t.rows, nil)
+			t.meta = append(t.meta, slotMeta{})
 		}
 		if head.NextAuto > t.nextAut {
 			t.nextAut = head.NextAuto
@@ -267,13 +286,31 @@ func loadDurableSnapshot(db *DB, data []byte) error {
 // replay applies committed WAL records past the checkpoint LSN. Records
 // at or below ckLSN are already inside the snapshot — they survive in
 // the log only when a crash landed between the checkpoint's meta swap
-// and its WAL truncation.
+// and its WAL truncation. Replay is two-pass: the first pass collects
+// the IDs of transactions whose commit record made it to the log, the
+// second applies records in LSN order, skipping transaction effects
+// whose commit never landed — a crash mid-transaction loses the whole
+// transaction, never a prefix.
 func (s *DurableStore) replay(recs []wal.Record, ckLSN uint64) error {
+	var committed map[uint64]bool
+	for _, rec := range recs {
+		if rec.LSN <= ckLSN || rec.Type != recTxCommit {
+			continue
+		}
+		var op walTx
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fmt.Errorf("relation: recovery lsn %d: %w", rec.LSN, err)
+		}
+		if committed == nil {
+			committed = make(map[uint64]bool)
+		}
+		committed[op.Tx] = true
+	}
 	for _, rec := range recs {
 		if rec.LSN <= ckLSN {
 			continue
 		}
-		if err := s.applyRecord(rec); err != nil {
+		if err := s.applyRecord(rec, committed); err != nil {
 			return fmt.Errorf("relation: recovery lsn %d: %w", rec.LSN, err)
 		}
 		s.recovered++
@@ -281,44 +318,60 @@ func (s *DurableStore) replay(recs []wal.Record, ckLSN uint64) error {
 	return nil
 }
 
-func (s *DurableStore) applyRecord(rec wal.Record) error {
+// applyDML redoes one statement's row effects slot-for-slot.
+func (s *DurableStore) applyDML(table string, muts []walMut) error {
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("DML against unknown table %q", table)
+	}
+	cols := t.Schema().Columns()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range muts {
+		switch m.Op {
+		case "d":
+			if err := t.applyDeleteSlot(m.Slot); err != nil {
+				return err
+			}
+		case "i", "u":
+			row, err := decodeWALRow(m.Row, cols)
+			if err != nil {
+				return err
+			}
+			if m.Op == "i" {
+				err = t.applyInsertSlot(m.Slot, row)
+			} else {
+				err = t.applyUpdateSlot(m.Slot, row)
+			}
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown mutation op %q", m.Op)
+		}
+	}
+	return nil
+}
+
+func (s *DurableStore) applyRecord(rec wal.Record, committed map[uint64]bool) error {
 	switch rec.Type {
 	case recDML:
 		var op walDML
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
 			return err
 		}
-		t, ok := s.db.Table(op.Table)
-		if !ok {
-			return fmt.Errorf("DML against unknown table %q", op.Table)
+		return s.applyDML(op.Table, op.Muts)
+	case recTxDML:
+		var op walTxDML
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
 		}
-		cols := t.Schema().Columns()
-		t.mu.Lock()
-		defer t.mu.Unlock()
-		for _, m := range op.Muts {
-			switch m.Op {
-			case "d":
-				if err := t.applyDeleteSlot(m.Slot); err != nil {
-					return err
-				}
-			case "i", "u":
-				row, err := decodeWALRow(m.Row, cols)
-				if err != nil {
-					return err
-				}
-				if m.Op == "i" {
-					err = t.applyInsertSlot(m.Slot, row)
-				} else {
-					err = t.applyUpdateSlot(m.Slot, row)
-				}
-				if err != nil {
-					return err
-				}
-			default:
-				return fmt.Errorf("unknown mutation op %q", m.Op)
-			}
+		if !committed[op.Tx] {
+			return nil // transaction never committed; drop its effects
 		}
-		return nil
+		return s.applyDML(op.Table, op.Muts)
+	case recTxCommit, recTxAbort:
+		return nil // markers; consumed by the first pass
 	case recCreate:
 		var head snapshotHeader
 		if err := json.Unmarshal(rec.Data, &head); err != nil {
@@ -380,13 +433,21 @@ func (s *DurableStore) EndMutate() { s.gate.RUnlock() }
 
 // LogMutations appends one redo record for a statement's row effects.
 func (s *DurableStore) LogMutations(table string, muts []Mutation) (uint64, error) {
+	wm, err := encodeWalMuts(muts)
+	if err != nil {
+		return 0, err
+	}
+	return s.append(recDML, walDML{Table: table, Muts: wm})
+}
+
+func encodeWalMuts(muts []Mutation) ([]walMut, error) {
 	wm := make([]walMut, len(muts))
 	for i, m := range muts {
 		var raw json.RawMessage
 		if m.Row != nil {
 			b, err := json.Marshal([]Value(m.Row))
 			if err != nil {
-				return 0, fmt.Errorf("relation: encode row for WAL: %w", err)
+				return nil, fmt.Errorf("relation: encode row for WAL: %w", err)
 			}
 			raw = b
 		}
@@ -399,8 +460,42 @@ func (s *DurableStore) LogMutations(table string, muts []Mutation) (uint64, erro
 		}
 		wm[i] = walMut{Op: op, Slot: m.Slot, Row: raw}
 	}
-	return s.append(recDML, walDML{Table: table, Muts: wm})
+	return wm, nil
 }
+
+// --- TxStorage interface ------------------------------------------------
+
+// BeginTxGate enters the checkpoint gate for a transaction's lifetime,
+// so a checkpoint never snapshots uncommitted transaction effects.
+func (s *DurableStore) BeginTxGate() { s.gate.RLock() }
+
+// EndTxGate leaves the gate entered by BeginTxGate.
+func (s *DurableStore) EndTxGate() { s.gate.RUnlock() }
+
+// LogTxMutations appends one transaction statement's row effects;
+// replay ignores them unless tx's commit record follows.
+func (s *DurableStore) LogTxMutations(tx uint64, table string, muts []Mutation) (uint64, error) {
+	wm, err := encodeWalMuts(muts)
+	if err != nil {
+		return 0, err
+	}
+	return s.append(recTxDML, walTxDML{Tx: tx, Table: table, Muts: wm})
+}
+
+// LogTxCommit appends the commit record that makes tx's effects
+// redo-visible at recovery.
+func (s *DurableStore) LogTxCommit(tx uint64) (uint64, error) {
+	return s.append(recTxCommit, walTx{Tx: tx})
+}
+
+// LogTxAbort appends an advisory abort marker for tx.
+func (s *DurableStore) LogTxAbort(tx uint64) (uint64, error) {
+	return s.append(recTxAbort, walTx{Tx: tx})
+}
+
+// SyncConfirms reports whether WaitDurable confirms the fsync: true
+// under SyncAlways, false when a background flusher catches up later.
+func (s *DurableStore) SyncConfirms() bool { return s.log.Policy() == wal.SyncAlways }
 
 // LogCreate appends a redo record carrying the table definition.
 func (s *DurableStore) LogCreate(t *Table) (uint64, error) {
@@ -500,6 +595,13 @@ func (s *DurableStore) encodeSnapshot() ([]byte, error) {
 		}
 		for slot, r := range t.rows {
 			if r == nil {
+				continue
+			}
+			// A committed-dead head (deleted, retained only for late
+			// snapshot readers) is not part of the durable image. Staged
+			// transaction heads cannot occur here: transactions hold the
+			// gate shared and the checkpoint holds it exclusively.
+			if slot < len(t.meta) && t.meta[slot].end != 0 {
 				continue
 			}
 			line := make([]any, 0, len(r)+1)

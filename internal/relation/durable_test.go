@@ -91,7 +91,7 @@ func TestDurableRoundTrip(t *testing.T) {
 	if err := kv.UpdateByKey([]Value{int64(3)}, func(r Row) Row { r[1] = "updated"; return r }); err != nil {
 		t.Fatal(err)
 	}
-	if n := kv.DeleteWhere(func(r Row) bool { return r[2] == int64(2) }); n == 0 {
+	if n, err := kv.DeleteWhere(func(r Row) bool { return r[2] == int64(2) }); err != nil || n == 0 {
 		t.Fatal("delete matched nothing")
 	}
 	want := fingerprint(db)

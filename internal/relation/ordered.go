@@ -185,10 +185,27 @@ func (t *Table) addOrderedIndexLocked(col string) error {
 	}
 	ix := &orderedIndex{col: ci}
 	for slot, r := range t.rows {
-		if r == nil || r[ci] == nil {
+		if r != nil && r[ci] != nil {
+			ix.entries = append(ix.entries, orderedEntry{val: r[ci], slot: slot})
+		}
+		if len(t.vslots) == 0 {
 			continue
 		}
-		ix.entries = append(ix.entries, orderedEntry{val: r[ci], slot: slot})
+		// Retained versions index too (set semantics per slot), so
+		// snapshot range reads opened after the DDL still find them.
+		for nd := t.meta[slot].prev; nd != nil; nd = nd.prev {
+			v := nd.row[ci]
+			if v == nil {
+				continue
+			}
+			dup := r != nil && r[ci] != nil && Equal(r[ci], v)
+			for x := t.meta[slot].prev; !dup && x != nd; x = x.prev {
+				dup = x.row[ci] != nil && Equal(x.row[ci], v)
+			}
+			if !dup {
+				ix.entries = append(ix.entries, orderedEntry{val: v, slot: slot})
+			}
+		}
 	}
 	sort.Slice(ix.entries, func(a, b int) bool {
 		c := Compare(ix.entries[a].val, ix.entries[b].val)
@@ -253,6 +270,7 @@ func (t *Table) RangeCount(col string, lo, hi *RangeBound) (int, bool) {
 type RangeCursor struct {
 	t       *Table
 	col     int
+	sn      Snap
 	entries []orderedEntry
 	pos     int
 }
@@ -260,6 +278,12 @@ type RangeCursor struct {
 // NewRangeCursor opens a range iteration over the column's ordered
 // index, reporting false when the column has none.
 func (t *Table) NewRangeCursor(col string, lo, hi *RangeBound) (*RangeCursor, bool) {
+	return t.NewRangeCursorSnap(LatestSnap(), col, lo, hi)
+}
+
+// NewRangeCursorSnap is NewRangeCursor as of a snapshot: emitted rows
+// are the versions the snapshot sees, still in ascending key order.
+func (t *Table) NewRangeCursorSnap(sn Snap, col string, lo, hi *RangeBound) (*RangeCursor, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ix, ok := t.ordered[strings.ToLower(col)]
@@ -269,7 +293,7 @@ func (t *Table) NewRangeCursor(col string, lo, hi *RangeBound) (*RangeCursor, bo
 	i, j := ix.span(lo, hi)
 	entries := make([]orderedEntry, j-i)
 	copy(entries, ix.entries[i:j])
-	return &RangeCursor{t: t, col: ix.col, entries: entries}, true
+	return &RangeCursor{t: t, col: ix.col, sn: sn, entries: entries}, true
 }
 
 // NextBatch fills dst with row references in key order, returning how
@@ -280,6 +304,7 @@ func (c *RangeCursor) NextBatch(dst []Row) int {
 	c.t.mu.RLock()
 	defer c.t.mu.RUnlock()
 	n := 0
+	fast := c.sn.latest() && len(c.t.vslots) == 0
 	for c.pos < len(c.entries) && n < len(dst) {
 		en := c.entries[c.pos]
 		c.pos++
@@ -287,6 +312,9 @@ func (c *RangeCursor) NextBatch(dst []Row) int {
 			continue
 		}
 		row := c.t.rows[en.slot]
+		if !fast {
+			row = c.t.visibleLocked(en.slot, c.sn)
+		}
 		if row == nil || row[c.col] == nil || !Equal(row[c.col], en.val) {
 			continue
 		}
@@ -330,6 +358,11 @@ type DescCursor struct{ RangeCursor }
 // NewDescCursor opens a descending range iteration over the column's
 // ordered index, reporting false when the column has none.
 func (t *Table) NewDescCursor(col string, lo, hi *RangeBound) (*DescCursor, bool) {
+	return t.NewDescCursorSnap(LatestSnap(), col, lo, hi)
+}
+
+// NewDescCursorSnap is NewDescCursor as of a snapshot.
+func (t *Table) NewDescCursorSnap(sn Snap, col string, lo, hi *RangeBound) (*DescCursor, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ix, ok := t.ordered[strings.ToLower(col)]
@@ -348,7 +381,7 @@ func (t *Table) NewDescCursor(col string, lo, hi *RangeBound) (*DescCursor, bool
 		entries = append(entries, ix.entries[gs:j]...)
 		j = gs
 	}
-	return &DescCursor{RangeCursor{t: t, col: ix.col, entries: entries}}, true
+	return &DescCursor{RangeCursor{t: t, col: ix.col, sn: sn, entries: entries}}, true
 }
 
 // ScanCursor iterates every live row in slot order, fetching references
@@ -357,11 +390,19 @@ func (t *Table) NewDescCursor(col string, lo, hi *RangeBound) (*DescCursor, bool
 // during iteration are not revisited; rows appended ahead are seen.
 type ScanCursor struct {
 	t    *Table
+	sn   Snap
 	next int
 }
 
 // NewScanCursor opens a batched full-table iteration.
-func (t *Table) NewScanCursor() *ScanCursor { return &ScanCursor{t: t} }
+func (t *Table) NewScanCursor() *ScanCursor {
+	return &ScanCursor{t: t, sn: LatestSnap()}
+}
+
+// NewScanCursorSnap is NewScanCursor as of a snapshot.
+func (t *Table) NewScanCursorSnap(sn Snap) *ScanCursor {
+	return &ScanCursor{t: t, sn: sn}
+}
 
 // NextBatch fills dst with live row references in slot order, returning
 // how many it produced; 0 means the table is exhausted.
@@ -369,9 +410,14 @@ func (c *ScanCursor) NextBatch(dst []Row) int {
 	c.t.mu.RLock()
 	defer c.t.mu.RUnlock()
 	n := 0
+	fast := c.sn.latest() && len(c.t.vslots) == 0
 	for c.next < len(c.t.rows) && n < len(dst) {
-		row := c.t.rows[c.next]
+		slot := c.next
 		c.next++
+		row := c.t.rows[slot]
+		if !fast {
+			row = c.t.visibleLocked(slot, c.sn)
+		}
 		if row == nil {
 			continue
 		}

@@ -52,14 +52,107 @@ func (t *Table) ShardKey() (string, bool) {
 //	MutUpdate: before is the pre-image, after the post-image
 //	MutDelete: before is the pre-image, after == nil
 //
-// Observers run under the table's write lock, after the mutation is
-// final (on a durable table: after it is journaled; a WAL rejection
-// rolls the rows back without notifying). They therefore must be fast,
-// must not call back into the observed table, and must copy any row
-// they retain — the slices are the stored rows themselves. Recovery
-// replay and WAL-failure rollback bypass observers: they reconstruct
-// state, they do not originate new mutations.
+// On an ephemeral table observers run synchronously under the table's
+// write lock, immediately after the mutation is applied. On a durable
+// table they run after WaitDurable confirms the mutation's WAL record —
+// never before, so a crash cannot leave an observer (e.g. a shard
+// write-through) holding rows the recovered base never committed.
+// Deferred delivery is serialized per table in WAL order (mutations are
+// never reordered or dropped relative to each other), outside the table
+// lock; a WAL append rejection rolls the rows back without notifying,
+// and a WaitDurable failure drops the queued notifications and counts
+// them in NotifyStats. Under an asynchronous commit policy WaitDurable
+// returns before the fsync lands; those deliveries are counted as
+// unconfirmed in NotifyStats rather than held back.
+//
+// Observers must be fast, must not call back into the observed table,
+// and must copy any row they retain — the slices are the stored rows
+// themselves. Recovery replay and WAL-failure rollback bypass
+// observers: they reconstruct state, they do not originate mutations.
 type RowObserver func(kind MutKind, before, after Row)
+
+// queuedNotify is one committed mutation on a durable table awaiting
+// durability confirmation before the observers may see it.
+type queuedNotify struct {
+	lsn    uint64
+	kind   MutKind
+	before Row
+	after  Row
+}
+
+// queueNotifyLocked records a committed mutation for observer delivery.
+// With lsn == 0 (ephemeral table) delivery is synchronous under the
+// table write lock, as before; otherwise the notification is parked
+// until flushNotifies confirms the record durable. Caller holds the
+// table write lock.
+func (t *Table) queueNotifyLocked(lsn uint64, kind MutKind, before, after Row) {
+	if len(t.obs) == 0 {
+		return
+	}
+	if lsn == 0 {
+		t.notifyLocked(kind, before, after)
+		return
+	}
+	t.nqMu.Lock()
+	t.nq = append(t.nq, queuedNotify{lsn: lsn, kind: kind, before: before, after: after})
+	t.nqMu.Unlock()
+}
+
+// flushNotifies delivers every queued notification with LSN at or below
+// lsn, after WaitDurable(lsn) returned werr. Delivery order is WAL
+// order: notifyMu serializes concurrent flushers, and a later flusher
+// covering a group-committed batch drains earlier writers' entries too.
+// On werr != nil the covered entries are dropped and counted; under a
+// commit policy whose WaitDurable does not confirm the fsync they are
+// delivered but counted as unconfirmed. Called outside all table locks.
+func (t *Table) flushNotifies(lsn uint64, werr error, s Storage) {
+	t.nqMu.Lock()
+	pending := len(t.nq) > 0
+	t.nqMu.Unlock()
+	if !pending {
+		return
+	}
+	t.notifyMu.Lock()
+	defer t.notifyMu.Unlock()
+	t.nqMu.Lock()
+	i := 0
+	for i < len(t.nq) && t.nq[i].lsn <= lsn {
+		i++
+	}
+	batch := t.nq[:i:i]
+	t.nq = append([]queuedNotify(nil), t.nq[i:]...)
+	if len(t.nq) == 0 {
+		t.nq = nil
+	}
+	t.nqMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if werr != nil {
+		if t.clock != nil {
+			t.clock.notifyDropped.Add(uint64(len(batch)))
+		}
+		return
+	}
+	if t.clock != nil && !storageSyncConfirms(s) {
+		t.clock.notifyUnconfirmed.Add(uint64(len(batch)))
+	}
+	t.mu.RLock()
+	obs := append([]RowObserver(nil), t.obs...)
+	t.mu.RUnlock()
+	for _, q := range batch {
+		for _, fn := range obs {
+			fn(q.kind, q.before, q.after)
+		}
+	}
+}
+
+// storageSyncConfirms reports whether s's WaitDurable confirms the
+// fsync (conservatively false for backends that don't say).
+func storageSyncConfirms(s Storage) bool {
+	ts, ok := s.(TxStorage)
+	return ok && ts.SyncConfirms()
+}
 
 // Observe attaches a row observer. Observers cannot be detached;
 // attach them to tables whose lifetime matches the observer's.

@@ -43,6 +43,42 @@ type Storage interface {
 	WaitDurable(lsn uint64) error
 }
 
+// TxStorage is the optional transactional extension of Storage. A
+// backend that implements it can journal multi-statement transactions
+// atomically: per-statement effects are logged as transaction records
+// (no-ops at replay unless the transaction committed), and a single
+// commit record makes the whole transaction redo-visible. Recovery
+// replays a transaction's effects if and only if its commit record made
+// it to the log — a crash mid-transaction loses the transaction as a
+// unit, never a prefix of it.
+//
+// The gate discipline differs from autocommit: a transaction enters the
+// checkpoint gate once at Begin (BeginTxGate) and leaves at
+// Commit/Rollback (EndTxGate), so a checkpoint never captures a table
+// image with uncommitted transaction effects in it.
+type TxStorage interface {
+	Storage
+	// BeginTxGate enters the checkpoint gate (shared side) for the
+	// lifetime of one transaction.
+	BeginTxGate()
+	// EndTxGate leaves the gate entered by BeginTxGate.
+	EndTxGate()
+	// LogTxMutations appends one transaction redo record covering the
+	// staged row effects of a single statement against table. Called
+	// under the table's write lock. The effects are ignored at replay
+	// unless tx's commit record is also in the log.
+	LogTxMutations(tx uint64, table string, muts []Mutation) (lsn uint64, err error)
+	// LogTxCommit appends the commit record for tx.
+	LogTxCommit(tx uint64) (lsn uint64, err error)
+	// LogTxAbort appends an abort record for tx (advisory: replay
+	// ignores uncommitted transactions with or without it).
+	LogTxAbort(tx uint64) (lsn uint64, err error)
+	// SyncConfirms reports whether WaitDurable returning nil means the
+	// data is actually on stable storage (true for synchronous commit
+	// policies, false when a background flusher catches up later).
+	SyncConfirms() bool
+}
+
 // MutKind discriminates the row effects a statement applied.
 type MutKind uint8
 

@@ -112,8 +112,9 @@ type Table struct {
 	mu      sync.RWMutex
 	name    string
 	schema  *Schema
-	rows    []Row // nil entries are tombstones
-	free    []int // tombstone slots available for reuse
+	rows    []Row      // nil entries are tombstones; always the NEWEST version
+	meta    []slotMeta // parallel to rows: MVCC visibility stamps (see txn.go)
+	free    []int      // tombstone slots available for reuse
 	live    int
 	pk      []int
 	pkIndex map[string]int
@@ -126,6 +127,20 @@ type Table struct {
 	version uint64
 	epoch   uint64
 	store   atomic.Pointer[storageBox] // nil = ephemeral (memory-only) backend
+	clock   *txClock                   // owning DB's transaction clock; nil until registered
+
+	// vslots marks slots carrying transactional residue — staged
+	// writes, retained version chains, or committed-dead heads awaiting
+	// GC. Empty vslots is the fast path: every slot is plain and reads
+	// skip version resolution.
+	vslots map[int]struct{}
+
+	// Deferred observer delivery for durable tables (see shard.go):
+	// mutations queue under nqMu (taken inside mu) and deliver under
+	// notifyMu once their WAL record is confirmed.
+	nqMu     sync.Mutex
+	nq       []queuedNotify
+	notifyMu sync.Mutex
 }
 
 // Version returns a counter that increases on every mutation (insert,
@@ -278,7 +293,8 @@ func (t *Table) pkKey(row Row) string {
 }
 
 // insertLocked validates and stores a row; the caller holds the write
-// lock. It returns the slot and the stored row.
+// lock and stamps meta[slot].begin before releasing it. It returns the
+// slot and the stored row.
 func (t *Table) insertLocked(row Row) (int, Row, error) {
 	r, err := t.validate(row)
 	if err != nil {
@@ -287,19 +303,21 @@ func (t *Table) insertLocked(row Row) (int, Row, error) {
 	var key string
 	if t.pkIndex != nil {
 		key = t.pkKey(r)
-		if _, dup := t.pkIndex[key]; dup {
-			return 0, nil, fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.name, key)
+		if slot, dup := t.pkIndex[key]; dup {
+			// The mapping can be stale: retained versions of a deleted
+			// row keep their key mapped until GC. Only a claim that is
+			// live in the latest-committed view (or staged by an open
+			// transaction) blocks the insert.
+			if row := t.visibleLocked(slot, LatestSnap()); row != nil && t.pkKey(row) == key {
+				return 0, nil, fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.name, key)
+			}
+			if m := &t.meta[slot]; m.btx != 0 && t.pkKey(t.rows[slot]) == key {
+				t.countConflict()
+				return 0, nil, fmt.Errorf("relation: table %s key %v staged by an open transaction: %w", t.name, key, ErrTxConflict)
+			}
 		}
 	}
-	var slot int
-	if n := len(t.free); n > 0 {
-		slot = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.rows[slot] = r
-	} else {
-		slot = len(t.rows)
-		t.rows = append(t.rows, r)
-	}
+	slot := t.newSlotLocked(r)
 	if t.pkIndex != nil {
 		t.pkIndex[key] = slot
 	}
@@ -322,12 +340,15 @@ func (t *Table) Insert(row Row) (int, error) {
 		slot, _, err := t.insertDurable(sb.s, row)
 		return slot, err
 	}
+	seq, _ := t.clock.alloc()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	slot, r, err := t.insertLocked(row)
 	if err == nil {
+		t.meta[slot].begin = seq
 		t.notifyLocked(MutInsert, nil, r)
 	}
+	t.mu.Unlock()
+	t.clock.complete(seq)
 	return slot, err
 }
 
@@ -341,24 +362,33 @@ func (t *Table) InsertGet(row Row) (Row, error) {
 		}
 		return r, nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, r, err := t.insertLocked(row)
-	if err != nil {
-		return nil, err
-	}
-	t.notifyLocked(MutInsert, nil, r)
-	return r.Clone(), nil
-}
-
-// insertDurable applies an insert and journals it following the
-// Storage protocol (see storage.go). The returned row is a copy.
-func (t *Table) insertDurable(s Storage, row Row) (int, Row, error) {
-	s.BeginMutate()
+	seq, _ := t.clock.alloc()
 	t.mu.Lock()
 	slot, r, err := t.insertLocked(row)
 	if err != nil {
 		t.mu.Unlock()
+		t.clock.complete(seq)
+		return nil, err
+	}
+	t.meta[slot].begin = seq
+	t.notifyLocked(MutInsert, nil, r)
+	clone := r.Clone()
+	t.mu.Unlock()
+	t.clock.complete(seq)
+	return clone, nil
+}
+
+// insertDurable applies an insert and journals it following the
+// Storage protocol (see storage.go). The returned row is a copy.
+// Observer delivery waits for the WAL confirmation (see shard.go).
+func (t *Table) insertDurable(s Storage, row Row) (int, Row, error) {
+	s.BeginMutate()
+	seq, _ := t.clock.alloc()
+	t.mu.Lock()
+	slot, r, err := t.insertLocked(row)
+	if err != nil {
+		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return 0, nil, err
 	}
@@ -366,14 +396,19 @@ func (t *Table) insertDurable(s Storage, row Row) (int, Row, error) {
 	if err != nil {
 		t.applyDeleteSlot(slot)
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return 0, nil, err
 	}
-	t.notifyLocked(MutInsert, nil, r)
+	t.meta[slot].begin = seq
+	t.queueNotifyLocked(lsn, MutInsert, nil, r)
 	clone := r.Clone()
 	t.mu.Unlock()
+	t.clock.complete(seq)
 	s.EndMutate()
-	return slot, clone, s.WaitDurable(lsn)
+	werr := s.WaitDurable(lsn)
+	t.flushNotifies(lsn, werr, s)
+	return slot, clone, werr
 }
 
 // MustInsert inserts and panics on error; for generator/loader code paths
@@ -388,13 +423,51 @@ func (t *Table) MustInsert(row Row) int {
 
 // Get returns a copy of the row with the given primary-key values.
 func (t *Table) Get(key ...Value) (Row, bool) {
+	return t.GetSnap(LatestSnap(), key...)
+}
+
+// GetSnap is Get as of a snapshot. When the pk mapping misses but the
+// table carries transactional residue it falls back to a scan: a
+// re-inserted key remaps the pk index to the newest slot, which an old
+// snapshot may not see even though an older version elsewhere matches.
+func (t *Table) GetSnap(sn Snap, key ...Value) (Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	slot, ok := t.pkSlotLocked(key)
-	if !ok {
+	if ok {
+		if r := t.visibleLocked(slot, sn); r != nil {
+			return r.Clone(), true
+		}
+	}
+	if len(t.vslots) == 0 || t.pkIndex == nil || len(key) != len(t.pk) {
 		return nil, false
 	}
-	return t.rows[slot].Clone(), true
+	norm := make([]Value, len(key))
+	for i, v := range key {
+		nv, err := Normalize(v)
+		if err != nil {
+			return nil, false
+		}
+		norm[i] = nv
+	}
+	if r, ok := t.pkFallbackLocked(sn, encodeKey(norm)); ok {
+		return r.Clone(), true
+	}
+	return nil, false
+}
+
+// pkFallbackLocked scans for the visible row carrying primary key want.
+// It backs up the pk mapping while transactional residue exists: a
+// re-inserted key remaps the index to the newest slot, which a given
+// snapshot (including the latest, while the re-insert is only staged)
+// may not see even though the version it can see lives in another slot.
+func (t *Table) pkFallbackLocked(sn Snap, want string) (Row, bool) {
+	for slot := range t.rows {
+		if r := t.visibleLocked(slot, sn); r != nil && t.pkKey(r) == want {
+			return r, true
+		}
+	}
+	return nil, false
 }
 
 // pkSlotLocked resolves primary-key values to a row slot; the caller
@@ -446,9 +519,26 @@ general:
 // Scan calls fn for every live row in slot order; fn returning false stops
 // the scan. The row passed to fn must not be mutated or retained.
 func (t *Table) Scan(fn func(slot int, row Row) bool) {
+	t.ScanSnap(LatestSnap(), fn)
+}
+
+// ScanSnap is Scan as of a snapshot.
+func (t *Table) ScanSnap(sn Snap, fn func(slot int, row Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for slot, r := range t.rows {
+	if sn.latest() && len(t.vslots) == 0 {
+		for slot, r := range t.rows {
+			if r == nil {
+				continue
+			}
+			if !fn(slot, r) {
+				return
+			}
+		}
+		return
+	}
+	for slot := range t.rows {
+		r := t.visibleLocked(slot, sn)
 		if r == nil {
 			continue
 		}
@@ -460,14 +550,11 @@ func (t *Table) Scan(fn func(slot int, row Row) bool) {
 
 // Rows returns copies of all live rows in slot order.
 func (t *Table) Rows() []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Row, 0, t.live)
-	for _, r := range t.rows {
-		if r != nil {
-			out = append(out, r.Clone())
-		}
-	}
+	out := make([]Row, 0, t.Len())
+	t.Scan(func(_ int, r Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
 	return out
 }
 
@@ -486,6 +573,13 @@ func (t *Table) SelectWhere(pred func(Row) bool) []Row {
 // Lookup returns copies of the rows whose named column equals v, using a
 // secondary index when one exists, and a scan otherwise.
 func (t *Table) Lookup(col string, v Value) []Row {
+	return t.LookupSnap(LatestSnap(), col, v)
+}
+
+// LookupSnap is Lookup as of a snapshot. Index entries over-approximate
+// when versions are retained, so hits re-validate against the resolved
+// row.
+func (t *Table) LookupSnap(sn Snap, col string, v Value) []Row {
 	nv, err := Normalize(v)
 	if err != nil {
 		return nil
@@ -498,7 +592,11 @@ func (t *Table) Lookup(col string, v Value) []Row {
 		sorted := append([]int(nil), slots...)
 		sort.Ints(sorted)
 		for _, s := range sorted {
-			out = append(out, t.rows[s].Clone())
+			r := t.visibleLocked(s, sn)
+			if r == nil || !Equal(r[ix.col], nv) {
+				continue
+			}
+			out = append(out, r.Clone())
 		}
 		t.mu.RUnlock()
 		return out
@@ -508,7 +606,14 @@ func (t *Table) Lookup(col string, v Value) []Row {
 	if !ok {
 		return nil
 	}
-	return t.SelectWhere(func(r Row) bool { return Equal(r[ci], nv) })
+	var out []Row
+	t.ScanSnap(sn, func(_ int, r Row) bool {
+		if Equal(r[ci], nv) {
+			out = append(out, r.Clone())
+		}
+		return true
+	})
+	return out
 }
 
 // LookupMany returns copies of the rows whose named column equals any
@@ -518,53 +623,8 @@ func (t *Table) Lookup(col string, v Value) []Row {
 // locking. NULL keys match nothing, mirroring SQL equality; with no
 // index on the column it degrades to a single scan.
 func (t *Table) LookupMany(col string, keys []Value) []Row {
-	want := make(map[string]bool, len(keys))
-	for _, k := range keys {
-		if k == nil {
-			continue
-		}
-		nk, err := Normalize(k)
-		if err != nil {
-			continue
-		}
-		want[encodeKey([]Value{nk})] = true
-	}
-	if len(want) == 0 {
-		return nil
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if ix, ok := t.indexes[strings.ToLower(col)]; ok {
-		var slots []int
-		for k := range want {
-			slots = append(slots, ix.slots[k]...)
-		}
-		sort.Ints(slots)
-		out := make([]Row, 0, len(slots))
-		prev := -1
-		for _, s := range slots {
-			if s == prev {
-				continue // same row reached via equal-encoding keys
-			}
-			prev = s
-			out = append(out, t.rows[s].Clone())
-		}
-		return out
-	}
-	ci, ok := t.schema.Index(col)
-	if !ok {
-		return nil
-	}
-	var out []Row
-	for _, r := range t.rows {
-		if r == nil || r[ci] == nil {
-			continue
-		}
-		if want[encodeKey([]Value{r[ci]})] {
-			out = append(out, r.Clone())
-		}
-	}
-	return out
+	refs := t.lookupManySnap(LatestSnap(), col, keys, true)
+	return refs
 }
 
 // GetMany returns copies of the rows matching the given primary keys —
@@ -573,12 +633,24 @@ func (t *Table) LookupMany(col string, keys []Value) []Row {
 // multi-key probes order rows exactly as a scan would; absent keys are
 // skipped.
 func (t *Table) GetMany(keys ...[]Value) []Row {
+	return t.getManySnap(LatestSnap(), keys, true)
+}
+
+// getManySnap is the shared body of the batch pk probes. Mappings can
+// be stale while versions are retained, so non-plain hits re-validate
+// the resolved row's key.
+func (t *Table) getManySnap(sn Snap, keys [][]Value, clone bool) []Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.pkIndex == nil {
 		return nil
 	}
 	slots := make([]int, 0, len(keys))
+	var wantKeys map[string]bool
+	fast := sn.latest() && len(t.vslots) == 0
+	if !fast {
+		wantKeys = make(map[string]bool, len(keys))
+	}
 	for _, key := range keys {
 		if len(key) != len(t.pk) {
 			continue
@@ -596,7 +668,11 @@ func (t *Table) GetMany(keys ...[]Value) []Row {
 		if bad {
 			continue
 		}
-		if slot, ok := t.pkIndex[encodeKey(norm)]; ok {
+		ek := encodeKey(norm)
+		if !fast {
+			wantKeys[ek] = true
+		}
+		if slot, ok := t.pkIndex[ek]; ok {
 			slots = append(slots, slot)
 		}
 	}
@@ -608,7 +684,32 @@ func (t *Table) GetMany(keys ...[]Value) []Row {
 			continue
 		}
 		prev = s
-		out = append(out, t.rows[s].Clone())
+		r := t.rows[s]
+		if !fast {
+			r = t.visibleLocked(s, sn)
+			if r == nil || !wantKeys[t.pkKey(r)] {
+				continue
+			}
+			delete(wantKeys, t.pkKey(r))
+		}
+		if clone {
+			r = r.Clone()
+		}
+		out = append(out, r)
+	}
+	// Keys the mapping could not resolve may still have a visible
+	// version in a displaced slot; see pkFallbackLocked. Fallback rows
+	// append after the mapped ones, so strict slot order is only kept
+	// while no key is displaced.
+	if !fast && len(wantKeys) > 0 && len(t.vslots) > 0 {
+		for want := range wantKeys {
+			if r, ok := t.pkFallbackLocked(sn, want); ok {
+				if clone {
+					r = r.Clone()
+				}
+				out = append(out, r)
+			}
+		}
 	}
 	return out
 }
@@ -620,13 +721,31 @@ func (t *Table) GetMany(keys ...[]Value) []Row {
 // grow it. Query executors batch through this to skip one allocation
 // per probed row.
 func (t *Table) GetRef(key ...Value) (Row, bool) {
+	return t.GetRefSnap(LatestSnap(), key...)
+}
+
+// GetRefSnap is GetRef as of a snapshot.
+func (t *Table) GetRefSnap(sn Snap, key ...Value) (Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	slot, ok := t.pkSlotLocked(key)
-	if !ok {
+	if ok {
+		if r := t.visibleLocked(slot, sn); r != nil {
+			return r, true
+		}
+	}
+	if len(t.vslots) == 0 || t.pkIndex == nil || len(key) != len(t.pk) {
 		return nil, false
 	}
-	return t.rows[slot], true
+	norm := make([]Value, len(key))
+	for i, v := range key {
+		nv, err := Normalize(v)
+		if err != nil {
+			return nil, false
+		}
+		norm[i] = nv
+	}
+	return t.pkFallbackLocked(sn, encodeKey(norm))
 }
 
 // LookupManyRef is LookupMany returning references to the stored rows
@@ -635,6 +754,19 @@ func (t *Table) GetRef(key ...Value) (Row, bool) {
 // where a copy would have been taken; see GetRef for why references
 // stay consistent.
 func (t *Table) LookupManyRef(col string, keys []Value) []Row {
+	return t.lookupManySnap(LatestSnap(), col, keys, false)
+}
+
+// LookupManyRefSnap is LookupManyRef as of a snapshot.
+func (t *Table) LookupManyRefSnap(sn Snap, col string, keys []Value) []Row {
+	return t.lookupManySnap(sn, col, keys, false)
+}
+
+// lookupManySnap is the shared body of the multi-key column probes.
+// Index hits resolve through the snapshot and, when the slot carries
+// residue, re-validate the probed value (retained entries
+// over-approximate the visible rows).
+func (t *Table) lookupManySnap(sn Snap, col string, keys []Value, clone bool) []Row {
 	want := make(map[string]bool, len(keys))
 	for _, k := range keys {
 		if k == nil {
@@ -659,12 +791,23 @@ func (t *Table) LookupManyRef(col string, keys []Value) []Row {
 		sort.Ints(slots)
 		out := make([]Row, 0, len(slots))
 		prev := -1
+		fast := sn.latest() && len(t.vslots) == 0
 		for _, s := range slots {
 			if s == prev {
 				continue // same row reached via equal-encoding keys
 			}
 			prev = s
-			out = append(out, t.rows[s])
+			r := t.rows[s]
+			if !fast {
+				r = t.visibleLocked(s, sn)
+				if r == nil || r[ix.col] == nil || !want[encodeKey([]Value{r[ix.col]})] {
+					continue
+				}
+			}
+			if clone {
+				r = r.Clone()
+			}
+			out = append(out, r)
 		}
 		return out
 	}
@@ -673,11 +816,18 @@ func (t *Table) LookupManyRef(col string, keys []Value) []Row {
 		return nil
 	}
 	var out []Row
-	for _, r := range t.rows {
+	fast := sn.latest() && len(t.vslots) == 0
+	for slot, r := range t.rows {
+		if !fast {
+			r = t.visibleLocked(slot, sn)
+		}
 		if r == nil || r[ci] == nil {
 			continue
 		}
 		if want[encodeKey([]Value{r[ci]})] {
+			if clone {
+				r = r.Clone()
+			}
 			out = append(out, r)
 		}
 	}
@@ -688,44 +838,12 @@ func (t *Table) LookupManyRef(col string, keys []Value) []Row {
 // of copies — same slot order and dedup. Rows must not be mutated; see
 // GetRef.
 func (t *Table) GetManyRef(keys ...[]Value) []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.pkIndex == nil {
-		return nil
-	}
-	slots := make([]int, 0, len(keys))
-	for _, key := range keys {
-		if len(key) != len(t.pk) {
-			continue
-		}
-		norm := make([]Value, len(key))
-		bad := false
-		for i, v := range key {
-			nv, err := Normalize(v)
-			if err != nil {
-				bad = true
-				break
-			}
-			norm[i] = nv
-		}
-		if bad {
-			continue
-		}
-		if slot, ok := t.pkIndex[encodeKey(norm)]; ok {
-			slots = append(slots, slot)
-		}
-	}
-	sort.Ints(slots)
-	out := make([]Row, 0, len(slots))
-	prev := -1
-	for _, s := range slots {
-		if s == prev {
-			continue
-		}
-		prev = s
-		out = append(out, t.rows[s])
-	}
-	return out
+	return t.getManySnap(LatestSnap(), keys, false)
+}
+
+// GetManyRefSnap is GetManyRef as of a snapshot.
+func (t *Table) GetManyRefSnap(sn Snap, keys ...[]Value) []Row {
+	return t.getManySnap(sn, keys, false)
 }
 
 // HasIndex reports whether a secondary index exists on the column.
@@ -745,78 +863,147 @@ func (t *Table) UpdateByKey(key []Value, set func(Row) Row) error {
 	if sb := t.store.Load(); sb != nil {
 		return t.updateByKeyDurable(sb.s, key, set)
 	}
+	seq, keep := t.clock.alloc()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, old, repl, err := t.updateByKeyLocked(key, set)
+	slot, old, repl, node, err := t.updateByKeyLocked(key, set, keep)
 	if err == nil {
+		t.sealUpdateLocked(slot, node, seq)
 		t.notifyLocked(MutUpdate, old, repl)
 	}
+	t.mu.Unlock()
+	t.clock.complete(seq)
 	return err
 }
 
 func (t *Table) updateByKeyDurable(s Storage, key []Value, set func(Row) Row) error {
 	s.BeginMutate()
+	seq, keep := t.clock.alloc()
 	t.mu.Lock()
-	slot, old, repl, err := t.updateByKeyLocked(key, set)
+	slot, old, repl, node, err := t.updateByKeyLocked(key, set, keep)
 	if err != nil {
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return err
 	}
 	lsn, err := s.LogMutations(t.name, []Mutation{{Kind: MutUpdate, Slot: slot, Row: repl}})
 	if err != nil {
-		t.applyUpdateSlot(slot, old)
+		if node != nil {
+			t.popHeadLocked(slot, node)
+		} else {
+			t.applyUpdateSlot(slot, old)
+		}
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return err
 	}
-	t.notifyLocked(MutUpdate, old, repl)
+	t.sealUpdateLocked(slot, node, seq)
+	t.queueNotifyLocked(lsn, MutUpdate, old, repl)
 	t.mu.Unlock()
+	t.clock.complete(seq)
 	s.EndMutate()
-	return s.WaitDurable(lsn)
+	werr := s.WaitDurable(lsn)
+	t.flushNotifies(lsn, werr, s)
+	return werr
+}
+
+// sealUpdateLocked stamps an applied autocommit update with its commit
+// seq: the new head begins at seq and the retained version (if any)
+// ends there.
+func (t *Table) sealUpdateLocked(slot int, node *rowVersion, seq uint64) {
+	t.meta[slot].begin = seq
+	if node != nil {
+		node.end = seq
+	}
 }
 
 // updateByKeyLocked performs the update under the write lock, returning
-// the slot plus the pre- and post-image rows for journaling/undo.
-func (t *Table) updateByKeyLocked(key []Value, set func(Row) Row) (int, Row, Row, error) {
+// the slot plus the pre- and post-image rows for journaling/undo. With
+// keep set the superseded version is pushed onto the slot's chain (and
+// returned) so active snapshots keep seeing it; the caller stamps it
+// via sealUpdateLocked once the write is final.
+func (t *Table) updateByKeyLocked(key []Value, set func(Row) Row, keep bool) (int, Row, Row, *rowVersion, error) {
 	if t.pkIndex == nil || len(key) != len(t.pk) {
-		return 0, nil, nil, fmt.Errorf("%w: table %s has no matching primary key", ErrNotFound, t.name)
+		return 0, nil, nil, nil, fmt.Errorf("%w: table %s has no matching primary key", ErrNotFound, t.name)
+	}
+	if len(t.vslots) > 0 {
+		t.gcLocked(t.clock.minActive())
 	}
 	norm := make([]Value, len(key))
 	for i, v := range key {
 		nv, err := Normalize(v)
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		norm[i] = nv
 	}
 	oldKey := encodeKey(norm)
 	slot, ok := t.pkIndex[oldKey]
 	if !ok {
-		return 0, nil, nil, fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
+		return 0, nil, nil, nil, fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
 	}
-	old := t.rows[slot]
+	if m := &t.meta[slot]; m.btx != 0 || m.etx != 0 {
+		t.countConflict()
+		return 0, nil, nil, nil, fmt.Errorf("relation: table %s key %v staged by an open transaction: %w", t.name, norm, ErrTxConflict)
+	}
+	old := t.visibleLocked(slot, LatestSnap())
+	if old == nil || t.pkKey(old) != oldKey {
+		return 0, nil, nil, nil, fmt.Errorf("%w: table %s key %v", ErrNotFound, t.name, norm)
+	}
 	repl, err := t.validate(set(old.Clone()))
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	newKey := t.pkKey(repl)
 	if newKey != oldKey {
-		if _, dup := t.pkIndex[newKey]; dup {
-			return 0, nil, nil, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+		if s, dup := t.pkIndex[newKey]; dup {
+			if r := t.visibleLocked(s, LatestSnap()); r != nil && t.pkKey(r) == newKey {
+				return 0, nil, nil, nil, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+			}
+			if m := &t.meta[s]; m.btx != 0 && t.pkKey(t.rows[s]) == newKey {
+				t.countConflict()
+				return 0, nil, nil, nil, fmt.Errorf("relation: table %s key staged by an open transaction: %w", t.name, ErrTxConflict)
+			}
 		}
-		delete(t.pkIndex, oldKey)
+		if !keep {
+			delete(t.pkIndex, oldKey)
+		}
 		t.pkIndex[newKey] = slot
 	}
-	for _, ix := range t.indexes {
-		ix.update(slot, old, repl)
-	}
-	for _, ix := range t.ordered {
-		ix.update(slot, old, repl)
-	}
-	t.rows[slot] = repl
+	node := t.applyUpdateVersionLocked(slot, old, repl, keep)
 	t.version++
-	return slot, old, repl, nil
+	return slot, old, repl, node, nil
+}
+
+// applyUpdateVersionLocked swaps repl in as slot's head. With keep set
+// the committed head goes onto the version chain (returned, unstamped)
+// and its index entries are retained; otherwise the indexes rekey in
+// place exactly as before MVCC.
+func (t *Table) applyUpdateVersionLocked(slot int, old, repl Row, keep bool) *rowVersion {
+	if !keep {
+		for _, ix := range t.indexes {
+			ix.update(slot, old, repl)
+		}
+		for _, ix := range t.ordered {
+			ix.update(slot, old, repl)
+		}
+		t.rows[slot] = repl
+		return nil
+	}
+	m := &t.meta[slot]
+	node := &rowVersion{row: old, begin: m.begin, prev: m.prev}
+	t.addEntriesLocked(slot, repl, nil)
+	t.rows[slot] = repl
+	m.begin, m.prev = 0, node
+	t.vslotAdd(slot)
+	return node
+}
+
+// appliedUpdate records one retained-version update for stamping/undo.
+type appliedUpdate struct {
+	slot int
+	node *rowVersion
 }
 
 // UpdateWhere applies set to every row satisfying pred and reports how
@@ -827,34 +1014,56 @@ func (t *Table) updateByKeyLocked(key []Value, set func(Row) Row) (int, Row, Row
 func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error) {
 	sb := t.store.Load()
 	if sb == nil {
+		seq, keep := t.clock.alloc()
 		t.mu.Lock()
-		defer t.mu.Unlock()
 		// Effects are collected only when an observer needs the pre/post
 		// image pairs; the unobserved path keeps its zero-allocation shape.
-		n, muts, undo, err := t.updateWhereLocked(pred, set, t.observedLocked())
+		n, muts, undo, ups, err := t.updateWhereLocked(pred, set, t.observedLocked(), keep)
+		for _, u := range ups {
+			t.sealUpdateLocked(u.slot, u.node, seq)
+		}
 		t.notifyUpdatesLocked(muts, undo)
+		t.mu.Unlock()
+		t.clock.complete(seq)
 		return n, err
 	}
 	s := sb.s
 	s.BeginMutate()
+	seq, keep := t.clock.alloc()
 	t.mu.Lock()
-	n, muts, undo, uerr := t.updateWhereLocked(pred, set, true)
+	n, muts, undo, ups, uerr := t.updateWhereLocked(pred, set, true, keep)
 	if n == 0 {
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return 0, uerr
 	}
 	lsn, err := s.LogMutations(t.name, muts)
 	if err != nil {
-		t.undoLocked(undo)
+		if len(ups) > 0 {
+			for i := len(ups) - 1; i >= 0; i-- {
+				t.popHeadLocked(ups[i].slot, ups[i].node)
+			}
+		} else {
+			t.undoLocked(undo)
+		}
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
 		return 0, err
 	}
-	t.notifyUpdatesLocked(muts, undo)
+	for _, u := range ups {
+		t.sealUpdateLocked(u.slot, u.node, seq)
+	}
+	for i := range muts {
+		t.queueNotifyLocked(lsn, MutUpdate, undo[i].Row, muts[i].Row)
+	}
 	t.mu.Unlock()
+	t.clock.complete(seq)
 	s.EndMutate()
-	if werr := s.WaitDurable(lsn); uerr == nil {
+	werr := s.WaitDurable(lsn)
+	t.flushNotifies(lsn, werr, s)
+	if uerr == nil {
 		uerr = werr
 	}
 	return n, uerr
@@ -863,84 +1072,232 @@ func (t *Table) UpdateWhere(pred func(Row) bool, set func(Row) Row) (int, error)
 // updateWhereLocked is UpdateWhere's body under the write lock. With
 // collect set it gathers the applied effects (post-images) and their
 // inverses (pre-images) for journaling and rollback; the memory path
-// skips both allocations.
-func (t *Table) updateWhereLocked(pred func(Row) bool, set func(Row) Row, collect bool) (int, []Mutation, []Mutation, error) {
+// skips both allocations. While transaction snapshots are active (keep,
+// or leftover residue) it routes through the version-retaining path and
+// additionally returns the applied slots/chain nodes for stamping.
+func (t *Table) updateWhereLocked(pred func(Row) bool, set func(Row) Row, collect, keep bool) (int, []Mutation, []Mutation, []appliedUpdate, error) {
+	if len(t.vslots) > 0 {
+		t.gcLocked(t.clock.minActive())
+	}
 	n := 0
 	var muts, undo []Mutation
-	for slot, r := range t.rows {
-		if r == nil || !pred(r) {
+	if !keep && len(t.vslots) == 0 {
+		for slot, r := range t.rows {
+			if r == nil || !pred(r) {
+				continue
+			}
+			repl, err := t.validate(set(r.Clone()))
+			if err != nil {
+				return n, muts, undo, nil, err
+			}
+			if t.pkIndex != nil {
+				oldKey, newKey := t.pkKey(r), t.pkKey(repl)
+				if oldKey != newKey {
+					if _, dup := t.pkIndex[newKey]; dup {
+						return n, muts, undo, nil, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+					}
+					delete(t.pkIndex, oldKey)
+					t.pkIndex[newKey] = slot
+				}
+			}
+			for _, ix := range t.indexes {
+				ix.update(slot, r, repl)
+			}
+			for _, ix := range t.ordered {
+				ix.update(slot, r, repl)
+			}
+			t.rows[slot] = repl
+			t.version++
+			n++
+			if collect {
+				muts = append(muts, Mutation{Kind: MutUpdate, Slot: slot, Row: repl})
+				undo = append(undo, Mutation{Kind: MutUpdate, Slot: slot, Row: r})
+			}
+		}
+		return n, muts, undo, nil, nil
+	}
+	// Version-retaining path: snapshots are active, so superseded
+	// versions go onto the chains and staged rows conflict.
+	var ups []appliedUpdate
+	for slot := range t.rows {
+		cur := t.visibleLocked(slot, LatestSnap())
+		if cur == nil || !pred(cur) {
 			continue
 		}
-		repl, err := t.validate(set(r.Clone()))
+		if m := &t.meta[slot]; m.btx != 0 || m.etx != 0 {
+			t.countConflict()
+			return n, muts, undo, ups, fmt.Errorf("relation: table %s slot %d staged by an open transaction: %w", t.name, slot, ErrTxConflict)
+		}
+		repl, err := t.validate(set(cur.Clone()))
 		if err != nil {
-			return n, muts, undo, err
+			return n, muts, undo, ups, err
 		}
 		if t.pkIndex != nil {
-			oldKey, newKey := t.pkKey(r), t.pkKey(repl)
+			oldKey, newKey := t.pkKey(cur), t.pkKey(repl)
 			if oldKey != newKey {
-				if _, dup := t.pkIndex[newKey]; dup {
-					return n, muts, undo, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+				if s, dup := t.pkIndex[newKey]; dup && s != slot {
+					if r := t.visibleLocked(s, LatestSnap()); r != nil && t.pkKey(r) == newKey {
+						return n, muts, undo, ups, fmt.Errorf("%w: table %s", ErrDuplicateKey, t.name)
+					}
 				}
-				delete(t.pkIndex, oldKey)
 				t.pkIndex[newKey] = slot
 			}
 		}
-		for _, ix := range t.indexes {
-			ix.update(slot, r, repl)
-		}
-		for _, ix := range t.ordered {
-			ix.update(slot, r, repl)
-		}
-		t.rows[slot] = repl
+		node := t.applyUpdateVersionLocked(slot, cur, repl, true)
 		t.version++
 		n++
+		ups = append(ups, appliedUpdate{slot: slot, node: node})
 		if collect {
 			muts = append(muts, Mutation{Kind: MutUpdate, Slot: slot, Row: repl})
-			undo = append(undo, Mutation{Kind: MutUpdate, Slot: slot, Row: r})
+			undo = append(undo, Mutation{Kind: MutUpdate, Slot: slot, Row: cur})
 		}
 	}
-	return n, muts, undo, nil
+	return n, muts, undo, ups, nil
 }
 
 // DeleteWhere removes every row satisfying pred and reports the count.
 // With attached Storage the batch is journaled as one record; if the
-// WAL rejects it the deletes are rolled back and 0 is reported (the
-// log poisons itself on write failure, so subsequent mutations surface
-// the error).
-func (t *Table) DeleteWhere(pred func(Row) bool) int {
+// WAL rejects it the deletes are rolled back and the error is returned
+// (previously this was silently reported as 0 rows). While transaction
+// snapshots are active, deleted versions are retained on their slots
+// until no snapshot can see them; a row staged by an open transaction
+// makes the statement fail with ErrTxConflict before any row is
+// removed.
+func (t *Table) DeleteWhere(pred func(Row) bool) (int, error) {
 	sb := t.store.Load()
 	if sb == nil {
+		seq, keep := t.clock.alloc()
 		t.mu.Lock()
-		defer t.mu.Unlock()
-		n, _, undo := t.deleteWhereLocked(pred, t.observedLocked())
-		t.notifyDeletesLocked(undo)
-		return n
+		if !keep && t.sweptPlainLocked() {
+			n, _, undo := t.deleteWhereLocked(pred, t.observedLocked())
+			t.notifyDeletesLocked(undo)
+			t.mu.Unlock()
+			t.clock.complete(seq)
+			return n, nil
+		}
+		slots, pre, err := t.deleteWhereVersionedLocked(pred)
+		if err != nil {
+			t.mu.Unlock()
+			t.clock.complete(seq)
+			return 0, err
+		}
+		t.sealDeletesLocked(slots, seq)
+		for _, r := range pre {
+			t.notifyLocked(MutDelete, r, nil)
+		}
+		t.mu.Unlock()
+		t.clock.complete(seq)
+		return len(slots), nil
 	}
 	s := sb.s
 	s.BeginMutate()
+	seq, keep := t.clock.alloc()
 	t.mu.Lock()
-	n, muts, undo := t.deleteWhereLocked(pred, true)
-	if n == 0 {
+	if !keep && t.sweptPlainLocked() {
+		n, muts, undo := t.deleteWhereLocked(pred, true)
+		if n == 0 {
+			t.mu.Unlock()
+			t.clock.complete(seq)
+			s.EndMutate()
+			return 0, nil
+		}
+		lsn, err := s.LogMutations(t.name, muts)
+		if err != nil {
+			t.undoLocked(undo)
+			t.mu.Unlock()
+			t.clock.complete(seq)
+			s.EndMutate()
+			return 0, err
+		}
+		for _, u := range undo {
+			t.queueNotifyLocked(lsn, MutDelete, u.Row, nil)
+		}
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
-		return 0
+		werr := s.WaitDurable(lsn)
+		t.flushNotifies(lsn, werr, s)
+		return n, werr
+	}
+	// Version-retaining path: nothing is applied until the WAL accepts
+	// the record, so a rejection needs no undo.
+	slots, pre, err := t.deleteWhereVersionedLocked(pred)
+	if err != nil || len(slots) == 0 {
+		t.mu.Unlock()
+		t.clock.complete(seq)
+		s.EndMutate()
+		return 0, err
+	}
+	muts := make([]Mutation, len(slots))
+	for i, slot := range slots {
+		muts[i] = Mutation{Kind: MutDelete, Slot: slot}
 	}
 	lsn, err := s.LogMutations(t.name, muts)
 	if err != nil {
-		t.undoLocked(undo)
 		t.mu.Unlock()
+		t.clock.complete(seq)
 		s.EndMutate()
-		return 0
+		return 0, err
 	}
-	t.notifyDeletesLocked(undo)
+	t.sealDeletesLocked(slots, seq)
+	for _, r := range pre {
+		t.queueNotifyLocked(lsn, MutDelete, r, nil)
+	}
 	t.mu.Unlock()
+	t.clock.complete(seq)
 	s.EndMutate()
-	s.WaitDurable(lsn)
-	return n
+	werr := s.WaitDurable(lsn)
+	t.flushNotifies(lsn, werr, s)
+	return len(slots), werr
 }
 
-// deleteWhereLocked is DeleteWhere's body under the write lock; with
-// collect set it gathers effects and their inverses for journaling.
+// sweptPlainLocked sweeps residue and reports whether every slot came
+// out plain — the precondition for the legacy physical-delete path.
+func (t *Table) sweptPlainLocked() bool {
+	if len(t.vslots) > 0 {
+		t.gcLocked(t.clock.minActive())
+	}
+	return len(t.vslots) == 0
+}
+
+// deleteWhereVersionedLocked collects the latest-visible rows matching
+// pred without applying anything; sealDeletesLocked makes them dead.
+// A matching row staged by an open transaction aborts the statement.
+func (t *Table) deleteWhereVersionedLocked(pred func(Row) bool) ([]int, []Row, error) {
+	var slots []int
+	var pre []Row
+	for slot := range t.rows {
+		cur := t.visibleLocked(slot, LatestSnap())
+		if cur == nil || !pred(cur) {
+			continue
+		}
+		if m := &t.meta[slot]; m.btx != 0 || m.etx != 0 {
+			t.countConflict()
+			return nil, nil, fmt.Errorf("relation: table %s slot %d staged by an open transaction: %w", t.name, slot, ErrTxConflict)
+		}
+		slots = append(slots, slot)
+		pre = append(pre, cur)
+	}
+	return slots, pre, nil
+}
+
+// sealDeletesLocked stamps the collected slots dead at seq, retaining
+// their versions (rows, index entries, pk mappings) for snapshots that
+// still see them; GC reclaims the slots once no snapshot can.
+func (t *Table) sealDeletesLocked(slots []int, seq uint64) {
+	for _, slot := range slots {
+		m := &t.meta[slot]
+		m.end = seq
+		t.vslotAdd(slot)
+		t.live--
+		t.version++
+	}
+}
+
+// deleteWhereLocked is DeleteWhere's physical body under the write
+// lock; with collect set it gathers effects and their inverses for
+// journaling. Only valid when every slot is plain (no active
+// snapshots).
 func (t *Table) deleteWhereLocked(pred func(Row) bool, collect bool) (int, []Mutation, []Mutation) {
 	n := 0
 	var muts, undo []Mutation
@@ -979,13 +1336,17 @@ func (t *Table) deleteWhereLocked(pred func(Row) bool, collect bool) (int, []Mut
 // Caller holds the write lock.
 
 // applyInsertSlot places r at slot, growing the row slice as needed.
+// Replayed rows carry the "ancient" begin stamp: recovery runs with no
+// live snapshots, so every recovered row predates every future one.
 func (t *Table) applyInsertSlot(slot int, r Row) error {
 	for len(t.rows) <= slot {
 		t.rows = append(t.rows, nil)
+		t.meta = append(t.meta, slotMeta{})
 	}
 	if t.rows[slot] != nil {
 		return fmt.Errorf("relation: table %s replay insert into occupied slot %d", t.name, slot)
 	}
+	t.meta[slot] = slotMeta{begin: 1}
 	for i, s := range t.free {
 		if s == slot {
 			t.free[i] = t.free[len(t.free)-1]
@@ -1029,6 +1390,7 @@ func (t *Table) applyUpdateSlot(slot int, repl Row) error {
 		ix.update(slot, old, repl)
 	}
 	t.rows[slot] = repl
+	t.meta[slot] = slotMeta{begin: 1}
 	t.version++
 	t.bumpAutoLocked(repl)
 	return nil
@@ -1039,6 +1401,7 @@ func (t *Table) applyDeleteSlot(slot int) error {
 	if slot < 0 || slot >= len(t.rows) || t.rows[slot] == nil {
 		return fmt.Errorf("relation: table %s replay delete of dead slot %d", t.name, slot)
 	}
+	t.meta[slot] = slotMeta{}
 	r := t.rows[slot]
 	if t.pkIndex != nil {
 		delete(t.pkIndex, t.pkKey(r))
@@ -1084,12 +1447,19 @@ func (t *Table) bumpAutoLocked(r Row) {
 
 // rebuildFreeLocked recomputes the free list from the tombstones —
 // recovery's final step, after snapshot load and replay both poked
-// slots directly.
+// slots directly. It also squares up the meta slice with the rows
+// (recovered rows carry the ancient begin stamp).
 func (t *Table) rebuildFreeLocked() {
 	t.free = t.free[:0]
+	for len(t.meta) < len(t.rows) {
+		t.meta = append(t.meta, slotMeta{})
+	}
 	for slot, r := range t.rows {
 		if r == nil {
 			t.free = append(t.free, slot)
+			t.meta[slot] = slotMeta{}
+		} else if t.meta[slot].begin == 0 {
+			t.meta[slot] = slotMeta{begin: 1}
 		}
 	}
 }

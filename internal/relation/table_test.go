@@ -148,7 +148,7 @@ func TestDeleteWhereAndSlotReuse(t *testing.T) {
 	tbl.MustInsert(Row{nil, "Ann", "2008", 3.9})
 	tbl.MustInsert(Row{nil, "Bob", "2009", 3.1})
 	tbl.MustInsert(Row{nil, "Cal", "2008", 3.4})
-	if n := tbl.DeleteWhere(func(r Row) bool { return r[2] == "2008" }); n != 2 {
+	if n, _ := tbl.DeleteWhere(func(r Row) bool { return r[2] == "2008" }); n != 2 {
 		t.Fatalf("DeleteWhere = %d, want 2", n)
 	}
 	if tbl.Len() != 1 {

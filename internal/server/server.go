@@ -7,16 +7,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 
+	"courserank/internal/catalog"
 	"courserank/internal/cloud"
 	"courserank/internal/comments"
 	"courserank/internal/community"
 	"courserank/internal/core"
 	"courserank/internal/matview"
+	"courserank/internal/relation"
 	"courserank/internal/render"
 )
 
@@ -38,6 +41,7 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("GET /api/plan", s.auth(s.handlePlan))
 	s.mux.HandleFunc("POST /api/comment", s.auth(s.handleComment))
 	s.mux.HandleFunc("POST /api/rate", s.auth(s.handleRate))
+	s.mux.HandleFunc("POST /api/review", s.auth(s.handleReview))
 	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
 	s.mux.HandleFunc("GET /api/explain/{strategy}", s.auth(s.handleExplain))
 	s.mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
@@ -223,6 +227,49 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, u communi
 	writeJSON(w, http.StatusOK, map[string]int64{"commentId": id})
 }
 
+// handleReview runs the atomic enroll+comment+rate workflow for the
+// logged-in student: all three writes commit in one snapshot-isolation
+// transaction or none do. A concurrent submission for the same student
+// (two devices racing) loses first-committer-wins and reports 409 so
+// the client can retry.
+func (s *Server) handleReview(w http.ResponseWriter, r *http.Request, u community.User) {
+	var req struct {
+		CourseID int64   `json:"courseId"`
+		Year     int64   `json:"year"`
+		Term     string  `json:"term"`
+		Grade    string  `json:"grade"`
+		Text     string  `json:"text"`
+		Rating   float64 `json:"rating"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.site.EnrollCommentRate(core.Review{
+		SuID: u.ID, CourseID: req.CourseID, Year: req.Year,
+		Term: catalog.Term(req.Term), Grade: catalog.Grade(req.Grade),
+		Text: req.Text, Rating: req.Rating,
+	})
+	if err != nil {
+		if errors.Is(err, relation.ErrTxConflict) {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, award := range []struct {
+		kind   string
+		points int
+	}{{"comment", community.PointsComment}, {"rating", community.PointsRating}} {
+		if err := s.site.Community.Award(u.ID, award.kind, award.points, ""); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"commentId": id})
+}
+
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, u community.User) {
 	var req struct {
 		CourseID int64   `json:"courseId"`
@@ -342,6 +389,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community
 			"errors":        mv.Errors,
 		},
 		"scale": s.site.Scale(),
+	}
+	// Transaction health: active snapshots, commit/abort totals, lost
+	// first-committer-wins races, and the observer-delivery durability
+	// window (see relation.TxStats / DB.NotifyStats).
+	tst := s.site.DB.TxStats()
+	unconfirmed, dropped := s.site.DB.NotifyStats()
+	out["transactions"] = map[string]any{
+		"active":            tst.Active,
+		"committed":         tst.Committed,
+		"aborted":           tst.Aborted,
+		"conflicts":         tst.Conflicts,
+		"notifyUnconfirmed": unconfirmed,
+		"notifyDropped":     dropped,
 	}
 	// Durable deployments additionally report storage health: WAL
 	// append/sync/group-commit tallies, pager cache behavior, and the

@@ -145,6 +145,63 @@ func TestCourseAndPlanEndpoints(t *testing.T) {
 	}
 }
 
+func TestReviewEndpoint(t *testing.T) {
+	ts, site, man := testServer(t)
+	token := login(t, ts, "stu00007")
+	u, _ := site.Community.UserByUsername("stu00007")
+	before := site.Community.Points(u.ID)
+	baseEnrolls := len(site.Planner.Entries(u.ID))
+	course := man.Planted["intro-programming"]
+
+	resp := postJSON(t, ts.URL+"/api/review?token="+token, map[string]any{
+		"courseId": course, "year": 2008, "term": "Autumn", "grade": "A",
+		"text": "exactly as advertised", "rating": 4,
+	})
+	out := decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("review status = %d (%v)", resp.StatusCode, out)
+	}
+	if out["commentId"].(float64) <= 0 {
+		t.Errorf("commentId = %v", out["commentId"])
+	}
+	// All three writes landed: enrollment, comment, standalone rating.
+	if n := len(site.Planner.Entries(u.ID)) - baseEnrolls; n != 1 {
+		t.Errorf("new enrollments = %d, want 1", n)
+	}
+	if n := len(site.Comments.ByCourse(course)); n == 0 {
+		t.Error("comment missing")
+	}
+	if _, n := site.Comments.AvgRating(course); n == 0 {
+		t.Error("rating missing")
+	}
+	// Comment (2) + rating (1) points awarded together.
+	if got := site.Community.Points(u.ID) - before; got != 3 {
+		t.Errorf("points earned = %d, want 3", got)
+	}
+	// The transaction counters moved and the workflow committed.
+	if st := site.DB.TxStats(); st.Committed == 0 || st.Active != 0 {
+		t.Errorf("tx stats after review = %+v", st)
+	}
+
+	// A duplicate submission is rejected whole: no second enrollment,
+	// no orphan comment, no points.
+	before = site.Community.Points(u.ID)
+	resp = postJSON(t, ts.URL+"/api/review?token="+token, map[string]any{
+		"courseId": course, "year": 2008, "term": "Autumn",
+		"text": "double-posted by accident", "rating": 2,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate review status = %d", resp.StatusCode)
+	}
+	if n := len(site.Planner.Entries(u.ID)) - baseEnrolls; n != 1 {
+		t.Errorf("new enrollments after duplicate = %d, want 1", n)
+	}
+	if got := site.Community.Points(u.ID) - before; got != 0 {
+		t.Errorf("points after rejected review = %d, want 0", got)
+	}
+}
+
 func TestCommentRateAndPoints(t *testing.T) {
 	ts, site, man := testServer(t)
 	token := login(t, ts, "stu00005")
@@ -299,6 +356,18 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if _, ok := out["sharding"]; ok {
 		t.Errorf("monolithic site should not report sharding: %v", out["sharding"])
+	}
+	tx, ok := out["transactions"].(map[string]any)
+	if !ok {
+		t.Fatalf("no transactions in %v", out)
+	}
+	for _, key := range []string{"active", "committed", "aborted", "conflicts", "notifyUnconfirmed", "notifyDropped"} {
+		if _, ok := tx[key]; !ok {
+			t.Errorf("transactions missing %q: %v", key, tx)
+		}
+	}
+	if active := tx["active"].(float64); active != 0 {
+		t.Errorf("idle site reports %v active transactions", active)
 	}
 }
 

@@ -29,6 +29,7 @@ type Cluster struct {
 	// window between the copy and the observers attaching.
 	splitSrc  *relation.DB
 	splitVers map[string]uint64
+	base      *relation.DB // followed base database, for its notify counters
 
 	fastPath     atomic.Uint64
 	replicated   atomic.Uint64
@@ -166,6 +167,7 @@ func cloneEmpty(t *relation.Table) (*relation.Table, error) {
 // saw — and counted in Stats.ApplyErrors, since the shards have
 // diverged from the base exactly as if a propagation had failed.
 func (c *Cluster) FollowBase(src *relation.DB) {
+	c.base = src
 	for _, name := range src.Names() {
 		t := src.MustTable(name)
 		name := name
@@ -237,14 +239,14 @@ func (c *Cluster) applyDelete(shard int, table string, row relation.Row) {
 		return
 	}
 	done := false
-	n := t.DeleteWhere(func(r relation.Row) bool {
+	n, err := t.DeleteWhere(func(r relation.Row) bool {
 		if done || !rowsEqual(r, row) {
 			return false
 		}
 		done = true
 		return true
 	})
-	if n != 1 {
+	if err != nil || n != 1 {
 		c.applyErrors.Add(1)
 	}
 }

@@ -417,12 +417,12 @@ func evalRangeBounds(s *scanNode, rs *rowset) (lo, hi *relation.RangeBound, empt
 	return lo, hi, false, nil
 }
 
-// probeRows materializes a pk-lookup or index-probe access: the result
-// is bounded by the probe keys, so nothing is gained by streaming it.
-// Fetched rows are references (GetRef/GetManyRef/LookupManyRef) — the
+// probeRows materializes a pk-lookup or index-probe access as of sn:
+// the result is bounded by the probe keys, so nothing is gained by
+// streaming it. Fetched rows are references (the *RefSnap family) — the
 // projection stages copy cells out before anything escapes the engine.
 // Pushed residual filters apply before returning.
-func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, error) {
+func probeRows(s *scanNode, t *relation.Table, rs *rowset, sn relation.Snap) ([]relation.Row, error) {
 	var rows []relation.Row
 	switch s.access {
 	case accessPK:
@@ -438,7 +438,7 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 					keys = append(keys, []relation.Value{v})
 				}
 			}
-			rows = t.GetManyRef(keys...)
+			rows = t.GetManyRefSnap(sn, keys...)
 			break
 		}
 		keys := make([]relation.Value, len(s.probeKeys))
@@ -452,7 +452,7 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 			}
 			keys[i] = v
 		}
-		if row, found := t.GetRef(keys...); found {
+		if row, found := t.GetRefSnap(sn, keys...); found {
 			rows = append(rows, row)
 		}
 	case accessIndex:
@@ -466,7 +466,7 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset) ([]relation.Row, erro
 				keys = append(keys, v)
 			}
 		}
-		rows = t.LookupManyRef(s.probeCol, keys)
+		rows = t.LookupManyRefSnap(sn, s.probeCol, keys)
 	}
 	if len(s.filter) > 0 {
 		kept, err := filterRows(s.filter, rows, rows[:0], rs)
@@ -494,7 +494,7 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 	rs := &rowset{cols: s.cols}
 	switch s.access {
 	case accessPK, accessIndex:
-		rows, err := probeRows(s, t, rs)
+		rows, err := probeRows(s, t, rs, e.snap())
 		if err != nil {
 			return nil, err
 		}
@@ -508,10 +508,10 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 			return &sliceCursor{}, nil
 		}
 		if s.rangeDesc {
-			if dc, ok := t.NewDescCursor(s.rangeCol, lo, hi); ok {
+			if dc, ok := t.NewDescCursorSnap(e.snap(), s.rangeCol, lo, hi); ok {
 				return &batchScanCursor{src: dc, rs: rs, filter: s.filter, batchN: e.batch()}, nil
 			}
-		} else if rc, ok := t.NewRangeCursor(s.rangeCol, lo, hi); ok {
+		} else if rc, ok := t.NewRangeCursorSnap(e.snap(), s.rangeCol, lo, hi); ok {
 			return &batchScanCursor{src: rc, rs: rs, filter: s.filter, batchN: e.batch()}, nil
 		}
 		// The ordered index vanished beneath a replaced table: degrade
@@ -525,7 +525,7 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 			return nil, err
 		}
 		check := &rangeCheck{col: ci, lo: lo, hi: hi}
-		cur := cursor(&batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, check: check, batchN: e.batch()})
+		cur := cursor(&batchScanCursor{src: t.NewScanCursorSnap(e.snap()), rs: rs, filter: s.filter, check: check, batchN: e.batch()})
 		if keyOrder {
 			rows, err := drainCursor(cur, int(s.est))
 			if err != nil {
@@ -536,7 +536,7 @@ func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
 		}
 		return cur, nil
 	default:
-		return &batchScanCursor{src: t.NewScanCursor(), rs: rs, filter: s.filter, batchN: e.batch()}, nil
+		return &batchScanCursor{src: t.NewScanCursorSnap(e.snap()), rs: rs, filter: s.filter, batchN: e.batch()}, nil
 	}
 }
 
@@ -887,9 +887,9 @@ func (c *inljCursor) fillBatch() error {
 			for i, v := range keys {
 				pkKeys[i] = []relation.Value{v}
 			}
-			fetched = t.GetManyRef(pkKeys...)
+			fetched = t.GetManyRefSnap(c.e.snap(), pkKeys...)
 		} else {
-			fetched = t.LookupManyRef(c.jn.inljCol, keys)
+			fetched = t.LookupManyRefSnap(c.e.snap(), c.jn.inljCol, keys)
 		}
 	}
 	// The right side's pushed filters still apply to fetched rows, then
@@ -1205,7 +1205,7 @@ func (c *bandJoinCursor) probe(l relation.Row) error {
 		c.t = t
 	}
 	if !c.fellBack {
-		rc, ok := c.t.NewRangeCursor(c.jn.bandCol,
+		rc, ok := c.t.NewRangeCursorSnap(c.e.snap(), c.jn.bandCol,
 			&relation.RangeBound{Value: lo, Inclusive: true},
 			&relation.RangeBound{Value: hi, Inclusive: true})
 		if ok {
@@ -1230,7 +1230,7 @@ func (c *bandJoinCursor) probe(l relation.Row) error {
 		}
 		// The ordered index vanished: materialize the right side once and
 		// select per left row from the sorted snapshot.
-		rows, err := drainCursor(&batchScanCursor{src: c.t.NewScanCursor(), rs: c.rightRS, filter: c.jn.scan.filter, batchN: c.e.batch()}, int(c.jn.scan.est))
+		rows, err := drainCursor(&batchScanCursor{src: c.t.NewScanCursorSnap(c.e.snap()), rs: c.rightRS, filter: c.jn.scan.filter, batchN: c.e.batch()}, int(c.jn.scan.est))
 		if err != nil {
 			return err
 		}

@@ -17,7 +17,8 @@ type Engine struct {
 	db        *relation.DB
 	cache     *PlanCache
 	forceScan bool
-	batchSize int // 0 means defaultBatch
+	batchSize int          // 0 means defaultBatch
+	tx        *relation.Tx // non-nil on a transaction-bound handle (see txn.go)
 }
 
 // New returns an engine bound to db with a fresh plan cache.
@@ -62,6 +63,15 @@ func (e *Engine) batch() int {
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *relation.DB { return e.db }
+
+// snap is the visibility snapshot this handle reads under: the bound
+// transaction's snapshot, or the latest-committed state.
+func (e *Engine) snap() relation.Snap {
+	if e.tx != nil {
+		return e.tx.Snapshot()
+	}
+	return relation.LatestSnap()
+}
 
 // Result is a materialized query result.
 type Result struct {
@@ -121,6 +131,8 @@ func (e *Engine) execEntry(en *cacheEntry, args []any) (int, error) {
 		return e.execDelete(s)
 	case *CreateStmt:
 		return 0, e.execCreate(s)
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return 0, fmt.Errorf("sqlmini: transaction control needs a stateful endpoint — use Session, or Engine.BeginTx")
 	}
 	return 0, fmt.Errorf("sqlmini: unsupported statement %T", en.ast)
 }
@@ -297,7 +309,7 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 			return nil, fmt.Errorf("sqlmini: unknown table %q", plan.scan.ref.Name)
 		}
 		var err error
-		drained, err = probeRows(plan.scan, t, &rowset{cols: plan.scan.cols})
+		drained, err = probeRows(plan.scan, t, &rowset{cols: plan.scan.cols}, e.snap())
 		if err != nil {
 			return nil, err
 		}
@@ -567,7 +579,13 @@ func (e *Engine) execInsert(st *InsertStmt) (int, error) {
 				row[ci] = vals[i]
 			}
 		}
-		if _, err := t.Insert(row); err != nil {
+		var err error
+		if e.tx != nil {
+			_, err = e.tx.Insert(t, row)
+		} else {
+			_, err = t.Insert(row)
+		}
+		if err != nil {
 			return n, err
 		}
 		n++
@@ -628,7 +646,13 @@ func (e *Engine) execUpdate(st *UpdateStmt) (int, error) {
 		}
 		return row
 	}
-	n, err := t.UpdateWhere(pred, set)
+	var n int
+	var err error
+	if e.tx != nil {
+		n, err = e.tx.UpdateWhere(t, pred, set)
+	} else {
+		n, err = t.UpdateWhere(pred, set)
+	}
 	if err != nil {
 		return n, err
 	}
@@ -642,7 +666,7 @@ func (e *Engine) execDelete(st *DeleteStmt) (int, error) {
 	}
 	rs := tableRowset(t)
 	var evalErr error
-	n := t.DeleteWhere(func(row relation.Row) bool {
+	pred := func(row relation.Row) bool {
 		if st.Where == nil {
 			return true
 		}
@@ -652,11 +676,24 @@ func (e *Engine) execDelete(st *DeleteStmt) (int, error) {
 			return false
 		}
 		return relation.Truthy(v)
-	})
+	}
+	var n int
+	var err error
+	if e.tx != nil {
+		n, err = e.tx.DeleteWhere(t, pred)
+	} else {
+		n, err = t.DeleteWhere(pred)
+	}
+	if err != nil {
+		return n, err
+	}
 	return n, evalErr
 }
 
 func (e *Engine) execCreate(st *CreateStmt) error {
+	if e.tx != nil {
+		return fmt.Errorf("sqlmini: CREATE TABLE is not allowed inside a transaction")
+	}
 	opts := []relation.TableOption{}
 	if len(st.PK) > 0 {
 		opts = append(opts, relation.WithPrimaryKey(st.PK...))

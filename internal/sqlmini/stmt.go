@@ -418,7 +418,10 @@ func (r *Rows) Scan(dest ...any) error {
 	return nil
 }
 
-// assignValue converts one result cell into a Scan destination.
+// assignValue converts one result cell into a Scan destination. Every
+// typed destination reports NULL cells and type mismatches with the
+// same two error shapes, so callers can branch on the message
+// uniformly regardless of the destination's type.
 func assignValue(dest any, v relation.Value) error {
 	switch d := dest.(type) {
 	case *any:
@@ -427,6 +430,11 @@ func assignValue(dest any, v relation.Value) error {
 	case *int64:
 		if n, ok := v.(int64); ok {
 			*d = n
+			return nil
+		}
+	case *int:
+		if n, ok := v.(int64); ok {
+			*d = int(n)
 			return nil
 		}
 	case *float64:
@@ -441,6 +449,11 @@ func assignValue(dest any, v relation.Value) error {
 	case *string:
 		if s, ok := v.(string); ok {
 			*d = s
+			return nil
+		}
+	case *[]byte:
+		if s, ok := v.(string); ok {
+			*d = []byte(s)
 			return nil
 		}
 	case *bool:

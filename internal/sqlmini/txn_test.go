@@ -1,0 +1,249 @@
+package sqlmini
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"courserank/internal/relation"
+)
+
+func TestTxSnapshotReads(t *testing.T) {
+	e := testDB(t)
+	tx := e.BeginTx()
+	defer tx.Rollback()
+
+	if _, err := e.Exec(`INSERT INTO Students VALUES (500, 'Zed', '2011', 2.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Query(`SELECT COUNT(*) FROM Students`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 3 {
+		t.Fatalf("tx sees %d students, want the 3 from its snapshot", got)
+	}
+	res = mustQuery(t, e, `SELECT COUNT(*) FROM Students`)
+	if got := res.Rows[0][0].(int64); got != 4 {
+		t.Fatalf("autocommit sees %d students, want 4", got)
+	}
+}
+
+func TestTxReadYourOwnWritesSQL(t *testing.T) {
+	e := testDB(t)
+	tx := e.BeginTx()
+	defer tx.Rollback()
+
+	if _, err := tx.Exec(`INSERT INTO Students VALUES (501, 'Tx', '2012', 3.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tx.Exec(`UPDATE Students SET GPA = 4.0 WHERE SuID = 444`); err != nil || n != 1 {
+		t.Fatalf("UPDATE in tx = %d, %v", n, err)
+	}
+	res, err := tx.Query(`SELECT Name, GPA FROM Students WHERE SuID IN (444, 501) ORDER BY SuID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].(float64) != 4.0 || res.Rows[1][0] != "Tx" {
+		t.Fatalf("tx reads = %v", res.Rows)
+	}
+	// Invisible outside.
+	res = mustQuery(t, e, `SELECT GPA FROM Students WHERE SuID = 444`)
+	if res.Rows[0][0].(float64) != 3.8 {
+		t.Fatalf("autocommit sees uncommitted GPA %v", res.Rows[0][0])
+	}
+	if res := mustQuery(t, e, `SELECT * FROM Students WHERE SuID = 501`); len(res.Rows) != 0 {
+		t.Fatal("autocommit sees uncommitted insert")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res = mustQuery(t, e, `SELECT GPA FROM Students WHERE SuID = 444`)
+	if res.Rows[0][0].(float64) != 4.0 {
+		t.Fatalf("committed GPA not visible: %v", res.Rows[0][0])
+	}
+}
+
+func TestTxConflictSQL(t *testing.T) {
+	e := testDB(t)
+	tx1 := e.BeginTx()
+	tx2 := e.BeginTx()
+	defer tx1.Rollback()
+	defer tx2.Rollback()
+
+	if _, err := tx1.Exec(`UPDATE Students SET GPA = 1.0 WHERE SuID = 444`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tx2.Exec(`UPDATE Students SET GPA = 2.0 WHERE SuID = 444`)
+	if !errors.Is(err, relation.ErrTxConflict) {
+		t.Fatalf("second writer got %v, want ErrTxConflict", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, relation.ErrTxConflict) {
+		t.Fatalf("poisoned commit = %v", err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxPreparedStatements(t *testing.T) {
+	e := testDB(t)
+	get, err := e.Prepare(`SELECT Name FROM Students WHERE SuID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.Prepare(`UPDATE Students SET Name = ? WHERE SuID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := e.BeginTx()
+	defer tx.Rollback()
+	if n, err := set.ExecTx(tx, "Renamed", int64(444)); err != nil || n != 1 {
+		t.Fatalf("ExecTx = %d, %v", n, err)
+	}
+	res, err := get.QueryTx(tx, int64(444))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "Renamed" {
+		t.Fatalf("QueryTx = %v", res.Rows[0][0])
+	}
+	// The same prepared statement outside the tx sees the old name.
+	res, err = get.Query(int64(444))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "Sally" {
+		t.Fatalf("autocommit Query through shared stmt = %v", res.Rows[0][0])
+	}
+	// Streaming inside the tx.
+	rows, err := get.QueryRowsTx(tx, int64(444))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	if !rows.Next() {
+		t.Fatal("no streamed row")
+	}
+	if err := rows.Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if name != "Renamed" {
+		t.Fatalf("streamed name = %q", name)
+	}
+}
+
+func TestTxDDLRejected(t *testing.T) {
+	e := testDB(t)
+	tx := e.BeginTx()
+	defer tx.Rollback()
+	if _, err := tx.Exec(`CREATE TABLE T (A INT)`); err == nil || !strings.Contains(err.Error(), "not allowed inside a transaction") {
+		t.Fatalf("CREATE in tx = %v", err)
+	}
+	// Stateless engines reject transaction control with a pointer to the
+	// stateful surfaces.
+	if _, err := e.Exec(`BEGIN`); err == nil || !strings.Contains(err.Error(), "stateful endpoint") {
+		t.Fatalf("Exec(BEGIN) = %v", err)
+	}
+}
+
+func TestSessionTransactionControl(t *testing.T) {
+	e := testDB(t)
+	s := NewSession(e)
+	defer s.Close()
+
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if !s.InTx() {
+		t.Fatal("InTx = false after BEGIN")
+	}
+	if _, err := s.Exec(`BEGIN`); err == nil {
+		t.Fatal("nested BEGIN allowed")
+	}
+	if _, err := s.Exec(`INSERT INTO Students VALUES (600, 'Sess', '2013', 3.3)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT COUNT(*) FROM Students`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 4 {
+		t.Fatalf("session in-tx count = %v", res.Rows[0][0])
+	}
+	if _, err := s.Exec(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	if s.InTx() {
+		t.Fatal("InTx = true after ROLLBACK")
+	}
+	if res := mustQuery(t, e, `SELECT * FROM Students WHERE SuID = 600`); len(res.Rows) != 0 {
+		t.Fatal("rolled-back session insert visible")
+	}
+
+	if _, err := s.Exec(`START TRANSACTION`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO Students VALUES (601, 'Durable', '2013', 3.4)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	if res := mustQuery(t, e, `SELECT Name FROM Students WHERE SuID = 601`); len(res.Rows) != 1 {
+		t.Fatal("committed session insert missing")
+	}
+	if _, err := s.Exec(`COMMIT`); err == nil {
+		t.Fatal("COMMIT outside a transaction allowed")
+	}
+	if _, err := s.Exec(`ROLLBACK`); err == nil {
+		t.Fatal("ROLLBACK outside a transaction allowed")
+	}
+}
+
+func TestSessionCloseRollsBack(t *testing.T) {
+	e := testDB(t)
+	s := NewSession(e)
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`DELETE FROM Students WHERE SuID = 444`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res := mustQuery(t, e, `SELECT * FROM Students WHERE SuID = 444`); len(res.Rows) != 1 {
+		t.Fatal("Close did not roll back the open transaction")
+	}
+}
+
+func TestAssignValueDestinations(t *testing.T) {
+	var i int
+	var i64 int64
+	var b []byte
+	if err := assignValue(&i, relation.Value(int64(7))); err != nil || i != 7 {
+		t.Fatalf("*int: %v (i=%d)", err, i)
+	}
+	if err := assignValue(&b, relation.Value("blob")); err != nil || string(b) != "blob" {
+		t.Fatalf("*[]byte: %v (b=%q)", err, b)
+	}
+	// NULL and mismatch errors are uniform across destination types.
+	for _, dest := range []any{&i, &i64, &b, new(string), new(bool), new(float64)} {
+		err := assignValue(dest, nil)
+		if err == nil || !strings.Contains(err.Error(), "NULL into") {
+			t.Fatalf("NULL into %T: %v", dest, err)
+		}
+	}
+	for _, dest := range []any{&i, &i64, new(bool)} {
+		err := assignValue(dest, relation.Value("text"))
+		if err == nil || !strings.Contains(err.Error(), "cannot assign") {
+			t.Fatalf("mismatch into %T: %v", dest, err)
+		}
+	}
+	if err := assignValue(new(uint32), relation.Value(int64(1))); err == nil || !strings.Contains(err.Error(), "unsupported destination") {
+		t.Fatalf("unsupported dest: %v", err)
+	}
+}
