@@ -108,6 +108,13 @@ func main() {
 			sh.Shards, sh.Workers, sh.FastPath, sh.FanOut,
 			sh.MergeOrdered, sh.MergeConcat, sh.MergeCombine, sh.FanoutSpeedup, mark)
 	}
+	// The latency section is informational: percentiles ride wall-clock
+	// noise too hard to gate, but printing them puts the observed
+	// distribution next to the ns/op means it must explain.
+	for _, l := range cur.Latency {
+		fmt.Printf("latency %-48q %8d ops  p50 %6dns  p95 %6dns  p99 %6dns  max %6dns\n",
+			l.SQL, l.Count, l.P50Ns, l.P95Ns, l.P99Ns, l.MaxNs)
+	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% ns/op or %.0f%% allocs/op (or hit rate below %.2f) between %s and %s\n",
 			*maxRegress, *maxAllocRegress, *minHitRate, flag.Arg(0), flag.Arg(1))

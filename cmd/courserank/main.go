@@ -5,6 +5,7 @@
 //
 //	courserank [-scale tiny|small|paper] [-addr :8080] [-demo]
 //	           [-durable DIR] [-fsync sync|async] [-shards N]
+//	           [-pprof ADDR]
 //
 // With -demo it skips the server and walks one student session through
 // the headline features (search → cloud → refine → recommend → plan)
@@ -21,6 +22,13 @@
 // loading: per-student queries route to one shard, everything else
 // scatter-gathers in parallel. /api/stats grows a "sharding" section
 // with per-shard row counts and routing counters.
+//
+// The server runs with query-level observability on: per-statement
+// latency histograms at /api/queries, the slow-query log at
+// /api/slowlog, and EXPLAIN ANALYZE for a whole strategy at
+// /api/analyze/{strategy}. With -pprof ADDR a second listener serves
+// net/http/pprof (e.g. -pprof localhost:6060, then
+// /debug/pprof/profile) off the main request path.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"time"
 
 	"courserank/internal/core"
@@ -45,6 +54,7 @@ func main() {
 	durable := flag.String("durable", "", "directory for durable storage (empty = in-memory)")
 	fsync := flag.String("fsync", "sync", "durable commit policy: sync, async")
 	shards := flag.Int("shards", 0, "split student-keyed tables across N shards (0 = monolithic)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	var cfg datagen.Config
@@ -126,7 +136,17 @@ func main() {
 		runDemo(site, man)
 		return
 	}
-	log.Printf("serving on %s (try /api/health)", *addr)
+	site.EnableObservability()
+	if *pprofAddr != "" {
+		// pprof rides the default mux (the blank net/http/pprof import)
+		// on its own listener, so profiling never contends with the API
+		// listener's accept loop.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	log.Printf("serving on %s (try /api/health, /api/queries, /api/analyze/{strategy})", *addr)
 	log.Fatal(http.ListenAndServe(*addr, server.New(site)))
 }
 

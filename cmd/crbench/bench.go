@@ -36,6 +36,11 @@ var shardClusters = struct {
 	err    error
 }{}
 
+// observedLatency carries the collector's per-statement percentiles
+// out of the ObservedPointLookup scenario (whose collector is torn
+// down when the scenario restores the bare site) into the report.
+var observedLatency []benchfmt.Latency
+
 func shardBench(b *testing.B, r *experiments.Runner) (c4, c1 *shard.Cluster) {
 	b.Helper()
 	sc := &shardClusters
@@ -58,6 +63,21 @@ func shardBench(b *testing.B, r *experiments.Runner) (c4, c1 *shard.Cluster) {
 		b.Fatal(sc.err)
 	}
 	return sc.c4, sc.c1
+}
+
+// explainExpect is the plan-shape guard shared by scenarios that claim
+// to measure one specific access path: the statement's Explain output
+// must contain want, or the scenario is timing something other than
+// what its name records and the trajectory entry would be a lie.
+func explainExpect(b *testing.B, explain func() (string, error), want string) {
+	b.Helper()
+	out, err := explain()
+	if err != nil {
+		b.Fatalf("explain: %v", err)
+	}
+	if !strings.Contains(out, want) {
+		b.Fatalf("scenario does not ride %q:\n%s", want, out)
+	}
 }
 
 // durableBenchTable is the journaled table the durability scenarios
@@ -192,6 +212,40 @@ func benchmarks(r *experiments.Runner) []struct {
 				}
 			}
 		}},
+		// ObservedPointLookup is PreparedPointLookup with query-level
+		// observability on: every op additionally pays one histogram
+		// record and the slow-log floor check. The pair bounds what
+		// observation costs (checkObservedOverhead below), and the
+		// collector's measurements land in the report's latency section.
+		// Observability flips off again afterwards so every other
+		// scenario stays bare — the disabled path is what the tracked
+		// trajectory gates PR over PR.
+		{"ObservedPointLookup", func(b *testing.B) {
+			r.Site.EnableObservability()
+			defer r.Site.DisableObservability()
+			st, err := r.Site.SQL.Prepare(`SELECT Title, DepID FROM Courses WHERE CourseID = ?`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id := r.Man.Planted["intro-programming"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// testing.Benchmark re-invokes the scenario while calibrating
+			// b.N; each invocation installs a fresh collector, so keep
+			// only the final (full-length) run's measurements.
+			observedLatency = observedLatency[:0]
+			for _, q := range r.Site.Obs.Top(0, "total") {
+				observedLatency = append(observedLatency, benchfmt.Latency{
+					SQL: q.SQL, Route: q.Route, Count: q.Count,
+					P50Ns: q.P50Ns, P95Ns: q.P95Ns, P99Ns: q.P99Ns, MaxNs: q.MaxNs,
+				})
+			}
+		}},
 		// RangeYearElidedSort exercises the ordered-index range path end
 		// to end: the Year >= ? predicate rides the CourseYears ordered
 		// index and the ORDER BY on the same key is elided.
@@ -231,9 +285,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.Explain(); err != nil || !strings.Contains(out, "merge join") {
-				b.Fatalf("scenario does not ride a merge join (%v):\n%s", err, out)
-			}
+			explainExpect(b, st.Explain, "merge join")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rows, err := st.QueryRows()
@@ -258,9 +310,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.Explain(); err != nil || !strings.Contains(out, "order by Rating DESC elided") {
-				b.Fatalf("scenario does not elide its DESC sort (%v):\n%s", err, out)
-			}
+			explainExpect(b, st.Explain, "order by Rating DESC elided")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Query(4.0); err != nil {
@@ -276,9 +326,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.Explain(); err != nil || !strings.Contains(out, "probe=range(Year)") {
-				b.Fatalf("scenario does not ride a band-join range probe (%v):\n%s", err, out)
-			}
+			explainExpect(b, st.Explain, "probe=range(Year)")
 			id := r.Man.Planted["intro-programming"]
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -326,9 +374,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if _, err := r.Site.Flex.Run(wf); err != nil {
 				b.Fatal(err)
 			}
-			if out := r.Site.Flex.Explain(wf); !strings.Contains(out, "matview hit (age=") {
-				b.Fatalf("scenario does not ride the materialized view:\n%s", out)
-			}
+			explainExpect(b, func() (string, error) { return r.Site.Flex.Explain(wf), nil }, "matview hit (age=")
 			hits0 := v.Stats().Hits
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -471,9 +517,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.Explain(); err != nil || !strings.Contains(out, "fan-out over 4 shards, merge=by-order") {
-				b.Fatalf("scenario does not fan out with an ordered merge (%v):\n%s", err, out)
-			}
+			explainExpect(b, st.Explain, "fan-out over 4 shards, merge=by-order")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Query(4.0); err != nil {
@@ -506,9 +550,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.ExplainArgs(r.Man.SampleStudent); err != nil || !strings.Contains(out, "shard key pinned") {
-				b.Fatalf("scenario does not pin to a single shard (%v):\n%s", err, out)
-			}
+			explainExpect(b, func() (string, error) { return st.ExplainArgs(r.Man.SampleStudent) }, "shard key pinned")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Query(r.Man.SampleStudent); err != nil {
@@ -527,9 +569,7 @@ func benchmarks(r *experiments.Runner) []struct {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if out, err := st.Explain(); err != nil || !strings.Contains(out, "merge=combine-partials") {
-				b.Fatalf("scenario does not combine partials (%v):\n%s", err, out)
-			}
+			explainExpect(b, st.Explain, "merge=combine-partials")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Query(); err != nil {
@@ -662,6 +702,12 @@ func runBenchmarks(r *experiments.Runner, scale, filter string, w io.Writer) err
 		if filterRE != nil && !filterRE.MatchString(bm.name) {
 			continue
 		}
+		// Settle the previous scenario's garbage first: on a small-core
+		// runner a collection triggered by a heavy allocator's leftovers
+		// otherwise lands inside whichever timed loop runs next, billing
+		// one scenario's heap to another and making the trajectory
+		// order-sensitive.
+		runtime.GC()
 		res := testing.Benchmark(bm.fn)
 		report.Benchmarks = append(report.Benchmarks, benchfmt.Result{
 			Name:        bm.name,
@@ -714,12 +760,22 @@ func runBenchmarks(r *experiments.Runner, scale, filter string, w io.Writer) err
 			st.Shards, st.FastPath, st.FanOut, st.MergeOrdered, st.MergeConcat, st.MergeCombine,
 			report.Sharding.FanoutSpeedup)
 	}
+	if len(observedLatency) > 0 {
+		report.Latency = observedLatency
+		for _, l := range report.Latency {
+			fmt.Fprintf(os.Stderr, "observed latency %-48q %8d ops  p50 %6dns  p95 %6dns  p99 %6dns\n",
+				l.SQL, l.Count, l.P50Ns, l.P95Ns, l.P99Ns)
+		}
+	}
 	// A filtered run may omit the view scenarios the speedup gate reads.
 	if filterRE == nil {
 		if err := checkViewSpeedup(report); err != nil {
 			return err
 		}
 		if err := checkShardSpeedup(report); err != nil {
+			return err
+		}
+		if err := checkObservedOverhead(report); err != nil {
 			return err
 		}
 	}
@@ -751,6 +807,35 @@ func checkViewSpeedup(report benchfmt.Report) error {
 			cold/warm, cold, warm)
 	}
 	fmt.Fprintf(os.Stderr, "warm view serve %.0f× faster than forced recompute\n", cold/warm)
+	return nil
+}
+
+// checkObservedOverhead is the observation acceptance gate: the same
+// prepared point lookup with the collector installed must stay within
+// 2× of the bare run. The real margin is far tighter (one sync.Map
+// load, a histogram add and an atomic floor check against microseconds
+// of execution), so the loose bound survives noisy runners while still
+// catching an accidentally heavy record path; the ObservedPointLookup
+// trajectory entry carries the precise cost under benchdiff's 25%
+// PR-over-PR gate.
+func checkObservedOverhead(report benchfmt.Report) error {
+	var bare, observed float64
+	for _, b := range report.Benchmarks {
+		switch b.Name {
+		case "PreparedPointLookup":
+			bare = b.NsPerOp
+		case "ObservedPointLookup":
+			observed = b.NsPerOp
+		}
+	}
+	if bare == 0 || observed == 0 {
+		return fmt.Errorf("bench: missing PreparedPointLookup/ObservedPointLookup results")
+	}
+	if observed > 2*bare {
+		return fmt.Errorf("bench: observed point lookup is %.2f× the bare one (%.0f vs %.0f ns/op), want ≤2×",
+			observed/bare, observed, bare)
+	}
+	fmt.Fprintf(os.Stderr, "observation overhead %.2f× on the prepared point lookup\n", observed/bare)
 	return nil
 }
 

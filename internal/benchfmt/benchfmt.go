@@ -66,6 +66,21 @@ type Sharding struct {
 	FanoutSpeedup float64 `json:"fanout_speedup"`
 }
 
+// Latency is one statement fingerprint's latency distribution as the
+// query-level collector (internal/obs) measured it during the observed
+// benchmark scenario: percentiles out of the lock-free log-bucketed
+// histograms, recorded so the trajectory shows what observation itself
+// measured, not just what it cost.
+type Latency struct {
+	SQL   string `json:"sql"`
+	Route string `json:"route,omitempty"`
+	Count uint64 `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
 // Report is the file-level JSON shape of one BENCH_*.json record.
 type Report struct {
 	Scale       string       `json:"scale"`
@@ -75,6 +90,7 @@ type Report struct {
 	FlexCompile *FlexCompile `json:"flex_compile,omitempty"`
 	Matview     *Matview     `json:"matview,omitempty"`
 	Sharding    *Sharding    `json:"sharding,omitempty"`
+	Latency     []Latency    `json:"latency,omitempty"`
 }
 
 // Load reads and decodes one trajectory file.

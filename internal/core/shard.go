@@ -91,6 +91,13 @@ func (s *Site) EnableSharding(n int) error {
 	// for expression evaluation and ForceScan parity runs.
 	s.Flex = flexrecs.NewEngineWithBackend(s.SQL, shardBackend{c})
 	s.Flex.UseMatviews(s.Views)
+
+	// A collector installed before sharding covers the new engines too.
+	if s.Obs != nil {
+		for i := 0; i < c.Shards(); i++ {
+			c.Engine(i).Observe(s.Obs)
+		}
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"courserank/internal/community"
 	"courserank/internal/flexrecs"
 	"courserank/internal/matview"
+	"courserank/internal/obs"
 	"courserank/internal/planner"
 	"courserank/internal/qa"
 	"courserank/internal/recommend"
@@ -62,6 +63,10 @@ type Site struct {
 	// Sharded is the scatter-gather cluster when EnableSharding was
 	// called; nil for a monolithic site.
 	Sharded *shard.Cluster
+
+	// Obs is the query-level observability collector when
+	// EnableObservability was called; nil (and costless) otherwise.
+	Obs *obs.Collector
 
 	index           *search.Index
 	instructorIndex *search.Index

@@ -356,9 +356,16 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 	if sqlable(s) {
 		return e.runSQL(s)
 	}
+	return e.applyStep(s, e.runStep)
+}
+
+// applyStep executes one non-sqlable operator, obtaining operand
+// relations through run — e.runStep normally, the instrumented
+// recursion under RunAnalyze.
+func (e *Engine) applyStep(s *Step, run func(*Step) (*Relation, error)) (*Relation, error) {
 	switch s.kind {
 	case selectStep:
-		child, err := e.runStep(s.child)
+		child, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +387,7 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		return out, nil
 
 	case projectStep:
-		child, err := e.runStep(s.child)
+		child, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
@@ -403,40 +410,40 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		return out, nil
 
 	case joinStep:
-		left, err := e.runStep(s.child)
+		left, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.runStep(s.other)
+		right, err := run(s.other)
 		if err != nil {
 			return nil, err
 		}
 		return joinRelations(left, right, s.on)
 
 	case extendStep:
-		child, err := e.runStep(s.child)
+		child, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
 		return extend(child, s.groupBy, s.keyCol, s.valCol, s.as)
 
 	case recommendStep:
-		target, err := e.runStep(s.child)
+		target, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
-		ref, err := e.runStep(s.other)
+		ref, err := run(s.other)
 		if err != nil {
 			return nil, err
 		}
 		return recommend(target, ref, s.cmp, s.scoreAs)
 
 	case blendStep:
-		left, err := e.runStep(s.child)
+		left, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.runStep(s.other)
+		right, err := run(s.other)
 		if err != nil {
 			return nil, err
 		}
@@ -449,17 +456,17 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 			// is the shape every shipped strategy ends with, and the fused
 			// path skips the whole-catalog stable sort plus one output row
 			// per discarded candidate.
-			target, err := e.runStep(s.child.child)
+			target, err := run(s.child.child)
 			if err != nil {
 				return nil, err
 			}
-			ref, err := e.runStep(s.child.other)
+			ref, err := run(s.child.other)
 			if err != nil {
 				return nil, err
 			}
 			return recommendTop(target, ref, s.child.cmp, s.child.scoreAs, s.k)
 		}
-		child, err := e.runStep(s.child)
+		child, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}
@@ -472,7 +479,7 @@ func (e *Engine) runStep(s *Step) (*Relation, error) {
 		return e.runMat(s)
 
 	case orderStep:
-		child, err := e.runStep(s.child)
+		child, err := run(s.child)
 		if err != nil {
 			return nil, err
 		}

@@ -137,16 +137,25 @@ func (e *Engine) viewFor(s *Step) (*matview.View, error) {
 // fresh Relation header and row slice; the row cells themselves are
 // never mutated by any operator.
 func (e *Engine) runMat(s *Step) (*Relation, error) {
+	rel, _, _, err := e.runMatServe(s)
+	return rel, err
+}
+
+// runMatServe is runMat also reporting how the request was served —
+// the serve kind and whether a registry was consulted at all — for
+// EXPLAIN ANALYZE's matview annotations.
+func (e *Engine) runMatServe(s *Step) (*Relation, matview.Serve, bool, error) {
 	if e.views == nil {
-		return e.runStep(s.child)
+		rel, err := e.runStep(s.child)
+		return rel, matview.Serve{}, false, err
 	}
 	v, err := e.viewFor(s)
 	if err != nil {
-		return nil, err
+		return nil, matview.Serve{}, false, err
 	}
 	val, serve, err := v.Get()
 	if err != nil {
-		return nil, err
+		return nil, matview.Serve{}, false, err
 	}
 	switch serve.Kind {
 	case matview.ServeFresh:
@@ -160,7 +169,7 @@ func (e *Engine) runMat(s *Step) (*Relation, error) {
 	return &Relation{
 		Cols: append([]string(nil), rel.Cols...),
 		Rows: append([][]any(nil), rel.Rows...),
-	}, nil
+	}, serve, true, nil
 }
 
 // explainMat renders a matStep for Explain, annotating how a request

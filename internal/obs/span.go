@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region within a Trace, offset-stamped against the
+// trace's start so spans from concurrent goroutines line up on one
+// timeline.
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Trace collects spans across layers (and goroutines) of one logical
+// operation — a scatter-gather fan-out timing its per-shard legs, a
+// workflow timing its steps. It is deliberately tiny: no context
+// propagation, no sampling, just named stopwatches on a shared
+// timeline. Safe for concurrent use.
+type Trace struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace; its timeline zero is now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// Start opens a span and returns the function that closes it.
+func (t *Trace) Start(name string) func() {
+	s0 := time.Now()
+	return func() { t.Add(name, s0, time.Since(s0)) }
+}
+
+// Add records a completed span.
+func (t *Trace) Add(name string, start time.Time, d time.Duration) {
+	sp := Span{Name: name, StartNs: int64(start.Sub(t.t0)), DurNs: int64(d)}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the timeline, one span per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.Spans() {
+		fmt.Fprintf(&b, "%s: +%v for %v\n", s.Name, time.Duration(s.StartNs), time.Duration(s.DurNs))
+	}
+	return b.String()
+}

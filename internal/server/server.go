@@ -45,6 +45,9 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("GET /api/recommend/{strategy}", s.auth(s.handleRecommend))
 	s.mux.HandleFunc("GET /api/explain/{strategy}", s.auth(s.handleExplain))
 	s.mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
+	s.mux.HandleFunc("GET /api/queries", s.auth(s.handleQueries))
+	s.mux.HandleFunc("GET /api/slowlog", s.auth(s.handleSlowlog))
+	s.mux.HandleFunc("GET /api/analyze/{strategy}", s.auth(s.handleAnalyze))
 	s.mux.HandleFunc("GET /api/views", s.auth(s.handleViews))
 	s.mux.HandleFunc("GET /api/feed/{dep}", s.auth(s.handleFeed))
 	s.mux.HandleFunc("GET /api/points", s.auth(s.handlePoints))
@@ -56,8 +59,15 @@ func New(site *core.Site) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. On an observability-enabled site
+// every request also lands in a per-endpoint latency histogram.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c := s.site.Obs; c != nil {
+		s.observedServe(c, w, r)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // writeJSON writes v with status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -355,66 +365,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, u communi
 // workflow request skipped SQL re-rendering too), the materialized-view
 // registry (hits serve a precomputed snapshot, stale hits serve inside
 // an async bound while a refresh runs behind the read, misses pay for a
-// build), plus the deployment scale. Durable sites also expose a
-// "durability" section (WAL, pager and checkpoint counters).
+// build), transaction health, plus the deployment scale. Durable sites
+// additionally expose "durability" (WAL, pager and checkpoint
+// counters) and "walWait" (own-fsync vs group-commit-ride wait
+// attribution); sharded sites expose "sharding" (routing health). The
+// payload is the typed statsPayload in observe.go — its key set is the
+// API contract.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, _ community.User) {
-	cs := s.site.SQL.CacheStats()
-	fh, fm := s.site.Flex.CompileStats()
-	mh, mst, mm := s.site.Flex.MatStats()
-	mv := s.site.Views.Stats()
-	out := map[string]any{
-		"planCache": map[string]any{
-			"hits":          cs.Hits,
-			"misses":        cs.Misses,
-			"invalidations": cs.Invalidations,
-			"entries":       cs.Entries,
-			"hitRate":       cs.HitRate(),
-		},
-		"flexCompile": map[string]any{
-			"hits":   fh,
-			"misses": fm,
-		},
-		"flexMaterialize": map[string]any{
-			"hits":      mh,
-			"staleHits": mst,
-			"misses":    mm,
-		},
-		"matviews": map[string]any{
-			"views":         mv.Views,
-			"hits":          mv.Hits,
-			"staleHits":     mv.StaleHits,
-			"misses":        mv.Misses,
-			"refreshes":     mv.Refreshes,
-			"invalidations": mv.Invalidations,
-			"errors":        mv.Errors,
-		},
-		"scale": s.site.Scale(),
-	}
-	// Transaction health: active snapshots, commit/abort totals, lost
-	// first-committer-wins races, and the observer-delivery durability
-	// window (see relation.TxStats / DB.NotifyStats).
-	tst := s.site.DB.TxStats()
-	unconfirmed, dropped := s.site.DB.NotifyStats()
-	out["transactions"] = map[string]any{
-		"active":            tst.Active,
-		"committed":         tst.Committed,
-		"aborted":           tst.Aborted,
-		"conflicts":         tst.Conflicts,
-		"notifyUnconfirmed": unconfirmed,
-		"notifyDropped":     dropped,
-	}
-	// Durable deployments additionally report storage health: WAL
-	// append/sync/group-commit tallies, pager cache behavior, and the
-	// checkpoint watermark (how much log a crash would replay).
-	if s.site.Durable != nil {
-		out["durability"] = s.site.Durable.Stats()
-	}
-	// Sharded deployments report routing health: per-shard row counts,
-	// fast-path vs fan-out tallies, and which merge strategies ran.
-	if s.site.Sharded != nil {
-		out["sharding"] = s.site.Sharded.Stats()
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // handleViews lists every registered materialized view with its serving

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var shardTimeRe = regexp.MustCompile(`in [0-9][^\n]*`)
+
+// TestExplainAnalyzeSingleShard pins the pinned-route report: route
+// header plus the owning shard's annotated plan.
+func TestExplainAnalyzeSingleShard(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	st, err := c.Prepare(`SELECT Score FROM Ratings WHERE SuID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := st.QueryAnalyze(int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(report, "Route: single shard ") {
+		t.Fatalf("missing single-shard route header:\n%s", report)
+	}
+	if !strings.Contains(report, "index probe Ratings (SuID = 7)") || !strings.Contains(report, "actual rows=") {
+		t.Fatalf("missing annotated plan:\n%s", report)
+	}
+	if !strings.Contains(report, "analyzed: ") {
+		t.Fatalf("missing execution footer:\n%s", report)
+	}
+	// The analyze ran the query for real: rows match the plain path.
+	plain, err := st.Query(int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(plain.Rows) {
+		t.Fatalf("analyzed %d rows, plain %d", len(res.Rows), len(plain.Rows))
+	}
+}
+
+// TestExplainAnalyzeFanout pins the scatter-gather report: per-shard
+// rows/time lines, the merge kind, the short-circuit window, and the
+// merged row accounting.
+func TestExplainAnalyzeFanout(t *testing.T) {
+	c, e := testCluster(t, 4)
+	st, err := c.Prepare(`SELECT RID, Score FROM Ratings ORDER BY RID LIMIT 10 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := st.QueryAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Query(`SELECT RID, Score FROM Ratings ORDER BY RID LIMIT 10 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("analyzed fan-out returned %d rows, mono %d", len(res.Rows), len(want.Rows))
+	}
+	norm := shardTimeRe.ReplaceAllString(report, "in T")
+	for _, wantLine := range []string{
+		"Route: fan-out over 4 shards, merge=by-order\n",
+		"short-circuit: each shard windowed to 15 rows (LIMIT 10 + OFFSET 5)\n",
+		" rows out\n",
+		"shard 0 plan:\n",
+		"scan Ratings ~28 of 28 rows",
+		"actual rows=",
+	} {
+		if !strings.Contains(norm, wantLine) {
+			t.Errorf("report missing %q:\n%s", wantLine, report)
+		}
+	}
+	// One "shard i: N rows in T" line per shard, and the per-shard rows
+	// sum to the merged-in count.
+	for _, pre := range []string{"  shard 0: ", "  shard 1: ", "  shard 2: ", "  shard 3: "} {
+		if !strings.Contains(norm, pre) {
+			t.Errorf("report missing per-shard line %q:\n%s", pre, report)
+		}
+	}
+	if !regexp.MustCompile(`merged: \d+ rows in, 10 rows out`).MatchString(norm) {
+		t.Errorf("merged accounting line wrong:\n%s", report)
+	}
+}
+
+// TestExplainAnalyzeAggregateFanout: aggregates disable the
+// short-circuit (each shard must send full partials).
+func TestExplainAnalyzeAggregateFanout(t *testing.T) {
+	c, _ := testCluster(t, 4)
+	st, err := c.Prepare(`SELECT SuID, COUNT(*) FROM Ratings GROUP BY SuID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := st.QueryAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "merge=combine-partials") {
+		t.Fatalf("aggregate merge kind missing:\n%s", report)
+	}
+	if strings.Contains(report, "short-circuit") {
+		t.Fatalf("aggregate fan-out must not short-circuit:\n%s", report)
+	}
+}
+
+func TestExplainAnalyzeRejectsDML(t *testing.T) {
+	c, _ := testCluster(t, 2)
+	st, err := c.Prepare(`DELETE FROM Points WHERE Pts < 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.QueryAnalyze(); err == nil {
+		t.Fatal("QueryAnalyze of DML should fail")
+	}
+}

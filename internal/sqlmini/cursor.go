@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"courserank/internal/relation"
 )
@@ -485,8 +486,24 @@ func probeRows(s *scanNode, t *relation.Table, rs *rowset, sn relation.Snap) ([]
 // set when the plan elided an ORDER BY on the strength of this scan.
 // Scanned rows are retained by reference: the relation store never
 // mutates a stored row in place, so references stay consistent
-// snapshots.
+// snapshots. Under EXPLAIN ANALYZE (one nil check otherwise) the
+// returned cursor is wrapped with per-operator instrumentation.
 func (e *Engine) openScan(s *scanNode, keyOrder bool) (cursor, error) {
+	if e.an == nil {
+		return e.openScanRaw(s, keyOrder)
+	}
+	st := e.an.nodeStat(s)
+	t0 := time.Now()
+	cur, err := e.openScanRaw(s, keyOrder)
+	st.ns += int64(time.Since(t0)) // eager work: probes, degraded-path sorts
+	st.loops++
+	if err != nil {
+		return nil, err
+	}
+	return &instrCursor{in: cur, st: st}, nil
+}
+
+func (e *Engine) openScanRaw(s *scanNode, keyOrder bool) (cursor, error) {
 	t, ok := e.db.Table(s.ref.Name)
 	if !ok {
 		return nil, fmt.Errorf("sqlmini: unknown table %q", s.ref.Name)
@@ -832,6 +849,13 @@ type inljCursor struct {
 	closed    bool
 	seen      map[string]bool
 	keys      []relation.Value
+
+	// EXPLAIN ANALYZE hooks (nil when not analyzing): probeStat takes
+	// the right-side fetches — rows and wall time of the batched index
+	// probes, since INLJ never opens the right side through openScan —
+	// and loopStat counts probe rounds on the join's own line.
+	probeStat *opStat
+	loopStat  *opStat
 }
 
 func (c *inljCursor) markTransient() {
@@ -880,8 +904,15 @@ func (c *inljCursor) fillBatch() error {
 		}
 	}
 	c.keys = keys
+	if c.loopStat != nil {
+		c.loopStat.loops++
+	}
 	var fetched []relation.Row
 	if len(keys) > 0 {
+		var t0 time.Time
+		if c.probeStat != nil {
+			t0 = time.Now()
+		}
 		if c.jn.inljPK {
 			pkKeys := make([][]relation.Value, len(keys))
 			for i, v := range keys {
@@ -890,6 +921,11 @@ func (c *inljCursor) fillBatch() error {
 			fetched = t.GetManyRefSnap(c.e.snap(), pkKeys...)
 		} else {
 			fetched = t.LookupManyRefSnap(c.e.snap(), c.jn.inljCol, keys)
+		}
+		if c.probeStat != nil {
+			c.probeStat.ns += int64(time.Since(t0))
+			c.probeStat.rows += int64(len(fetched))
+			c.probeStat.batches++
 		}
 	}
 	// The right side's pushed filters still apply to fetched rows, then
@@ -1174,6 +1210,12 @@ type bandJoinCursor struct {
 	queue   []relation.Row // right matches for cur, reused across probes
 	qi      int
 	matched bool
+
+	// EXPLAIN ANALYZE hooks (nil when not analyzing): the band join
+	// probes storage directly per left row, so the right-side line's
+	// rows/time come from here rather than openScan.
+	probeStat *opStat
+	loopStat  *opStat
 }
 
 func (c *bandJoinCursor) markTransient() {
@@ -1182,9 +1224,25 @@ func (c *bandJoinCursor) markTransient() {
 }
 
 // probe fills c.queue with the right rows matching the band bounds of
-// one left row, with the right side's pushed filters applied. The queue
-// holds storage references and is reused across probes.
+// one left row, timing the range probe when analyzing.
 func (c *bandJoinCursor) probe(l relation.Row) error {
+	if c.probeStat == nil {
+		return c.probeInner(l)
+	}
+	c.loopStat.loops++
+	t0 := time.Now()
+	err := c.probeInner(l)
+	c.probeStat.ns += int64(time.Since(t0))
+	c.probeStat.rows += int64(len(c.queue))
+	c.probeStat.batches++
+	return err
+}
+
+// probeInner fills c.queue with the right rows matching the band
+// bounds of one left row, with the right side's pushed filters
+// applied. The queue holds storage references and is reused across
+// probes.
+func (c *bandJoinCursor) probeInner(l relation.Row) error {
 	c.queue = c.queue[:0]
 	lo, err := evalScalar(c.jn.bandLo, l, c.leftRS)
 	if err != nil {
@@ -1633,12 +1691,29 @@ func (e *Engine) openPlan(p *selectPlan, retain bool) (cursor, error) {
 			cur = &nestedLoopCursor{e: e, left: cur, jn: jn, combined: combined,
 				ldrain: leftDrain{c: cur}, rightWidth: rightWidth}
 		}
+		if e.an != nil {
+			// The join's own line measures inclusively (its time covers
+			// the inputs, like real EXPLAIN ANALYZE); INLJ and band joins
+			// additionally report their storage probes on the right-hand
+			// scan line, which openScan never sees for them.
+			jst := e.an.nodeStat(jn)
+			switch jc := cur.(type) {
+			case *inljCursor:
+				jc.probeStat, jc.loopStat = e.an.nodeStat(jn.scan), jst
+			case *bandJoinCursor:
+				jc.probeStat, jc.loopStat = e.an.nodeStat(jn.scan), jst
+			}
+			cur = &instrCursor{in: cur, st: jst}
+		}
 	}
 	if p.perm != nil {
 		cur = &permCursor{in: cur, perm: p.perm}
 	}
 	if len(p.where) > 0 {
 		cur = &filterCursor{in: cur, rs: &rowset{cols: p.cols}, conds: p.where}
+		if e.an != nil {
+			cur = &instrCursor{in: cur, st: e.an.nodeStat(whereKey)}
+		}
 	}
 	if !retain {
 		markTransientCursor(cur)

@@ -156,6 +156,49 @@
 // loops, no pushdown, no caching — which parity tests run beside the
 // planning engine; handles are immutable, so the two never race.
 //
+// # Reading an EXPLAIN ANALYZE tree
+//
+// Stmt.ExplainAnalyze (and QueryAnalyze, which also returns the
+// result) executes the statement with per-cursor instrumentation and
+// renders the same tree Explain prints, each operator line annotated
+// with what actually happened:
+//
+//	(actual rows=N batches=B time=D)
+//
+// rows is how many rows the operator EMITTED (not how many it read —
+// compare against the planner's "~est of total rows" estimate on the
+// same line to spot misestimates), batches is how many slabs those
+// rows left in, and time is INCLUSIVE wall time: the operator plus
+// everything below it, so a parent is never faster than its children
+// and the root's time is the statement's execution time. An operator
+// the execution never opened — the build side of a join whose driver
+// was empty, a branch cut off by LIMIT — reads "(actual: never
+// executed)". A trailing footer sums the statement up:
+//
+//	analyzed: N rows out, total D
+//
+// Two annotations depart from the one-line-one-cursor rule. Index
+// nested loop and band joins probe their right side per driver batch
+// rather than opening it as a cursor, so the RIGHT line's rows count
+// STORAGE PROBES RETURNED (rows fetched from the index, before the ON
+// residual), and the join line itself carries "loops=N" — the number
+// of driver batches that triggered a probe round. A filter line's
+// rows are post-predicate, so driver-line rows minus filter-line rows
+// is the filter's kill count.
+//
+// Layers above decorate the same trees rather than reinvent them: the
+// shard coordinator's ExplainAnalyze prefixes a route report (single
+// shard vs fan-out, per-shard rows and time, merge kind, and the
+// short-circuit line showing the LIMIT+OFFSET window each shard was
+// cut to) above a representative shard's annotated plan, and the
+// FlexRecs engine's RunAnalyze nests each compiled statement's
+// annotated tree under its workflow step, tagging materialize steps
+// with hit/stale/miss and the served view's age. Caveat: times are
+// wall clock on whatever the scheduler gave the query — parallel
+// shard fan-out can report per-shard times that sum to more than the
+// route total, and a loaded box inflates everything. Compare rows
+// across runs, times only within one.
+//
 // # View fingerprints vs plan-cache fingerprints
 //
 // Two caches above the storage layer key on the same per-table

@@ -5,7 +5,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"courserank/internal/obs"
 	"courserank/internal/relation"
 )
 
@@ -19,10 +22,24 @@ type Engine struct {
 	forceScan bool
 	batchSize int          // 0 means defaultBatch
 	tx        *relation.Tx // non-nil on a transaction-bound handle (see txn.go)
+
+	// obsBox is the shared observability slot: derived handles
+	// (ForceScan/WithBatchSize/BeginTx) alias the same box, so
+	// installing a collector once observes every execution path. A nil
+	// load disables recording — the same atomic-pointer nil-check
+	// pattern relation.Storage uses for its pluggable backend.
+	obsBox *atomic.Pointer[obs.Collector]
+
+	// an is non-nil only on the shadow handle an EXPLAIN ANALYZE
+	// execution runs under (analyze.go); the executor checks it with a
+	// plain nil test on the hot paths.
+	an *analyzeState
 }
 
 // New returns an engine bound to db with a fresh plan cache.
-func New(db *relation.DB) *Engine { return &Engine{db: db, cache: newPlanCache()} }
+func New(db *relation.DB) *Engine {
+	return &Engine{db: db, cache: newPlanCache(), obsBox: &atomic.Pointer[obs.Collector]{}}
+}
 
 // ForceScan returns a handle over the same database whose SELECTs use
 // the naive execution strategy — full table scans, nested-loop joins,
@@ -31,7 +48,7 @@ func New(db *relation.DB) *Engine { return &Engine{db: db, cache: newPlanCache()
 // engine; because handles are immutable, concurrent queries through
 // both never race.
 func (e *Engine) ForceScan() *Engine {
-	return &Engine{db: e.db, forceScan: true, batchSize: e.batchSize}
+	return &Engine{db: e.db, forceScan: true, batchSize: e.batchSize, obsBox: e.obsBox}
 }
 
 // WithBatchSize returns a handle over the same database whose executor
@@ -45,7 +62,7 @@ func (e *Engine) WithBatchSize(n int) *Engine {
 	if n < 0 {
 		n = 0
 	}
-	h := &Engine{db: e.db, forceScan: e.forceScan, batchSize: n}
+	h := &Engine{db: e.db, forceScan: e.forceScan, batchSize: n, obsBox: e.obsBox}
 	if e.cache != nil {
 		h.cache = newPlanCache()
 	}
@@ -247,6 +264,12 @@ func expandStars(items []SelectItem, rs *rowset) ([]SelectItem, error) {
 // its rows drain into the projection/aggregation stages below.
 func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Result, error) {
 	plan := bindPlan(ps.plan, params)
+	if e.an != nil {
+		// ANALYZE keys operator stats off the BOUND plan's nodes —
+		// bindPlan may shadow-copy nodes to substitute parameters, and
+		// the cursors below hold the bound copies.
+		e.an.plan = plan
+	}
 
 	// Streaming direct projection: a non-aggregate query whose output
 	// items are all plain bound columns and whose order needs no sort
@@ -308,10 +331,21 @@ func (e *Engine) execSelect(ps *preparedSelect, params []relation.Value) (*Resul
 		if !ok {
 			return nil, fmt.Errorf("sqlmini: unknown table %q", plan.scan.ref.Name)
 		}
+		var t0 time.Time
+		if e.an != nil {
+			t0 = time.Now()
+		}
 		var err error
 		drained, err = probeRows(plan.scan, t, &rowset{cols: plan.scan.cols}, e.snap())
 		if err != nil {
 			return nil, err
+		}
+		if e.an != nil {
+			st := e.an.nodeStat(plan.scan)
+			st.ns += int64(time.Since(t0))
+			st.rows += int64(len(drained))
+			st.batches++
+			st.loops++
 		}
 	} else {
 		// retain=true: the drained rows feed aggregation/sort/projection

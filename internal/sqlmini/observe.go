@@ -1,0 +1,136 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"courserank/internal/obs"
+	"courserank/internal/relation"
+)
+
+// This file is the statement-level recording layer: when a collector
+// is installed (Engine.Observe), every Stmt.Query/Exec/QueryTx/ExecTx
+// records end-to-end latency, rows and route into per-fingerprint
+// histograms, offers slow executions to the slow-query log, and arms
+// EXPLAIN ANALYZE plan capture for admitted entries. When no
+// collector is installed the cost is one atomic load per execution.
+
+// Observe installs collector c on this engine and every handle
+// derived from it — ForceScan, WithBatchSize and BeginTx handles
+// share the same slot — or removes it when c is nil. Safe to call at
+// runtime while queries are in flight.
+func (e *Engine) Observe(c *obs.Collector) {
+	if e.obsBox != nil {
+		e.obsBox.Store(c)
+	}
+}
+
+// Observer returns the installed collector, or nil when observability
+// is off. One atomic pointer load — the entire disabled-path cost.
+func (e *Engine) Observer() *obs.Collector {
+	if e.obsBox == nil {
+		return nil
+	}
+	return e.obsBox.Load()
+}
+
+// txSeq numbers observed transactions so slow-log entries can be
+// resolved to their transaction's outcome at commit time.
+var txSeq atomic.Uint64
+
+// observedQuery runs a prepared SELECT under h with recording. When
+// the slow log previously admitted this statement without a plan
+// (capture armed), THIS execution runs instrumented and back-fills
+// the entry — the deferred-capture design documented in obs.SlowLog.
+func (s *Stmt) observedQuery(c *obs.Collector, h *Engine, en *cacheEntry, route, txTag string, args []any) (*Result, error) {
+	var own0, ride0 int64
+	if c.WALWait != nil {
+		own0, ride0 = c.WALWait()
+	}
+	var res *Result
+	var plan string
+	var err error
+	start := time.Now()
+	if en.sel != nil && s.capture.CompareAndSwap(true, false) {
+		res, plan, err = h.analyzeEntry(en, args)
+	} else {
+		res, err = h.queryEntry(en, args)
+	}
+	d := time.Since(start)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	c.Record(s.text, route, d, rows, err != nil)
+	if plan != "" {
+		c.Slow().AttachPlan(s.text, plan)
+	}
+	s.maybeLogSlow(c, route, txTag, d, rows, args, err, own0, ride0)
+	return res, err
+}
+
+// observedExec runs a prepared non-SELECT under h with recording.
+func (s *Stmt) observedExec(c *obs.Collector, h *Engine, en *cacheEntry, route, txTag string, args []any) (int, error) {
+	var own0, ride0 int64
+	if c.WALWait != nil {
+		own0, ride0 = c.WALWait()
+	}
+	start := time.Now()
+	n, err := h.execEntry(en, args)
+	d := time.Since(start)
+	c.Record(s.text, route, d, n, err != nil)
+	s.maybeLogSlow(c, route, txTag, d, n, args, err, own0, ride0)
+	return n, err
+}
+
+// maybeLogSlow offers one execution to the slow-query log, arming
+// ANALYZE plan capture when a SELECT's entry is admitted plan-less.
+func (s *Stmt) maybeLogSlow(c *obs.Collector, route, txTag string, d time.Duration, rows int, args []any, err error, own0, ride0 int64) {
+	slow := c.Slow()
+	if slow == nil || int64(d) <= slow.Floor() {
+		return
+	}
+	e := obs.SlowEntry{
+		SQL:       s.text,
+		Route:     route,
+		Rows:      rows,
+		LatencyNs: int64(d),
+		At:        time.Now(),
+		TxTag:     txTag,
+	}
+	if len(args) > 0 && !slow.Redacting() {
+		e.Params = make([]string, len(args))
+		for i, a := range args {
+			e.Params[i] = fmt.Sprintf("%v", a)
+		}
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	if c.WALWait != nil {
+		own1, ride1 := c.WALWait()
+		e.WALOwnNs, e.WALRideNs = own1-own0, ride1-ride0
+	}
+	if slow.Offer(e) && s.entry.Load().sel != nil {
+		s.capture.Store(true)
+	}
+}
+
+// recordOutcome counts a transaction's fate and resolves any slow-log
+// entries recorded under it.
+func (tx *Tx) recordOutcome(c *obs.Collector, err error, rolledBack bool) {
+	outcome := "committed"
+	o := obs.TxCommitted
+	switch {
+	case rolledBack:
+		outcome, o = "rolled back", obs.TxRolledBack
+	case errors.Is(err, relation.ErrTxConflict):
+		outcome, o = "conflicted", obs.TxConflicted
+	case err != nil:
+		outcome, o = "failed", obs.TxRolledBack
+	}
+	c.RecordTx(o)
+	c.Slow().ResolveTx(tx.tag, outcome)
+}

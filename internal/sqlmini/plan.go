@@ -214,7 +214,20 @@ func keyList(es []Expr) string {
 }
 
 // String renders the plan as an indented tree — the output of Explain.
-func (p *selectPlan) String() string {
+func (p *selectPlan) String() string { return p.render(nil) }
+
+// render walks the plan tree once for both Explain and EXPLAIN
+// ANALYZE: annot, when non-nil, appends per-node actuals after each
+// operator line, keyed by the node pointer (*joinNode, *scanNode) or
+// whereKey for the post-join filter. Sharing the walk guarantees the
+// annotated tree has exactly the shape Explain prints.
+func (p *selectPlan) render(annot func(key any) string) string {
+	note := func(key any) string {
+		if annot == nil {
+			return ""
+		}
+		return annot(key)
+	}
 	var b strings.Builder
 	if len(p.joinOrder) > 0 {
 		fmt.Fprintf(&b, "join order: %s (reordered by estimated cost)\n", strings.Join(p.joinOrder, " ⋈ "))
@@ -245,13 +258,14 @@ func (p *selectPlan) String() string {
 		if len(j.residual) > 0 {
 			fmt.Fprintf(&b, " residual %s", exprList(j.residual))
 		}
+		b.WriteString(note(j))
 		b.WriteByte('\n')
 		depth++
-		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), j.scan.describe())
+		fmt.Fprintf(&b, "%s%s%s\n", strings.Repeat("  ", depth), j.scan.describe(), note(j.scan))
 	}
-	fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), p.scan.describe())
+	fmt.Fprintf(&b, "%s%s%s\n", strings.Repeat("  ", depth), p.scan.describe(), note(p.scan))
 	if len(p.where) > 0 {
-		fmt.Fprintf(&b, "where %s\n", exprList(p.where))
+		fmt.Fprintf(&b, "where %s%s\n", exprList(p.where), note(whereKey))
 	}
 	if p.orderElide {
 		fmt.Fprintf(&b, "order by %s elided (range scan emits sort order)\n", p.orderText)

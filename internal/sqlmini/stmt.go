@@ -152,6 +152,12 @@ type Stmt struct {
 	e     *Engine
 	text  string
 	entry atomic.Pointer[cacheEntry]
+
+	// capture arms EXPLAIN ANALYZE plan capture for the slow-query
+	// log: set when a slow execution is admitted without a plan,
+	// consumed by the next execution, which runs instrumented
+	// (observe.go).
+	capture atomic.Bool
 }
 
 // Prepare parses and plans sql, leaving placeholders ('?') unbound
@@ -209,6 +215,9 @@ func (s *Stmt) Query(args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c := s.e.Observer(); c != nil {
+		return s.observedQuery(c, s.e, en, "query", "", args)
+	}
 	return s.e.queryEntry(en, args)
 }
 
@@ -218,6 +227,9 @@ func (s *Stmt) Exec(args ...any) (int, error) {
 	en, err := s.current()
 	if err != nil {
 		return 0, err
+	}
+	if c := s.e.Observer(); c != nil {
+		return s.observedExec(c, s.e, en, "exec", "", args)
 	}
 	return s.e.execEntry(en, args)
 }

@@ -25,6 +25,7 @@ import (
 type Tx struct {
 	h   *Engine // transaction-bound handle: h.tx == rtx
 	rtx *relation.Tx
+	tag string // observability tag linking slow-log entries to the tx outcome
 }
 
 // BeginTx opens a snapshot-isolation transaction. Streaming Rows opened
@@ -33,8 +34,12 @@ type Tx struct {
 // collection may reclaim the row versions the cursor was reading.
 func (e *Engine) BeginTx() *Tx {
 	rtx := e.db.Begin()
-	h := &Engine{db: e.db, cache: e.cache, forceScan: e.forceScan, batchSize: e.batchSize, tx: rtx}
-	return &Tx{h: h, rtx: rtx}
+	h := &Engine{db: e.db, cache: e.cache, forceScan: e.forceScan, batchSize: e.batchSize, tx: rtx, obsBox: e.obsBox}
+	tx := &Tx{h: h, rtx: rtx}
+	if h.Observer() != nil {
+		tx.tag = fmt.Sprintf("tx-%d", txSeq.Add(1))
+	}
+	return tx
 }
 
 // Query executes a SELECT inside the transaction.
@@ -55,10 +60,22 @@ func (tx *Tx) QueryRows(sql string, args ...any) (*Rows, error) {
 // Commit makes the transaction's writes visible atomically and waits
 // for the WAL commit record to be durable. A conflicted transaction
 // rolls back and reports relation.ErrTxConflict.
-func (tx *Tx) Commit() error { return tx.rtx.Commit() }
+func (tx *Tx) Commit() error {
+	err := tx.rtx.Commit()
+	if c := tx.h.Observer(); c != nil {
+		tx.recordOutcome(c, err, false)
+	}
+	return err
+}
 
 // Rollback discards the transaction's staged writes.
-func (tx *Tx) Rollback() error { return tx.rtx.Rollback() }
+func (tx *Tx) Rollback() error {
+	err := tx.rtx.Rollback()
+	if c := tx.h.Observer(); c != nil {
+		tx.recordOutcome(c, err, true)
+	}
+	return err
+}
 
 // Relational exposes the underlying relation-layer transaction, for
 // callers that mix SQL with direct table access (core workflows).
@@ -71,6 +88,9 @@ func (s *Stmt) QueryTx(tx *Tx, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c := tx.h.Observer(); c != nil {
+		return s.observedQuery(c, tx.h, en, "tx", tx.tag, args)
+	}
 	return tx.h.queryEntry(en, args)
 }
 
@@ -79,6 +99,9 @@ func (s *Stmt) ExecTx(tx *Tx, args ...any) (int, error) {
 	en, err := s.current()
 	if err != nil {
 		return 0, err
+	}
+	if c := tx.h.Observer(); c != nil {
+		return s.observedExec(c, tx.h, en, "tx", tx.tag, args)
 	}
 	return tx.h.execEntry(en, args)
 }

@@ -101,6 +101,13 @@ type Stats struct {
 	Bytes      int64  `json:"bytes"`      // current file size
 	LastLSN    uint64 `json:"lastLSN"`    // last appended LSN
 	DurableLSN uint64 `json:"durableLSN"` // last LSN known fsynced
+
+	// Durability-wait attribution: total nanoseconds Commit callers
+	// spent doing their own fsync (leader) vs waiting behind another
+	// committer's fsync and riding it (follower). A commit satisfied
+	// without blocking (already durable) contributes to neither.
+	SyncWaitNs int64 `json:"syncWaitNs"`
+	RideWaitNs int64 `json:"rideWaitNs"`
 }
 
 // Log is an append-only record log. All methods are safe for
@@ -122,6 +129,8 @@ type Log struct {
 	syncs      atomic.Uint64
 	groupRides atomic.Uint64
 	truncates  atomic.Uint64
+	syncWaitNs atomic.Int64
+	rideWaitNs atomic.Int64
 
 	failed atomic.Bool // a write or fsync error poisons the log
 
@@ -312,15 +321,19 @@ func (l *Log) Commit(lsn uint64) error {
 		l.groupRides.Add(1)
 		return nil
 	}
+	start := time.Now()
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
 	if l.durable.Load() >= lsn {
 		// Another committer's fsync covered us while we waited: the
 		// group-commit ride.
 		l.groupRides.Add(1)
+		l.rideWaitNs.Add(int64(time.Since(start)))
 		return nil
 	}
-	return l.syncLocked()
+	err := l.syncLocked()
+	l.syncWaitNs.Add(int64(time.Since(start)))
+	return err
 }
 
 // syncLocked fsyncs and advances the durable LSN; caller holds syncMu.
@@ -439,6 +452,8 @@ func (l *Log) Stats() Stats {
 		Bytes:      size,
 		LastLSN:    last,
 		DurableLSN: l.durable.Load(),
+		SyncWaitNs: l.syncWaitNs.Load(),
+		RideWaitNs: l.rideWaitNs.Load(),
 	}
 }
 
